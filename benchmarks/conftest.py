@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper, prints the
+paper-vs-ours comparison, and asserts the *shape* criteria (who wins,
+by roughly what factor).  Timing comes from pytest-benchmark; each
+regeneration runs once (``pedantic`` with one round) since the work is
+deterministic simulation, not noise-limited microcode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import Comparison, render
+
+
+def regenerate(benchmark, function, *args, **kwargs):
+    """Run a regeneration once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def show(title: str, rows, note: str = "") -> None:
+    print()
+    print(render(title, rows, note))
+
+
+def show_series(title: str, series) -> None:
+    print()
+    print(f"== {title} ==")
+    for name, points in series.items():
+        formatted = "  ".join(f"{x}:{y:.1f}" for x, y in points)
+        print(f"{name:24} {formatted}")

@@ -1,0 +1,88 @@
+"""Ablation: the resource-constraint rule and deposit-engine generality.
+
+DESIGN.md design decisions 1 and 4:
+
+* evaluating with vs without the Section 3.4 duplex-memory constraint
+  shows when the third composition rule actually binds;
+* restricting the T3D annex to contiguous patterns (a Paragon-style
+  DMA) makes chained transfers infeasible for strided and indexed
+  patterns — the paper's closing advice to hardware designers.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import regenerate
+from repro.core import (
+    CompositionError,
+    DepositSupport,
+    duplex_memory_constraint,
+)
+from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+from repro.machines import t3d
+
+
+def test_duplex_memory_constraint_binds_fast_operations(benchmark):
+    def run():
+        model = t3d().model(source="paper")
+        constraint = duplex_memory_constraint()
+        out = {}
+        for name, x, y in (
+            ("1Q1 chained", CONTIGUOUS, CONTIGUOUS),
+            ("1Q64 chained", CONTIGUOUS, strided(64)),
+        ):
+            free = model.estimate(x, y, "chained")
+            capped = model.estimate(
+                x, y, "chained", extra_constraints=[constraint]
+            )
+            out[name] = (free.mbps, capped.mbps, capped.constrained)
+        return out
+
+    results = regenerate(benchmark, run)
+    print()
+    for name, (free, capped, binding) in results.items():
+        print(f"{name}: unconstrained {free:.1f}, duplex-capped {capped:.1f} "
+              f"({'BINDING' if binding else 'slack'})")
+    # The cap (|1C1|/2 = 46.5) bites the fast contiguous chained path...
+    free, capped, binding = results["1Q1 chained"]
+    assert binding and capped == pytest.approx(46.5)
+    # ...but not the already-slower strided one.
+    free, capped, binding = results["1Q64 chained"]
+    assert not binding and capped == free
+
+
+def test_deposit_generality_enables_chained(benchmark):
+    def run():
+        general = t3d()
+        restricted = t3d()
+        restricted.capabilities = replace(
+            restricted.capabilities, deposit=DepositSupport.CONTIGUOUS
+        )
+        general_model = general.model(source="paper")
+        restricted_model = restricted.model(source="paper")
+        feasible = general_model.estimate(INDEXED, INDEXED, "chained").mbps
+        contiguous_ok = restricted_model.estimate(
+            CONTIGUOUS, CONTIGUOUS, "chained"
+        ).mbps
+        try:
+            restricted_model.estimate(INDEXED, INDEXED, "chained")
+            infeasible = False
+        except CompositionError:
+            infeasible = True
+        best = restricted_model.choose(INDEXED, INDEXED)
+        return feasible, contiguous_ok, infeasible, best.style.value, best.mbps
+
+    feasible, contiguous_ok, infeasible, fallback, rate = regenerate(
+        benchmark, run
+    )
+    print(
+        f"\nannex (any pattern): chained wQw {feasible:.1f} MB/s; "
+        f"contiguous-only engine: chained wQw infeasible={infeasible}, "
+        f"compiler falls back to {fallback} at {rate:.1f} MB/s"
+    )
+    assert infeasible
+    assert fallback == "buffer-packing"
+    assert contiguous_ok > 0
+    # The hardware restriction costs more than 2x on indexed traffic.
+    assert feasible > 2 * rate

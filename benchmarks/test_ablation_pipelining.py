@@ -1,0 +1,58 @@
+"""Ablation: pipelining granularity (DESIGN.md decision 3).
+
+The model optimistically assumes the stages of a transfer overlap
+("spread evenly ... obtained through pipelining", Section 4).  This
+ablation runs the same chained transfer at three granularities —
+message-grain store-and-forward, the runtime's default chunking, and
+very fine chunks — and shows that:
+
+* store-and-forward collapses to the *sum* of stage times (well under
+  the model);
+* fine-grained chunking converges on the model's min rule;
+* below a point, per-chunk software overhead eats the gains back.
+"""
+
+from conftest import regenerate
+from repro.core.patterns import CONTIGUOUS, strided
+from repro.machines import t3d
+from repro.runtime.engine import CPU_CHUNK_OVERHEAD_NS, CommRuntime
+from repro.runtime.stages import Stage, StagePipeline
+
+MESSAGE = 1 << 20  # 1 MB
+
+
+def test_chunk_granularity_sweep(benchmark):
+    def run():
+        runtime = CommRuntime(t3d())
+        send = runtime._send_rate(CONTIGUOUS)
+        network = runtime._network_rate(adp=False, congestion=2)
+        deposit = 140.0
+        stages = [
+            Stage("send", send, "cpu", chunk_overhead_ns=CPU_CHUNK_OVERHEAD_NS),
+            Stage("net", network, "net"),
+            Stage("deposit", deposit, "dep"),
+        ]
+        results = {}
+        for chunk in (MESSAGE, 65536, 4096, 512, 64):
+            results[chunk] = StagePipeline(stages).run(
+                MESSAGE, chunk_bytes=chunk
+            ).mbps
+        model_min = min(send, network, deposit)
+        harmonic = 1.0 / (1.0 / send + 1.0 / network + 1.0 / deposit)
+        return results, model_min, harmonic
+
+    results, model_min, harmonic = regenerate(benchmark, run)
+    print()
+    print("== Pipelining ablation: chained 1Q1-like transfer, 1 MB ==")
+    print(f"model (min rule): {model_min:.1f} MB/s; "
+          f"store-and-forward bound (harmonic): {harmonic:.1f} MB/s")
+    for chunk, rate in sorted(results.items(), reverse=True):
+        print(f"  chunk {chunk:>8} B: {rate:6.1f} MB/s")
+
+    # Message-grain staging lands at the harmonic (sum-of-stages) bound.
+    assert results[MESSAGE] < 0.6 * model_min
+    assert abs(results[MESSAGE] - harmonic) / harmonic < 0.05
+    # Moderate chunking recovers most of the min rule.
+    assert results[4096] > 0.9 * model_min
+    # Too-fine chunks pay per-chunk overhead and regress again.
+    assert results[64] < results[4096]

@@ -1,0 +1,50 @@
+"""Bench: Figure 1 — application throughput, PVM vs low-level libraries.
+
+Figure 1 plots throughput against message size for both machines,
+comparing the portable PVM path against the fastest vendor library
+(libsm.a / SUNMOS libnx).  The chart prints no exact values, so the
+checks are on shape: both curves saturate, PVM saturates far below the
+low-level path, neither exceeds the usable wire rate, and the
+small-message regime is overhead-dominated.
+"""
+
+from conftest import regenerate, show_series
+from repro.bench import figure1
+from repro.bench.paperdata import FIG1_CONTEXT
+from repro.machines import paragon, t3d
+
+
+def _check(machine, curves):
+    pvm = dict(curves["PVM"])
+    low = dict(curves["low-level"])
+    sizes = sorted(pvm)
+    wire = FIG1_CONTEXT[machine.name]["usable_wire"]
+
+    # Monotone saturation for both libraries.
+    assert [pvm[s] for s in sizes] == sorted(pvm[s] for s in sizes)
+    assert [low[s] for s in sizes] == sorted(low[s] for s in sizes)
+    # Nobody beats the usable wire rate.
+    assert max(low.values()) <= wire
+    # The low-level library dominates PVM at every size, by >2x at the top.
+    assert all(low[s] >= pvm[s] for s in sizes)
+    assert low[sizes[-1]] > 2 * pvm[sizes[-1]]
+    # Small messages are overhead-dominated for PVM.
+    assert pvm[sizes[0]] < 1.0
+    # Large messages reach a meaningful fraction of the wire.
+    assert low[sizes[-1]] > 0.3 * wire
+
+
+def test_fig1_t3d(benchmark):
+    machine = t3d()
+    curves = regenerate(benchmark, figure1, machine)
+    show_series("Figure 1 (Cray T3D): throughput vs message size, MB/s", curves)
+    _check(machine, curves)
+
+
+def test_fig1_paragon(benchmark):
+    machine = paragon()
+    curves = regenerate(benchmark, figure1, machine)
+    show_series(
+        "Figure 1 (Intel Paragon): throughput vs message size, MB/s", curves
+    )
+    _check(machine, curves)

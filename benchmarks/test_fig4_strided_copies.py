@@ -1,0 +1,66 @@
+"""Bench: Figure 4 — strided local copy throughput vs stride.
+
+The figure shows the two machines' opposite stride behaviour: on the
+T3D the strided-store curve (1Cs) sits well above the strided-load
+curve (sC1) — the write-back queue posts stores while blocking loads
+eat full latency — and on the Paragon the curves meet or cross the
+other way thanks to pipelined loads.
+"""
+
+from conftest import regenerate, show_series
+from repro.bench import figure4
+from repro.machines import paragon, t3d
+
+STRIDES = (2, 4, 8, 16, 32, 64)
+
+
+def test_fig4_t3d(benchmark):
+    curves = regenerate(benchmark, figure4, t3d(), STRIDES)
+    show_series("Figure 4 (Cray T3D): strided copies, MB/s", curves)
+    stores = dict(curves["strided stores (1Cs)"])
+    loads = dict(curves["strided loads (sC1)"])
+    # Stores dominate loads at every large stride.
+    for stride in STRIDES:
+        if stride >= 8:
+            assert stores[stride] > 1.5 * loads[stride]
+    # Both fall from small strides to large and flatten at the tail.
+    assert stores[2] > stores[64]
+    assert loads[2] > loads[64]
+    assert abs(loads[32] - loads[64]) / loads[64] < 0.15
+
+
+def test_fig4_paragon(benchmark):
+    curves = regenerate(benchmark, figure4, paragon(), STRIDES)
+    show_series("Figure 4 (Intel Paragon): strided copies, MB/s", curves)
+    stores = dict(curves["strided stores (1Cs)"])
+    loads = dict(curves["strided loads (sC1)"])
+    # Opposite asymmetry: at large strides, loads at least match stores.
+    assert loads[64] >= 0.95 * stores[64]
+    # And the machines never show the T3D's 2x store advantage.
+    for stride in STRIDES:
+        assert stores[stride] < 1.5 * loads[stride]
+
+
+def test_fig4_cross_machine_contrast(benchmark):
+    """The headline of Figure 4: the asymmetry flips between machines."""
+
+    def ratios():
+        t3d_curves = figure4(t3d(), (64,))
+        paragon_curves = figure4(paragon(), (64,))
+        t3d_ratio = (
+            t3d_curves["strided stores (1Cs)"][0][1]
+            / t3d_curves["strided loads (sC1)"][0][1]
+        )
+        paragon_ratio = (
+            paragon_curves["strided stores (1Cs)"][0][1]
+            / paragon_curves["strided loads (sC1)"][0][1]
+        )
+        return t3d_ratio, paragon_ratio
+
+    t3d_ratio, paragon_ratio = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    print(
+        f"\nstride-64 store/load ratio: T3D {t3d_ratio:.2f}, "
+        f"Paragon {paragon_ratio:.2f}"
+    )
+    assert t3d_ratio > 1.5
+    assert paragon_ratio < 1.05

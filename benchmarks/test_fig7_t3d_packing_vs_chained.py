@@ -1,0 +1,54 @@
+"""Bench: Figure 7 — buffer packing vs chained transfers on the T3D.
+
+The figure shows, per access pattern, model and measured throughput
+for both implementation strategies.  The published reading: chained
+wins everywhere, dramatically for non-contiguous patterns, and the
+model tracks the measurements closely.
+"""
+
+from conftest import regenerate
+from repro.bench import PATTERN_GRID, figure7
+
+
+def _print(results):
+    print()
+    print("== Figure 7 (Cray T3D): packing vs chained, MB/s ==")
+    header = f"{'pattern':8} {'pack mdl':>9} {'pack meas':>9} {'chain mdl':>9} {'chain meas':>10}"
+    print(header)
+    for name, entry in results.items():
+        print(
+            f"{name:8} {entry['buffer-packing model']:9.1f} "
+            f"{entry['buffer-packing measured']:9.1f} "
+            f"{entry['chained model']:9.1f} {entry['chained measured']:10.1f}"
+        )
+
+
+def test_fig7(benchmark):
+    results = regenerate(benchmark, figure7)
+    _print(results)
+
+    for name, entry in results.items():
+        # Chained beats packing in both the model and the measurement.
+        assert entry["chained model"] > entry["buffer-packing model"]
+        assert entry["chained measured"] > entry["buffer-packing measured"]
+        # Measurements never exceed the model's optimism by much.
+        assert entry["chained measured"] <= entry["chained model"] * 1.05
+        assert (
+            entry["buffer-packing measured"]
+            <= entry["buffer-packing model"] * 1.05
+        )
+        # The model is accurate: measured within ~45% below the model.
+        assert entry["chained measured"] > 0.55 * entry["chained model"]
+
+    # The paper's headline: 40-60% gains for non-contiguous patterns.
+    for name in ("1Q64", "64Q1", "wQw"):
+        entry = results[name]
+        gain = entry["chained measured"] / entry["buffer-packing measured"]
+        assert 1.3 < gain < 2.6, f"{name}: gain {gain:.2f}"
+
+    # Contiguous-to-contiguous shows the biggest chained advantage in
+    # the model (no copies to amortize the slow network against).
+    assert (
+        results["1Q1"]["chained model"] / results["1Q1"]["buffer-packing model"]
+        > 2.0
+    )

@@ -1,0 +1,44 @@
+"""Bench: half-performance message lengths (Figure 1, read via n_1/2).
+
+Fitting ``time(n) = t0 + n/B`` to the Figure 1 sweeps condenses each
+library's curve into two numbers.  The paper's qualitative reading
+becomes quantitative: the low-level path has both a higher asymptote
+and an order-of-magnitude smaller half-performance length than PVM —
+PVM needs tens-of-KB messages to reach half its (already low) speed.
+"""
+
+from conftest import regenerate
+from repro.bench import figure1
+from repro.core.latency import LatencyModel
+from repro.machines import paragon, t3d
+
+
+def fit_curves(machine):
+    curves = figure1(machine)
+    return {name: LatencyModel.fit(points) for name, points in curves.items()}
+
+
+def test_half_performance_lengths(benchmark):
+    def run():
+        return {machine.name: fit_curves(machine) for machine in (t3d(), paragon())}
+
+    fits = regenerate(benchmark, run)
+    print()
+    print("== Half-performance analysis of the Figure 1 sweeps ==")
+    for machine_name, by_library in fits.items():
+        for library, fit in by_library.items():
+            print(f"{machine_name:16} {library:10} {fit}")
+
+    for machine_name, by_library in fits.items():
+        pvm = by_library["PVM"]
+        low = by_library["low-level"]
+        # Asymptotes: low-level several times PVM.
+        assert low.asymptotic_mbps > 3 * pvm.asymptotic_mbps
+        # Startup: PVM pays >100 us per message; the low-level path is
+        # several times cheaper.
+        assert pvm.startup_ns > 100_000
+        assert low.startup_ns < pvm.startup_ns / 5
+        # Even at its low asymptote, PVM needs KB-scale messages to
+        # reach half speed; at 1 KB it delivers only a few MB/s.
+        assert pvm.half_performance_bytes > 1000
+        assert pvm.throughput(1024) < 8.0

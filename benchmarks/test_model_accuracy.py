@@ -1,0 +1,33 @@
+"""Bench: Section 7 — "the model is highly accurate".
+
+Assesses the copy-transfer model against the end-to-end runtime over a
+4x4 pattern grid and both strategies, on both machines.  The claim is
+quantified two ways: the model is a tight upper bound (measured/model
+near, and almost never above, 1) and — what a compiler actually needs —
+it ranks the two implementation strategies correctly everywhere.
+"""
+
+from conftest import regenerate
+from repro.bench.accuracy import model_accuracy
+from repro.machines import paragon, t3d
+
+
+def _check(report):
+    print()
+    print(report.render())
+    # Tight upper bound: on average the measurement reaches >=55% of
+    # the model, and no cell falls below 40%.
+    assert 0.55 <= report.mean_ratio <= 1.0
+    assert report.worst_overprediction > 0.40
+    # Essentially no cell beats the model.
+    assert report.overshoot_cases <= 1
+    # The model never mis-ranks the strategies.
+    assert report.ranking_accuracy == 1.0
+
+
+def test_model_accuracy_t3d(benchmark):
+    _check(regenerate(benchmark, model_accuracy, t3d()))
+
+
+def test_model_accuracy_paragon(benchmark):
+    _check(regenerate(benchmark, model_accuracy, paragon()))

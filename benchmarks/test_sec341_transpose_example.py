@@ -1,0 +1,23 @@
+"""Bench: Section 3.4.1 — the worked 1024x1024 transpose example.
+
+The paper estimates |1Q1024| = 25.0 MB/s for buffer-packing message
+passing on the T3D and measures 20.0 MB/s on a 64-node partition.  We
+reproduce both: the estimate from the model over the published
+calibration, the measurement from the end-to-end runtime simulator.
+"""
+
+from conftest import regenerate, show
+from repro.bench import section341
+from repro.bench.reporting import max_ratio_error
+
+
+def test_sec341_example(benchmark):
+    rows = regenerate(benchmark, section341)
+    show("Section 3.4.1 (Cray T3D): |1Q1024| buffer packing, MB/s", rows)
+    by_label = {row.label: row for row in rows}
+    # The estimate is an algebraic identity: match tightly.
+    assert abs(by_label["|1Q1024| estimate"].ratio - 1.0) < 0.02
+    # The measurement involves the full runtime: allow a wider band.
+    assert abs(by_label["|1Q1024| measured"].ratio - 1.0) < 0.30
+    # Shape: measured falls short of the estimate, as on the machine.
+    assert by_label["|1Q1024| measured"].ours < by_label["|1Q1024| estimate"].ours

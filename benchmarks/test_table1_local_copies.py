@@ -1,0 +1,36 @@
+"""Bench: Table 1 — local memory-to-memory copy throughput.
+
+Regenerates the five copy figures per machine from the memory-system
+simulator and compares with the published table.  Shape criteria: every
+entry within a stated band, plus the asymmetries the paper highlights.
+"""
+
+import pytest
+
+from conftest import regenerate, show
+from repro.bench import table1
+from repro.bench.reporting import max_ratio_error
+from repro.machines import paragon, t3d
+
+
+def test_table1_t3d(benchmark):
+    rows = regenerate(benchmark, table1, t3d())
+    show("Table 1 (Cray T3D): local copies, MB/s", rows)
+    assert max_ratio_error(rows) < 0.15
+    by_label = {row.label: row.ours for row in rows}
+    # Strided stores far faster than strided loads (write-back queue).
+    assert by_label["1C64"] > 1.5 * by_label["64C1"]
+    # Contiguous is the best pattern.
+    assert by_label["1C1"] == max(by_label.values())
+
+
+def test_table1_paragon(benchmark):
+    rows = regenerate(benchmark, table1, paragon())
+    show("Table 1 (Intel Paragon): local copies, MB/s", rows)
+    assert max_ratio_error(rows) < 0.40
+    by_label = {row.label: row.ours for row in rows}
+    # Pipelined loads: strided loads at least match strided stores.
+    assert by_label["64C1"] >= 0.95 * by_label["1C64"]
+    # The paper's inversion: indexed loads beat strided loads.
+    assert by_label["wC1"] > by_label["64C1"]
+    assert by_label["1C1"] == max(by_label.values())

@@ -1,0 +1,29 @@
+"""Bench: Table 2 — throughput of sending network transfers."""
+
+from conftest import regenerate, show
+from repro.bench import table2
+from repro.bench.reporting import max_ratio_error
+from repro.machines import paragon, t3d
+
+
+def test_table2_t3d(benchmark):
+    rows = regenerate(benchmark, table2, t3d())
+    show("Table 2 (Cray T3D): send transfers, MB/s", rows)
+    assert max_ratio_error(rows) < 0.15
+    by_label = {row.label: row.ours for row in rows}
+    # Contiguous sends stream far faster than strided/indexed ones.
+    assert by_label["1S0"] > 3 * by_label["64S0"]
+    # Indexed sends are the slowest (index loads add work).
+    assert by_label["wS0"] <= by_label["64S0"]
+
+
+def test_table2_paragon(benchmark):
+    rows = regenerate(benchmark, table2, paragon())
+    show("Table 2 (Intel Paragon): send transfers, MB/s", rows)
+    assert max_ratio_error(rows) < 0.30
+    by_label = {row.label: row.ours for row in rows}
+    # The DMA fetch-send is by far the fastest way to feed the wire.
+    assert by_label["1F0"] > 2.5 * by_label["1S0"]
+    # Unlike the T3D, strided sends are not catastrophically slower:
+    # pipelined loads keep them within ~35% of contiguous sends.
+    assert by_label["64S0"] > 0.6 * by_label["1S0"]

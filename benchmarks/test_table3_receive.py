@@ -1,0 +1,29 @@
+"""Bench: Table 3 — throughput of receiving network transfers."""
+
+from conftest import regenerate, show
+from repro.bench import table3
+from repro.bench.reporting import max_ratio_error
+from repro.machines import paragon, t3d
+
+
+def test_table3_t3d(benchmark):
+    rows = regenerate(benchmark, table3, t3d())
+    show("Table 3 (Cray T3D): receive transfers, MB/s", rows)
+    assert max_ratio_error(rows) < 0.15
+    by_label = {row.label: row.ours for row in rows}
+    # Block-framed contiguous deposits far outrun address-data pairs...
+    assert by_label["0D1"] > 2 * by_label["0D64"]
+    # ...and the annex handles strided and indexed pairs at the same
+    # pace: decoding the address dominates, not the DRAM pattern.
+    assert abs(by_label["0D64"] - by_label["0Dw"]) / by_label["0D64"] < 0.1
+
+
+def test_table3_paragon(benchmark):
+    rows = regenerate(benchmark, table3, paragon())
+    show("Table 3 (Intel Paragon): receive transfers, MB/s", rows)
+    assert max_ratio_error(rows) < 0.25
+    by_label = {row.label: row.ours for row in rows}
+    # The DMA deposit beats the co-processor receive loop for blocks.
+    assert by_label["0D1"] > by_label["0R1"]
+    # Strided receive-stores pay full write-miss cost.
+    assert by_label["0R64"] < 0.6 * by_label["0R1"]

@@ -1,0 +1,58 @@
+"""Bench: Table 4 — network bandwidth as a function of congestion."""
+
+from conftest import regenerate, show
+from repro.bench import table4
+from repro.bench.reporting import max_ratio_error
+from repro.machines import paragon, t3d
+from repro.netsim.network import FramingMode
+from repro.netsim.patterns import all_to_all, cyclic_shift
+
+
+def test_table4_t3d(benchmark):
+    rows = regenerate(benchmark, table4, t3d())
+    show("Table 4 (Cray T3D): network bandwidth, MB/s", rows)
+    assert max_ratio_error(rows) < 0.06
+    by_label = {row.label: row.ours for row in rows}
+    # Data-only framing roughly doubles address-data-pair throughput
+    # once the wire binds (congestion >= 2).
+    assert by_label["data@2"] > 1.7 * by_label["adp@2"]
+    # The adp column falls less than 2x from congestion 1 to 2: the
+    # annex endpoint cap binds at congestion 1.
+    assert by_label["adp@1"] / by_label["adp@2"] < 1.8
+
+
+def test_table4_paragon(benchmark):
+    rows = regenerate(benchmark, table4, paragon())
+    show("Table 4 (Intel Paragon): network bandwidth, MB/s", rows)
+    assert max_ratio_error(rows) < 0.06
+    by_label = {row.label: row.ours for row in rows}
+    # Pure wire effect: every doubling of congestion halves the rate.
+    assert abs(by_label["data@1"] / by_label["data@2"] - 2.0) < 0.05
+    assert abs(by_label["adp@2"] / by_label["adp@4"] - 2.0) < 0.1
+
+
+def test_congestion_quirks(benchmark):
+    """The two Section 4.3 quirks: T3D port sharing and Paragon aspect
+    ratio both push typical patterns to congestion two or more."""
+
+    def quirks():
+        t3d_net = t3d().network_model(64)
+        paragon_net = paragon().network_model(64)
+        return {
+            "t3d shift": t3d_net.congestion_for(cyclic_shift(64)),
+            "t3d shift half-populated": t3d_net.congestion_for(
+                cyclic_shift(64), active_nodes=32
+            ),
+            "paragon shift": paragon_net.congestion_for(cyclic_shift(64)),
+            "paragon aapc": paragon_net.congestion_for(all_to_all(64)),
+        }
+
+    values = benchmark.pedantic(quirks, rounds=1, iterations=1)
+    print()
+    print("== Section 4.3 congestion quirks ==")
+    for name, value in values.items():
+        print(f"{name:28} {value:.0f}")
+    assert values["t3d shift"] == 2  # port sharing floor
+    assert values["t3d shift half-populated"] == 1
+    assert values["paragon shift"] == 1
+    assert values["paragon aapc"] > 2  # unscheduled AAPC congests the mesh

@@ -1,0 +1,44 @@
+"""Bench: Table 5 — strided loads vs strided stores.
+
+All sixteen cells: {T3D, Paragon} x {1Q16, 16Q1} x {packing, chained}
+x {model, measured}.  The optimization the table supports (Section
+5.2): prefer strided *stores* on the T3D and strided *loads* on the
+Paragon when buffer packing, because each machine's memory system
+favours the opposite side.
+"""
+
+from conftest import regenerate, show
+from repro.bench import table5
+from repro.bench.reporting import max_ratio_error
+
+
+def test_table5(benchmark):
+    rows = regenerate(benchmark, table5)
+    show("Table 5: strided loads vs strided stores, MB/s", rows)
+    by_label = {row.label: row for row in rows}
+
+    # Model cells are algebra over the published tables: tight match,
+    # except Paragon 1Q16 chained, where the paper's 32 implies an
+    # unpublished (and non-monotonic) 0R16 reading we carry as-is.
+    model_rows = [row for row in rows if row.label.endswith("model")]
+    assert max_ratio_error(model_rows) < 0.12
+
+    # Measured cells run the full runtime: a wider honest band.
+    measured_rows = [row for row in rows if row.label.endswith("meas")]
+    assert max_ratio_error(measured_rows) < 0.45
+
+    # Section 5.2's optimization, in the measured packing columns:
+    t3d_stores = by_label["T3D 1Q16 buffer-packing meas"].ours
+    t3d_loads = by_label["T3D 16Q1 buffer-packing meas"].ours
+    assert t3d_stores > t3d_loads, "T3D should prefer strided stores"
+
+    paragon_stores = by_label["Paragon 1Q16 buffer-packing meas"].ours
+    paragon_loads = by_label["Paragon 16Q1 buffer-packing meas"].ours
+    assert paragon_loads >= paragon_stores, "Paragon should prefer strided loads"
+
+    # Chained beats packing in every measured cell.
+    for machine in ("T3D", "Paragon"):
+        for op in ("1Q16", "16Q1"):
+            chained = by_label[f"{machine} {op} chained meas"].ours
+            packing = by_label[f"{machine} {op} buffer-packing meas"].ours
+            assert chained > packing

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The air-shed model's phase redistribution (Section 6.1.1).
+
+The paper's grand-challenge example: an air-pollution model
+(McRae/Goodin/Seinfeld) redistributes a 3500 x (35 x 5) array between
+a chemistry phase (each node owns whole columns of chemical species)
+and a transport phase (each node owns geographic rows), implemented as
+a generic transpose.  We build exactly that redistribution, classify
+its patterns, and compare implementation strategies on the T3D.
+
+Run:  python examples/airshed_redistribution.py
+"""
+
+import numpy as np
+
+from repro import OperationStyle, t3d
+from repro.compiler import transpose_2d
+from repro.runtime import CommRuntime, CommunicationStep, lowlevel_profile, packing_profile
+
+ROWS = 3500       # grid cells
+COLS = 175        # 35 species x 5 layers
+N_NODES = 35      # divides both axes
+
+
+def main() -> None:
+    machine = t3d()
+    plan = transpose_2d(ROWS, COLS, N_NODES, name="airshed")
+    dominant = plan.dominant_op()
+    print(
+        f"air-shed redistribution: {ROWS}x{COLS} doubles over {N_NODES} nodes"
+    )
+    print(f"  {len(plan)} messages of {dominant.nwords} words, "
+          f"dominant pattern {dominant.notation}")
+    print(f"  per-node payload: "
+          f"{sum(op.nbytes for op in plan.messages_from(0)) // 1024} KB")
+
+    results = {}
+    for style, library in (
+        (OperationStyle.BUFFER_PACKING, packing_profile()),
+        (OperationStyle.CHAINED, lowlevel_profile()),
+    ):
+        runtime = CommRuntime(machine, library=library)
+        step = CommunicationStep(
+            runtime, plan.flows(), dominant.x, dominant.y, dominant.nbytes
+        )
+        results[style.value] = step.run(style)
+
+    print("\nper-node throughput of the redistribution step:")
+    for name, result in results.items():
+        print(
+            f"  {name:16} {result.per_node_mbps:6.1f} MB/s "
+            f"(congestion {result.congestion:.0f}, "
+            f"{result.messages_per_node} messages/node)"
+        )
+    gain = (
+        results["chained"].per_node_mbps
+        / results["buffer-packing"].per_node_mbps
+        - 1
+    )
+    print(f"\nchained transfers win by {gain:.0%} — the same conclusion as "
+          "the 2-D FFT transpose,\nat the odd shape and node count of a "
+          "real application.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""What-if studies for machine designers.
+
+The paper closes with advice to hardware designers: deposit engines
+must handle non-contiguous patterns, and memory-system features (write
+buffers, pipelined loads) decide communication throughput.  Because
+machines here are plain parameter sets, those what-ifs take a few
+lines each:
+
+1. give the T3D a Paragon-style DMA that only handles contiguous
+   blocks — chained transfers for strided/indexed patterns vanish;
+2. turn off the T3D's write-back-queue merging — strided stores (and
+   with them buffer packing for ``1Qn``) collapse;
+3. double the Paragon's wire speed without touching the nodes — the
+   memory system, not the network, still limits every pattern.
+
+Run:  python examples/design_a_machine.py
+"""
+
+from dataclasses import replace
+
+from repro import CONTIGUOUS, INDEXED, strided, t3d, paragon
+from repro.core import DepositSupport
+from repro.machines import replace_node
+
+
+def rates(machine, label):
+    model = machine.model(source="simulated")
+    packing = model.estimate(CONTIGUOUS, strided(64), "buffer-packing").mbps
+    try:
+        chained = model.estimate(INDEXED, INDEXED, "chained").mbps
+        chained_text = f"{chained:6.1f}"
+    except Exception as error:  # chained may be infeasible by design
+        chained_text = f"infeasible ({type(error).__name__})"
+    print(f"{label:34} packing 1Q64 {packing:6.1f}   chained wQw {chained_text}")
+
+
+def main() -> None:
+    print("baseline machines (simulated calibration):")
+    rates(t3d(), "T3D")
+    rates(paragon(), "Paragon")
+
+    print("\nwhat-if 1: T3D annex restricted to contiguous deposits")
+    crippled = t3d()
+    crippled.capabilities = replace(
+        crippled.capabilities, deposit=DepositSupport.CONTIGUOUS
+    )
+    rates(crippled, "T3D w/ contiguous-only deposits")
+
+    print("\nwhat-if 2: T3D without write-buffer merging")
+    no_merge = replace_node(
+        t3d(),
+        write_buffer=replace(t3d().node.write_buffer, merge=False),
+    )
+    rates(no_merge, "T3D w/o WBQ merging")
+
+    print("\nwhat-if 3: Paragon with a 2x faster network")
+    fast_net = paragon()
+    fast_net.network = replace(
+        fast_net.network,
+        payload_data_mbps=2 * fast_net.network.payload_data_mbps,
+        payload_adp_mbps=2 * fast_net.network.payload_adp_mbps,
+    )
+    rates(fast_net, "Paragon w/ 2x network")
+    print(
+        "\nreading: doubling the wire barely moves application-visible "
+        "throughput —\nthe memory system is the limit, the paper's "
+        "central claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""FEM solver communication on a partitioned irregular mesh.
+
+Builds a synthetic analogue of the Quake project's alluvial-valley
+mesh, runs the iterative solver functionally (checking convergence),
+and measures the halo-exchange communication step — the paper's
+indexed-pattern (``wQw``) application (Table 6, row 2).
+
+Run:  python examples/fem_earthquake.py
+"""
+
+import numpy as np
+
+from repro import OperationStyle, t3d
+from repro.apps import FEMKernel, FEMSolver
+
+
+def main() -> None:
+    machine = t3d()
+    kernel = FEMKernel(machine, n_nodes=64, side=256)
+    mesh = kernel.mesh
+
+    print(
+        f"mesh: {mesh.n_vertices} vertices, {len(mesh.edges)} edges, "
+        f"{mesh.n_nodes} partitions"
+    )
+    print(f"boundary fraction: {mesh.boundary_fraction():.1%} "
+          "(well partitioned: only a fraction of elements exchanged)")
+
+    # -- functional solve -------------------------------------------------
+    solver = FEMSolver(mesh)
+    rng = np.random.default_rng(0)
+    x_true = rng.normal(size=mesh.n_vertices)
+    b = solver.matvec(x_true)
+    x, residual = solver.solve(b, iterations=300)
+    print(f"\nJacobi solve: residual {residual:.2e}, "
+          f"max error {np.max(np.abs(x - x_true)):.2e}")
+
+    # -- communication measurement ---------------------------------------
+    plan = kernel.communication_plan()
+    dominant = plan.dominant_op()
+    print(f"\nhalo exchange: {len(plan)} messages, dominant {dominant.notation} "
+          f"of {dominant.nwords} words")
+
+    packing = kernel.measure(OperationStyle.BUFFER_PACKING)
+    chained = kernel.measure(OperationStyle.CHAINED)
+    model = kernel.model_estimate(OperationStyle.CHAINED)
+    print(
+        f"measured: packing {packing.per_node_mbps:.1f}, "
+        f"chained {chained.per_node_mbps:.1f} MB/s per node "
+        f"(chained model {model:.1f})"
+    )
+    gain = chained.per_node_mbps / packing.per_node_mbps - 1
+    print(f"chained transfers win by {gain:.0%} on indexed halo traffic")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The 2-D FFT transpose: the paper's motivating application.
+
+Runs the distributed 2-D FFT functionally (validated against numpy),
+then measures its transpose communication step on the simulated T3D
+both ways the compiler could implement it (Figure 9):
+
+* loop order "row": contiguous loads + strided stores (``1Qn``);
+* loop order "col": strided loads + contiguous stores (``nQ1``);
+
+for both buffer-packing and chained strategies.
+
+Run:  python examples/transpose_fft.py
+"""
+
+import numpy as np
+
+from repro import OperationStyle, paragon, t3d
+from repro.apps import FFT2D
+
+
+def main() -> None:
+    # -- functional check on a small instance ---------------------------
+    machine = t3d()
+    small = FFT2D(machine, n=128, n_nodes=16)
+    rng = np.random.default_rng(42)
+    data = rng.normal(size=(128, 128)) + 1j * rng.normal(size=(128, 128))
+    ours = small.run(data)
+    error = np.max(np.abs(ours - np.fft.fft2(data)))
+    print(f"distributed 2-D FFT vs numpy.fft.fft2: max |error| = {error:.2e}")
+    assert error < 1e-8
+
+    # -- communication measurement at paper scale -----------------------
+    print("\n1024x1024 complex transpose on 64 nodes, MB/s per node:")
+    print(f"{'machine':16} {'order':6} {'packing':>8} {'chained':>8}")
+    for m in (t3d(), paragon()):
+        for order in ("row", "col"):
+            kernel = FFT2D(m, n=1024, n_nodes=64, loop_order=order)
+            packing = kernel.measure(OperationStyle.BUFFER_PACKING)
+            chained = kernel.measure(OperationStyle.CHAINED)
+            print(
+                f"{m.name:16} {order:6} {packing.per_node_mbps:8.1f} "
+                f"{chained.per_node_mbps:8.1f}"
+            )
+
+    print(
+        "\nreading: the T3D prefers 'row' (strided stores ride the "
+        "write-back queue);\nthe Paragon prefers 'col' (pipelined strided "
+        "loads) — Section 5.2's optimization."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Compare simulator-measured basic transfers with the paper's tables.
+
+Run during development to tune the machine configs:
+
+    python scripts/calibrate.py [--words 16384]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.machines import paragon, t3d
+
+
+def compare(machine, nwords: int) -> None:
+    published = machine.paper_table()
+    simulated = machine.simulated_table(nwords=nwords)
+    pub = published.to_dict()
+    sim = simulated.to_dict()
+    print(f"\n=== {machine.name} ===")
+    print(f"{'transfer':>10} {'paper':>8} {'simulated':>10} {'ratio':>7}")
+    for key in sorted(pub):
+        if key in sim:
+            ratio = sim[key] / pub[key]
+            flag = "" if 0.85 <= ratio <= 1.18 else "  <-- off"
+            print(f"{key:>10} {pub[key]:8.1f} {sim[key]:10.1f} {ratio:7.2f}{flag}")
+    extras = sorted(set(sim) - set(pub))
+    if extras:
+        print("extra simulated entries:")
+        for key in extras:
+            print(f"{key:>10} {'':8} {sim[key]:10.1f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--words", type=int, default=16384)
+    args = parser.parse_args()
+    for machine in (t3d(), paragon()):
+        compare(machine, args.words)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — the copy-transfer model of Stricker & Gross (ISCA 1995).
+
+A reproduction of "Optimizing Memory System Performance for
+Communication in Parallel Computers": the copy-transfer model itself
+(:mod:`repro.core`), simulators for the node memory systems
+(:mod:`repro.memsim`) and interconnects (:mod:`repro.netsim`) of the
+paper's two machines (:mod:`repro.machines`), a simulated
+message-passing runtime for end-to-end measurements
+(:mod:`repro.runtime`), the compiler view of communication
+(:mod:`repro.compiler`), and the paper's three application kernels
+(:mod:`repro.apps`).
+
+Quickstart::
+
+    from repro import t3d, CONTIGUOUS, strided
+
+    model = t3d().model()
+    packing = model.estimate(CONTIGUOUS, strided(64), "buffer-packing")
+    chained = model.estimate(CONTIGUOUS, strided(64), "chained")
+    print(packing.mbps, chained.mbps)   # ~25 vs ~38 MB/s
+"""
+
+from .core import (
+    AccessPattern,
+    CommCapabilities,
+    CONTIGUOUS,
+    CopyTransferModel,
+    DepositSupport,
+    FIXED,
+    INDEXED,
+    ModelError,
+    OperationStyle,
+    PatternKind,
+    ResourceConstraint,
+    StyleChoice,
+    ThroughputEstimate,
+    ThroughputTable,
+    TransferKind,
+    buffer_packing,
+    chained,
+    duplex_memory_constraint,
+    evaluate,
+    par,
+    seq,
+    strided,
+)
+from .machines import Machine, paragon, t3d
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPattern",
+    "buffer_packing",
+    "chained",
+    "CommCapabilities",
+    "CONTIGUOUS",
+    "CopyTransferModel",
+    "DepositSupport",
+    "duplex_memory_constraint",
+    "evaluate",
+    "FIXED",
+    "INDEXED",
+    "Machine",
+    "ModelError",
+    "OperationStyle",
+    "par",
+    "paragon",
+    "PatternKind",
+    "seq",
+    "strided",
+    "StyleChoice",
+    "t3d",
+    "ThroughputEstimate",
+    "ThroughputTable",
+    "TransferKind",
+]

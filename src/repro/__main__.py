@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``machines`` — list the built-in machines and their headline rates;
+* ``estimate`` — model throughput of ``xQy`` for both strategies;
+* ``measure`` — end-to-end runtime measurement of one transfer;
+* ``table`` — print (or export as JSON) a calibration table;
+* ``advise`` — pick strategy and loop order for a distributed transpose;
+* ``report`` — regenerate every paper comparison (slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .core.patterns import AccessPattern
+from .core.operations import OperationStyle
+from .core.serialization import dump_table
+from .machines import paragon, t3d
+
+MACHINES = {"t3d": t3d, "paragon": paragon}
+
+
+def _machine(name: str):
+    try:
+        return MACHINES[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown machine {name!r}; choose from {sorted(MACHINES)}"
+        )
+
+
+def cmd_machines(args: argparse.Namespace) -> None:
+    for factory in MACHINES.values():
+        machine = factory()
+        model = machine.model()
+        contiguous = AccessPattern.contiguous()
+        strided64 = AccessPattern.strided(64)
+        packing = model.estimate(contiguous, strided64, "buffer-packing").mbps
+        chained = model.estimate(contiguous, strided64, "chained").mbps
+        print(
+            f"{machine.name:16} nodes: {machine.node.processor.clock_mhz:.0f} MHz, "
+            f"net {machine.network.raw_link_mbps:.0f} MB/s raw | "
+            f"1Q64: packing {packing:.1f}, chained {chained:.1f} MB/s"
+        )
+
+
+def cmd_estimate(args: argparse.Namespace) -> None:
+    machine = _machine(args.machine)
+    model = machine.model(source=args.source, congestion=args.congestion)
+    x = AccessPattern.parse(args.x)
+    y = AccessPattern.parse(args.y)
+    for style in OperationStyle:
+        estimate = model.estimate(x, y, style)
+        print(f"{model.q_notation(x, y, style):8} {style.value:16} "
+              f"{estimate.mbps:7.1f} MB/s")
+        if args.verbose:
+            print(estimate.render())
+    choice = model.choose(x, y)
+    print(f"-> use {choice.style.value}")
+
+
+def cmd_measure(args: argparse.Namespace) -> None:
+    from .runtime.engine import measure_q
+
+    machine = _machine(args.machine)
+    x = AccessPattern.parse(args.x)
+    y = AccessPattern.parse(args.y)
+    style = OperationStyle(args.style)
+    result = measure_q(machine, x, y, args.bytes, style)
+    print(result)
+    for phase, ns in result.phase_ns:
+        print(f"  {phase:12} {ns / 1000.0:9.1f} us")
+
+
+def cmd_advise(args: argparse.Namespace) -> None:
+    from .compiler.advisor import advise_transpose
+
+    machine = _machine(args.machine)
+    order, advice = advise_transpose(
+        machine, args.rows, args.cols, args.nodes, element_words=args.element_words
+    )
+    direction = (
+        "contiguous loads + strided stores (1Qn)"
+        if order == "row"
+        else "strided loads + contiguous stores (nQ1)"
+    )
+    print(f"{machine.name}: use loop order {order!r} — {direction}")
+    print(advice.render())
+
+
+def cmd_table(args: argparse.Namespace) -> None:
+    machine = _machine(args.machine)
+    if args.source == "paper":
+        table = machine.paper_table(congestion=args.congestion)
+    else:
+        table = machine.simulated_table(congestion=args.congestion)
+    if args.json:
+        dump_table(table, args.json)
+        print(f"wrote {args.json}")
+        return
+    print(table.name)
+    for key, rate in sorted(table.to_dict().items()):
+        print(f"  {key:8} {rate:7.1f} MB/s")
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    import runpy
+    import os
+
+    script = os.path.join(
+        os.path.dirname(__file__), "..", "..", "scripts",
+        "make_experiments_report.py",
+    )
+    if os.path.exists(script):
+        runpy.run_path(script, run_name="__main__")
+    else:
+        # Installed without the scripts tree: run the same content inline.
+        from .bench import render, table1, table5, table6
+
+        for title, rows in (
+            ("Table 1 (T3D)", table1(t3d())),
+            ("Table 1 (Paragon)", table1(paragon())),
+            ("Table 5", table5()),
+            ("Table 6", table6()),
+        ):
+            print(render(title, rows))
+            print()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Copy-transfer model of Stricker & Gross (ISCA 1995)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("machines", help="list built-in machines")
+
+    estimate = commands.add_parser("estimate", help="model an xQy operation")
+    estimate.add_argument("--machine", default="t3d", choices=sorted(MACHINES))
+    estimate.add_argument("--x", default="1", help="read pattern (0/1/s/w)")
+    estimate.add_argument("--y", default="64", help="write pattern (0/1/s/w)")
+    estimate.add_argument("--source", default="paper",
+                          choices=("paper", "simulated"))
+    estimate.add_argument("--congestion", type=int, default=None)
+    estimate.add_argument("--verbose", action="store_true")
+
+    measure = commands.add_parser("measure", help="end-to-end measurement")
+    measure.add_argument("--machine", default="t3d", choices=sorted(MACHINES))
+    measure.add_argument("--x", default="1")
+    measure.add_argument("--y", default="64")
+    measure.add_argument("--bytes", type=int, default=131072)
+    measure.add_argument(
+        "--style",
+        default="chained",
+        choices=[style.value for style in OperationStyle],
+    )
+
+    advise = commands.add_parser(
+        "advise", help="choose strategy and loop order for a transpose"
+    )
+    advise.add_argument("--machine", default="t3d", choices=sorted(MACHINES))
+    advise.add_argument("--rows", type=int, default=1024)
+    advise.add_argument("--cols", type=int, default=1024)
+    advise.add_argument("--nodes", type=int, default=64)
+    advise.add_argument("--element-words", type=int, default=2)
+
+    table = commands.add_parser("table", help="print a calibration table")
+    table.add_argument("--machine", default="t3d", choices=sorted(MACHINES))
+    table.add_argument("--source", default="paper",
+                       choices=("paper", "simulated"))
+    table.add_argument("--congestion", type=int, default=None)
+    table.add_argument("--json", default=None, help="write JSON to this path")
+
+    commands.add_parser("report", help="regenerate all paper comparisons")
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "advise": cmd_advise,
+        "machines": cmd_machines,
+        "estimate": cmd_estimate,
+        "measure": cmd_measure,
+        "table": cmd_table,
+        "report": cmd_report,
+    }[args.command]
+    handler(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Shared harness for the Section 6 application kernels.
+
+Each kernel produces a :class:`~repro.compiler.commgen.CommPlan` for
+its communication step and (optionally) a functional implementation of
+its computation so the decomposition can be validated numerically.
+:class:`ApplicationKernel` turns the plan into the three Table 6
+columns: buffer-packing measured, chained measured, and chained model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..compiler.commgen import CommPlan
+from ..core.operations import OperationStyle
+from ..machines.base import Machine
+from ..runtime.collective import StepResult
+from ..runtime.engine import CommRuntime
+from ..runtime.libraries import (
+    LibraryProfile,
+    lowlevel_profile,
+    packing_profile,
+)
+
+__all__ = ["KernelReport", "ApplicationKernel"]
+
+
+@dataclass(frozen=True)
+class KernelReport:
+    """The Table 6 row for one kernel on one machine."""
+
+    kernel: str
+    machine: str
+    packing_measured_mbps: float
+    chained_measured_mbps: float
+    chained_model_mbps: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kernel} on {self.machine}: "
+            f"packing {self.packing_measured_mbps:.1f}, "
+            f"chained {self.chained_measured_mbps:.1f} "
+            f"(model {self.chained_model_mbps:.1f}) MB/s per node"
+        )
+
+
+class ApplicationKernel:
+    """Base class: a named kernel with a communication plan.
+
+    Subclasses implement :meth:`communication_plan` (and usually a
+    functional ``run``/``solve`` used by the correctness tests).
+    """
+
+    name = "kernel"
+
+    def __init__(self, machine: Machine, n_nodes: int = 64) -> None:
+        self.machine = machine
+        self.n_nodes = n_nodes
+
+    # -- to implement -------------------------------------------------------
+
+    def communication_plan(self) -> CommPlan:
+        raise NotImplementedError
+
+    #: Whether the step can be phase-scheduled to avoid link contention.
+    scheduled = True
+
+    # -- measurement ----------------------------------------------------------
+
+    def _step(self, library: LibraryProfile):
+        from ..runtime.planstep import PlanStep
+
+        runtime = CommRuntime(self.machine, library=library)
+        return PlanStep(
+            runtime, self.communication_plan(), scheduled=self.scheduled
+        )
+
+    def measure(self, style: OperationStyle) -> StepResult:
+        """Run the communication step end to end (Table 6 'measured').
+
+        Executes the full plan — every message shape and size — via
+        :class:`~repro.runtime.planstep.PlanStep`.
+        """
+        if style is OperationStyle.BUFFER_PACKING:
+            library = packing_profile()
+        else:
+            library = lowlevel_profile()
+        return self._step(library).run(style)
+
+    def model_estimate(self, style: OperationStyle) -> float:
+        """The copy-transfer model's prediction for the step (MB/s)."""
+        plan = self.communication_plan()
+        dominant = plan.dominant_op()
+        congestion = self._step(lowlevel_profile()).congestion()
+        if len(self.machine.published):
+            # The published Table 4 has columns for congestion 1, 2 and
+            # 4; use the nearest one to the step's actual congestion.
+            columns = sorted(self.machine.published_network.get("data", {2: 0.0}))
+            nearest = min(columns, key=lambda c: abs(c - congestion))
+            model = self.machine.model(source="paper", congestion=nearest)
+        else:
+            # Machines without published calibration (user-defined
+            # what-ifs) fall back to the simulator-derived table.
+            model = self.machine.model(
+                source="simulated", congestion=int(round(congestion))
+            )
+        return model.estimate(dominant.x, dominant.y, style).mbps
+
+    def report(self) -> KernelReport:
+        """The full Table 6 row."""
+        return KernelReport(
+            kernel=self.name,
+            machine=self.machine.name,
+            packing_measured_mbps=self.measure(
+                OperationStyle.BUFFER_PACKING
+            ).per_node_mbps,
+            chained_measured_mbps=self.measure(
+                OperationStyle.CHAINED
+            ).per_node_mbps,
+            chained_model_mbps=self.model_estimate(OperationStyle.CHAINED),
+        )

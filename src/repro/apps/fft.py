@@ -1,0 +1,169 @@
+"""The 2-D FFT with distributed transpose (Sections 2, 5.2, 6.1.1).
+
+A 2-D FFT over an ``n x n`` complex array factors into 1-D FFTs over
+the rows, a transpose, 1-D FFTs over the (former) columns, and a final
+transpose.  With rows block-distributed the 1-D FFTs are entirely
+local and cache-friendly; *all* the awkward memory traffic sits in the
+transpose — the paper's motivating example for memory-system-aware
+communication.
+
+:class:`FFT2D` provides:
+
+* a *functional* distributed implementation (`run`) that really
+  computes the FFT through the block decomposition and the transpose
+  communication plan, validated against ``numpy.fft.fft2``;
+* the *communication step* of the transpose for the Table 6 / Table 5
+  measurements, at the paper's 1024x1024-complex scale by default;
+* a compute-vs-communication :meth:`FFT2D.breakdown` quantifying the
+  paper's claim that the transpose dominates the memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compiler.commgen import CommPlan, transpose_2d
+from ..core.operations import OperationStyle
+from ..machines.base import Machine
+from .base import ApplicationKernel
+
+__all__ = ["FFT2D", "FFTBreakdown", "distributed_transpose"]
+
+#: Sustained MFLOP rate of one node on cache-resident 1-D FFTs.  The
+#: 150 MHz Alpha 21064 sustained a few tens of MFLOPS on FFT kernels;
+#: the precise value only shifts the compute/communication split.
+DEFAULT_NODE_MFLOPS = 40.0
+
+
+def distributed_transpose(blocks: list) -> list:
+    """Functionally transpose an array stored as per-node row blocks.
+
+    ``blocks[p]`` holds node p's rows.  Returns the row blocks of the
+    transposed array, moving each patch between nodes the way the
+    transpose communication step does.
+    """
+    n_nodes = len(blocks)
+    rows_per_node = blocks[0].shape[0]
+    out = [np.empty_like(blocks[0]) for __ in range(n_nodes)]
+    for src in range(n_nodes):
+        for dst in range(n_nodes):
+            # Patch of A owned by src destined for dst: its columns
+            # dst*rows_per_node ... — transposed into dst's rows.
+            patch = blocks[src][
+                :, dst * rows_per_node : (dst + 1) * rows_per_node
+            ]
+            out[dst][:, src * rows_per_node : (src + 1) * rows_per_node] = patch.T
+    return out
+
+
+@dataclass(frozen=True)
+class FFTBreakdown:
+    """Compute-vs-communication split of one distributed 2-D FFT.
+
+    The paper's motivating observation (Section 2): the 1-D FFTs run
+    with locality out of caches, so the *transpose communication* is
+    where the memory system bites.  This quantifies it.
+    """
+
+    compute_us: float
+    transpose_us: float
+    style: OperationStyle
+
+    @property
+    def total_us(self) -> float:
+        return self.compute_us + self.transpose_us
+
+    @property
+    def communication_fraction(self) -> float:
+        return self.transpose_us / self.total_us
+
+    def __str__(self) -> str:
+        return (
+            f"2-D FFT ({self.style.value} transposes): compute "
+            f"{self.compute_us:.0f} us + transpose {self.transpose_us:.0f} us "
+            f"-> {self.communication_fraction:.0%} communication"
+        )
+
+
+class FFT2D(ApplicationKernel):
+    """The 2-D FFT kernel.
+
+    Args:
+        machine: Machine to measure on.
+        n: Array extent (n x n complex elements).
+        n_nodes: Partition size; must divide ``n``.
+        loop_order: Transpose implementation choice (Figure 9):
+            ``"row"`` = contiguous loads + strided stores (``1Qn``),
+            ``"col"`` = strided loads + contiguous stores (``nQ1``).
+    """
+
+    name = "transpose"
+    scheduled = True  # complete exchanges schedule well on tori [8]
+
+    def __init__(
+        self,
+        machine: Machine,
+        n: int = 1024,
+        n_nodes: int = 64,
+        loop_order: str = "row",
+    ) -> None:
+        super().__init__(machine, n_nodes)
+        if n % n_nodes:
+            raise ValueError(f"{n_nodes} nodes must divide n={n}")
+        self.n = n
+        self.loop_order = loop_order
+
+    def communication_plan(self) -> CommPlan:
+        return transpose_2d(
+            self.n,
+            self.n,
+            self.n_nodes,
+            element_words=2,  # complex: 2 words per element
+            loop_order=self.loop_order,
+            name=f"fft-transpose-{self.n}",
+        )
+
+    # -- functional implementation ------------------------------------------
+
+    def run(self, data: np.ndarray) -> np.ndarray:
+        """Compute the 2-D FFT of ``data`` through the decomposition.
+
+        Splits the array into row blocks, runs local row FFTs,
+        transposes via the communication pattern, runs the second set
+        of row FFTs, and transposes back.
+        """
+        if data.shape != (self.n, self.n):
+            raise ValueError(f"expected a {self.n}x{self.n} array")
+        rows_per_node = self.n // self.n_nodes
+        blocks = [
+            np.fft.fft(data[p * rows_per_node : (p + 1) * rows_per_node, :], axis=1)
+            for p in range(self.n_nodes)
+        ]
+        blocks = distributed_transpose(blocks)
+        blocks = [np.fft.fft(block, axis=1) for block in blocks]
+        blocks = distributed_transpose(blocks)
+        return np.vstack(blocks)
+
+    # -- performance breakdown ------------------------------------------------
+
+    def breakdown(
+        self,
+        style: OperationStyle = OperationStyle.CHAINED,
+        node_mflops: float = DEFAULT_NODE_MFLOPS,
+    ) -> FFTBreakdown:
+        """Estimate one full 2-D FFT: two local passes + two transposes.
+
+        Per node and pass: ``n / P`` rows of ``5 n log2(n)`` flops each
+        (the standard complex-FFT operation count); the transposes come
+        from the measured communication step.
+        """
+        rows_per_node = self.n // self.n_nodes
+        flops_per_pass = rows_per_node * 5.0 * self.n * np.log2(self.n)
+        compute_us = 2.0 * flops_per_pass / node_mflops  # MFLOPS -> us
+        step = self.measure(style)
+        transpose_us = 2.0 * step.step_ns / 1000.0
+        return FFTBreakdown(
+            compute_us=compute_us, transpose_us=transpose_us, style=style
+        )

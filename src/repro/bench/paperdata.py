@@ -1,0 +1,124 @@
+"""Every number the paper reports, as data.
+
+Single source of truth for the benchmark harness and EXPERIMENTS.md:
+the measured basic-transfer tables (Tables 1-3), network bandwidths
+(Table 4), the printed model estimates (Sections 3.4.1 and 5.1), the
+strided-loads-vs-stores comparison (Table 5), the application kernels
+(Table 6 and the PVM3 paragraph), and approximate hardware context
+from Section 1 / Figure 1.
+
+Values are MB/s (MB = 1e6 bytes) throughout.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_LOCAL_COPIES",
+    "TABLE2_SEND",
+    "TABLE3_RECEIVE",
+    "TABLE4_NETWORK",
+    "SEC51_MODEL_ESTIMATES",
+    "SEC341_EXAMPLE",
+    "TABLE5",
+    "TABLE6_T3D",
+    "TABLE6_PVM3_T3D",
+    "FIG1_CONTEXT",
+]
+
+#: Table 1: local memory-to-memory copy throughput for large blocks.
+TABLE1_LOCAL_COPIES = {
+    "Cray T3D": {"1C1": 93.0, "1C64": 67.9, "64C1": 33.3, "1Cw": 38.5, "wC1": 32.9},
+    "Intel Paragon": {
+        "1C1": 67.6,
+        "1C64": 27.6,
+        "64C1": 31.1,
+        "1Cw": 35.2,
+        "wC1": 45.1,
+    },
+}
+
+#: Table 2: sending network transfers ('-' entries omitted).
+TABLE2_SEND = {
+    "Cray T3D": {"1S0": 126.0, "64S0": 35.0, "wS0": 32.0},
+    "Intel Paragon": {"1S0": 52.0, "1F0": 160.0, "64S0": 42.0, "wS0": 36.0},
+}
+
+#: Table 3: receiving network transfers ('-' entries omitted).
+TABLE3_RECEIVE = {
+    "Cray T3D": {"0D1": 142.0, "0D64": 52.0, "0Dw": 52.0},
+    "Intel Paragon": {"0R1": 82.0, "0D1": 160.0, "0R64": 38.0, "0Rw": 42.0},
+}
+
+#: Table 4: network bandwidth by framing mode and congestion; the
+#: congestion-2 column is the paper's bold "representative" one.
+TABLE4_NETWORK = {
+    "Cray T3D": {
+        "data": {1: 142.0, 2: 69.0, 4: 35.0},
+        "adp": {1: 62.0, 2: 38.0, 4: 20.0},
+    },
+    "Intel Paragon": {
+        "data": {1: 176.0, 2: 90.0, 4: 44.0},
+        "adp": {1: 88.0, 2: 45.0, 4: 22.0},
+    },
+}
+
+#: Sections 5.1.1-5.1.4: printed model estimates for xQy operations.
+#: Keys: (machine, operation, style) -> MB/s.
+SEC51_MODEL_ESTIMATES = {
+    ("Cray T3D", "1Q1", "buffer-packing"): 27.9,
+    ("Cray T3D", "1Q64", "buffer-packing"): 25.2,
+    ("Cray T3D", "64Q1", "buffer-packing"): 17.1,
+    ("Cray T3D", "wQw", "buffer-packing"): 14.2,
+    ("Cray T3D", "1Q1", "chained"): 70.0,
+    ("Cray T3D", "1Q64", "chained"): 38.0,
+    ("Cray T3D", "wQw", "chained"): 32.0,
+    ("Intel Paragon", "1Q1", "buffer-packing"): 20.7,
+    ("Intel Paragon", "1Q64", "buffer-packing"): 16.1,
+    ("Intel Paragon", "16Q64", "buffer-packing"): 14.9,
+    ("Intel Paragon", "wQw", "buffer-packing"): 16.2,
+    ("Intel Paragon", "1Q1", "chained"): 52.0,
+    ("Intel Paragon", "1Q64", "chained"): 38.0,
+    ("Intel Paragon", "16Q64", "chained"): 38.0,
+    ("Intel Paragon", "wQw", "chained"): 36.0,
+}
+
+#: Section 3.4.1: the 1024x1024 transpose example on the T3D.
+SEC341_EXAMPLE = {"estimate": 25.0, "measured": 20.0}
+
+#: Table 5: strided loads vs strided stores.
+#: (machine, operation) -> {style: (model, measured)}.
+TABLE5 = {
+    ("Cray T3D", "1Q16"): {
+        "buffer-packing": (25.4, 20.8),
+        "chained": (38.0, 31.3),
+    },
+    ("Cray T3D", "16Q1"): {
+        "buffer-packing": (18.4, 14.3),
+        "chained": (38.0, 27.4),
+    },
+    ("Intel Paragon", "1Q16"): {
+        "buffer-packing": (18.3, 20.7),
+        "chained": (32.0, 29.7),
+    },
+    ("Intel Paragon", "16Q1"): {
+        "buffer-packing": (20.7, 24.2),
+        "chained": (42.0, 39.2),
+    },
+}
+
+#: Table 6: application kernels on a 64-node T3D partition, MB/s/node.
+#: kernel -> (packing measured, chained measured, chained model).
+TABLE6_T3D = {
+    "transpose": (20.0, 25.2, 29.5),
+    "FEM": (12.2, 14.2, 20.2),
+    "SOR": (26.2, 27.9, 68.1),
+}
+
+#: The paragraph below Table 6: stock Cray PVM3 application throughput.
+TABLE6_PVM3_T3D = {"FEM": 2.0, "transpose": 6.0, "SOR": 25.0}
+
+#: Section 1 / Figure 1 context: hardware peaks and usable rates.
+FIG1_CONTEXT = {
+    "Cray T3D": {"raw_link": 300.0, "usable_wire": 160.0},
+    "Intel Paragon": {"raw_link": 200.0, "usable_wire": 160.0},
+}

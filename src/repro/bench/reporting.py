@@ -1,0 +1,55 @@
+"""Comparison reporting for the benchmark harness.
+
+Each table/figure regeneration produces :class:`Comparison` rows of
+paper value vs our value; :func:`render` prints them in a consistent
+format (this is what lands in bench output and EXPERIMENTS.md), and
+the ``check_*`` helpers express the pass criteria: we validate the
+*shape* — who wins, by roughly what factor — and report the numeric
+ratios honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Comparison", "render", "max_ratio_error", "all_within"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-ours row."""
+
+    label: str
+    paper: float
+    ours: float
+
+    @property
+    def ratio(self) -> float:
+        return self.ours / self.paper if self.paper else float("inf")
+
+
+def render(title: str, rows: Sequence[Comparison], note: str = "") -> str:
+    """Format a comparison block for bench output."""
+    lines = [f"== {title} ==", f"{'':24} {'paper':>8} {'ours':>8} {'ratio':>6}"]
+    for row in rows:
+        lines.append(
+            f"{row.label:24} {row.paper:8.1f} {row.ours:8.1f} {row.ratio:6.2f}"
+        )
+    if note:
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def max_ratio_error(rows: Sequence[Comparison]) -> float:
+    """The worst |log-ratio| style deviation, as max(r, 1/r) - 1."""
+    worst = 0.0
+    for row in rows:
+        r = row.ratio
+        worst = max(worst, max(r, 1.0 / r) - 1.0)
+    return worst
+
+
+def all_within(rows: Sequence[Comparison], tolerance: float) -> bool:
+    """Whether every row's ratio is within [1-tol, 1+tol]-ish bounds."""
+    return max_ratio_error(rows) <= tolerance

@@ -1,0 +1,43 @@
+"""Compiler view of communication (Section 2.1-2.2).
+
+HPF-style distributions, communication-set generation for array
+statements, and classification of index sets into the model's access
+patterns.  The output — :class:`~repro.compiler.commgen.CommPlan`
+objects full of ``xQy`` operations — is what the model predicts and
+the runtime executes.
+"""
+
+from .advisor import advise_plan, advise_transpose, OpAdvice, PlanAdvice
+from .arrays2d import DistributedArray2D, redistribute_2d
+from .classify import CONTIGUOUS_BLOCK_WORDS, classify_offsets, effective_pattern
+from .codegen import emit_pseudocode
+from .commgen import CommOp, CommPlan, redistribute_1d, transpose_2d
+from .distributions import Block, BlockCyclic, Cyclic, Distribution, Irregular
+from .executor import execute_plan, join_by_distribution, split_by_distribution
+from .gather import indexed_gather
+
+__all__ = [
+    "advise_plan",
+    "advise_transpose",
+    "Block",
+    "DistributedArray2D",
+    "redistribute_2d",
+    "BlockCyclic",
+    "classify_offsets",
+    "CommOp",
+    "CommPlan",
+    "CONTIGUOUS_BLOCK_WORDS",
+    "Cyclic",
+    "Distribution",
+    "effective_pattern",
+    "emit_pseudocode",
+    "execute_plan",
+    "indexed_gather",
+    "Irregular",
+    "OpAdvice",
+    "PlanAdvice",
+    "join_by_distribution",
+    "split_by_distribution",
+    "redistribute_1d",
+    "transpose_2d",
+]

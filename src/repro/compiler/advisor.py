@@ -1,0 +1,150 @@
+"""The communication advisor: the paper's advice as a compiler pass.
+
+The paper closes with guidance for "compiler writers who want to
+custom-tailor a compiler's communication operations to a specific
+parallel system".  This module turns that guidance into code:
+
+* :func:`advise_plan` — for every operation of a communication plan,
+  pick the implementation strategy the copy-transfer model predicts to
+  be fastest on the target machine, and estimate the step's cost;
+* :func:`advise_transpose` — additionally choose the loop order of a
+  distributed transpose (Section 5.2: strided *stores* on the T3D,
+  strided *loads* on the Paragon), the paper's worked optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.model import CopyTransferModel, StyleChoice
+from ..core.operations import OperationStyle
+from ..machines.base import Machine
+from .commgen import CommOp, CommPlan, transpose_2d
+
+__all__ = ["OpAdvice", "PlanAdvice", "advise_plan", "advise_transpose"]
+
+
+@dataclass(frozen=True)
+class OpAdvice:
+    """The recommendation for one ``xQy`` operation."""
+
+    op: CommOp
+    style: OperationStyle
+    predicted_mbps: float
+    alternative_mbps: float
+
+    @property
+    def gain(self) -> float:
+        """Predicted speedup of the chosen style over the alternative."""
+        if self.alternative_mbps <= 0:
+            return float("inf")
+        return self.predicted_mbps / self.alternative_mbps
+
+
+@dataclass(frozen=True)
+class PlanAdvice:
+    """The full recommendation for a communication plan.
+
+    Attributes:
+        per_op: One advice entry per distinct operation shape.
+        style_histogram: How many operations chose each style.
+        predicted_step_us: Estimated slowest-node time for the step,
+            from the model rates (no runtime overheads — a lower
+            bound, like every model figure).
+    """
+
+    plan_name: str
+    per_op: Tuple[OpAdvice, ...]
+    style_histogram: Dict[str, int]
+    predicted_step_us: float
+
+    def dominant_style(self) -> OperationStyle:
+        winner = max(self.style_histogram, key=self.style_histogram.get)
+        return OperationStyle(winner)
+
+    def render(self) -> str:
+        lines = [f"plan {self.plan_name!r}:"]
+        seen = set()
+        for advice in self.per_op:
+            key = advice.op.notation
+            if key in seen:
+                continue
+            seen.add(key)
+            lines.append(
+                f"  {key:12} -> {advice.style.value:14} "
+                f"{advice.predicted_mbps:6.1f} MB/s "
+                f"({advice.gain:.2f}x over alternative)"
+            )
+        lines.append(
+            f"  predicted step time: {self.predicted_step_us:.0f} us "
+            f"(slowest node, model rates)"
+        )
+        return "\n".join(lines)
+
+
+def _choose(model: CopyTransferModel, op: CommOp) -> OpAdvice:
+    choice: StyleChoice = model.choose(op.x, op.y)
+    alternative = (
+        choice.alternatives[0][1].mbps if choice.alternatives else 0.0
+    )
+    return OpAdvice(
+        op=op,
+        style=choice.style,
+        predicted_mbps=choice.mbps,
+        alternative_mbps=alternative,
+    )
+
+
+def advise_plan(machine: Machine, plan: CommPlan) -> PlanAdvice:
+    """Choose the best implementation per operation of a plan."""
+    if not plan.ops:
+        raise ValueError(f"plan {plan.name!r} is empty")
+    model = machine.model(source="paper" if len(machine.published) else "simulated")
+
+    advice_by_shape: Dict[Tuple, OpAdvice] = {}
+    per_op: List[OpAdvice] = []
+    histogram: Dict[str, int] = {}
+    node_us: Dict[int, float] = {}
+    for op in plan.ops:
+        shape = (op.x, op.y)
+        if shape not in advice_by_shape:
+            advice_by_shape[shape] = _choose(model, op)
+        template = advice_by_shape[shape]
+        advice = OpAdvice(op, template.style, template.predicted_mbps,
+                          template.alternative_mbps)
+        per_op.append(advice)
+        histogram[advice.style.value] = histogram.get(advice.style.value, 0) + 1
+        node_us[op.src] = node_us.get(op.src, 0.0) + (
+            op.nbytes / advice.predicted_mbps
+        )
+    return PlanAdvice(
+        plan_name=plan.name,
+        per_op=tuple(per_op),
+        style_histogram=histogram,
+        predicted_step_us=max(node_us.values()),
+    )
+
+
+def advise_transpose(
+    machine: Machine,
+    rows: int,
+    cols: int,
+    n_nodes: int,
+    element_words: int = 1,
+) -> Tuple[str, PlanAdvice]:
+    """Pick the loop order *and* strategy for a distributed transpose.
+
+    Evaluates both Figure 9 implementations — ``1Qn`` (row order,
+    strided stores) and ``nQ1`` (column order, strided loads) — under
+    the machine's model and returns the winner with its plan advice.
+    """
+    best: Tuple[str, PlanAdvice] = ("", None)  # type: ignore[assignment]
+    for order in ("row", "col"):
+        plan = transpose_2d(
+            rows, cols, n_nodes, element_words=element_words, loop_order=order
+        )
+        advice = advise_plan(machine, plan)
+        if best[1] is None or advice.predicted_step_us < best[1].predicted_step_us:
+            best = (order, advice)
+    return best

@@ -1,0 +1,95 @@
+"""Classifying index sets into the model's access patterns.
+
+A compiler that has computed *which* local elements a communication
+touches (Section 2.2) must decide *how* they will be accessed:
+contiguous, constant-stride (possibly in blocks — 2 words for complex
+numbers, 6 for 3-D tensors), or indexed through an index array.  The
+classification decides which calibration entry — and which network
+framing — applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.patterns import AccessPattern
+
+__all__ = ["classify_offsets", "effective_pattern"]
+
+#: Blocks at least this many words long behave like contiguous streams
+#: (they span several cache lines and DRAM bursts), so the compiler
+#: treats such blocked-strided accesses as contiguous — the paper does
+#: the same when it calls the transpose's patch-row loads "blocks of
+#: contiguous loads, i.e. 1Qn".
+CONTIGUOUS_BLOCK_WORDS = 16
+
+
+def effective_pattern(pattern: AccessPattern, threshold: int = CONTIGUOUS_BLOCK_WORDS):
+    """Collapse long-blocked strided patterns to contiguous.
+
+    >>> from repro.core.patterns import strided
+    >>> effective_pattern(strided(2048, block=32)).subscript
+    '1'
+    >>> effective_pattern(strided(2048, block=2)).subscript
+    '2048x2'
+    """
+    if pattern.is_strided and pattern.block >= threshold:
+        return AccessPattern.contiguous()
+    return pattern
+
+
+def classify_offsets(offsets: np.ndarray) -> AccessPattern:
+    """Classify a sequence of local word offsets into an access pattern.
+
+    Rules, in order:
+
+    * one element, or consecutive offsets everywhere -> contiguous;
+    * a single constant stride ``s >= 2`` -> strided(s);
+    * equal-length runs of consecutive offsets separated by a constant
+      stride -> blocked strided (e.g. complex pairs);
+    * anything else -> indexed.
+
+    >>> import numpy as np
+    >>> classify_offsets(np.array([4, 5, 6, 7])).subscript
+    '1'
+    >>> classify_offsets(np.array([0, 16, 32, 48])).subscript
+    '16'
+    >>> classify_offsets(np.array([0, 1, 16, 17, 32, 33])).subscript
+    '16x2'
+    >>> classify_offsets(np.array([3, 1, 4, 1])).subscript
+    'w'
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.ndim != 1 or len(offsets) == 0:
+        raise ValueError("need a non-empty 1-D offset array")
+    if len(offsets) == 1:
+        return AccessPattern.contiguous()
+
+    diffs = np.diff(offsets)
+    if np.all(diffs == 1):
+        return AccessPattern.contiguous()
+
+    unique = np.unique(diffs)
+    if len(unique) == 1:
+        stride = int(unique[0])
+        if stride >= 2:
+            return AccessPattern.strided(stride)
+        return AccessPattern.indexed()  # negative or zero stride
+
+    # Blocked strided: runs of +1 of equal length b, joined by a
+    # constant jump, with total period equal to the stride.
+    if len(unique) == 2 and unique[0] == 1:
+        jump = int(unique[1])
+        if jump < 1:
+            return AccessPattern.indexed()
+        # Run lengths between jumps must all equal b.
+        jump_positions = np.flatnonzero(diffs == jump)
+        run_lengths = np.diff(np.concatenate(([-1], jump_positions)))
+        block = int(run_lengths[0])
+        tail = len(offsets) - 1 - (jump_positions[-1] if len(jump_positions) else -1)
+        if np.all(run_lengths == block) and tail <= block:
+            stride = jump + block - 1
+            if stride >= 2 and block < stride:
+                return AccessPattern.strided(stride, block=block)
+
+    return AccessPattern.indexed()

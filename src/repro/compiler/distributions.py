@@ -1,0 +1,150 @@
+"""HPF-style data distributions (Section 2.1).
+
+High Performance Fortran describes how an array axis is spread over
+the nodes of the machine.  The two common regular distributions are
+*block* and *cyclic* (the general form is block-cyclic); *irregular*
+distributions assign elements through an explicit map array, as
+partitioned-mesh applications do.
+
+A :class:`Distribution` answers the two questions communication
+generation needs: who owns a global index, and which global indices a
+node owns (in local storage order).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Distribution", "Block", "Cyclic", "BlockCyclic", "Irregular"]
+
+
+class Distribution:
+    """How one array axis of ``extent`` elements maps onto ``n_nodes``."""
+
+    def __init__(self, extent: int, n_nodes: int) -> None:
+        if extent <= 0:
+            raise ValueError(f"extent must be positive, got {extent}")
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        self.extent = extent
+        self.n_nodes = n_nodes
+
+    def owner(self, global_index: int) -> int:
+        """The node that stores ``global_index``."""
+        return int(self.owners(np.asarray([global_index]))[0])
+
+    def owners(self, global_indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner`."""
+        raise NotImplementedError
+
+    def local_indices(self, node: int) -> np.ndarray:
+        """Global indices owned by ``node``, in local storage order."""
+        raise NotImplementedError
+
+    def local_offset(self, global_indices: np.ndarray) -> np.ndarray:
+        """Local storage offset of each global index on its owner."""
+        raise NotImplementedError
+
+    def n_local(self, node: int) -> int:
+        return int(len(self.local_indices(node)))
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range 0..{self.n_nodes - 1}")
+
+
+class Block(Distribution):
+    """BLOCK: node p owns the contiguous slice ``[p*b, (p+1)*b)``.
+
+    The block size is ``ceil(extent / n_nodes)``; the last node may own
+    a short block.  Produces contiguous access patterns.
+    """
+
+    def __init__(self, extent: int, n_nodes: int) -> None:
+        super().__init__(extent, n_nodes)
+        self.block = -(-extent // n_nodes)
+
+    def owners(self, global_indices: np.ndarray) -> np.ndarray:
+        return np.asarray(global_indices) // self.block
+
+    def local_indices(self, node: int) -> np.ndarray:
+        self._check_node(node)
+        start = node * self.block
+        stop = min(start + self.block, self.extent)
+        return np.arange(start, max(start, stop), dtype=np.int64)
+
+    def local_offset(self, global_indices: np.ndarray) -> np.ndarray:
+        return np.asarray(global_indices) % self.block
+
+
+class Cyclic(Distribution):
+    """CYCLIC: element i lives on node ``i mod n_nodes``.
+
+    Produces strided access patterns with stride ``n_nodes``.
+    """
+
+    def owners(self, global_indices: np.ndarray) -> np.ndarray:
+        return np.asarray(global_indices) % self.n_nodes
+
+    def local_indices(self, node: int) -> np.ndarray:
+        self._check_node(node)
+        return np.arange(node, self.extent, self.n_nodes, dtype=np.int64)
+
+    def local_offset(self, global_indices: np.ndarray) -> np.ndarray:
+        return np.asarray(global_indices) // self.n_nodes
+
+
+class BlockCyclic(Distribution):
+    """CYCLIC(b): blocks of ``b`` elements dealt round-robin."""
+
+    def __init__(self, extent: int, n_nodes: int, block: int) -> None:
+        super().__init__(extent, n_nodes)
+        if block <= 0:
+            raise ValueError(f"block must be positive, got {block}")
+        self.block = block
+
+    def owners(self, global_indices: np.ndarray) -> np.ndarray:
+        return (np.asarray(global_indices) // self.block) % self.n_nodes
+
+    def local_indices(self, node: int) -> np.ndarray:
+        self._check_node(node)
+        indices = np.arange(self.extent, dtype=np.int64)
+        return indices[self.owners(indices) == node]
+
+    def local_offset(self, global_indices: np.ndarray) -> np.ndarray:
+        g = np.asarray(global_indices)
+        round_number = g // (self.block * self.n_nodes)
+        return round_number * self.block + g % self.block
+
+
+class Irregular(Distribution):
+    """An explicit element-to-node map (partitioned meshes, Section 2.1).
+
+    ``node_map[i]`` is the owner of global element ``i``; local storage
+    order is ascending global index within each node.
+    """
+
+    def __init__(self, node_map: Sequence[int], n_nodes: int) -> None:
+        node_map = np.asarray(node_map, dtype=np.int64)
+        super().__init__(len(node_map), n_nodes)
+        if node_map.min() < 0 or node_map.max() >= n_nodes:
+            raise ValueError("node_map entries out of range")
+        self.node_map = node_map
+        # Precompute local offsets: position of each element within its
+        # owner's ascending-global-index storage.
+        self._local_offset = np.zeros(self.extent, dtype=np.int64)
+        for node in range(n_nodes):
+            mine = np.flatnonzero(node_map == node)
+            self._local_offset[mine] = np.arange(len(mine))
+
+    def owners(self, global_indices: np.ndarray) -> np.ndarray:
+        return self.node_map[np.asarray(global_indices)]
+
+    def local_indices(self, node: int) -> np.ndarray:
+        self._check_node(node)
+        return np.flatnonzero(self.node_map == node).astype(np.int64)
+
+    def local_offset(self, global_indices: np.ndarray) -> np.ndarray:
+        return self._local_offset[np.asarray(global_indices)]

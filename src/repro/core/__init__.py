@@ -1,0 +1,97 @@
+"""The copy-transfer model (the paper's primary contribution).
+
+Public surface:
+
+* :mod:`repro.core.patterns` — access patterns (``0``, ``1``, stride, ω);
+* :mod:`repro.core.transfers` — the seven basic transfers;
+* :mod:`repro.core.composition` — sequential / parallel composition;
+* :mod:`repro.core.calibration` — measured throughput tables;
+* :mod:`repro.core.constraints` — aggregate-bandwidth constraints;
+* :mod:`repro.core.throughput` — the three evaluation rules;
+* :mod:`repro.core.operations` — buffer-packing and chained ``xQy``;
+* :mod:`repro.core.model` — per-machine facade.
+"""
+
+from .calibration import ThroughputTable
+from .composition import Expr, Par, Seq, Term, par, seq
+from .constraints import EntryRef, ResourceConstraint, duplex_memory_constraint
+from .latency import LatencyModel
+from .errors import (
+    CalibrationError,
+    CompositionError,
+    ConstraintError,
+    ModelError,
+    PatternError,
+)
+from .model import CopyTransferModel, StyleChoice
+from .serialization import dump_table, load_table, table_from_dict, table_to_dict
+from .operations import (
+    CommCapabilities,
+    DepositSupport,
+    OperationStyle,
+    buffer_packing,
+    chained,
+)
+from .patterns import CONTIGUOUS, FIXED, INDEXED, AccessPattern, PatternKind, strided
+from .resources import NodeRole, Resource, ResourceUnit
+from .throughput import EvalNode, ThroughputEstimate, evaluate
+from .transfers import (
+    BasicTransfer,
+    TransferKind,
+    copy,
+    fetch_send,
+    load_send,
+    network_adp,
+    network_data,
+    receive_deposit,
+    receive_store,
+)
+
+__all__ = [
+    "AccessPattern",
+    "BasicTransfer",
+    "CalibrationError",
+    "CommCapabilities",
+    "CompositionError",
+    "ConstraintError",
+    "CONTIGUOUS",
+    "CopyTransferModel",
+    "DepositSupport",
+    "EntryRef",
+    "EvalNode",
+    "Expr",
+    "dump_table",
+    "FIXED",
+    "INDEXED",
+    "LatencyModel",
+    "load_table",
+    "ModelError",
+    "NodeRole",
+    "OperationStyle",
+    "Par",
+    "PatternError",
+    "PatternKind",
+    "Resource",
+    "ResourceConstraint",
+    "ResourceUnit",
+    "Seq",
+    "StyleChoice",
+    "Term",
+    "ThroughputEstimate",
+    "ThroughputTable",
+    "TransferKind",
+    "buffer_packing",
+    "chained",
+    "copy",
+    "duplex_memory_constraint",
+    "evaluate",
+    "fetch_send",
+    "load_send",
+    "network_adp",
+    "network_data",
+    "par",
+    "receive_deposit",
+    "receive_store",
+    "seq",
+    "strided",
+]

@@ -1,0 +1,275 @@
+"""Composition of basic transfers into communication operations.
+
+Section 3.3 of the paper gives two concatenation operators:
+
+* sequential composition ``∘`` — the steps time-share a resource, so
+  they run one after another on each data element (Python operator
+  ``>>`` here);
+* parallel composition ``‖`` — the steps use disjoint resources and
+  overlap fully (Python operator ``|`` here).
+
+An operation is represented as a small expression tree of
+:class:`Term`, :class:`Seq` and :class:`Par` nodes.  The tree is purely
+symbolic: it can be printed in the paper's notation, validated against
+the model's matching rules, and evaluated for throughput by
+:mod:`repro.core.throughput`.
+
+Example — buffer-packing message passing (Section 3.4)::
+
+    from repro.core import patterns as p
+    from repro.core import transfers as t
+    from repro.core.composition import seq, par
+
+    op = seq(
+        t.copy(p.strided(64), p.CONTIGUOUS),
+        par(t.load_send(p.CONTIGUOUS), t.network_data(),
+            t.receive_deposit(p.CONTIGUOUS)),
+        t.copy(p.CONTIGUOUS, p.CONTIGUOUS),
+    )
+    print(op.notation())   # 64C1 o (1S0 || Nd || 0D1) o 1C1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Optional, Sequence, Tuple, Union
+
+from .errors import CompositionError
+from .patterns import FIXED, AccessPattern
+from .resources import Resource
+from .transfers import BasicTransfer
+
+__all__ = ["Expr", "Term", "Seq", "Par", "seq", "par", "as_expr"]
+
+ExprLike = Union["Expr", BasicTransfer]
+
+
+class Expr:
+    """Base class for composition expressions.
+
+    Subclasses implement the small protocol used by the evaluator:
+    boundary patterns (:meth:`read_pattern` / :meth:`write_pattern`),
+    the occupied resource set (:meth:`all_resources`), iteration over
+    leaf transfers (:meth:`terms`), validation and pretty-printing.
+    """
+
+    def read_pattern(self) -> Optional[AccessPattern]:
+        """The pattern with which this expression consumes memory data.
+
+        ``None`` means the boundary pattern is ambiguous (several
+        parallel branches read from memory); validation involving this
+        expression is then skipped rather than guessed at.
+        """
+        raise NotImplementedError
+
+    def write_pattern(self) -> Optional[AccessPattern]:
+        """The pattern with which this expression produces memory data."""
+        raise NotImplementedError
+
+    def all_resources(self) -> FrozenSet[Resource]:
+        raise NotImplementedError
+
+    def terms(self) -> Iterator[BasicTransfer]:
+        """Yield every leaf basic transfer, left to right."""
+        raise NotImplementedError
+
+    def validate(self) -> None:
+        """Check the model's composition rules; raise on violation."""
+        raise NotImplementedError
+
+    def notation(self, top: bool = True) -> str:
+        """Render the expression in the paper's notation."""
+        raise NotImplementedError
+
+    def __rshift__(self, other: ExprLike) -> "Seq":
+        return seq(self, other)
+
+    def __or__(self, other: ExprLike) -> "Par":
+        return par(self, other)
+
+    def __str__(self) -> str:
+        return self.notation()
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Wrap a bare :class:`BasicTransfer` into a :class:`Term`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, BasicTransfer):
+        return Term(value)
+    raise TypeError(f"cannot build an expression from {value!r}")
+
+
+@dataclass(frozen=True)
+class Term(Expr):
+    """A leaf node wrapping one basic transfer."""
+
+    transfer: BasicTransfer
+
+    def read_pattern(self) -> Optional[AccessPattern]:
+        return self.transfer.read
+
+    def write_pattern(self) -> Optional[AccessPattern]:
+        return self.transfer.write
+
+    def all_resources(self) -> FrozenSet[Resource]:
+        return self.transfer.uses
+
+    def terms(self) -> Iterator[BasicTransfer]:
+        yield self.transfer
+
+    def validate(self) -> None:
+        return None
+
+    def notation(self, top: bool = True) -> str:
+        return self.transfer.notation
+
+
+@dataclass(frozen=True)
+class Seq(Expr):
+    """Sequential composition: parts time-share a resource.
+
+    The matching rule (Section 3.3) requires that the write pattern of
+    each part equals the read pattern of the next.  Fixed ends (``0``)
+    and ambiguous boundaries (``None``) are exempt: a load-send hands
+    data to the network port, not to the next memory stage, so a
+    ``1S0`` followed by a ``0D1`` group is legal even though the FIFO
+    patterns differ from memory patterns.
+    """
+
+    parts: Tuple[Expr, ...]
+
+    def read_pattern(self) -> Optional[AccessPattern]:
+        return self.parts[0].read_pattern()
+
+    def write_pattern(self) -> Optional[AccessPattern]:
+        return self.parts[-1].write_pattern()
+
+    def all_resources(self) -> FrozenSet[Resource]:
+        merged: FrozenSet[Resource] = frozenset()
+        for part in self.parts:
+            merged |= part.all_resources()
+        return merged
+
+    def terms(self) -> Iterator[BasicTransfer]:
+        for part in self.parts:
+            yield from part.terms()
+
+    def validate(self) -> None:
+        for part in self.parts:
+            part.validate()
+        for left, right in zip(self.parts, self.parts[1:]):
+            produced = left.write_pattern()
+            consumed = right.read_pattern()
+            if produced is None or consumed is None:
+                continue
+            if produced == FIXED or consumed == FIXED:
+                continue
+            if not produced.matches(consumed):
+                raise CompositionError(
+                    f"pattern mismatch in sequence: {left.notation()} writes "
+                    f"{produced} but {right.notation()} reads {consumed}"
+                )
+
+    def notation(self, top: bool = True) -> str:
+        inner = " o ".join(part.notation(top=False) for part in self.parts)
+        return inner if top else f"({inner})"
+
+
+@dataclass(frozen=True)
+class Par(Expr):
+    """Parallel composition: parts overlap on disjoint resources.
+
+    Exclusive resources (CPUs, DMA engines, deposit engines) may not be
+    shared between branches; capacity resources (memory, bus, network)
+    may — their aggregate load is policed separately by resource
+    constraints.
+    """
+
+    parts: Tuple[Expr, ...]
+
+    def _unique_pattern(self, which: str) -> Optional[AccessPattern]:
+        candidates = []
+        for part in self.parts:
+            pattern = (
+                part.read_pattern() if which == "read" else part.write_pattern()
+            )
+            if pattern is None:
+                return None
+            if not pattern.is_fixed:
+                candidates.append(pattern)
+        if not candidates:
+            return FIXED
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def read_pattern(self) -> Optional[AccessPattern]:
+        return self._unique_pattern("read")
+
+    def write_pattern(self) -> Optional[AccessPattern]:
+        return self._unique_pattern("write")
+
+    def all_resources(self) -> FrozenSet[Resource]:
+        merged: FrozenSet[Resource] = frozenset()
+        for part in self.parts:
+            merged |= part.all_resources()
+        return merged
+
+    def terms(self) -> Iterator[BasicTransfer]:
+        for part in self.parts:
+            yield from part.terms()
+
+    def validate(self) -> None:
+        for part in self.parts:
+            part.validate()
+        seen: dict = {}
+        for index, part in enumerate(self.parts):
+            for resource in part.all_resources():
+                if not resource.is_exclusive:
+                    continue
+                if resource in seen and seen[resource] != index:
+                    raise CompositionError(
+                        f"parallel branches share exclusive resource {resource}: "
+                        f"{self.parts[seen[resource]].notation()} and "
+                        f"{part.notation()}"
+                    )
+                seen[resource] = index
+
+    def notation(self, top: bool = True) -> str:
+        inner = " || ".join(part.notation(top=False) for part in self.parts)
+        return inner if top else f"({inner})"
+
+
+def _flatten(
+    cls: type, items: Sequence[ExprLike]
+) -> Tuple[Expr, ...]:
+    flat: list = []
+    for item in items:
+        expr = as_expr(item)
+        if isinstance(expr, cls):
+            flat.extend(expr.parts)  # type: ignore[attr-defined]
+        else:
+            flat.append(expr)
+    return tuple(flat)
+
+
+def seq(*parts: ExprLike) -> Seq:
+    """Compose transfers sequentially (the paper's ``∘``).
+
+    Adjacent ``seq`` calls flatten, so ``seq(a, seq(b, c))`` equals
+    ``seq(a, b, c)``; throughput is associative under the harmonic rule
+    so no information is lost.
+    """
+    flat = _flatten(Seq, parts)
+    if not flat:
+        raise CompositionError("sequential composition needs at least one part")
+    return Seq(flat)
+
+
+def par(*parts: ExprLike) -> Par:
+    """Compose transfers in parallel (the paper's ``‖``)."""
+    flat = _flatten(Par, parts)
+    if not flat:
+        raise CompositionError("parallel composition needs at least one part")
+    return Par(flat)

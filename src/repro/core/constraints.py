@@ -1,0 +1,112 @@
+"""Resource constraints: the model's third composition rule.
+
+Section 3.3: "the model can consider additional resource constraints to
+limit the total throughput of certain transfers that can occur in
+parallel" — e.g. when every node of an all-to-all sends *and* receives
+simultaneously, the memory system carries twice the operation's
+throughput, so ``2 × |xQy| ≤ |memory bandwidth|`` (Section 3.4.1).
+
+A :class:`ResourceConstraint` expresses ``demand × |Z| ≤ capacity``.
+The capacity side is either a literal MB/s figure or a reference to a
+basic-transfer entry in the calibration table (so the same constraint
+object works across machines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .calibration import PatternKey, ThroughputTable
+from .errors import ConstraintError
+from .patterns import AccessPattern, CONTIGUOUS
+from .transfers import TransferKind
+
+__all__ = ["EntryRef", "ResourceConstraint", "duplex_memory_constraint"]
+
+
+@dataclass(frozen=True)
+class EntryRef:
+    """A reference to a calibration-table entry used as a capacity."""
+
+    kind: TransferKind
+    read: Union[PatternKey, AccessPattern]
+    write: Union[PatternKey, AccessPattern]
+
+    def resolve(self, table: ThroughputTable) -> float:
+        read = self.read if isinstance(self.read, AccessPattern) else _pattern(self.read)
+        write = (
+            self.write if isinstance(self.write, AccessPattern) else _pattern(self.write)
+        )
+        return table.lookup_kind(self.kind, read, write)
+
+
+def _pattern(key: Union[PatternKey, AccessPattern]) -> AccessPattern:
+    if isinstance(key, AccessPattern):
+        return key
+    if key == "0":
+        return AccessPattern.fixed()
+    if key == "1":
+        return AccessPattern.contiguous()
+    if key == "w":
+        return AccessPattern.indexed()
+    if isinstance(key, int):
+        return AccessPattern.strided(key)
+    raise ConstraintError(f"invalid pattern key {key!r}")
+
+
+@dataclass(frozen=True)
+class ResourceConstraint:
+    """An aggregate-bandwidth cap ``demand × |Z| ≤ capacity``.
+
+    Attributes:
+        name: Human-readable label used in reports ("duplex memory").
+        demand: How many times the operation's throughput loads the
+            constrained resource (2 when a node sends and receives at
+            the same time).
+        capacity: The resource's bandwidth in MB/s, or an
+            :class:`EntryRef` resolved against the calibration table at
+            evaluation time.
+    """
+
+    name: str
+    demand: float
+    capacity: Union[float, EntryRef]
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0:
+            raise ConstraintError(f"demand must be positive, got {self.demand}")
+        if isinstance(self.capacity, (int, float)) and self.capacity <= 0:
+            raise ConstraintError(
+                f"capacity must be positive, got {self.capacity}"
+            )
+
+    def limit(self, table: Optional[ThroughputTable]) -> float:
+        """The maximum operation throughput this constraint allows."""
+        if isinstance(self.capacity, EntryRef):
+            if table is None:
+                raise ConstraintError(
+                    f"constraint {self.name!r} references the calibration "
+                    "table but none was supplied"
+                )
+            capacity = self.capacity.resolve(table)
+        else:
+            capacity = float(self.capacity)
+        return capacity / self.demand
+
+
+def duplex_memory_constraint(
+    read: AccessPattern = CONTIGUOUS,
+    write: AccessPattern = CONTIGUOUS,
+    demand: float = 2.0,
+) -> ResourceConstraint:
+    """The paper's send-and-receive-simultaneously memory cap.
+
+    Uses the local copy bandwidth ``xCy`` as a proxy for the memory
+    system's total bandwidth, as the formula in Section 3.4 does.
+    """
+    return ResourceConstraint(
+        name="duplex memory bandwidth",
+        demand=demand,
+        capacity=EntryRef(TransferKind.COPY, read, write),
+    )

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the copy-transfer model.
+
+All errors raised by :mod:`repro.core` derive from :class:`ModelError`, so
+callers can catch one type to handle any model-level failure while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ModelError(Exception):
+    """Base class for all copy-transfer model errors."""
+
+
+class PatternError(ModelError):
+    """An access pattern is malformed or used in an illegal position."""
+
+
+class CompositionError(ModelError):
+    """A composition violates the model's concatenation rules.
+
+    Raised when sequential composition chains transfers whose access
+    patterns do not match (the write pattern of one step must equal the
+    read pattern of the next), or when parallel composition combines
+    transfers that share an exclusive resource.
+    """
+
+
+class CalibrationError(ModelError):
+    """A throughput table lookup failed or a table entry is invalid."""
+
+
+class ConstraintError(ModelError):
+    """A resource constraint is malformed (e.g. non-positive capacity)."""

@@ -1,0 +1,103 @@
+"""Latency extension of the throughput-oriented model.
+
+The copy-transfer model is deliberately throughput-only (Section 3.1):
+for the large transfers of data-parallel programs, per-message latency
+washes out.  Figure 1 and the SOR row of Table 6 show where that
+assumption frays — small messages are overhead-bound.  This module
+adds the classic two-parameter finishing touch:
+
+    time(n) = t0 + n / B
+
+with startup time ``t0`` and asymptotic bandwidth ``B``, giving the
+textbook half-performance length ``n_1/2 = t0 * B`` — the message size
+at which half of B is realized.  :meth:`LatencyModel.fit` recovers the
+parameters from a measured size/throughput curve (e.g. a Figure 1
+sweep) by least squares on the time domain, where the model is linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from .errors import ModelError
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """``time(n) = t0 + n/B`` in ns and MB/s.
+
+    Attributes:
+        startup_ns: The fixed per-message cost t0.
+        asymptotic_mbps: The large-message bandwidth B.
+    """
+
+    startup_ns: float
+    asymptotic_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.startup_ns < 0:
+            raise ModelError(f"negative startup time {self.startup_ns}")
+        if self.asymptotic_mbps <= 0:
+            raise ModelError(
+                f"asymptotic bandwidth must be positive, got {self.asymptotic_mbps}"
+            )
+
+    # -- predictions ---------------------------------------------------------
+
+    def time_ns(self, nbytes: int) -> float:
+        """Predicted transfer time for ``nbytes``."""
+        return self.startup_ns + nbytes / self.asymptotic_mbps * 1000.0
+
+    def throughput(self, nbytes: int) -> float:
+        """Predicted effective throughput (MB/s) for ``nbytes``."""
+        if nbytes <= 0:
+            raise ModelError(f"need a positive size, got {nbytes}")
+        return nbytes / self.time_ns(nbytes) * 1000.0
+
+    @property
+    def half_performance_bytes(self) -> float:
+        """n_1/2: the size at which half the asymptotic rate is reached."""
+        return self.startup_ns * self.asymptotic_mbps / 1000.0
+
+    # -- fitting -------------------------------------------------------------
+
+    @classmethod
+    def fit(cls, curve: Iterable[Tuple[int, float]]) -> "LatencyModel":
+        """Fit t0 and B from (nbytes, MB/s) samples.
+
+        Linear least squares on ``time = t0 + n * (1/B)``; needs at
+        least two distinct sizes.
+        """
+        samples: List[Tuple[int, float]] = [
+            (int(n), float(rate)) for n, rate in curve
+        ]
+        if len({n for n, __ in samples}) < 2:
+            raise ModelError("fitting needs at least two distinct sizes")
+        if any(rate <= 0 for __, rate in samples):
+            raise ModelError("throughput samples must be positive")
+
+        times = [(n, n / rate * 1000.0) for n, rate in samples]
+        count = len(times)
+        sum_n = sum(n for n, __ in times)
+        sum_t = sum(t for __, t in times)
+        sum_nn = sum(n * n for n, __ in times)
+        sum_nt = sum(n * t for n, t in times)
+        denominator = count * sum_nn - sum_n * sum_n
+        inverse_bandwidth = (count * sum_nt - sum_n * sum_t) / denominator
+        startup = (sum_t - inverse_bandwidth * sum_n) / count
+        if inverse_bandwidth <= 0:
+            raise ModelError("samples imply non-positive bandwidth")
+        return cls(
+            startup_ns=max(0.0, startup),
+            asymptotic_mbps=1000.0 / inverse_bandwidth,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"t0={self.startup_ns / 1000.0:.1f}us, "
+            f"B={self.asymptotic_mbps:.1f} MB/s, "
+            f"n1/2={self.half_performance_bytes / 1024.0:.1f} KB"
+        )

@@ -1,0 +1,157 @@
+"""The copy-transfer model facade.
+
+:class:`CopyTransferModel` bundles everything the model needs for one
+machine — a calibrated throughput table, the machine's communication
+capabilities, and its standing resource constraints — behind a small
+API:
+
+>>> from repro.machines import t3d
+>>> model = t3d().model()
+>>> from repro.core.patterns import CONTIGUOUS, strided
+>>> est = model.estimate(CONTIGUOUS, strided(64), style="chained")
+>>> round(est.mbps)
+38
+
+which reproduces the ``|1Q'64| = 38 MB/s`` figure of Section 5.1.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple, Union
+
+from .calibration import ThroughputTable
+from .composition import Expr
+from .constraints import ResourceConstraint
+from .errors import CompositionError, ModelError
+from .operations import (
+    CommCapabilities,
+    OperationStyle,
+    buffer_packing,
+    chained,
+)
+from .patterns import AccessPattern
+from .throughput import ThroughputEstimate, evaluate
+
+__all__ = ["CopyTransferModel", "StyleChoice"]
+
+StyleLike = Union[OperationStyle, str]
+
+
+def _coerce_style(style: StyleLike) -> OperationStyle:
+    if isinstance(style, OperationStyle):
+        return style
+    for candidate in OperationStyle:
+        if candidate.value == style or candidate.name.lower() == style.lower():
+            return candidate
+    raise ModelError(f"unknown operation style {style!r}")
+
+
+@dataclass(frozen=True)
+class StyleChoice:
+    """The model's recommendation for one ``xQy`` operation."""
+
+    style: OperationStyle
+    expr: Expr
+    estimate: ThroughputEstimate
+    alternatives: Tuple[Tuple[OperationStyle, ThroughputEstimate], ...] = ()
+
+    @property
+    def mbps(self) -> float:
+        return self.estimate.mbps
+
+
+@dataclass
+class CopyTransferModel:
+    """Throughput predictions for one machine's communication operations.
+
+    Attributes:
+        table: Calibrated basic-transfer throughputs (Section 4).
+        capabilities: Hardware features available to the operation
+            builders.
+        constraints: Standing resource constraints applied to every
+            estimate (e.g. the duplex-memory cap for all-to-all
+            patterns).  Per-call constraints can be added on top.
+        name: Label used in reports.
+    """
+
+    table: ThroughputTable
+    capabilities: CommCapabilities
+    constraints: Tuple[ResourceConstraint, ...] = ()
+    name: str = "machine"
+
+    def build(
+        self,
+        x: AccessPattern,
+        y: AccessPattern,
+        style: StyleLike,
+    ) -> Expr:
+        """Build the composition expression for ``xQy`` in one style."""
+        coerced = _coerce_style(style)
+        if coerced is OperationStyle.BUFFER_PACKING:
+            return buffer_packing(x, y, self.capabilities)
+        return chained(x, y, self.capabilities)
+
+    def estimate_expr(
+        self,
+        expr: Expr,
+        extra_constraints: Sequence[ResourceConstraint] = (),
+        validate: bool = True,
+    ) -> ThroughputEstimate:
+        """Evaluate an arbitrary composition under this machine's table."""
+        return evaluate(
+            expr,
+            self.table,
+            constraints=tuple(self.constraints) + tuple(extra_constraints),
+            validate=validate,
+        )
+
+    def estimate(
+        self,
+        x: AccessPattern,
+        y: AccessPattern,
+        style: StyleLike,
+        extra_constraints: Sequence[ResourceConstraint] = (),
+    ) -> ThroughputEstimate:
+        """Predict the throughput of ``xQy`` implemented in ``style``."""
+        return self.estimate_expr(
+            self.build(x, y, style), extra_constraints=extra_constraints
+        )
+
+    def choose(
+        self,
+        x: AccessPattern,
+        y: AccessPattern,
+        extra_constraints: Sequence[ResourceConstraint] = (),
+    ) -> StyleChoice:
+        """Pick the faster implementation style for ``xQy``.
+
+        Styles the machine cannot implement (e.g. chained without a
+        deposit engine) are skipped; at least buffer-packing always
+        exists.
+        """
+        results: Dict[OperationStyle, Tuple[Expr, ThroughputEstimate]] = {}
+        for style in OperationStyle:
+            try:
+                expr = self.build(x, y, style)
+            except CompositionError:
+                continue
+            results[style] = (
+                expr,
+                self.estimate_expr(expr, extra_constraints=extra_constraints),
+            )
+        if not results:
+            raise ModelError(f"no feasible implementation of {x}Q{y}")
+        best_style = max(results, key=lambda s: results[s][1].mbps)
+        expr, estimate = results[best_style]
+        alternatives = tuple(
+            (style, results[style][1])
+            for style in OperationStyle
+            if style in results and style is not best_style
+        )
+        return StyleChoice(best_style, expr, estimate, alternatives)
+
+    def q_notation(self, x: AccessPattern, y: AccessPattern, style: StyleLike) -> str:
+        """Paper-style name of the operation, e.g. ``1Q'64``."""
+        prime = "'" if _coerce_style(style) is OperationStyle.CHAINED else ""
+        return f"{x.subscript}Q{prime}{y.subscript}"

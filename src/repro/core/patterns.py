@@ -1,0 +1,238 @@
+"""Memory access patterns for the copy-transfer model.
+
+The paper (Section 3.2) annotates every basic transfer with a *read*
+pattern (typeset as a left subscript) and a *write* pattern (right
+subscript).  Four kinds of pattern occur:
+
+``0`` (fixed)
+    The source or destination is a single fixed location, e.g. the head
+    or tail of a network-interface FIFO.
+
+``1`` (contiguous)
+    A dense run of words, as produced by HPF *block* distributions.
+
+``s`` for ``s >= 2`` (strided)
+    Words (or short blocks of words) separated by a constant stride,
+    as produced by *cyclic* and *block-cyclic* distributions.
+
+``ω`` (indexed)
+    An arbitrary word sequence given by an index array, as produced by
+    irregular distributions and sparse-matrix code.  Reading the index
+    array is part of the access and is charged against the transfer's
+    throughput, never reported separately (Section 2.2).
+
+:class:`AccessPattern` is an immutable value object; instances compare by
+value and can key dictionaries (the calibration tables in
+:mod:`repro.core.calibration` rely on this).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import PatternError
+
+__all__ = [
+    "PatternKind",
+    "AccessPattern",
+    "FIXED",
+    "CONTIGUOUS",
+    "INDEXED",
+    "strided",
+]
+
+
+class PatternKind(enum.Enum):
+    """The four access-pattern families of the copy-transfer model."""
+
+    FIXED = "fixed"
+    CONTIGUOUS = "contiguous"
+    STRIDED = "strided"
+    INDEXED = "indexed"
+
+    def __repr__(self) -> str:
+        return f"PatternKind.{self.name}"
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """An immutable memory access pattern.
+
+    Build instances through the module-level constants and the
+    :func:`strided` helper (or the equivalent classmethods) rather than
+    calling the constructor directly:
+
+    >>> from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+    >>> strided(64).subscript
+    '64'
+    >>> CONTIGUOUS.subscript
+    '1'
+    >>> INDEXED.subscript
+    'w'
+
+    Attributes:
+        kind: Which of the four pattern families this is.
+        stride: The constant word stride; only meaningful for
+            ``PatternKind.STRIDED`` (``None`` otherwise).
+        block: Number of consecutive words moved at each stride point
+            (2 for complex numbers, 6 for 3-D tensors, per Section 2.2).
+            Defaults to 1 and is only meaningful for strided patterns.
+    """
+
+    kind: PatternKind
+    stride: Optional[int] = None
+    block: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind is PatternKind.STRIDED:
+            if self.stride is None or self.stride < 2:
+                raise PatternError(
+                    f"strided pattern needs an integer stride >= 2, got {self.stride!r}"
+                )
+            if self.block < 1 or self.block >= self.stride:
+                raise PatternError(
+                    f"block size must satisfy 1 <= block < stride, got "
+                    f"block={self.block}, stride={self.stride}"
+                )
+        else:
+            if self.stride is not None:
+                raise PatternError(
+                    f"{self.kind.value} pattern must not carry a stride"
+                )
+            if self.block != 1:
+                raise PatternError(
+                    f"{self.kind.value} pattern must not carry a block size"
+                )
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def fixed(cls) -> "AccessPattern":
+        """The pattern ``0``: a single fixed location (FIFO port)."""
+        return cls(PatternKind.FIXED)
+
+    @classmethod
+    def contiguous(cls) -> "AccessPattern":
+        """The pattern ``1``: a dense run of words."""
+        return cls(PatternKind.CONTIGUOUS)
+
+    @classmethod
+    def strided(cls, stride: int, block: int = 1) -> "AccessPattern":
+        """The pattern ``s``: constant-stride access, optionally blocked."""
+        return cls(PatternKind.STRIDED, stride=stride, block=block)
+
+    @classmethod
+    def indexed(cls) -> "AccessPattern":
+        """The pattern ``ω``: accesses driven by an index array."""
+        return cls(PatternKind.INDEXED)
+
+    @classmethod
+    def parse(cls, text: str) -> "AccessPattern":
+        """Parse a subscript string back into a pattern.
+
+        Accepts the paper's notation: ``"0"``, ``"1"``, a decimal stride
+        such as ``"64"``, and ``"w"`` / ``"ω"`` / ``"omega"`` for indexed.
+        A blocked stride is written ``"64x2"`` (stride 64, block 2).
+
+        >>> AccessPattern.parse("64") == strided(64)
+        True
+        """
+        text = text.strip()
+        if text in ("w", "ω", "omega"):
+            return cls.indexed()
+        if text == "0":
+            return cls.fixed()
+        if text == "1":
+            return cls.contiguous()
+        if "x" in text:
+            stride_text, __, block_text = text.partition("x")
+            try:
+                return cls.strided(int(stride_text), block=int(block_text))
+            except ValueError as exc:
+                raise PatternError(f"cannot parse pattern {text!r}") from exc
+        try:
+            return cls.strided(int(text))
+        except ValueError as exc:
+            raise PatternError(f"cannot parse pattern {text!r}") from exc
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_fixed(self) -> bool:
+        return self.kind is PatternKind.FIXED
+
+    @property
+    def is_contiguous(self) -> bool:
+        return self.kind is PatternKind.CONTIGUOUS
+
+    @property
+    def is_strided(self) -> bool:
+        return self.kind is PatternKind.STRIDED
+
+    @property
+    def is_indexed(self) -> bool:
+        return self.kind is PatternKind.INDEXED
+
+    @property
+    def is_memory_pattern(self) -> bool:
+        """True for patterns that touch the memory system (not a FIFO)."""
+        return not self.is_fixed
+
+    @property
+    def needs_addresses_on_wire(self) -> bool:
+        """Whether remote stores with this pattern must ship addresses.
+
+        Contiguous remote stores can be described by a base address and a
+        length, so data-only network transfers suffice.  Strided and
+        indexed remote stores require address-data pairs (Section 3.2,
+        ``N_adp``).
+        """
+        return self.is_strided or self.is_indexed
+
+    # -- presentation -------------------------------------------------------
+
+    @property
+    def subscript(self) -> str:
+        """The ASCII subscript used in the paper's notation.
+
+        Indexed renders as ``"w"`` (the paper's ω) so that operation names
+        like ``wQw`` stay plain ASCII.
+        """
+        if self.is_fixed:
+            return "0"
+        if self.is_contiguous:
+            return "1"
+        if self.is_indexed:
+            return "w"
+        if self.block != 1:
+            return f"{self.stride}x{self.block}"
+        return str(self.stride)
+
+    def __str__(self) -> str:
+        return self.subscript
+
+    def matches(self, other: "AccessPattern") -> bool:
+        """Whether this pattern can feed ``other`` in a sequential chain.
+
+        The paper's matching rule is exact equality of the intermediate
+        pattern; ``matches`` exists as a named operation so the rule is
+        easy to find and to extend.
+        """
+        return self == other
+
+
+#: The pattern ``0``: a fixed location such as a network FIFO.
+FIXED = AccessPattern.fixed()
+
+#: The pattern ``1``: contiguous words.
+CONTIGUOUS = AccessPattern.contiguous()
+
+#: The pattern ``ω``: index-array driven accesses.
+INDEXED = AccessPattern.indexed()
+
+
+def strided(stride: int, block: int = 1) -> AccessPattern:
+    """Shorthand for :meth:`AccessPattern.strided`."""
+    return AccessPattern.strided(stride, block=block)

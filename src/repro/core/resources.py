@@ -1,0 +1,90 @@
+"""Hardware resources occupied by basic transfers.
+
+The copy-transfer model's composition rules hinge on resource usage
+(Section 3.3): transfers that *share* a resource must be composed in
+sequence, transfers on *disjoint* resources may run in parallel, and
+shared-capacity resources (memory, bus) impose aggregate-bandwidth
+constraints.
+
+A :class:`Resource` identifies a unit (CPU, DMA, ...) on a node role
+(sender, receiver, or local).  Units are either *exclusive* — only one
+basic transfer may occupy them at a time, so overlap forbids parallel
+composition — or *capacity* resources that several transfers may share
+subject to a bandwidth cap enforced by
+:class:`repro.core.constraints.ResourceConstraint`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet
+
+__all__ = ["NodeRole", "ResourceUnit", "Resource", "resources"]
+
+
+class NodeRole(enum.Enum):
+    """Which node of a point-to-point transfer a resource belongs to."""
+
+    LOCAL = "local"
+    SENDER = "sender"
+    RECEIVER = "receiver"
+
+    def __repr__(self) -> str:
+        return f"NodeRole.{self.name}"
+
+
+class ResourceUnit(enum.Enum):
+    """A functional unit that a basic transfer can occupy.
+
+    ``CPU``, ``COPROCESSOR``, ``DMA`` and ``DEPOSIT`` are exclusive: two
+    basic transfers on the same node cannot both use them concurrently.
+    ``MEMORY``, ``BUS`` and ``NETWORK`` are capacity resources.
+    """
+
+    CPU = "cpu"
+    COPROCESSOR = "coprocessor"
+    DMA = "dma"
+    DEPOSIT = "deposit"
+    NI_PORT = "ni_port"
+    MEMORY = "memory"
+    BUS = "bus"
+    NETWORK = "network"
+
+    @property
+    def is_exclusive(self) -> bool:
+        return self in _EXCLUSIVE_UNITS
+
+
+_EXCLUSIVE_UNITS = frozenset(
+    {
+        ResourceUnit.CPU,
+        ResourceUnit.COPROCESSOR,
+        ResourceUnit.DMA,
+        ResourceUnit.DEPOSIT,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Resource:
+    """A functional unit on a specific node role.
+
+    >>> Resource(ResourceUnit.CPU, NodeRole.SENDER).is_exclusive
+    True
+    """
+
+    unit: ResourceUnit
+    role: NodeRole
+
+    @property
+    def is_exclusive(self) -> bool:
+        return self.unit.is_exclusive
+
+    def __str__(self) -> str:
+        return f"{self.role.value}:{self.unit.value}"
+
+
+def resources(role: NodeRole, *units: ResourceUnit) -> FrozenSet[Resource]:
+    """Build a resource set for several units on one node role."""
+    return frozenset(Resource(unit, role) for unit in units)

@@ -1,0 +1,166 @@
+"""Throughput evaluation of composition expressions.
+
+Implements the three rules of Section 3.3:
+
+* parallel composition — ``|Z| = min(|X|, |Y|)``;
+* sequential composition — ``|Z| = 1 / (1/|X| + 1/|Y|)``;
+* resource constraints — ``demand × |Z| ≤ capacity``, applied by
+  capping the final figure.
+
+:func:`evaluate` walks an expression tree, looks up each leaf in a
+:class:`~repro.core.calibration.ThroughputTable`, folds the rules, and
+returns a :class:`ThroughputEstimate` carrying both the headline MB/s
+figure and a full per-node breakdown for reporting and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .calibration import ThroughputTable
+from .composition import Expr, Par, Seq, Term
+from .constraints import ResourceConstraint
+from .errors import ModelError
+
+__all__ = ["EvalNode", "ConstraintReport", "ThroughputEstimate", "evaluate"]
+
+
+@dataclass(frozen=True)
+class EvalNode:
+    """One node of the evaluated expression tree.
+
+    Attributes:
+        notation: The sub-expression in paper notation.
+        rule: Which rule produced the rate: ``"lookup"``, ``"min"``
+            (parallel) or ``"harmonic"`` (sequential).
+        mbps: The sub-expression's throughput.
+        children: Evaluations of the sub-parts (empty for leaves).
+        bottleneck: For parallel nodes, the notation of the slowest
+            branch; for sequential nodes, of the branch contributing
+            the largest share of time.  ``None`` for leaves.
+    """
+
+    notation: str
+    rule: str
+    mbps: float
+    children: Tuple["EvalNode", ...] = ()
+    bottleneck: Optional[str] = None
+
+    def render(self, indent: int = 0) -> str:
+        """Multi-line human-readable breakdown."""
+        pad = "  " * indent
+        line = f"{pad}{self.notation}  [{self.rule}]  {self.mbps:.1f} MB/s"
+        if self.bottleneck:
+            line += f"  (bottleneck: {self.bottleneck})"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """How one resource constraint affected the estimate."""
+
+    name: str
+    limit_mbps: float
+    binding: bool
+
+
+@dataclass(frozen=True)
+class ThroughputEstimate:
+    """The result of evaluating a communication operation.
+
+    ``mbps`` is the constrained end-to-end throughput; ``unconstrained_mbps``
+    the figure before resource constraints; ``root`` the evaluation tree.
+    """
+
+    mbps: float
+    unconstrained_mbps: float
+    root: EvalNode
+    constraints: Tuple[ConstraintReport, ...] = ()
+
+    @property
+    def constrained(self) -> bool:
+        """Whether any resource constraint reduced the estimate."""
+        return any(report.binding for report in self.constraints)
+
+    def render(self) -> str:
+        lines = [self.root.render()]
+        for report in self.constraints:
+            marker = "BINDING" if report.binding else "slack"
+            lines.append(
+                f"constraint {report.name}: limit {report.limit_mbps:.1f} MB/s "
+                f"[{marker}]"
+            )
+        lines.append(f"estimate: {self.mbps:.1f} MB/s")
+        return "\n".join(lines)
+
+
+def _evaluate_node(expr: Expr, table: ThroughputTable) -> EvalNode:
+    if isinstance(expr, Term):
+        rate = table.lookup(expr.transfer)
+        return EvalNode(expr.notation(), "lookup", rate)
+    if isinstance(expr, Par):
+        children = tuple(_evaluate_node(part, table) for part in expr.parts)
+        slowest = min(children, key=lambda node: node.mbps)
+        return EvalNode(
+            expr.notation(),
+            "min",
+            slowest.mbps,
+            children,
+            bottleneck=slowest.notation,
+        )
+    if isinstance(expr, Seq):
+        children = tuple(_evaluate_node(part, table) for part in expr.parts)
+        inverse = sum(1.0 / node.mbps for node in children)
+        dominant = max(children, key=lambda node: 1.0 / node.mbps)
+        return EvalNode(
+            expr.notation(),
+            "harmonic",
+            1.0 / inverse,
+            children,
+            bottleneck=dominant.notation,
+        )
+    raise ModelError(f"cannot evaluate expression node {expr!r}")
+
+
+def evaluate(
+    expr: Expr,
+    table: ThroughputTable,
+    constraints: Sequence[ResourceConstraint] = (),
+    validate: bool = True,
+) -> ThroughputEstimate:
+    """Estimate the throughput of a communication operation.
+
+    Args:
+        expr: The operation as a composition expression.
+        table: Calibrated basic-transfer throughputs for the machine.
+        constraints: Resource constraints to apply on top of the
+            composition rules.
+        validate: Run the composition legality checks first.  Disable
+            only when evaluating deliberately illegal compositions for
+            ablation studies.
+
+    Returns:
+        A :class:`ThroughputEstimate` with the constrained figure and
+        the full evaluation tree.
+    """
+    if validate:
+        expr.validate()
+    root = _evaluate_node(expr, table)
+    reports: List[ConstraintReport] = []
+    capped = root.mbps
+    for constraint in constraints:
+        limit = constraint.limit(table)
+        binding = limit < capped
+        if binding:
+            capped = limit
+        reports.append(ConstraintReport(constraint.name, limit, binding))
+    return ThroughputEstimate(
+        mbps=capped,
+        unconstrained_mbps=root.mbps,
+        root=root,
+        constraints=tuple(reports),
+    )

@@ -1,0 +1,33 @@
+"""Machine configurations: the paper's two platforms.
+
+:func:`t3d` and :func:`paragon` return fully-wired
+:class:`~repro.machines.base.Machine` objects; everything else in the
+library is machine-independent.
+"""
+
+from .base import Machine, RuntimeQuirks, replace_node
+from .measure import DEFAULT_STRIDES, measure_table
+from .paragon import paragon, paragon_node_config, paragon_published_table
+from .t3d import t3d, t3d_node_config, t3d_published_table
+from .variants import (
+    paragon_fixed_ni,
+    t3d_contiguous_deposits,
+    t3d_without_readahead,
+)
+
+__all__ = [
+    "DEFAULT_STRIDES",
+    "Machine",
+    "measure_table",
+    "paragon",
+    "paragon_fixed_ni",
+    "paragon_node_config",
+    "paragon_published_table",
+    "replace_node",
+    "RuntimeQuirks",
+    "t3d",
+    "t3d_contiguous_deposits",
+    "t3d_node_config",
+    "t3d_published_table",
+    "t3d_without_readahead",
+]

@@ -1,0 +1,147 @@
+"""Deriving calibration tables by measurement (Section 4).
+
+The paper obtains its throughput figures by timing simple experiments
+on live machines.  :func:`measure_table` is the equivalent here: it
+runs every basic transfer the machine supports on the memory-system
+simulator, takes the network rates from the network model, and returns
+a ready-to-use :class:`~repro.core.calibration.ThroughputTable`.
+
+Results are cached per (machine name, parameters) because the word-by-
+word simulation of long streams is the slow part of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.calibration import ThroughputTable
+from ..core.operations import DepositSupport
+from ..core.patterns import CONTIGUOUS, INDEXED, strided
+from ..core.transfers import TransferKind
+from ..memsim.node import DEFAULT_MEASURE_WORDS, NodeMemorySystem
+from ..netsim.network import FramingMode
+from .base import Machine
+
+__all__ = ["measure_table", "DEFAULT_STRIDES"]
+
+#: Stride anchors measured by default; enough for log-interpolation to
+#: track the Figure 4 curves.
+DEFAULT_STRIDES: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+
+
+def _measure_copies(
+    table: ThroughputTable,
+    node: NodeMemorySystem,
+    strides: Tuple[int, ...],
+) -> None:
+    copy = TransferKind.COPY
+    table.set(copy, "1", "1", node.measure_copy(CONTIGUOUS, CONTIGUOUS))
+    table.set(copy, "1", "w", node.measure_copy(CONTIGUOUS, INDEXED))
+    table.set(copy, "w", "1", node.measure_copy(INDEXED, CONTIGUOUS))
+    for s in strides:
+        pattern = strided(s)
+        table.set(copy, "1", s, node.measure_copy(CONTIGUOUS, pattern))
+        table.set(copy, s, "1", node.measure_copy(pattern, CONTIGUOUS))
+
+
+def _measure_sends(
+    table: ThroughputTable,
+    node: NodeMemorySystem,
+    machine: Machine,
+    strides: Tuple[int, ...],
+) -> None:
+    send = TransferKind.LOAD_SEND
+    table.set(send, "1", "0", node.measure_load_send(CONTIGUOUS))
+    table.set(send, "w", "0", node.measure_load_send(INDEXED))
+    for s in strides:
+        table.set(send, s, "0", node.measure_load_send(strided(s)))
+    if node.has_dma:
+        table.set(TransferKind.FETCH_SEND, "1", "0", node.measure_fetch_send())
+
+
+def _measure_receives(
+    table: ThroughputTable,
+    node: NodeMemorySystem,
+    machine: Machine,
+    strides: Tuple[int, ...],
+) -> None:
+    deposit_support = machine.capabilities.deposit
+    if deposit_support is not DepositSupport.NONE:
+        kind = TransferKind.RECEIVE_DEPOSIT
+        table.set(kind, "0", "1", node.measure_deposit(CONTIGUOUS))
+        if deposit_support is DepositSupport.ANY:
+            table.set(kind, "0", "w", node.measure_deposit(INDEXED))
+            for s in strides:
+                table.set(kind, "0", s, node.measure_deposit(strided(s)))
+    if machine.capabilities.coprocessor_receive:
+        kind = TransferKind.RECEIVE_STORE
+        table.set(kind, "0", "1", node.measure_receive_store(CONTIGUOUS))
+        table.set(kind, "0", "w", node.measure_receive_store(INDEXED))
+        for s in strides:
+            table.set(kind, "0", s, node.measure_receive_store(strided(s)))
+
+
+def _measure_network(
+    table: ThroughputTable, machine: Machine, congestion: int
+) -> None:
+    model = machine.network_model()
+    table.set(
+        TransferKind.NETWORK_DATA,
+        "0",
+        "0",
+        model.rate(FramingMode.DATA_ONLY, congestion=congestion),
+    )
+    table.set(
+        TransferKind.NETWORK_ADP,
+        "0",
+        "0",
+        model.rate(FramingMode.ADDRESS_DATA_PAIRS, congestion=congestion),
+    )
+
+
+def measure_table(
+    machine: Machine,
+    congestion: Optional[int] = None,
+    nwords: int = DEFAULT_MEASURE_WORDS,
+    strides: Tuple[int, ...] = DEFAULT_STRIDES,
+) -> ThroughputTable:
+    """Measure a full calibration table on the simulators.
+
+    Args:
+        machine: The machine to measure.
+        congestion: Network operating point for the ``Nd`` / ``Nadp``
+            entries; defaults to the machine's typical congestion.
+        nwords: Stream length per measurement.
+        strides: Stride anchors to measure on both sides of copies,
+            sends and receives.
+    """
+    if congestion is None:
+        congestion = machine.network.default_congestion
+    return _measure_table_cached(machine, congestion, nwords, tuple(strides))
+
+
+# The machine objects are rebuilt per call (t3d() returns a fresh one),
+# so cache on the stable identity: name + parameters.
+_CACHE: dict = {}
+
+
+def _measure_table_cached(
+    machine: Machine,
+    congestion: int,
+    nwords: int,
+    strides: Tuple[int, ...],
+) -> ThroughputTable:
+    key = (machine.name, machine.node, congestion, nwords, strides, machine.index_run)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    table = ThroughputTable(
+        f"{machine.name} (simulated, congestion {congestion})"
+    )
+    node = machine.node_memory(nwords=nwords)
+    _measure_copies(table, node, strides)
+    _measure_sends(table, node, machine, strides)
+    _measure_receives(table, node, machine, strides)
+    _measure_network(table, machine, congestion)
+    _CACHE[key] = table
+    return table

@@ -1,0 +1,178 @@
+"""The Intel Paragon (Section 3.5.2).
+
+Node: two 50 MHz Intel i860XP processors sharing a 400 MB/s bus; each
+has a 16 KB 4-way write-through (under SUNMOS) data cache and supports
+pipelined loads (``pfld``) that bypass the cache, giving strided loads
+an advantage the T3D lacks.  Two DMA / line-transfer controllers can
+act as deposit engines for aligned contiguous blocks only, and need
+processor kicks at page boundaries.  The second processor can be
+dedicated to communication (SUNMOS mode 1) and serve as a deposit
+engine for arbitrary patterns via receive-store loops.  Network: 2-D
+mesh with sometimes-awkward aspect ratios.
+"""
+
+from __future__ import annotations
+
+from ..core.calibration import ThroughputTable
+from ..core.operations import CommCapabilities, DepositSupport
+from ..core.transfers import TransferKind
+from ..memsim.config import (
+    CacheConfig,
+    DepositConfig,
+    DMAConfig,
+    DRAMConfig,
+    NIConfig,
+    NodeConfig,
+    ProcessorConfig,
+    ReadAheadConfig,
+    WriteBufferConfig,
+)
+from ..netsim.network import NetworkConfig
+from ..netsim.topology import Mesh
+from .base import Machine, RuntimeQuirks
+
+__all__ = ["paragon", "paragon_node_config", "paragon_published_table"]
+
+
+def paragon_node_config() -> NodeConfig:
+    """Simulator parameters for one Paragon node.
+
+    Pipelined loads (depth 3, bypassing the cache) turn load cost into
+    DRAM occupancy instead of latency — the reverse of the T3D's
+    asymmetry: here strided *loads* are comparatively cheap and strided
+    *stores* (write-through, no merging) are the slow path.
+    """
+    return NodeConfig(
+        name="paragon-node",
+        processor=ProcessorConfig(
+            clock_mhz=50.0,
+            load_issue_cycles=0.5,
+            store_issue_cycles=0.5,
+            loop_overhead_cycles=0.5,
+            index_extra_cycles=0.5,
+            pipelined_load_depth=3,
+            pipelined_loads_bypass_cache=True,
+        ),
+        cache=CacheConfig(
+            size_bytes=16384,
+            line_bytes=32,
+            associativity=4,
+            hit_ns=5.0,
+            write_policy="through",
+        ),
+        dram=DRAMConfig(
+            page_bytes=256,
+            n_banks=4,
+            read_hit_ns=80.0,
+            read_miss_ns=250.0,
+            read_occupancy_hit_ns=55.0,
+            read_occupancy_miss_ns=200.0,
+            write_hit_ns=55.0,
+            write_miss_ns=210.0,
+            burst_word_ns=15.0,
+        ),
+        write_buffer=WriteBufferConfig(depth=4, merge=False),
+        read_ahead=ReadAheadConfig(enabled=False),
+        ni=NIConfig(store_ns=135.0, load_ns=75.0, fifo_mbps=160.0),
+        dma=DMAConfig(
+            present=True,
+            word_ns=45.0,
+            setup_ns=2000.0,
+            page_bytes=4096,
+            page_kick_ns=500.0,
+        ),
+        deposit=DepositConfig(
+            patterns="contiguous", contiguous_word_ns=8.0, pair_word_ns=100.0
+        ),
+    )
+
+
+def paragon_published_table() -> ThroughputTable:
+    """Tables 1-3 of the paper, plus stride anchors.
+
+    The stride-16 anchors are back-derived from the Table 5 estimates
+    (``|1Q16| = 18.3``, ``|16Q1| = 20.7`` buffer-packing, 42 / 32
+    chained) with the Section 3.4 / 5.1.4 formulas.
+    """
+    table = ThroughputTable("Intel Paragon (published)")
+    copy = TransferKind.COPY
+    table.set(copy, "1", "1", 67.6)
+    table.set(copy, "1", 64, 27.6)
+    table.set(copy, 64, "1", 31.1)
+    table.set(copy, "1", "w", 35.2)
+    table.set(copy, "w", "1", 45.1)
+    table.set(copy, "1", 16, 34.8)  # Table 5 anchor
+    table.set(copy, 16, "1", 50.6)  # Table 5 anchor
+
+    send = TransferKind.LOAD_SEND
+    table.set(send, "1", "0", 52.0)
+    table.set(send, 64, "0", 42.0)
+    table.set(send, "w", "0", 36.0)
+    table.set(send, 16, "0", 42.0)  # Table 5: |16Q'1| = 42 binds here
+
+    table.set(TransferKind.FETCH_SEND, "1", "0", 160.0)
+
+    receive = TransferKind.RECEIVE_STORE
+    table.set(receive, "0", "1", 82.0)
+    table.set(receive, "0", 64, 38.0)
+    table.set(receive, "0", "w", 42.0)
+    table.set(receive, "0", 16, 32.0)  # Table 5: |1Q'16| = 32 binds here
+
+    table.set(TransferKind.RECEIVE_DEPOSIT, "0", "1", 160.0)
+    return table
+
+
+#: Table 4 of the paper: network bandwidth (MB/s) by congestion.
+PARAGON_PUBLISHED_NETWORK = {
+    "data": {1: 176.0, 2: 90.0, 4: 44.0},
+    "adp": {1: 88.0, 2: 45.0, 4: 22.0},
+}
+
+
+def _mesh2d(n_nodes: int) -> Mesh:
+    """A 2-D mesh with the elongated aspect ratio of real Paragons."""
+    cols = 16
+    while cols > 1 and n_nodes % cols:
+        cols //= 2
+    rows = n_nodes // cols
+    if rows * cols != n_nodes:
+        rows, cols = n_nodes, 1
+    return Mesh(rows, cols)
+
+
+def paragon() -> Machine:
+    """The Intel Paragon (SUNMOS), ready for modelling and simulation.
+
+    ``dma_send`` is on: the paper's buffer-packing formula for the
+    Paragon uses the DMA fetch-send ``1F0`` for the contiguous network
+    stage (Section 5.1.3).  Chained transfers still use the processor
+    load-send, since the DMA cannot follow strided or indexed reads.
+    """
+    return Machine(
+        name="Intel Paragon",
+        node=paragon_node_config(),
+        network=NetworkConfig(
+            raw_link_mbps=200.0,
+            payload_data_mbps=176.0,
+            payload_adp_mbps=88.0,
+            port_sharing=1,
+            default_congestion=2,
+        ),
+        topology_factory=_mesh2d,
+        capabilities=CommCapabilities(
+            deposit=DepositSupport.CONTIGUOUS,
+            dma_send=True,
+            coprocessor_receive=True,
+            pack_even_contiguous=True,
+            overlap_unpack=False,
+        ),
+        published=paragon_published_table(),
+        published_network=PARAGON_PUBLISHED_NETWORK,
+        quirks=RuntimeQuirks(
+            send_rate_scale=0.75,
+            bus_interleave_scale=1.5,
+            runtime_efficiency=0.9,
+            measures_simplex=True,
+        ),
+        index_run=2,
+    )

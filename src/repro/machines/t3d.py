@@ -1,0 +1,167 @@
+"""The Cray T3D (Section 3.5.1).
+
+Node: 150 MHz DEC Alpha 21064, 8 KB direct-mapped on-chip data cache,
+write-around stores through the processor's write-back queue, optional
+RDAL read-ahead for contiguous load streams, simple non-interleaved
+DRAM, no virtual memory.  The *annex* maps remote memory into local
+address space; fetch/deposit circuitry handles incoming remote stores
+(address-data pairs, any access pattern) without processor
+involvement.  Network: 3-D torus, ~300 MB/s raw per link, two nodes
+sharing each network access point (so typical congestion is two).
+
+The published throughput figures (Tables 1-4 of the paper) live here
+alongside the simulator parameters calibrated to reproduce them.
+"""
+
+from __future__ import annotations
+
+from ..core.calibration import ThroughputTable
+from ..core.operations import CommCapabilities, DepositSupport
+from ..core.transfers import TransferKind
+from ..memsim.config import (
+    CacheConfig,
+    DepositConfig,
+    DMAConfig,
+    DRAMConfig,
+    NIConfig,
+    NodeConfig,
+    ProcessorConfig,
+    ReadAheadConfig,
+    WriteBufferConfig,
+)
+from ..netsim.network import NetworkConfig
+from ..netsim.topology import Torus
+from .base import Machine, RuntimeQuirks
+
+__all__ = ["t3d", "t3d_node_config", "t3d_published_table"]
+
+
+def t3d_node_config() -> NodeConfig:
+    """Simulator parameters for one T3D node.
+
+    Calibrated so the measured basic transfers land near Tables 1-3:
+    blocking loads pay full DRAM latency (the 21064 has no load
+    pipelining), posted stores drain through the merging write-back
+    queue (making strided stores far cheaper than strided loads), and
+    RDAL read-ahead only survives on pure load streams.
+    """
+    return NodeConfig(
+        name="t3d-node",
+        processor=ProcessorConfig(
+            clock_mhz=150.0,
+            load_issue_cycles=1.0,
+            store_issue_cycles=1.0,
+            loop_overhead_cycles=2.0,
+            index_extra_cycles=1.0,
+            pipelined_load_depth=0,
+        ),
+        cache=CacheConfig(
+            size_bytes=8192,
+            line_bytes=32,
+            associativity=1,
+            hit_ns=7.0,
+            write_policy="around",
+        ),
+        dram=DRAMConfig(
+            page_bytes=2048,
+            read_hit_ns=140.0,
+            read_miss_ns=155.0,
+            read_occupancy_hit_ns=50.0,
+            read_occupancy_miss_ns=80.0,
+            write_hit_ns=40.0,
+            write_miss_ns=150.0,
+            burst_word_ns=10.0,
+        ),
+        write_buffer=WriteBufferConfig(depth=6, merge=True),
+        read_ahead=ReadAheadConfig(enabled=True, depth=2, survives_writes=False),
+        ni=NIConfig(store_ns=38.0, load_ns=30.0, fifo_mbps=160.0),
+        dma=DMAConfig(present=False),
+        deposit=DepositConfig(
+            patterns="any", contiguous_word_ns=56.0, pair_word_ns=145.0
+        ),
+    )
+
+
+def t3d_published_table() -> ThroughputTable:
+    """Tables 1-3 of the paper, plus stride anchors read off Figure 4.
+
+    The stride-16 copy anchors are back-derived from the Table 5
+    buffer-packing estimates (``|1Q16| = 25.4``, ``|16Q1| = 18.4``)
+    with the Section 3.4 formula; they agree with the Figure 4 curves.
+    """
+    table = ThroughputTable("Cray T3D (published)")
+    copy = TransferKind.COPY
+    table.set(copy, "1", "1", 93.0)
+    table.set(copy, "1", 64, 67.9)
+    table.set(copy, 64, "1", 33.3)
+    table.set(copy, "1", "w", 38.5)
+    table.set(copy, "w", "1", 32.9)
+    table.set(copy, "1", 16, 70.8)  # Figure 4 / Table 5 anchor
+    table.set(copy, 16, "1", 34.4)  # Figure 4 / Table 5 anchor
+
+    send = TransferKind.LOAD_SEND
+    table.set(send, "1", "0", 126.0)
+    table.set(send, 64, "0", 35.0)
+    table.set(send, "w", "0", 32.0)
+    table.set(send, 16, "0", 38.0)  # Figure 4 anchor
+
+    deposit = TransferKind.RECEIVE_DEPOSIT
+    table.set(deposit, "0", "1", 142.0)
+    table.set(deposit, "0", 64, 52.0)
+    table.set(deposit, "0", "w", 52.0)
+    return table
+
+
+#: Table 4 of the paper: network bandwidth (MB/s) by congestion.
+T3D_PUBLISHED_NETWORK = {
+    "data": {1: 142.0, 2: 69.0, 4: 35.0},
+    "adp": {1: 62.0, 2: 38.0, 4: 20.0},
+}
+
+
+def _torus3d(n_nodes: int) -> Torus:
+    """A near-cubic 3-D torus with ``n_nodes`` compute nodes."""
+    best = None
+    for x in range(1, n_nodes + 1):
+        if n_nodes % x:
+            continue
+        rest = n_nodes // x
+        for y in range(1, rest + 1):
+            if rest % y:
+                continue
+            z = rest // y
+            dims = tuple(sorted((x, y, z)))
+            spread = dims[2] - dims[0]
+            if best is None or spread < best[0]:
+                best = (spread, dims)
+    assert best is not None
+    return Torus(*best[1])
+
+
+def t3d() -> Machine:
+    """The Cray T3D, ready for modelling and simulation."""
+    return Machine(
+        name="Cray T3D",
+        node=t3d_node_config(),
+        network=NetworkConfig(
+            raw_link_mbps=300.0,
+            payload_data_mbps=140.0,
+            payload_adp_mbps=78.0,
+            endpoint_data_cap_mbps=142.0,
+            endpoint_adp_cap_mbps=62.0,
+            port_sharing=2,
+            default_congestion=2,
+        ),
+        topology_factory=_torus3d,
+        capabilities=CommCapabilities(
+            deposit=DepositSupport.ANY,
+            dma_send=False,
+            coprocessor_receive=False,
+            pack_even_contiguous=True,
+            overlap_unpack=False,
+        ),
+        published=t3d_published_table(),
+        published_network=T3D_PUBLISHED_NETWORK,
+        quirks=RuntimeQuirks(bus_interleave_scale=1.2),
+        index_run=1,
+    )

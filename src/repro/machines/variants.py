@@ -1,0 +1,68 @@
+"""What-if machine variants the paper discusses but could not measure.
+
+Each variant is the stock machine with one concrete change, used by
+the ablation benches and the design-study example:
+
+* :func:`paragon_fixed_ni` — Section 5.1.4's lament: the measured
+  Paragon numbers lost 30-40% because pipelined loads were unusable
+  with the buggy A-step network-interface parts, and sends/receives
+  could not run simultaneously.  This variant is the Paragon with
+  working parts: no send derating, duplex measurement.
+* :func:`t3d_contiguous_deposits` — the T3D with a Paragon-grade
+  deposit engine (contiguous only): chained transfers for strided and
+  indexed patterns become impossible, quantifying the paper's closing
+  plea that deposit engines "must take into account that not all
+  transfers are contiguous blocks".
+* :func:`t3d_without_readahead` — RDAL left off (its actual power-on
+  default), costing pure load streams ~60%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.operations import DepositSupport
+from .base import Machine
+from .paragon import paragon
+from .t3d import t3d
+
+__all__ = [
+    "paragon_fixed_ni",
+    "t3d_contiguous_deposits",
+    "t3d_without_readahead",
+]
+
+
+def paragon_fixed_ni() -> Machine:
+    """The Paragon with working (B-step) network-interface parts."""
+    machine = paragon()
+    machine.name = "Intel Paragon (fixed NI)"
+    machine.quirks = replace(
+        machine.quirks,
+        send_rate_scale=1.0,
+        measures_simplex=False,
+    )
+    return machine
+
+
+def t3d_contiguous_deposits() -> Machine:
+    """The T3D with a contiguous-only deposit engine (a plain DMA)."""
+    machine = t3d()
+    machine.name = "Cray T3D (contiguous-only deposits)"
+    machine.capabilities = replace(
+        machine.capabilities, deposit=DepositSupport.CONTIGUOUS
+    )
+    machine.node = replace(
+        machine.node, deposit=replace(machine.node.deposit, patterns="contiguous")
+    )
+    return machine
+
+
+def t3d_without_readahead() -> Machine:
+    """The T3D with RDAL read-ahead disabled (the power-on default)."""
+    machine = t3d()
+    machine.name = "Cray T3D (no RDAL)"
+    machine.node = replace(
+        machine.node, read_ahead=replace(machine.node.read_ahead, enabled=False)
+    )
+    return machine

@@ -1,0 +1,52 @@
+"""Node memory-system simulator (substrate for the paper's machines).
+
+The paper measured real Cray T3D and Intel Paragon nodes; this package
+replaces them with a cycle-approximate timeline simulator whose
+components mirror the hardware Section 3.5 describes: open-page DRAM,
+one level of cache, a write(-back) queue, read-ahead / pipelined-load
+units, DMA engines and deposit engines.
+"""
+
+from .cache import Cache
+from .config import (
+    WORD_BYTES,
+    CacheConfig,
+    DepositConfig,
+    DMAConfig,
+    DRAMConfig,
+    NIConfig,
+    NodeConfig,
+    ProcessorConfig,
+    ReadAheadConfig,
+    WriteBufferConfig,
+)
+from .dram import DRAM
+from .engine import KernelResult, MemoryEngine
+from .node import DEFAULT_MEASURE_WORDS, NodeMemorySystem
+from .report import TransferProfile, profile_copy, profile_load_send
+from .streams import DEFAULT_INDEX_RUN, AccessStream, make_stream
+
+__all__ = [
+    "AccessStream",
+    "Cache",
+    "CacheConfig",
+    "DEFAULT_INDEX_RUN",
+    "DEFAULT_MEASURE_WORDS",
+    "DepositConfig",
+    "DMAConfig",
+    "DRAM",
+    "DRAMConfig",
+    "KernelResult",
+    "make_stream",
+    "MemoryEngine",
+    "NIConfig",
+    "NodeConfig",
+    "NodeMemorySystem",
+    "ProcessorConfig",
+    "profile_copy",
+    "profile_load_send",
+    "TransferProfile",
+    "ReadAheadConfig",
+    "WORD_BYTES",
+    "WriteBufferConfig",
+]

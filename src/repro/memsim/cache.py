@@ -1,0 +1,148 @@
+"""Set-associative data cache with LRU replacement.
+
+Covers the two first-level caches of the paper's machines: the Alpha
+21064's 8 KB direct-mapped cache (T3D) and the i860XP's 16 KB 4-way
+cache (Paragon).  Massively parallel nodes have *one* cache level
+(Section 3.1), so there is no hierarchy to model.
+
+Only the behaviour that matters to throughput is kept: hit/miss
+classification and line installation.  Timing lives in the engine,
+which charges a line fill to the DRAM on each miss.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .config import CacheConfig
+
+__all__ = ["Cache"]
+
+
+class Cache:
+    """Tag store for one cache.
+
+    >>> cache = Cache(CacheConfig(size_bytes=128, line_bytes=32,
+    ...                           associativity=2))
+    >>> cache.lookup_load(0)   # cold miss installs the line
+    False
+    >>> cache.lookup_load(8)   # same 32-byte line
+    True
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        if config.size_bytes % config.line_bytes:
+            raise ValueError("cache size must be a multiple of the line size")
+        if config.n_lines % config.associativity:
+            raise ValueError("line count must be a multiple of associativity")
+        self.config = config
+        # One LRU-ordered list of tags per set; index 0 is LRU.
+        self._sets: List[List[int]] = [[] for __ in range(config.n_sets)]
+        # Dirty tags per set (write-back policy only).
+        self._dirty: List[set] = [set() for __ in range(config.n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.dirty_evictions = 0
+
+    def reset(self) -> None:
+        for entry in self._sets:
+            entry.clear()
+        for entry in self._dirty:
+            entry.clear()
+        self.hits = 0
+        self.misses = 0
+        self.dirty_evictions = 0
+
+    def _locate(self, address: int) -> tuple:
+        line = address // self.config.line_bytes
+        set_index = line % self.config.n_sets
+        tag = line // self.config.n_sets
+        return set_index, tag
+
+    def _line_address(self, set_index: int, tag: int) -> int:
+        return (tag * self.config.n_sets + set_index) * self.config.line_bytes
+
+    def _probe(self, set_index: int, tag: int, install_on_miss: bool) -> bool:
+        ways = self._sets[set_index]
+        if tag in ways:
+            self.hits += 1
+            ways.remove(tag)
+            ways.append(tag)  # most recently used at the back
+            return True
+        self.misses += 1
+        if install_on_miss:
+            if len(ways) >= self.config.associativity:
+                victim = ways.pop(0)
+                self._dirty[set_index].discard(victim)
+            ways.append(tag)
+        return False
+
+    def lookup_load(self, address: int) -> bool:
+        """A load probe: installs the line on a miss. True on hit."""
+        set_index, tag = self._locate(address)
+        return self._probe(set_index, tag, install_on_miss=True)
+
+    # -- write-back support ---------------------------------------------------
+
+    def _install_tracking_victim(self, set_index: int, tag: int):
+        """Install a line; return the evicted (address, dirty) or None."""
+        ways = self._sets[set_index]
+        evicted = None
+        if len(ways) >= self.config.associativity:
+            victim = ways.pop(0)
+            dirty = victim in self._dirty[set_index]
+            self._dirty[set_index].discard(victim)
+            if dirty:
+                self.dirty_evictions += 1
+            evicted = (self._line_address(set_index, victim), dirty)
+        ways.append(tag)
+        return evicted
+
+    def load_allocate(self, address: int):
+        """A load under write-back: ``(hit, evicted)``.
+
+        ``evicted`` is ``(line_address, dirty)`` for a displaced line,
+        or ``None``; dirty victims must be written back to memory.
+        """
+        set_index, tag = self._locate(address)
+        if self._probe(set_index, tag, install_on_miss=False):
+            return True, None
+        return False, self._install_tracking_victim(set_index, tag)
+
+    def store_allocate(self, address: int):
+        """A store under write-back (write-allocate): ``(hit, evicted)``.
+
+        The line ends up present and dirty either way.
+        """
+        set_index, tag = self._locate(address)
+        if self._probe(set_index, tag, install_on_miss=False):
+            self._dirty[set_index].add(tag)
+            return True, None
+        evicted = self._install_tracking_victim(set_index, tag)
+        self._dirty[set_index].add(tag)
+        return False, evicted
+
+    def lookup_store(self, address: int) -> bool:
+        """A store probe under the configured write policy.
+
+        * ``around``: never allocates; a hit only means the line was
+          already present (it is updated in place).
+        * ``through``: updates on hit, never allocates on miss.
+
+        Either way the store also goes to memory; the return value only
+        tells the engine whether the cached copy stayed coherent.
+        """
+        set_index, tag = self._locate(address)
+        return self._probe(set_index, tag, install_on_miss=False)
+
+    def invalidate_all(self) -> None:
+        """Flush every line (T3D synchronization-point invalidation)."""
+        for entry in self._sets:
+            entry.clear()
+        for entry in self._dirty:
+            entry.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,237 @@
+"""Configuration dataclasses for the node memory-system simulator.
+
+Every timing is in nanoseconds and every size in bytes, so configs read
+like a datasheet.  A machine (:mod:`repro.machines`) is little more than
+one :class:`NodeConfig` plus a network config: the simulator itself is
+machine-independent.
+
+The parameters mirror the microarchitectural features Section 3.5 of
+the paper holds responsible for the measured throughput asymmetries:
+
+* the T3D's *RDAL* read-ahead circuitry and Alpha write-back queue
+  (:class:`ReadAheadConfig`, :class:`WriteBufferConfig`);
+* the Paragon i860XP's pipelined loads / prefetch queue
+  (``ProcessorConfig.pipelined_load_depth``);
+* the Paragon's restricted DMA / line-transfer units
+  (:class:`DMAConfig`);
+* the T3D annex deposit engine (:class:`DepositConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "WORD_BYTES",
+    "DRAMConfig",
+    "CacheConfig",
+    "WriteBufferConfig",
+    "ReadAheadConfig",
+    "ProcessorConfig",
+    "NIConfig",
+    "DMAConfig",
+    "DepositConfig",
+    "NodeConfig",
+]
+
+#: The model's unit of transfer (Section 2.2): a 64-bit word.
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Open-page DRAM timing.
+
+    The simulator keeps one open row (page); an access to the open page
+    is a *page hit*, anything else a *page miss*.  Reads have both a
+    latency (when the data arrives at the requester) and an occupancy
+    (how long the DRAM/bus is busy); posted writes only occupy.
+
+    Attributes:
+        page_bytes: Row size.  Strides beyond this always miss.
+        n_banks: Independent banks, each keeping its own open row.
+            1 models the T3D's "simple non-interleaved memory system";
+            more banks let interleaved source/destination streams keep
+            separate rows open (Paragon).  Banks share the data bus, so
+            they affect hit rates, not parallelism.
+        read_hit_ns / read_miss_ns: Load-to-data latency.
+        read_occupancy_hit_ns / read_occupancy_miss_ns: Bus + array
+            busy time per read.
+        write_hit_ns / write_miss_ns: Busy time per posted write.
+        burst_word_ns: Incremental cost of each extra word in a burst
+            (cache-line fills, DMA streams).
+    """
+
+    page_bytes: int = 2048
+    n_banks: int = 1
+    read_hit_ns: float = 110.0
+    read_miss_ns: float = 155.0
+    read_occupancy_hit_ns: float = 50.0
+    read_occupancy_miss_ns: float = 90.0
+    write_hit_ns: float = 40.0
+    write_miss_ns: float = 150.0
+    burst_word_ns: float = 15.0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A physically-indexed data cache.
+
+    ``write_policy`` is one of:
+
+    * ``"around"`` — stores never allocate and bypass the cache (T3D
+      default; stores ride the write buffer);
+    * ``"through"`` — stores update the cache on hit and always go to
+      memory (Paragon under SUNMOS);
+    * ``"back"`` — write-allocate with dirty lines written back on
+      eviction.  Neither 1994 machine ran this way; it is provided as
+      the modern-node archetype — note it makes *single-touch*
+      communication stores more expensive (fill + write-back per
+      line), which only sharpens the paper's argument.
+    """
+
+    size_bytes: int = 8192
+    line_bytes: int = 32
+    associativity: int = 1
+    hit_ns: float = 7.0
+    write_policy: str = "around"
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.associativity
+
+    @property
+    def line_words(self) -> int:
+        return self.line_bytes // WORD_BYTES
+
+
+@dataclass(frozen=True)
+class WriteBufferConfig:
+    """The processor's write (back) queue.
+
+    Posted stores enter the queue and drain to DRAM in the background;
+    the processor stalls only when the queue is full.  ``merge=True``
+    coalesces consecutive stores to the same line into one DRAM burst —
+    the effect that makes contiguous stores cheap on the T3D.
+    """
+
+    depth: int = 6
+    merge: bool = True
+
+
+@dataclass(frozen=True)
+class ReadAheadConfig:
+    """External read-ahead circuitry for contiguous load streams (RDAL).
+
+    When enabled and the load stream is contiguous, line fills are
+    prefetched ``depth`` lines ahead so consumption overlaps the fill.
+    ``survives_writes=False`` models the T3D behaviour that interleaved
+    DRAM writes break the detected stream, so copies do not benefit —
+    only pure load streams (e.g. load-sends to the network port) do.
+    """
+
+    enabled: bool = False
+    depth: int = 2
+    survives_writes: bool = False
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Instruction-issue costs of the optimized transfer loops.
+
+    ``pipelined_load_depth`` > 0 enables pipelined loads (the i860
+    ``pfld`` / prefetch queue): up to that many loads are outstanding,
+    so load cost degrades to DRAM *occupancy* instead of full latency.
+    0 means blocking loads (Alpha 21064).
+    """
+
+    clock_mhz: float = 150.0
+    load_issue_cycles: float = 1.0
+    store_issue_cycles: float = 1.0
+    loop_overhead_cycles: float = 2.0
+    index_extra_cycles: float = 1.0
+    pipelined_load_depth: int = 0
+    pipelined_loads_bypass_cache: bool = False
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1000.0 / self.clock_mhz
+
+
+@dataclass(frozen=True)
+class NIConfig:
+    """The memory-mapped network-interface port.
+
+    Attributes:
+        store_ns: Processor cost of one word store to the port (T3D
+            annex store, Paragon NI FIFO store).
+        load_ns: Processor cost of reading one received word.
+        fifo_mbps: The port's sustained bandwidth cap.
+    """
+
+    store_ns: float = 30.0
+    load_ns: float = 30.0
+    fifo_mbps: float = 160.0
+
+
+@dataclass(frozen=True)
+class DMAConfig:
+    """A block-transfer / line-transfer DMA engine (Paragon).
+
+    Only contiguous, aligned transfers are supported; crossing a
+    ``page_bytes`` boundary stalls the engine until a processor kicks
+    it (``page_kick_ns``), modelling the Paragon behaviour described in
+    Section 3.5.2.
+    """
+
+    present: bool = False
+    word_ns: float = 45.0
+    setup_ns: float = 2000.0
+    page_bytes: int = 4096
+    page_kick_ns: float = 500.0
+
+
+@dataclass(frozen=True)
+class DepositConfig:
+    """A deposit engine: stores incoming network data in the background.
+
+    ``patterns`` is ``"any"`` (T3D annex: handles address-data pairs
+    with arbitrary write patterns) or ``"contiguous"`` (a plain DMA)
+    or ``"none"``.
+
+    Block-framed contiguous deposits cost ``contiguous_word_ns`` of
+    engine time per word; non-contiguous deposits arrive as
+    address-data pairs and pay ``pair_word_ns`` each — decoding an
+    address per word is what makes the annex so much slower on
+    strided and indexed remote stores (Table 3: 142 vs 52 MB/s).
+    """
+
+    patterns: str = "none"
+    contiguous_word_ns: float = 15.0
+    pair_word_ns: float = 100.0
+
+    def supports(self, contiguous: bool) -> bool:
+        if self.patterns == "any":
+            return True
+        if self.patterns == "contiguous":
+            return contiguous
+        return False
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything the memory-system simulator needs about one node."""
+
+    name: str = "node"
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    write_buffer: WriteBufferConfig = field(default_factory=WriteBufferConfig)
+    read_ahead: ReadAheadConfig = field(default_factory=ReadAheadConfig)
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    ni: NIConfig = field(default_factory=NIConfig)
+    dma: DMAConfig = field(default_factory=DMAConfig)
+    deposit: DepositConfig = field(default_factory=DepositConfig)

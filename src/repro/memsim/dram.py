@@ -1,0 +1,86 @@
+"""Open-page DRAM timing model.
+
+The T3D node memory is "a simple non-interleaved memory system built
+from DRAM chips" (Section 3.5.1); the Paragon's is "surprisingly
+similar".  We model a single rank with one open row: accesses to the
+open row are page hits, others pay the full row-activate penalty.
+
+Reads return both a *latency* (when the requester sees the data, which
+a blocking processor waits for) and an *occupancy* (how long the part
+stays busy, which paces pipelined loads, write drains and DMA bursts).
+Posted writes only occupy.
+"""
+
+from __future__ import annotations
+
+from .config import DRAMConfig
+
+__all__ = ["DRAM"]
+
+
+class DRAM:
+    """Mutable open-page state plus the timing rules.
+
+    The class is deliberately tiny: callers (the
+    :class:`~repro.memsim.engine.MemoryEngine`) own all scheduling; the
+    DRAM only answers "is this a page hit and what does it cost".
+    """
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        self._open_pages = [-1] * config.n_banks
+        self.page_hits = 0
+        self.page_misses = 0
+
+    def reset(self) -> None:
+        self._open_pages = [-1] * self.config.n_banks
+        self.page_hits = 0
+        self.page_misses = 0
+
+    def _touch(self, address: int) -> bool:
+        """Record an access; return True on a page hit."""
+        page = address // self.config.page_bytes
+        bank = page % self.config.n_banks
+        if page == self._open_pages[bank]:
+            self.page_hits += 1
+            return True
+        self._open_pages[bank] = page
+        self.page_misses += 1
+        return False
+
+    # -- single accesses ----------------------------------------------------
+
+    def read(self, address: int) -> tuple:
+        """One word read: ``(latency_ns, occupancy_ns)``."""
+        if self._touch(address):
+            return (self.config.read_hit_ns, self.config.read_occupancy_hit_ns)
+        return (self.config.read_miss_ns, self.config.read_occupancy_miss_ns)
+
+    def write(self, address: int) -> float:
+        """One posted word write: occupancy in ns."""
+        if self._touch(address):
+            return self.config.write_hit_ns
+        return self.config.write_miss_ns
+
+    # -- bursts ---------------------------------------------------------------
+
+    def read_burst(self, address: int, words: int) -> tuple:
+        """A line fill or DMA burst of ``words`` consecutive words.
+
+        The first word pays the hit/miss latency; the rest stream at
+        ``burst_word_ns``.  Returns ``(latency_ns, occupancy_ns)``
+        where latency is until the *last* word arrives.
+        """
+        first_latency, first_occupancy = self.read(address)
+        extra = self.config.burst_word_ns * max(0, words - 1)
+        return (first_latency + extra, first_occupancy + extra)
+
+    def write_burst(self, address: int, words: int) -> float:
+        """A merged line write of ``words`` consecutive words (ns busy)."""
+        first = self.write(address)
+        return first + self.config.burst_word_ns * max(0, words - 1)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.page_hits + self.page_misses
+        return self.page_hits / total if total else 0.0

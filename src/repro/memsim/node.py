@@ -1,0 +1,143 @@
+"""High-level measurement interface to one node's memory system.
+
+:class:`NodeMemorySystem` wraps the timeline engine with the stream
+generators so callers can ask directly for the throughput of a basic
+transfer — the Python equivalent of the paper's "simple experiments
+using fine grain timers" (Section 4):
+
+>>> from repro.machines import t3d
+>>> node = t3d().node_memory()
+>>> from repro.core.patterns import CONTIGUOUS, strided
+>>> rate = node.measure_copy(CONTIGUOUS, strided(64))  # |1C64| in MB/s
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.patterns import AccessPattern
+from .config import NodeConfig
+from .engine import KernelResult, MemoryEngine
+from .streams import DEFAULT_INDEX_RUN, AccessStream, make_stream
+
+__all__ = ["NodeMemorySystem", "DEFAULT_MEASURE_WORDS"]
+
+#: Default stream length for measurements: 32 Ki words = 256 KB, far
+#: beyond both machines' first-level caches so cold-start effects wash
+#: out, yet quick to simulate.
+DEFAULT_MEASURE_WORDS = 32768
+
+#: Byte distance between the source and destination regions of a copy.
+#: Offset by one typical DRAM page so the regions fall in different banks
+#: on interleaved memory systems (arrays allocated back to back rarely
+#: share bank alignment).
+_REGION_GAP = (1 << 24) + 256
+
+
+class NodeMemorySystem:
+    """Measurement harness over a :class:`~repro.memsim.engine.MemoryEngine`.
+
+    Args:
+        config: The node's hardware parameters.
+        nwords: Stream length used for measurements.
+        index_run: Locality run length for indexed streams (see
+            :mod:`repro.memsim.streams`).
+        occupancy_scale: Bus-arbitration multiplier passed to the engine.
+    """
+
+    def __init__(
+        self,
+        config: NodeConfig,
+        nwords: int = DEFAULT_MEASURE_WORDS,
+        index_run: int = DEFAULT_INDEX_RUN,
+        occupancy_scale: float = 1.0,
+    ) -> None:
+        self.config = config
+        self.nwords = nwords
+        self.index_run = index_run
+        self.occupancy_scale = occupancy_scale
+
+    def _engine(self) -> MemoryEngine:
+        return MemoryEngine(self.config, occupancy_scale=self.occupancy_scale)
+
+    def _stream(
+        self, pattern: AccessPattern, base: int = 0, seed: int = 12345
+    ) -> AccessStream:
+        return make_stream(
+            pattern, self.nwords, base=base, seed=seed, index_run=self.index_run
+        )
+
+    # -- kernel measurements (full results) ---------------------------------
+
+    def copy_result(
+        self, read: AccessPattern, write: AccessPattern
+    ) -> KernelResult:
+        """Run ``xCy`` and return the full kernel result."""
+        read_stream = self._stream(read, base=0, seed=12345)
+        write_stream = self._stream(write, base=_REGION_GAP, seed=54321)
+        return self._engine().run_copy(read_stream, write_stream)
+
+    def load_send_result(self, read: AccessPattern) -> KernelResult:
+        """Run ``xS0`` and return the full kernel result."""
+        return self._engine().run_load_send(self._stream(read))
+
+    def receive_store_result(self, write: AccessPattern) -> KernelResult:
+        """Run ``0Ry`` and return the full kernel result."""
+        return self._engine().run_receive_store(self._stream(write))
+
+    def deposit_result(self, write: AccessPattern) -> KernelResult:
+        """Run ``0Dy`` and return the full kernel result."""
+        return self._engine().run_deposit(self._stream(write))
+
+    def fetch_send_result(self, nwords: Optional[int] = None) -> KernelResult:
+        """Run ``1F0`` and return the full kernel result."""
+        return self._engine().run_fetch_send(nwords or self.nwords)
+
+    def load_stream_result(self, read: AccessPattern) -> KernelResult:
+        """Run a pure load stream (Section 3.5.1 read bandwidth)."""
+        return self._engine().run_load_stream(self._stream(read))
+
+    def store_stream_result(self, write: AccessPattern) -> KernelResult:
+        """Run a pure store stream."""
+        return self._engine().run_store_stream(self._stream(write))
+
+    # -- throughput shorthands -----------------------------------------------
+
+    def measure_load_stream(self, read: AccessPattern) -> float:
+        """Pure read bandwidth in MB/s."""
+        return self.load_stream_result(read).mbps
+
+    def measure_store_stream(self, write: AccessPattern) -> float:
+        """Pure write bandwidth in MB/s."""
+        return self.store_stream_result(write).mbps
+
+    def load_latency_ns(self) -> float:
+        """Cold main-memory load latency in ns."""
+        return self._engine().load_latency_ns()
+
+    def measure_copy(self, read: AccessPattern, write: AccessPattern) -> float:
+        """``|xCy|`` in MB/s."""
+        return self.copy_result(read, write).mbps
+
+    def measure_load_send(self, read: AccessPattern) -> float:
+        """``|xS0|`` in MB/s."""
+        return self.load_send_result(read).mbps
+
+    def measure_receive_store(self, write: AccessPattern) -> float:
+        """``|0Ry|`` in MB/s."""
+        return self.receive_store_result(write).mbps
+
+    def measure_deposit(self, write: AccessPattern) -> float:
+        """``|0Dy|`` in MB/s."""
+        return self.deposit_result(write).mbps
+
+    def measure_fetch_send(self) -> float:
+        """``|1F0|`` in MB/s."""
+        return self.fetch_send_result().mbps
+
+    def supports_deposit(self, write: AccessPattern) -> bool:
+        return self.config.deposit.supports(write.is_contiguous)
+
+    @property
+    def has_dma(self) -> bool:
+        return self.config.dma.present

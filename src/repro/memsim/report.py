@@ -1,0 +1,108 @@
+"""Diagnostic profiles for memory-system measurements.
+
+Calibrating a machine means understanding *why* a transfer runs at the
+speed it does.  :func:`profile_copy` (and friends) re-run a kernel and
+classify the result the way an architect would read a performance
+counter dump: per-word cost, cache and DRAM page behaviour, and
+whether the loop is compute-bound (instruction issue) or memory-bound
+(DRAM occupancy / latency).
+
+Used by the calibration script and handy in notebooks; the simulation
+itself is untouched — this is presentation over
+:class:`~repro.memsim.engine.KernelResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.patterns import AccessPattern
+from .config import NodeConfig
+from .engine import KernelResult
+from .node import NodeMemorySystem
+
+__all__ = ["TransferProfile", "profile_copy", "profile_load_send"]
+
+
+@dataclass(frozen=True)
+class TransferProfile:
+    """A human-oriented reading of one kernel measurement.
+
+    Attributes:
+        name: Transfer notation ("1C64").
+        mbps: Measured throughput.
+        ns_per_word: Average end-to-end cost per 64-bit word.
+        cache_hit_rate / dram_page_hit_rate: From the kernel run.
+        issue_ns_per_word: The processor's instruction cost per word,
+            from the node config — the lower bound if memory were free.
+        bound_by: ``"issue"`` when the loop runs within 1.3x of the
+            instruction bound (compute-bound), else ``"memory"``.
+    """
+
+    name: str
+    mbps: float
+    ns_per_word: float
+    cache_hit_rate: float
+    dram_page_hit_rate: float
+    issue_ns_per_word: float
+    bound_by: str
+
+    def render(self) -> str:
+        return (
+            f"{self.name}: {self.mbps:.1f} MB/s "
+            f"({self.ns_per_word:.0f} ns/word, issue bound "
+            f"{self.issue_ns_per_word:.0f} ns/word, {self.bound_by}-bound; "
+            f"cache hits {self.cache_hit_rate:.0%}, "
+            f"DRAM page hits {self.dram_page_hit_rate:.0%})"
+        )
+
+
+def _issue_bound_ns(config: NodeConfig, loads: int, stores: int, indexed: int) -> float:
+    processor = config.processor
+    cycles = (
+        loads * processor.load_issue_cycles
+        + stores * processor.store_issue_cycles
+        + processor.loop_overhead_cycles
+        + indexed * processor.index_extra_cycles
+    )
+    return cycles * processor.cycle_ns
+
+
+def _profile(
+    name: str,
+    config: NodeConfig,
+    result: KernelResult,
+    issue_ns: float,
+) -> TransferProfile:
+    ns_per_word = result.ns / result.nwords
+    bound_by = "issue" if ns_per_word <= 1.3 * issue_ns else "memory"
+    return TransferProfile(
+        name=name,
+        mbps=result.mbps,
+        ns_per_word=ns_per_word,
+        cache_hit_rate=result.cache_hit_rate,
+        dram_page_hit_rate=result.dram_page_hit_rate,
+        issue_ns_per_word=issue_ns,
+        bound_by=bound_by,
+    )
+
+
+def profile_copy(
+    node: NodeMemorySystem, read: AccessPattern, write: AccessPattern
+) -> TransferProfile:
+    """Profile a local copy ``xCy``."""
+    result = node.copy_result(read, write)
+    indexed = int(read.is_indexed) + int(write.is_indexed)
+    issue = _issue_bound_ns(node.config, loads=1 + indexed, stores=1, indexed=indexed)
+    return _profile(
+        f"{read.subscript}C{write.subscript}", node.config, result, issue
+    )
+
+
+def profile_load_send(node: NodeMemorySystem, read: AccessPattern) -> TransferProfile:
+    """Profile a load-send ``xS0`` (NI store charged as issue cost)."""
+    result = node.load_send_result(read)
+    indexed = int(read.is_indexed)
+    issue = _issue_bound_ns(node.config, loads=1 + indexed, stores=0, indexed=indexed)
+    issue += node.config.ni.store_ns
+    return _profile(f"{read.subscript}S0", node.config, result, issue)

@@ -1,0 +1,126 @@
+"""Address-stream generators for the access patterns of Section 2.2.
+
+A *stream* is the sequence of byte addresses an optimized transfer loop
+touches: contiguous words, constant-stride words, or indexed words
+driven by an index array.  Indexed streams model the paper's
+application reality (FEM gather/scatter index arrays are partially
+sorted) with a tunable *run length*: the expected number of consecutive
+indices that land in the same DRAM-page-sized region before jumping to
+a random one.
+
+All generators are deterministic given a seed, so measured throughputs
+are reproducible run to run — mirroring the paper's claim that its
+measurements are "highly accurate and consistently reproducible".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.patterns import AccessPattern, PatternKind
+from .config import WORD_BYTES
+
+__all__ = ["AccessStream", "make_stream", "DEFAULT_INDEX_RUN"]
+
+#: Expected same-region run length for indexed streams.  2 reflects the
+#: partial sortedness of real index arrays (FEM edge lists, sparse rows).
+DEFAULT_INDEX_RUN = 2
+
+#: Region size (bytes) used to generate indexed locality runs.  Small
+#: enough that a run usually stays within one DRAM page on machines with
+#: page-mode-friendly memory controllers.
+_INDEX_REGION_BYTES = 256
+
+
+@dataclass(frozen=True)
+class AccessStream:
+    """A concrete address stream for one side of a transfer.
+
+    Attributes:
+        pattern: The access pattern that generated the stream.
+        addresses: Byte address of every data word, in access order.
+        index_addresses: Byte addresses of index-array *elements* (4-byte
+            ints) read alongside an indexed stream; ``None`` otherwise.
+    """
+
+    pattern: AccessPattern
+    addresses: np.ndarray
+    index_addresses: Optional[np.ndarray] = None
+
+    @property
+    def nwords(self) -> int:
+        return int(self.addresses.shape[0])
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes of useful data (index loads are overhead, not payload)."""
+        return self.nwords * WORD_BYTES
+
+
+def _indexed_word_offsets(
+    nwords: int, run_length: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Word offsets with page-local runs: random pages, short runs inside."""
+    region_words = _INDEX_REGION_BYTES // WORD_BYTES
+    n_regions = max(1, (nwords * 4) // region_words)
+    offsets = np.empty(nwords, dtype=np.int64)
+    position = 0
+    while position < nwords:
+        run = 1 + rng.geometric(1.0 / max(1, run_length)) - 1
+        run = int(min(run, nwords - position, region_words))
+        run = max(run, 1)
+        region = int(rng.integers(0, n_regions))
+        inside = rng.integers(0, region_words, size=run)
+        offsets[position : position + run] = region * region_words + inside
+        position += run
+    return offsets
+
+
+def make_stream(
+    pattern: AccessPattern,
+    nwords: int,
+    base: int = 0,
+    seed: int = 12345,
+    index_run: int = DEFAULT_INDEX_RUN,
+) -> AccessStream:
+    """Generate the address stream for ``nwords`` accesses of ``pattern``.
+
+    Fixed patterns (NI ports) have no memory addresses and raise; the
+    engine handles those ends directly.
+    """
+    if pattern.kind is PatternKind.FIXED:
+        raise ValueError("fixed patterns address a port, not memory")
+    if nwords <= 0:
+        raise ValueError(f"need a positive word count, got {nwords}")
+
+    if pattern.kind is PatternKind.CONTIGUOUS:
+        offsets = np.arange(nwords, dtype=np.int64)
+        return AccessStream(pattern, base + offsets * WORD_BYTES)
+
+    if pattern.kind is PatternKind.STRIDED:
+        stride = pattern.stride
+        block = pattern.block
+        points = (nwords + block - 1) // block
+        starts = np.arange(points, dtype=np.int64) * stride
+        offsets = (starts[:, None] + np.arange(block, dtype=np.int64)).ravel()
+        offsets = offsets[:nwords]
+        return AccessStream(pattern, base + offsets * WORD_BYTES)
+
+    # Indexed: data addresses from the locality model, plus the index
+    # array itself, read contiguously as 4-byte elements.
+    rng = np.random.default_rng(seed)
+    offsets = _indexed_word_offsets(nwords, index_run, rng)
+    index_addresses = np.arange(nwords, dtype=np.int64) * 4
+    # Keep the index array in a disjoint region far above the data.
+    span = int(offsets.max() + 1) * WORD_BYTES
+    # Keep the index array in a disjoint region, offset by half a typical
+    # DRAM page so it tends to land in its own bank on interleaved memory.
+    index_base = base + span + (1 << 20) + 128
+    return AccessStream(
+        pattern,
+        base + offsets * WORD_BYTES,
+        index_addresses=index_base + index_addresses,
+    )

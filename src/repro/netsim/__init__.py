@@ -1,0 +1,41 @@
+"""Interconnection-network simulator (substrate).
+
+Topologies with dimension-order routing, traffic patterns, and the
+payload-bandwidth-under-congestion model of Section 4.3.
+"""
+
+from .loadreport import DimensionLoad, link_load_report, LinkLoadReport
+from .network import FramingMode, NetworkConfig, NetworkModel
+from .patterns import all_to_all, cyclic_shift, neighbor_exchange, transpose_exchange
+from .schedule import (
+    aapc_phases_shift,
+    aapc_phases_xor,
+    best_aapc_schedule,
+    partition_into_phases,
+    schedule_congestion,
+    scheduled_congestion,
+)
+from .topology import Link, Mesh, Topology, Torus
+
+__all__ = [
+    "aapc_phases_shift",
+    "aapc_phases_xor",
+    "all_to_all",
+    "best_aapc_schedule",
+    "cyclic_shift",
+    "DimensionLoad",
+    "FramingMode",
+    "Link",
+    "link_load_report",
+    "LinkLoadReport",
+    "Mesh",
+    "neighbor_exchange",
+    "NetworkConfig",
+    "NetworkModel",
+    "partition_into_phases",
+    "schedule_congestion",
+    "scheduled_congestion",
+    "Topology",
+    "Torus",
+    "transpose_exchange",
+]

@@ -1,0 +1,98 @@
+"""Link-load analysis: where a traffic pattern actually congests.
+
+``Topology.max_link_congestion`` answers "how bad"; this module
+answers "where and why" — per-dimension load statistics and the worst
+links, which is how one sees the Paragon's aspect-ratio problem
+(Section 4.3) concretely: on a 4x16 mesh the column dimension's links
+carry several times the row dimension's load under an all-to-all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .topology import Link, Topology
+
+__all__ = ["DimensionLoad", "LinkLoadReport", "link_load_report"]
+
+Flow = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DimensionLoad:
+    """Aggregate load of one topology dimension."""
+
+    dim: int
+    max_load: int
+    mean_load: float
+    links_used: int
+
+
+@dataclass(frozen=True)
+class LinkLoadReport:
+    """Where a traffic pattern loads the network.
+
+    Attributes:
+        total_hops: Sum of route lengths over all flows.
+        max_load: The worst single link's flow count (the congestion).
+        hottest: The most-loaded links, worst first.
+        by_dimension: Per-dimension aggregates.
+    """
+
+    total_hops: int
+    max_load: int
+    hottest: Tuple[Tuple[Link, int], ...]
+    by_dimension: Tuple[DimensionLoad, ...]
+
+    def render(self) -> str:
+        lines = [
+            f"total hops: {self.total_hops}, worst link load: {self.max_load}"
+        ]
+        for dimension in self.by_dimension:
+            lines.append(
+                f"  dim {dimension.dim}: max {dimension.max_load}, "
+                f"mean {dimension.mean_load:.1f} over "
+                f"{dimension.links_used} links"
+            )
+        for link, load in self.hottest:
+            lines.append(
+                f"  hot: {link.src}->{link.dst} (dim {link.dim}) carries {load}"
+            )
+        return "\n".join(lines)
+
+
+def link_load_report(
+    topology: Topology,
+    flows: Sequence[Flow],
+    hottest: int = 3,
+) -> LinkLoadReport:
+    """Route ``flows`` and summarize the resulting link loads."""
+    loads: Dict[Link, int] = topology.link_loads(flows)
+    total_hops = sum(loads.values())
+    max_load = max(loads.values()) if loads else 0
+
+    by_dimension: List[DimensionLoad] = []
+    for dim in range(len(topology.dims)):
+        dim_loads = [load for link, load in loads.items() if link.dim == dim]
+        if dim_loads:
+            by_dimension.append(
+                DimensionLoad(
+                    dim=dim,
+                    max_load=max(dim_loads),
+                    mean_load=sum(dim_loads) / len(dim_loads),
+                    links_used=len(dim_loads),
+                )
+            )
+        else:
+            by_dimension.append(
+                DimensionLoad(dim=dim, max_load=0, mean_load=0.0, links_used=0)
+            )
+
+    worst = sorted(loads.items(), key=lambda item: -item[1])[:hottest]
+    return LinkLoadReport(
+        total_hops=total_hops,
+        max_load=max_load,
+        hottest=tuple(worst),
+        by_dimension=tuple(by_dimension),
+    )

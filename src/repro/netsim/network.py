@@ -1,0 +1,141 @@
+"""Network bandwidth model: payload rates under congestion.
+
+Section 4.3's view of the network is deliberately coarse: the raw link
+speed exceeds what endpoints can use, so all that matters is
+
+* the sustainable *payload* rate of a link for each framing mode —
+  data-only (``Nd``) blocks, or address-data pairs (``Nadp``) where a
+  remote-store address accompanies every word, roughly halving the
+  useful rate;
+* an endpoint processing cap per mode (the T3D annex handles incoming
+  address-data pairs no faster than ~62 MB/s even on an idle network);
+* the *congestion* factor: how many flows share the worst link.  "For
+  a throughput oriented model it is irrelevant whether the data are
+  multiplexed at a per flit or a per message level."
+
+Two machine quirks feed the congestion factor (both from Section 4.3):
+on the T3D two adjacent nodes share one network port, so the minimal
+congestion is two unless half the processors idle; on the Paragon,
+skewed mesh aspect ratios raise congestion for some patterns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from math import inf
+from typing import Iterable, Optional, Tuple
+
+from .topology import Topology
+
+__all__ = ["FramingMode", "NetworkConfig", "NetworkModel"]
+
+
+class FramingMode(enum.Enum):
+    """What travels on the wire alongside the payload words."""
+
+    DATA_ONLY = "data"
+    ADDRESS_DATA_PAIRS = "adp"
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Bandwidth parameters of one machine's interconnect.
+
+    Attributes:
+        raw_link_mbps: Hardware peak on the wires (reported for
+            context; not used in rate computations).
+        payload_data_mbps: Sustained payload rate of one link for
+            data-only framing at congestion one.
+        payload_adp_mbps: Ditto for address-data-pair framing.
+        endpoint_data_cap_mbps: Per-node injection/extraction cap for
+            data-only transfers (``inf`` if the wire always binds).
+        endpoint_adp_cap_mbps: Ditto for address-data pairs.
+        port_sharing: Nodes sharing one network access point (2 on the
+            T3D).
+        default_congestion: The congestion the machine's applications
+            typically see; the paper's bold Table 4 column (2 for both
+            machines).
+    """
+
+    raw_link_mbps: float = 300.0
+    payload_data_mbps: float = 140.0
+    payload_adp_mbps: float = 78.0
+    endpoint_data_cap_mbps: float = inf
+    endpoint_adp_cap_mbps: float = inf
+    port_sharing: int = 1
+    default_congestion: int = 2
+
+
+class NetworkModel:
+    """Payload bandwidth per flow for a framing mode and congestion.
+
+    >>> from repro.machines import t3d
+    >>> net = t3d().network_model()
+    >>> round(net.rate(FramingMode.DATA_ONLY, congestion=2))
+    70
+    """
+
+    def __init__(self, config: NetworkConfig, topology: Optional[Topology] = None):
+        self.config = config
+        self.topology = topology
+
+    def rate(
+        self,
+        mode: FramingMode,
+        congestion: Optional[float] = None,
+    ) -> float:
+        """Per-flow payload bandwidth in MB/s.
+
+        Args:
+            mode: The framing mode.
+            congestion: Worst-link sharing factor; defaults to the
+                machine's typical value.
+        """
+        if congestion is None:
+            congestion = self.config.default_congestion
+        if congestion < 1:
+            raise ValueError(f"congestion must be >= 1, got {congestion}")
+        if mode is FramingMode.DATA_ONLY:
+            wire = self.config.payload_data_mbps
+            cap = self.config.endpoint_data_cap_mbps
+        else:
+            wire = self.config.payload_adp_mbps
+            cap = self.config.endpoint_adp_cap_mbps
+        return min(cap, wire / congestion)
+
+    def congestion_for(
+        self,
+        flows: Iterable[Tuple[int, int]],
+        active_nodes: Optional[int] = None,
+    ) -> float:
+        """Congestion of a traffic pattern on this machine's topology.
+
+        Combines the worst link load (from dimension-order routing)
+        with the access-point sharing quirk: with port sharing ``s``
+        and all nodes active, congestion cannot drop below ``s``.
+
+        Args:
+            flows: The (src, dst) traffic pattern.
+            active_nodes: How many nodes participate (defaults to all);
+                used to decide whether port sharing binds.
+        """
+        if self.topology is None:
+            raise ValueError("this network model has no topology attached")
+        flows = list(flows)
+        link_congestion = self.topology.max_link_congestion(flows)
+        floor = 1
+        if self.config.port_sharing > 1:
+            if active_nodes is None or active_nodes > self.topology.n_nodes // 2:
+                floor = self.config.port_sharing
+        return float(max(link_congestion, floor, 1))
+
+    def rate_for_pattern(
+        self,
+        mode: FramingMode,
+        flows: Iterable[Tuple[int, int]],
+        active_nodes: Optional[int] = None,
+    ) -> float:
+        """Per-flow payload bandwidth under a concrete traffic pattern."""
+        congestion = self.congestion_for(flows, active_nodes=active_nodes)
+        return self.rate(mode, congestion=congestion)

@@ -1,0 +1,167 @@
+"""Interconnect topologies: k-ary meshes and tori.
+
+Both of the paper's machines use "a simple mesh topology with fast
+links" (Section 4.3): the T3D a 3-D torus, the Paragon a 2-D mesh
+(whose unfortunate aspect ratios, e.g. 112x16, can cause congestion).
+Dimension-order routing is used throughout, as on the real machines.
+
+A *flow* is a (source, destination) node pair; :meth:`Topology.link_loads`
+routes a set of flows and counts how many cross each directed link,
+from which the paper's *congestion* figure — how much more data the
+worst link carries than it can support at peak speed — follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["Link", "Topology", "Mesh", "Torus"]
+
+Coordinate = Tuple[int, ...]
+Flow = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed physical link between neighbouring nodes.
+
+    ``dim`` is the dimension the link runs along; ``positive`` its
+    direction; ``src``/``dst`` the node ids it connects.
+    """
+
+    src: int
+    dst: int
+    dim: int
+    positive: bool
+
+
+class Topology:
+    """Base class: an n-dimensional grid with dimension-order routing."""
+
+    def __init__(self, dims: Sequence[int], wraparound: bool) -> None:
+        if not dims or any(d < 1 for d in dims):
+            raise ValueError(f"invalid dimensions {dims!r}")
+        self.dims = tuple(dims)
+        self.wraparound = wraparound
+
+    @property
+    def n_nodes(self) -> int:
+        product = 1
+        for d in self.dims:
+            product *= d
+        return product
+
+    # -- node naming -------------------------------------------------------
+
+    def coordinates(self, node: int) -> Coordinate:
+        """Node id -> grid coordinate (row-major, last dim fastest)."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range 0..{self.n_nodes - 1}")
+        coordinate: List[int] = []
+        remainder = node
+        for size in reversed(self.dims):
+            coordinate.append(remainder % size)
+            remainder //= size
+        return tuple(reversed(coordinate))
+
+    def node_id(self, coordinate: Coordinate) -> int:
+        if len(coordinate) != len(self.dims):
+            raise ValueError(
+                f"coordinate {coordinate!r} has wrong rank for dims {self.dims}"
+            )
+        node = 0
+        for position, size in zip(coordinate, self.dims):
+            if not 0 <= position < size:
+                raise ValueError(f"coordinate {coordinate!r} out of bounds")
+            node = node * size + position
+        return node
+
+    # -- routing ------------------------------------------------------------
+
+    def _steps(self, start: int, goal: int, size: int) -> Iterable[Tuple[int, int, bool]]:
+        """Single-dimension hops from start to goal: (from, to, positive)."""
+        if start == goal:
+            return
+        if self.wraparound:
+            forward = (goal - start) % size
+            backward = (start - goal) % size
+            positive = forward <= backward
+        else:
+            positive = goal > start
+        position = start
+        while position != goal:
+            nxt = (position + (1 if positive else -1)) % size
+            yield position, nxt, positive
+            position = nxt
+
+    def route(self, src: int, dst: int) -> List[Link]:
+        """Dimension-order route as a list of directed links."""
+        src_coord = list(self.coordinates(src))
+        dst_coord = self.coordinates(dst)
+        links: List[Link] = []
+        for dim in range(len(self.dims)):
+            for here, there, positive in self._steps(
+                src_coord[dim], dst_coord[dim], self.dims[dim]
+            ):
+                from_coord = tuple(src_coord[:dim] + [here] + src_coord[dim + 1 :])
+                to_coord = tuple(src_coord[:dim] + [there] + src_coord[dim + 1 :])
+                links.append(
+                    Link(self.node_id(from_coord), self.node_id(to_coord), dim, positive)
+                )
+            src_coord[dim] = dst_coord[dim]
+        return links
+
+    def link_loads(self, flows: Iterable[Flow]) -> Dict[Link, int]:
+        """How many flows traverse each directed link."""
+        loads: Dict[Link, int] = {}
+        for src, dst in flows:
+            if src == dst:
+                continue
+            for link in self.route(src, dst):
+                loads[link] = loads.get(link, 0) + 1
+        return loads
+
+    def max_link_congestion(self, flows: Iterable[Flow]) -> int:
+        """The worst link load (the paper's congestion figure)."""
+        loads = self.link_loads(flows)
+        return max(loads.values()) if loads else 0
+
+    def all_links(self) -> List[Link]:
+        links = []
+        for node in range(self.n_nodes):
+            coord = self.coordinates(node)
+            for dim, size in enumerate(self.dims):
+                for positive in (True, False):
+                    step = 1 if positive else -1
+                    neighbour = coord[dim] + step
+                    if self.wraparound:
+                        neighbour %= size
+                    elif not 0 <= neighbour < size:
+                        continue
+                    if size == 1 or (self.wraparound and size == 2 and not positive):
+                        # Avoid double-counting the single wrap link.
+                        continue
+                    to_coord = coord[:dim] + (neighbour,) + coord[dim + 1 :]
+                    links.append(Link(node, self.node_id(to_coord), dim, positive))
+        return links
+
+
+class Mesh(Topology):
+    """An n-dimensional mesh without wraparound (Intel Paragon: 2-D)."""
+
+    def __init__(self, *dims: int) -> None:
+        super().__init__(dims, wraparound=False)
+
+    def __repr__(self) -> str:
+        return f"Mesh{self.dims}"
+
+
+class Torus(Topology):
+    """An n-dimensional torus (Cray T3D: 3-D)."""
+
+    def __init__(self, *dims: int) -> None:
+        super().__init__(dims, wraparound=True)
+
+    def __repr__(self) -> str:
+        return f"Torus{self.dims}"

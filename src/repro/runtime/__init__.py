@@ -1,0 +1,37 @@
+"""Simulated message-passing runtime (end-to-end "measured" numbers).
+
+Built on the stage pipeline (:mod:`repro.runtime.stages`), library
+profiles (:mod:`repro.runtime.libraries`), the point-to-point engine
+(:mod:`repro.runtime.engine`) and collective steps
+(:mod:`repro.runtime.collective`).
+"""
+
+from .collective import CommunicationStep, StepResult
+from .planstep import PlanStep
+from .engine import CPU_CHUNK_OVERHEAD_NS, CommRuntime, MeasuredTransfer, measure_q
+from .libraries import (
+    LibraryProfile,
+    lowlevel_profile,
+    packing_profile,
+    pvm3_profile,
+    pvm_profile,
+)
+from .stages import PipelineResult, Stage, StagePipeline
+
+__all__ = [
+    "CommRuntime",
+    "CommunicationStep",
+    "CPU_CHUNK_OVERHEAD_NS",
+    "LibraryProfile",
+    "lowlevel_profile",
+    "measure_q",
+    "MeasuredTransfer",
+    "packing_profile",
+    "PipelineResult",
+    "PlanStep",
+    "pvm3_profile",
+    "pvm_profile",
+    "Stage",
+    "StagePipeline",
+    "StepResult",
+]

@@ -1,0 +1,152 @@
+"""Collective communication steps over a node partition.
+
+The paper's application measurements (Section 6, Table 6) report
+"MB/s per node" for a whole communication step — every node sending
+and receiving simultaneously under the pattern's network congestion.
+:class:`CommunicationStep` drives the point-to-point runtime with:
+
+* the congestion the traffic pattern produces on the machine's
+  topology (or the scheduled value for patterns like AAPC, which the
+  T3D can run near the port-sharing floor per Hinrichs et al. [8]);
+* duplex contention at each node (everyone sends and receives);
+* the per-destination message size, so library per-message overheads
+  scale with the number of peers, not with the data volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..core.operations import OperationStyle
+from ..core.patterns import AccessPattern
+from .engine import CommRuntime, MeasuredTransfer
+
+__all__ = ["StepResult", "CommunicationStep"]
+
+Flow = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one collective communication step.
+
+    Attributes:
+        per_node_mbps: Payload throughput per node — the Table 6 metric.
+        step_ns: Wall-clock time of the whole step.
+        congestion: The network congestion used.
+        messages_per_node: How many peer messages each node handled.
+        bytes_per_node: Payload each node sent.
+        sample: The underlying point-to-point measurement.
+    """
+
+    per_node_mbps: float
+    step_ns: float
+    congestion: float
+    messages_per_node: int
+    bytes_per_node: int
+    sample: MeasuredTransfer
+
+
+class CommunicationStep:
+    """A pattern of simultaneous transfers across a partition.
+
+    Args:
+        runtime: The point-to-point runtime to drive.
+        flows: The (src, dst) traffic pattern.
+        x / y: Access patterns of each transfer's source and
+            destination sides.
+        bytes_per_flow: Payload per (src, dst) pair.
+        scheduled: If True, assume the step is phase-scheduled to avoid
+            link contention (complete exchanges on T3D tori can be,
+            per the paper); congestion then falls to the machine's
+            access-point floor instead of the raw worst-link load.
+    """
+
+    def __init__(
+        self,
+        runtime: CommRuntime,
+        flows: Sequence[Flow],
+        x: AccessPattern,
+        y: AccessPattern,
+        bytes_per_flow: int,
+        scheduled: bool = True,
+        schedule_slack: float = 1.0,
+        sync_per_message_ns: float = 20_000.0,
+    ) -> None:
+        if not flows:
+            raise ValueError("a communication step needs at least one flow")
+        if schedule_slack < 1.0:
+            raise ValueError("schedule_slack cannot beat a perfect schedule")
+        self.runtime = runtime
+        self.flows = list(flows)
+        self.x = x
+        self.y = y
+        self.bytes_per_flow = bytes_per_flow
+        self.scheduled = scheduled
+        self.schedule_slack = schedule_slack
+        self.sync_per_message_ns = sync_per_message_ns
+
+    def _congestion(self) -> float:
+        model = self.runtime.machine.network_model()
+        if self.scheduled:
+            # Phase-schedule the pattern (shift schedule for complete
+            # exchanges, greedy otherwise) and take the worst per-phase
+            # link load; the access-point sharing floor still applies.
+            from ..netsim.schedule import scheduled_congestion
+
+            topology = self.runtime.machine.topology(
+                max(max(flow) for flow in self.flows) + 1
+            )
+            per_phase = scheduled_congestion(topology, self.flows)
+            floor = max(1, self.runtime.machine.network.port_sharing)
+            return float(max(per_phase, floor)) * self.schedule_slack
+        return model.congestion_for(self.flows)
+
+    def _messages_per_node(self) -> int:
+        by_source: dict = {}
+        for src, __ in self.flows:
+            by_source[src] = by_source.get(src, 0) + 1
+        return max(by_source.values())
+
+    def _steady_state_ns(self, sample: MeasuredTransfer) -> float:
+        """Per-message cost once the message stream is pipelined.
+
+        Every node both sends and receives, and a node has one
+        processor, so its send-side and receive-side software costs
+        land on the same resource and add up; background engines and
+        the wire overlap.  Each message also pays a synchronization
+        cost (partner switch, flow-control handshake) that cannot be
+        pipelined away.
+        """
+        busy = dict(sample.resource_busy_ns)
+        cpu = busy.pop("sender_cpu", 0.0) + busy.pop("receiver_cpu", 0.0)
+        bottleneck = max([cpu] + list(busy.values()) or [sample.ns])
+        efficiency = self.runtime.machine.quirks.runtime_efficiency
+        return bottleneck / efficiency + self.sync_per_message_ns
+
+    def run(self, style: OperationStyle = OperationStyle.CHAINED) -> StepResult:
+        """Execute the step and report per-node throughput."""
+        congestion = self._congestion()
+        messages = self._messages_per_node()
+        sample = self.runtime.transfer(
+            self.x,
+            self.y,
+            self.bytes_per_flow,
+            style=style,
+            congestion=congestion,
+            duplex=True,
+        )
+        # The first message pays full end-to-end latency; subsequent
+        # messages pipeline behind it at the steady-state cost.
+        steady_ns = self._steady_state_ns(sample)
+        step_ns = sample.ns + self.sync_per_message_ns + (messages - 1) * steady_ns
+        bytes_per_node = self.bytes_per_flow * messages
+        return StepResult(
+            per_node_mbps=bytes_per_node / step_ns * 1000.0,
+            step_ns=step_ns,
+            congestion=congestion,
+            messages_per_node=messages,
+            bytes_per_node=bytes_per_node,
+            sample=sample,
+        )

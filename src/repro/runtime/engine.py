@@ -1,0 +1,428 @@
+"""The end-to-end communication runtime (simulated "live" measurements).
+
+Where :mod:`repro.core` predicts throughput from composition rules,
+this engine *executes* a transfer the way the machines' runtimes did
+and reports what a wall-clock measurement would see:
+
+* **software phases** (gather / system-buffer / scatter copies) are
+  staged at message granularity — a packing library packs the whole
+  message before the first byte leaves the node;
+* the **hardware middle** (load-send or DMA, wire, deposit/receive)
+  streams chunk by chunk through FIFOs, so within it the slowest unit
+  paces the rest;
+* chained transfers are a single hardware-paced phase.
+
+Sequential phases reproduce the model's harmonic rule; within-phase
+streaming reproduces the min rule.  On top the runtime charges what
+the model deliberately ignores: library per-message/per-fragment
+costs, pipeline fill, duplex memory contention, and machine quirks
+(the Paragon's unusable pipelined loads, bus arbitration).  A single
+documented ``runtime_efficiency`` scalar stands in for the residual
+unmodeled costs (cache invalidation, synchronization, timer reads)
+that make real measurements land 10-20% under the model (Figures 7/8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import CompositionError
+from ..core.operations import DepositSupport, OperationStyle
+from ..core.patterns import CONTIGUOUS, AccessPattern
+from ..core.transfers import TransferKind
+from ..machines.base import Machine
+from ..memsim.config import WORD_BYTES
+from .libraries import LibraryProfile, lowlevel_profile
+from .stages import Stage, StagePipeline
+
+__all__ = ["MeasuredTransfer", "CommRuntime", "CPU_CHUNK_OVERHEAD_NS", "measure_q"]
+
+#: Fixed software cost a processor pays per pipeline chunk (loop setup,
+#: flow control).  Background engines (DMA, deposit, network) pace
+#: themselves and pay nothing per chunk.
+CPU_CHUNK_OVERHEAD_NS = 1500.0
+
+_FIXED = AccessPattern.fixed()
+
+
+@dataclass(frozen=True)
+class MeasuredTransfer:
+    """What the runtime measured for one point-to-point transfer.
+
+    Attributes:
+        mbps: End-to-end payload throughput.
+        ns: Wall-clock time including library overheads.
+        phase_ns: Time spent in each sequential phase, by name.
+        memory_capped: Whether the duplex memory cap bound the result.
+    """
+
+    mbps: float
+    ns: float
+    nbytes: int
+    style: OperationStyle
+    library: str
+    congestion: float
+    phase_ns: Tuple[Tuple[str, float], ...]
+    resource_busy_ns: Tuple[Tuple[str, float], ...] = ()
+    memory_capped: bool = False
+
+    def bottleneck_busy_ns(self) -> float:
+        """Busy time of the most-loaded resource for this message.
+
+        When an application issues many messages back to back, the
+        steady-state cost per message is this figure, not the full
+        end-to-end latency: other resources overlap with the next
+        message (software pipelining across messages).
+        """
+        if not self.resource_busy_ns:
+            return self.ns
+        return max(busy for __, busy in self.resource_busy_ns)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.library} {self.style.value} {self.nbytes} B: "
+            f"{self.mbps:.1f} MB/s"
+        )
+
+
+@dataclass(frozen=True)
+class _Phase:
+    """A sequential phase: stages pipelined at ``chunk_bytes`` grain."""
+
+    name: str
+    stages: Tuple[Stage, ...]
+    chunk_bytes: int
+
+
+class CommRuntime:
+    """Executes communication operations on one machine.
+
+    Args:
+        machine: The machine to run on.
+        library: Software profile; defaults to the fastest low-level
+            library (libsm.a / SUNMOS libnx).
+        rates: ``"simulated"`` (default) takes stage rates from the
+            memory-system simulator — the full bottom-up path — while
+            ``"paper"`` uses the published calibration.
+        congestion: Default network congestion for transfers that
+            don't specify one (defaults to the machine's typical
+            value, the paper's bold Table 4 column).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        library: Optional[LibraryProfile] = None,
+        rates: str = "simulated",
+        congestion: Optional[float] = None,
+    ) -> None:
+        self.machine = machine
+        self.library = library or lowlevel_profile()
+        if rates == "simulated":
+            self.table = machine.simulated_table()
+        elif rates == "paper":
+            self.table = machine.paper_table()
+        else:
+            raise ValueError(f"unknown rate source {rates!r}")
+        self.default_congestion = (
+            congestion
+            if congestion is not None
+            else machine.network.default_congestion
+        )
+
+    # -- rate lookups -----------------------------------------------------
+
+    def _rate(self, kind: TransferKind, read, write) -> float:
+        return self.table.lookup_kind(kind, read, write)
+
+    def _network_rate(self, adp: bool, congestion: float) -> float:
+        from ..netsim.network import FramingMode
+
+        model = self.machine.network_model()
+        mode = FramingMode.ADDRESS_DATA_PAIRS if adp else FramingMode.DATA_ONLY
+        return model.rate(mode, congestion=congestion)
+
+    def _send_rate(self, read: AccessPattern) -> float:
+        scale = self.machine.quirks.send_rate_scale
+        return self._rate(TransferKind.LOAD_SEND, read, _FIXED) * scale
+
+    def _cpu_stage(self, name: str, rate: float, resource: str) -> Stage:
+        return Stage(name, rate, resource, chunk_overhead_ns=CPU_CHUNK_OVERHEAD_NS)
+
+    # -- phase construction ---------------------------------------------------
+
+    def _middle_stages(self, congestion: float) -> List[Stage]:
+        """The contiguous-block hardware path of a packing transfer."""
+        caps = self.machine.capabilities
+        if caps.dma_send:
+            send = Stage(
+                "send-dma",
+                self._rate(TransferKind.FETCH_SEND, CONTIGUOUS, _FIXED),
+                "sender_dma",
+                startup_ns=self.machine.node.dma.setup_ns,
+            )
+        else:
+            send = self._cpu_stage("send", self._send_rate(CONTIGUOUS), "sender_cpu")
+        network = Stage(
+            "network", self._network_rate(adp=False, congestion=congestion), "network"
+        )
+        if caps.deposit is not DepositSupport.NONE:
+            receive = Stage(
+                "receive-deposit",
+                self._rate(TransferKind.RECEIVE_DEPOSIT, _FIXED, CONTIGUOUS),
+                "receiver_deposit",
+            )
+        else:
+            receive = self._cpu_stage(
+                "receive",
+                self._rate(TransferKind.RECEIVE_STORE, _FIXED, CONTIGUOUS),
+                "receiver_cpu",
+            )
+        return [send, network, receive]
+
+    def _packing_phases(
+        self, x: AccessPattern, y: AccessPattern, nbytes: int, congestion: float
+    ) -> List[_Phase]:
+        lib = self.library
+        fragment = min(nbytes, lib.fragment_bytes)
+        stream_chunk = min(
+            self.machine.quirks.pipeline_chunk_words * WORD_BYTES, fragment
+        )
+        phases: List[_Phase] = []
+
+        pack: List[Stage] = []
+        if lib.pack_even_contiguous or not x.is_contiguous:
+            pack.append(
+                self._cpu_stage(
+                    "gather",
+                    self._rate(TransferKind.COPY, x, CONTIGUOUS),
+                    "sender_cpu",
+                )
+            )
+        if lib.system_buffer_copies >= 1:
+            pack.append(
+                self._cpu_stage(
+                    "sysbuf-send",
+                    self._rate(TransferKind.COPY, CONTIGUOUS, CONTIGUOUS),
+                    "sender_cpu",
+                )
+            )
+        if pack:
+            phases.append(_Phase("pack", tuple(pack), fragment))
+
+        phases.append(
+            _Phase("transfer", tuple(self._middle_stages(congestion)), stream_chunk)
+        )
+
+        unpack: List[Stage] = []
+        if lib.system_buffer_copies >= 2:
+            unpack.append(
+                self._cpu_stage(
+                    "sysbuf-receive",
+                    self._rate(TransferKind.COPY, CONTIGUOUS, CONTIGUOUS),
+                    "receiver_cpu",
+                )
+            )
+        if lib.pack_even_contiguous or not y.is_contiguous:
+            unpack.append(
+                self._cpu_stage(
+                    "scatter",
+                    self._rate(TransferKind.COPY, CONTIGUOUS, y),
+                    "receiver_cpu",
+                )
+            )
+        if unpack:
+            phases.append(_Phase("unpack", tuple(unpack), fragment))
+        return phases
+
+    def _chained_phases(
+        self, x: AccessPattern, y: AccessPattern, nbytes: int, congestion: float
+    ) -> List[_Phase]:
+        caps = self.machine.capabilities
+        if not self.library.supports_chained:
+            raise CompositionError(
+                f"library {self.library.name!r} has no chained/put-get path"
+            )
+        adp = not (x.is_contiguous and y.is_contiguous)
+        stages = [
+            self._cpu_stage("send", self._send_rate(x), "sender_cpu"),
+            Stage("network", self._network_rate(adp, congestion), "network"),
+        ]
+        if caps.deposit is DepositSupport.ANY or (
+            caps.deposit is DepositSupport.CONTIGUOUS and y.is_contiguous
+        ):
+            stages.append(
+                Stage(
+                    "deposit",
+                    self._rate(TransferKind.RECEIVE_DEPOSIT, _FIXED, y),
+                    "receiver_deposit",
+                )
+            )
+        elif caps.coprocessor_receive:
+            stages.append(
+                self._cpu_stage(
+                    "receive-coproc",
+                    self._rate(TransferKind.RECEIVE_STORE, _FIXED, y),
+                    "receiver_coproc",
+                )
+            )
+        else:
+            raise CompositionError(
+                f"machine {self.machine.name!r} has no background receiver "
+                f"for pattern {y}"
+            )
+        chunk = min(
+            self.machine.quirks.pipeline_chunk_words * WORD_BYTES,
+            self.library.fragment_bytes,
+            nbytes,
+        )
+        return [_Phase("chained", tuple(stages), chunk)]
+
+    # -- execution ----------------------------------------------------------------
+
+    def transfer(
+        self,
+        x: AccessPattern,
+        y: AccessPattern,
+        nbytes: int,
+        style: OperationStyle = OperationStyle.CHAINED,
+        congestion: Optional[float] = None,
+        duplex: bool = False,
+    ) -> MeasuredTransfer:
+        """Measure one point-to-point ``xQy`` transfer of ``nbytes``.
+
+        Args:
+            x / y: Source and destination access patterns.
+            nbytes: Payload size.
+            style: Buffer-packing or chained.
+            congestion: Network congestion this transfer experiences;
+                defaults to the machine's typical value.
+            duplex: Whether the node simultaneously sends and receives
+                (all-to-all, shifts): memory-touching stages slow by
+                the bus-interleave quirk and the duplex memory cap
+                applies.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"need a positive transfer size, got {nbytes}")
+        if congestion is None:
+            congestion = self.default_congestion
+        style = (
+            style
+            if isinstance(style, OperationStyle)
+            else OperationStyle(style)
+        )
+        if style is OperationStyle.BUFFER_PACKING:
+            phases = self._packing_phases(x, y, nbytes, congestion)
+        else:
+            phases = self._chained_phases(x, y, nbytes, congestion)
+
+        if duplex:
+            phases = [self._derate_for_duplex(phase) for phase in phases]
+
+        total_ns = 0.0
+        phase_times: List[Tuple[str, float]] = []
+        resource_busy: dict = {}
+        for phase in phases:
+            result = StagePipeline(list(phase.stages)).run(
+                nbytes, chunk_bytes=phase.chunk_bytes
+            )
+            total_ns += result.ns
+            phase_times.append((phase.name, result.ns))
+            by_name = {stage.name: stage.resource for stage in phase.stages}
+            for stage_name, busy in result.stage_busy_ns.items():
+                resource = by_name[stage_name]
+                resource_busy[resource] = resource_busy.get(resource, 0.0) + busy
+
+        fragments = -(-nbytes // self.library.fragment_bytes)
+        total_ns += self.library.per_message_ns
+        total_ns += fragments * self.library.per_fragment_ns
+        # Protocol costs keep the sender's processor busy.
+        resource_busy["sender_cpu"] = (
+            resource_busy.get("sender_cpu", 0.0)
+            + self.library.per_message_ns
+            + fragments * self.library.per_fragment_ns
+        )
+        mbps = nbytes / total_ns * 1000.0
+        mbps *= self.machine.quirks.runtime_efficiency
+
+        capped = False
+        if duplex:
+            cap = (
+                self._rate(TransferKind.COPY, CONTIGUOUS, CONTIGUOUS)
+                / self.machine.quirks.duplex_penalty
+            )
+            if mbps > cap:
+                mbps = cap
+                capped = True
+        total_ns = nbytes / mbps * 1000.0
+
+        return MeasuredTransfer(
+            mbps=mbps,
+            ns=total_ns,
+            nbytes=nbytes,
+            style=style,
+            library=self.library.name,
+            congestion=congestion,
+            phase_ns=tuple(phase_times),
+            resource_busy_ns=tuple(sorted(resource_busy.items())),
+            memory_capped=capped,
+        )
+
+    def _derate_for_duplex(self, phase: _Phase) -> _Phase:
+        scale = self.machine.quirks.bus_interleave_scale
+        if scale == 1.0:
+            return phase
+        stages = tuple(
+            Stage(
+                s.name,
+                s.rate_mbps / scale if s.resource != "network" else s.rate_mbps,
+                s.resource,
+                s.chunk_overhead_ns,
+                s.startup_ns,
+            )
+            for s in phase.stages
+        )
+        return _Phase(phase.name, stages, phase.chunk_bytes)
+
+    def sweep_message_sizes(
+        self,
+        sizes: Sequence[int],
+        x: AccessPattern = CONTIGUOUS,
+        y: AccessPattern = CONTIGUOUS,
+        style: OperationStyle = OperationStyle.BUFFER_PACKING,
+        congestion: Optional[float] = None,
+    ) -> List[Tuple[int, float]]:
+        """Throughput-vs-message-size curve (the Figure 1 experiment)."""
+        return [
+            (size, self.transfer(x, y, size, style, congestion=congestion).mbps)
+            for size in sizes
+        ]
+
+
+def measure_q(
+    machine: Machine,
+    x: AccessPattern,
+    y: AccessPattern,
+    nbytes: int,
+    style: OperationStyle,
+    congestion: Optional[float] = None,
+) -> MeasuredTransfer:
+    """Measure ``xQy`` under the paper's measurement conventions.
+
+    Buffer-packing runs the hand-coded packing implementation (copies
+    always performed); chained runs over the low-level put/get path.
+    Nodes send and receive simultaneously unless the machine's
+    measurements were taken simplex (the Paragon's were).
+    """
+    from .libraries import packing_profile
+
+    if style is OperationStyle.BUFFER_PACKING:
+        library = packing_profile()
+    else:
+        library = lowlevel_profile()
+    runtime = CommRuntime(machine, library=library)
+    duplex = not machine.quirks.measures_simplex
+    return runtime.transfer(
+        x, y, nbytes, style=style, congestion=congestion, duplex=duplex
+    )

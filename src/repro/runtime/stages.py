@@ -1,0 +1,121 @@
+"""Chunked stage-pipeline execution of a communication operation.
+
+The copy-transfer model assumes perfect overlap ("the usage of
+processor and memory system is spread evenly ... in practice, this is
+often obtained through pipelining", Section 4).  A real runtime
+pipelines a transfer in finite chunks, and stages that share a
+resource — the gather copy and the load-send both run on the sender's
+processor — strictly alternate.  This module simulates exactly that:
+
+* a :class:`Stage` has a payload rate (MB/s), the resource it occupies,
+  and a fixed software overhead per chunk;
+* :class:`StagePipeline` pushes each chunk through the stages in order;
+  chunk *j* enters stage *i* when stage *i-1* has produced it and the
+  stage's resource is free.
+
+The result is always at or below the model's estimate: the harmonic
+(shared-resource) and min (pipelined) rules emerge in the limit of
+many chunks, and per-chunk overheads plus pipeline fill account for
+the measured-vs-model gap the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+__all__ = ["Stage", "PipelineResult", "StagePipeline"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage of a staged transfer.
+
+    Attributes:
+        name: Label for reporting ("gather", "network", ...).
+        rate_mbps: Sustained payload rate of the stage in isolation.
+        resource: The resource the stage occupies; stages with equal
+            resource names serialize, others overlap.  Background
+            hardware (DMA, deposit engine, network) gets its own name.
+        chunk_overhead_ns: Fixed software cost per chunk (loop setup,
+            descriptor writes, DMA kicks).
+        startup_ns: One-time cost before the stage's first chunk.
+    """
+
+    name: str
+    rate_mbps: float
+    resource: str
+    chunk_overhead_ns: float = 0.0
+    startup_ns: float = 0.0
+
+    def chunk_ns(self, chunk_bytes: int) -> float:
+        return chunk_bytes / self.rate_mbps * 1000.0 + self.chunk_overhead_ns
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of pushing one message through a stage pipeline."""
+
+    ns: float
+    nbytes: int
+    stage_busy_ns: Dict[str, float]
+
+    @property
+    def mbps(self) -> float:
+        if self.ns <= 0:
+            return float("inf")
+        return self.nbytes / self.ns * 1000.0
+
+    def bottleneck(self) -> str:
+        """The stage that was busy longest."""
+        return max(self.stage_busy_ns, key=self.stage_busy_ns.get)
+
+
+class StagePipeline:
+    """Simulates a staged transfer at chunk granularity.
+
+    >>> stages = [Stage("send", 100.0, "cpu"), Stage("net", 50.0, "net")]
+    >>> result = StagePipeline(stages).run(1 << 20, chunk_bytes=8192)
+    >>> 45 < result.mbps < 50   # pipelined: the slow stage dominates
+    True
+    """
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        for stage in stages:
+            if stage.rate_mbps <= 0:
+                raise ValueError(f"stage {stage.name!r} has non-positive rate")
+        self.stages = list(stages)
+
+    def run(self, nbytes: int, chunk_bytes: int = 8192) -> PipelineResult:
+        """Push ``nbytes`` through the pipeline in ``chunk_bytes`` chunks."""
+        if nbytes <= 0:
+            raise ValueError(f"need a positive transfer size, got {nbytes}")
+        if chunk_bytes <= 0:
+            raise ValueError(f"need a positive chunk size, got {chunk_bytes}")
+
+        full_chunks, tail = divmod(nbytes, chunk_bytes)
+        sizes = [chunk_bytes] * full_chunks + ([tail] if tail else [])
+
+        resource_free: Dict[str, float] = {}
+        started: Dict[str, bool] = {}
+        busy: Dict[str, float] = {stage.name: 0.0 for stage in self.stages}
+        finish = 0.0
+
+        # Chunk-major order: stages sharing a resource alternate between
+        # consecutive chunks instead of hogging it for the whole message.
+        for size in sizes:
+            chunk_ready = 0.0
+            for stage in self.stages:
+                start = max(chunk_ready, resource_free.get(stage.resource, 0.0))
+                duration = stage.chunk_ns(size)
+                if not started.get(stage.name):
+                    duration += stage.startup_ns
+                    started[stage.name] = True
+                chunk_ready = start + duration
+                resource_free[stage.resource] = chunk_ready
+                busy[stage.name] += duration
+            finish = chunk_ready
+
+        return PipelineResult(ns=finish, nbytes=nbytes, stage_busy_ns=busy)

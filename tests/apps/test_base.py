@@ -1,0 +1,54 @@
+"""Tests for the application-kernel harness (repro.apps.base)."""
+
+import pytest
+
+from repro.apps.base import ApplicationKernel, KernelReport
+from repro.apps.sor import SORKernel
+from repro.core.operations import OperationStyle
+
+
+class TestKernelReport:
+    def test_str_contains_all_columns(self, t3d_machine):
+        report = KernelReport(
+            kernel="demo",
+            machine=t3d_machine.name,
+            packing_measured_mbps=10.0,
+            chained_measured_mbps=15.0,
+            chained_model_mbps=20.0,
+        )
+        text = str(report)
+        assert "demo" in text
+        assert "10.0" in text and "15.0" in text and "20.0" in text
+
+
+class TestHarness:
+    def test_base_class_requires_plan(self, t3d_machine):
+        kernel = ApplicationKernel(t3d_machine)
+        with pytest.raises(NotImplementedError):
+            kernel.communication_plan()
+
+    def test_measure_styles_use_matching_libraries(self, t3d_machine):
+        kernel = SORKernel(t3d_machine, n=256, n_nodes=16)
+        packing = kernel.measure(OperationStyle.BUFFER_PACKING)
+        chained = kernel.measure(OperationStyle.CHAINED)
+        assert packing.sample.library == "buffer-packing"
+        assert chained.sample.library == "low-level"
+
+    def test_model_estimate_positive_both_styles(self, t3d_machine):
+        kernel = SORKernel(t3d_machine, n=256, n_nodes=16)
+        for style in OperationStyle:
+            assert kernel.model_estimate(style) > 0
+
+    def test_report_assembles_all_three_columns(self, t3d_machine):
+        report = SORKernel(t3d_machine, n=256, n_nodes=16).report()
+        assert report.kernel == "SOR"
+        assert report.machine == t3d_machine.name
+        assert report.packing_measured_mbps > 0
+        assert report.chained_measured_mbps > 0
+        assert report.chained_model_mbps > 0
+
+    def test_kernels_on_paragon(self, paragon_machine):
+        """Kernels are machine-independent."""
+        report = SORKernel(paragon_machine, n=256, n_nodes=16).report()
+        assert report.machine == "Intel Paragon"
+        assert report.chained_measured_mbps > 0

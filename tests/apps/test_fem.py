@@ -1,0 +1,85 @@
+"""Tests for the FEM kernel (repro.apps.fem)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fem import FEMesh, FEMKernel, FEMSolver
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return FEMesh.synthetic_valley(side=32, n_nodes=8, seed=7)
+
+
+class TestMesh:
+    def test_vertex_count(self, mesh):
+        assert mesh.n_vertices == 32 * 32
+
+    def test_edges_are_unique_and_sorted(self, mesh):
+        assert np.all(mesh.edges[:, 0] < mesh.edges[:, 1])
+        assert len(np.unique(mesh.edges, axis=0)) == len(mesh.edges)
+
+    def test_partition_covers_all_nodes(self, mesh):
+        assert set(np.unique(mesh.partition)) == set(range(8))
+
+    def test_well_partitioned(self, mesh):
+        """Only a fraction of elements on boundaries (Section 6.1.2)."""
+        assert mesh.boundary_fraction() < 0.5
+
+    def test_halo_symmetry(self, mesh):
+        halo = mesh.halo()
+        for (src, dst) in halo:
+            assert (dst, src) in halo
+
+    def test_halo_vertices_owned_by_sender(self, mesh):
+        for (src, __), vertices in mesh.halo().items():
+            assert np.all(mesh.partition[vertices] == src)
+
+    def test_deterministic(self):
+        a = FEMesh.synthetic_valley(side=16, n_nodes=4, seed=3)
+        b = FEMesh.synthetic_valley(side=16, n_nodes=4, seed=3)
+        assert np.array_equal(a.edges, b.edges)
+
+
+class TestSolver:
+    def test_jacobi_converges(self, mesh):
+        solver = FEMSolver(mesh)
+        rng = np.random.default_rng(0)
+        x_true = rng.normal(size=mesh.n_vertices)
+        b = solver.matvec(x_true)
+        x, residual = solver.solve(b, iterations=300)
+        assert residual < 1e-3 * np.linalg.norm(b)
+        assert np.allclose(x, x_true, atol=1e-2)
+
+    def test_matvec_is_spd_diagonal_dominant(self, mesh):
+        solver = FEMSolver(mesh)
+        x = np.ones(mesh.n_vertices)
+        # (L + I) * ones = ones (Laplacian kills constants).
+        assert np.allclose(solver.matvec(x), x)
+
+    def test_residual_decreases_with_iterations(self, mesh):
+        solver = FEMSolver(mesh)
+        b = np.ones(mesh.n_vertices)
+        __, r_short = solver.solve(b, iterations=20)
+        __, r_long = solver.solve(b, iterations=100)
+        assert r_long < r_short
+
+
+class TestKernel:
+    def test_plan_is_indexed(self, t3d_machine):
+        kernel = FEMKernel(t3d_machine, n_nodes=8, side=32)
+        plan = kernel.communication_plan()
+        dominant = plan.dominant_op()
+        assert dominant.x.is_indexed
+        assert dominant.y.is_indexed
+
+    def test_neighbor_only_flows(self, t3d_machine):
+        kernel = FEMKernel(t3d_machine, n_nodes=8, side=32)
+        flows = kernel.communication_plan().flows()
+        # Strip partitions talk to nearby strips only.
+        assert all(abs(src - dst) <= 2 for src, dst in flows)
+
+    def test_report_ordering(self, t3d_machine):
+        report = FEMKernel(t3d_machine, n_nodes=64, side=256).report()
+        assert report.packing_measured_mbps < report.chained_measured_mbps
+        assert report.chained_measured_mbps < report.chained_model_mbps

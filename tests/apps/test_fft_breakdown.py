@@ -1,0 +1,41 @@
+"""Tests for the FFT compute/communication breakdown."""
+
+import pytest
+
+from repro.apps import FFT2D
+from repro.core.operations import OperationStyle
+
+
+@pytest.fixture(scope="module")
+def kernel(t3d_machine):
+    return FFT2D(t3d_machine)
+
+
+class TestBreakdown:
+    def test_totals_consistent(self, kernel):
+        breakdown = kernel.breakdown()
+        assert breakdown.total_us == pytest.approx(
+            breakdown.compute_us + breakdown.transpose_us
+        )
+        assert 0 < breakdown.communication_fraction < 1
+
+    def test_communication_is_substantial(self, kernel):
+        """The paper's motivation: the transpose is a first-order cost,
+        not a rounding error, even at 1024^2 on 64 nodes."""
+        breakdown = kernel.breakdown(OperationStyle.BUFFER_PACKING)
+        assert breakdown.communication_fraction > 0.25
+
+    def test_chained_reduces_communication_share(self, kernel):
+        packing = kernel.breakdown(OperationStyle.BUFFER_PACKING)
+        chained = kernel.breakdown(OperationStyle.CHAINED)
+        assert chained.transpose_us < packing.transpose_us
+        assert chained.communication_fraction < packing.communication_fraction
+        assert chained.compute_us == packing.compute_us
+
+    def test_faster_nodes_shift_share_to_communication(self, kernel):
+        slow_cpu = kernel.breakdown(node_mflops=10.0)
+        fast_cpu = kernel.breakdown(node_mflops=200.0)
+        assert fast_cpu.communication_fraction > slow_cpu.communication_fraction
+
+    def test_str_reports_fraction(self, kernel):
+        assert "% communication" in str(kernel.breakdown())

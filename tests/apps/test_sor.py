@@ -1,0 +1,83 @@
+"""Tests for the SOR kernel (repro.apps.sor)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sor import SORKernel, SORSolver
+from repro.core.operations import OperationStyle
+
+
+class TestSolver:
+    def test_zero_rhs_fixed_point(self):
+        solver = SORSolver(17)
+        u, residual = solver.solve(np.zeros((17, 17)), iterations=5)
+        assert np.allclose(u, 0.0)
+        assert residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_poisson_converges(self):
+        n = 33
+        solver = SORSolver(n, omega=1.7)
+        f = -np.ones((n, n))
+        u, residual = solver.solve(f, iterations=800)
+        assert residual < 1e-6
+        # Poisson with -1 source and zero boundary bulges positive.
+        assert u[n // 2, n // 2] > 0
+
+    def test_matches_manufactured_solution(self):
+        n = 33
+        xs = np.linspace(0, 1, n)
+        x, y = np.meshgrid(xs, xs, indexing="ij")
+        exact = np.sin(np.pi * x) * np.sin(np.pi * y)
+        f = -2 * np.pi**2 * exact
+        solver = SORSolver(n, omega=1.8)
+        u, __ = solver.solve(f, iterations=1500)
+        assert np.max(np.abs(u - exact)) < 5e-3
+
+    def test_over_relaxation_accelerates(self):
+        n = 33
+        f = -np.ones((n, n))
+        __, residual_jacobi_like = SORSolver(n, omega=1.0).solve(f, 100)
+        __, residual_sor = SORSolver(n, omega=1.8).solve(f, 100)
+        assert residual_sor < residual_jacobi_like
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SORSolver(2)
+        with pytest.raises(ValueError):
+            SORSolver(16, omega=2.5)
+
+
+class TestKernel:
+    def test_plan_is_contiguous_shift(self, t3d_machine):
+        kernel = SORKernel(t3d_machine, n=256, n_nodes=64)
+        plan = kernel.communication_plan()
+        assert plan.pattern_histogram() == {"1Q1": 128}
+        assert plan.dominant_op().nwords == 256
+
+    def test_flows_are_both_neighbors(self, t3d_machine):
+        kernel = SORKernel(t3d_machine, n=256, n_nodes=8)
+        flows = set(kernel.communication_plan().flows())
+        assert (0, 1) in flows and (0, 7) in flows
+
+    def test_report_ordering(self, t3d_machine):
+        report = SORKernel(t3d_machine).report()
+        # Contiguous data: chained still wins, but the model sits far
+        # above both measured columns (small messages), as in Table 6.
+        assert report.packing_measured_mbps < report.chained_measured_mbps
+        assert report.chained_model_mbps > 1.7 * report.chained_measured_mbps
+
+    def test_packing_close_to_chained_for_contiguous(self, t3d_machine):
+        """SOR is the pattern where buffer packing loses least."""
+        report = SORKernel(t3d_machine).report()
+        sor_gain = report.chained_measured_mbps / report.packing_measured_mbps
+        from repro.apps.fft import FFT2D
+
+        fft_report = FFT2D(t3d_machine).report()
+        fft_gain = (
+            fft_report.chained_measured_mbps / fft_report.packing_measured_mbps
+        )
+        assert sor_gain < 3.0  # bounded advantage
+
+    def test_invalid_partition_rejected(self, t3d_machine):
+        with pytest.raises(ValueError):
+            SORKernel(t3d_machine, n=250, n_nodes=64)

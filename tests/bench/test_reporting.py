@@ -1,0 +1,81 @@
+"""Tests for the benchmark harness (repro.bench)."""
+
+import pytest
+
+from repro.bench import paperdata
+from repro.bench.reporting import Comparison, all_within, max_ratio_error, render
+
+
+class TestComparison:
+    def test_ratio(self):
+        assert Comparison("x", 50.0, 60.0).ratio == pytest.approx(1.2)
+
+    def test_zero_paper_value_is_infinite_ratio(self):
+        assert Comparison("x", 0.0, 1.0).ratio == float("inf")
+
+
+class TestAggregates:
+    def test_max_ratio_error_symmetric(self):
+        """Being 2x high and 2x low are equally bad."""
+        high = [Comparison("a", 10.0, 20.0)]
+        low = [Comparison("a", 20.0, 10.0)]
+        assert max_ratio_error(high) == pytest.approx(max_ratio_error(low))
+
+    def test_perfect_match_is_zero(self):
+        assert max_ratio_error([Comparison("a", 10.0, 10.0)]) == 0.0
+
+    def test_all_within(self):
+        rows = [Comparison("a", 10.0, 11.0), Comparison("b", 10.0, 9.5)]
+        assert all_within(rows, 0.11)
+        assert not all_within(rows, 0.05)
+
+
+class TestRender:
+    def test_render_contains_all_rows(self):
+        rows = [Comparison("alpha", 1.0, 2.0), Comparison("beta", 3.0, 3.0)]
+        text = render("Title", rows, note="a note")
+        assert "Title" in text
+        assert "alpha" in text and "beta" in text
+        assert "a note" in text
+        assert "2.00" in text  # the ratio column
+
+
+class TestPaperData:
+    """Sanity locks on the transcribed reference values."""
+
+    def test_table1_machines_and_entries(self):
+        assert set(paperdata.TABLE1_LOCAL_COPIES) == {
+            "Cray T3D",
+            "Intel Paragon",
+        }
+        for entries in paperdata.TABLE1_LOCAL_COPIES.values():
+            assert set(entries) == {"1C1", "1C64", "64C1", "1Cw", "wC1"}
+
+    def test_contiguous_is_best_in_table1(self):
+        for entries in paperdata.TABLE1_LOCAL_COPIES.values():
+            assert entries["1C1"] == max(entries.values())
+
+    def test_table4_monotone_in_congestion(self):
+        for machine in paperdata.TABLE4_NETWORK.values():
+            for mode in machine.values():
+                rates = [mode[c] for c in sorted(mode)]
+                assert rates == sorted(rates, reverse=True)
+
+    def test_chained_estimates_beat_packing(self):
+        estimates = paperdata.SEC51_MODEL_ESTIMATES
+        for (machine, op, style), value in estimates.items():
+            if style != "chained":
+                continue
+            packing = estimates.get((machine, op, "buffer-packing"))
+            if packing is not None:
+                assert value > packing, (machine, op)
+
+    def test_table5_chained_beats_packing_measured(self):
+        for cell in paperdata.TABLE5.values():
+            __, packing_measured = cell["buffer-packing"]
+            __, chained_measured = cell["chained"]
+            assert chained_measured > packing_measured
+
+    def test_table6_orderings(self):
+        for packing, chained, model in paperdata.TABLE6_T3D.values():
+            assert packing < chained < model

@@ -1,0 +1,62 @@
+"""Tests for the communication advisor (repro.compiler.advisor)."""
+
+import pytest
+
+from repro.compiler import (
+    Block,
+    Cyclic,
+    advise_plan,
+    advise_transpose,
+    redistribute_1d,
+)
+from repro.compiler.commgen import CommPlan
+from repro.core.operations import OperationStyle
+
+
+class TestAdvisePlan:
+    def test_noncontiguous_plans_choose_chained(self, t3d_machine):
+        plan = redistribute_1d(Block(4096, 16), Cyclic(4096, 16))
+        advice = advise_plan(t3d_machine, plan)
+        assert advice.dominant_style() is OperationStyle.CHAINED
+        assert advice.style_histogram == {"chained": len(plan)}
+
+    def test_gain_reported(self, t3d_machine):
+        plan = redistribute_1d(Block(4096, 16), Cyclic(4096, 16))
+        advice = advise_plan(t3d_machine, plan)
+        assert all(entry.gain > 1.0 for entry in advice.per_op)
+
+    def test_step_time_positive_and_consistent(self, t3d_machine):
+        plan = redistribute_1d(Block(4096, 16), Cyclic(4096, 16))
+        advice = advise_plan(t3d_machine, plan)
+        # Rough consistency: bytes per node over rate.
+        bytes_per_node = sum(
+            op.nbytes for op in plan.ops if op.src == 0
+        )
+        upper = bytes_per_node / min(e.predicted_mbps for e in advice.per_op)
+        assert 0 < advice.predicted_step_us <= upper + 1e-9
+
+    def test_empty_plan_rejected(self, t3d_machine):
+        with pytest.raises(ValueError):
+            advise_plan(t3d_machine, CommPlan([], name="empty"))
+
+    def test_render_lists_each_shape_once(self, t3d_machine):
+        plan = redistribute_1d(Block(4096, 16), Cyclic(4096, 16))
+        text = advise_plan(t3d_machine, plan).render()
+        assert text.count("16Q1") == 1
+        assert "predicted step time" in text
+
+
+class TestAdviseTranspose:
+    def test_section_52_t3d_prefers_strided_stores(self, t3d_machine):
+        order, advice = advise_transpose(t3d_machine, 1024, 1024, 64, 2)
+        assert order == "row"  # contiguous loads, strided stores: 1Qn
+        assert advice.dominant_style() is OperationStyle.CHAINED
+
+    def test_section_52_paragon_prefers_strided_loads(self, paragon_machine):
+        order, __ = advise_transpose(paragon_machine, 1024, 1024, 64, 2)
+        assert order == "col"  # strided loads, contiguous stores: nQ1
+
+    def test_small_transposes_work(self, t3d_machine):
+        order, advice = advise_transpose(t3d_machine, 64, 64, 8)
+        assert order in ("row", "col")
+        assert advice.predicted_step_us > 0

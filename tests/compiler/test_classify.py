@@ -1,0 +1,74 @@
+"""Tests for access-pattern classification (repro.compiler.classify)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.classify import classify_offsets, effective_pattern
+from repro.core.patterns import AccessPattern, strided
+
+
+def classify(values):
+    return classify_offsets(np.asarray(values, dtype=np.int64))
+
+
+class TestClassifyOffsets:
+    def test_single_element_contiguous(self):
+        assert classify([7]).is_contiguous
+
+    def test_contiguous_run(self):
+        assert classify([4, 5, 6, 7]).is_contiguous
+
+    def test_plain_stride(self):
+        assert classify([0, 16, 32, 48]) == strided(16)
+
+    def test_stride_two(self):
+        assert classify([1, 3, 5, 7]) == strided(2)
+
+    def test_blocked_stride(self):
+        assert classify([0, 1, 16, 17, 32, 33]) == strided(16, block=2)
+
+    def test_blocked_stride_wide(self):
+        offsets = [0, 1, 2, 100, 101, 102, 200, 201, 202]
+        assert classify(offsets) == strided(100, block=3)
+
+    def test_blocked_with_short_tail_still_blocked(self):
+        # A final partial block is tolerated.
+        assert classify([0, 1, 16, 17, 32]) == strided(16, block=2)
+
+    def test_irregular_is_indexed(self):
+        assert classify([3, 1, 4, 1, 5]).is_indexed
+
+    def test_unequal_runs_are_indexed(self):
+        assert classify([0, 1, 2, 16, 17, 32]).is_indexed
+
+    def test_descending_is_indexed(self):
+        assert classify([10, 8, 6]).is_indexed
+
+    def test_zero_diff_is_indexed(self):
+        assert classify([5, 5, 5]).is_indexed
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            classify_offsets(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestEffectivePattern:
+    def test_long_blocks_become_contiguous(self):
+        assert effective_pattern(strided(2048, block=32)).is_contiguous
+
+    def test_short_blocks_stay_strided(self):
+        assert effective_pattern(strided(2048, block=2)) == strided(2048, block=2)
+
+    def test_threshold_boundary(self):
+        assert effective_pattern(strided(64, block=16)).is_contiguous
+        assert effective_pattern(strided(64, block=15)) == strided(64, block=15)
+
+    def test_non_strided_untouched(self):
+        contiguous = AccessPattern.contiguous()
+        indexed = AccessPattern.indexed()
+        assert effective_pattern(contiguous) is contiguous
+        assert effective_pattern(indexed) is indexed

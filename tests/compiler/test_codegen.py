@@ -1,0 +1,89 @@
+"""Tests for pseudo-code emission (repro.compiler.codegen)."""
+
+import pytest
+
+from repro.compiler import emit_pseudocode
+from repro.core.operations import CommCapabilities, DepositSupport, OperationStyle
+from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+
+T3D = CommCapabilities(deposit=DepositSupport.ANY)
+PARAGON = CommCapabilities(
+    deposit=DepositSupport.CONTIGUOUS, dma_send=True, coprocessor_receive=True
+)
+BARE = CommCapabilities(deposit=DepositSupport.NONE)
+
+
+def loops(text):
+    return text.count("for i = 0 ..")
+
+
+class TestPackingCode:
+    def test_three_software_loops_plus_deposit(self):
+        text = emit_pseudocode(
+            strided(64), INDEXED, OperationStyle.BUFFER_PACKING, T3D
+        )
+        # gather + send + scatter: the data is touched three times.
+        assert loops(text) == 3
+        assert "pack into buffer" in text
+        assert "unpack from buffer" in text
+
+    def test_paragon_uses_dma_not_a_send_loop(self):
+        text = emit_pseudocode(
+            CONTIGUOUS, CONTIGUOUS, OperationStyle.BUFFER_PACKING, PARAGON
+        )
+        assert "dma_setup" in text
+        sender_half = text.split("-- receiver --")[0]
+        assert "NI_FIFO" not in sender_half  # the DMA feeds the wire
+        assert loops(text) == 2  # gather + scatter (PVM semantics)
+
+    def test_bare_machine_drains_fifo_in_software(self):
+        text = emit_pseudocode(
+            CONTIGUOUS, CONTIGUOUS, OperationStyle.BUFFER_PACKING, BARE
+        )
+        assert "receive-store 0R1" in text
+
+    def test_indexed_patterns_read_the_index_array(self):
+        text = emit_pseudocode(
+            INDEXED, CONTIGUOUS, OperationStyle.BUFFER_PACKING, T3D
+        )
+        assert "load X[i]" in text
+
+
+class TestChainedCode:
+    def test_single_loop_on_the_sender(self):
+        text = emit_pseudocode(
+            strided(64), strided(64), OperationStyle.CHAINED, T3D
+        )
+        assert loops(text) == 1
+        assert "ANNEX" in text
+        assert "Nadp" in text
+
+    def test_contiguous_uses_block_framing(self):
+        text = emit_pseudocode(CONTIGUOUS, CONTIGUOUS, OperationStyle.CHAINED, T3D)
+        assert "Nd" in text
+        assert "Nadp" not in text
+
+    def test_paragon_coprocessor_loop(self):
+        text = emit_pseudocode(
+            strided(64), strided(64), OperationStyle.CHAINED, PARAGON
+        )
+        assert "co-processor" in text
+        assert loops(text) == 2  # sender loop + co-processor loop
+
+    def test_strided_addressing_shows_the_stride(self):
+        text = emit_pseudocode(
+            strided(64), CONTIGUOUS, OperationStyle.CHAINED, T3D
+        )
+        assert "*512" in text  # stride 64 words = 512 bytes
+
+    def test_blocked_stride_addressing(self):
+        text = emit_pseudocode(
+            strided(64, block=2), CONTIGUOUS, OperationStyle.CHAINED, T3D
+        )
+        assert "(i/2)" in text and "(i%2)" in text
+
+    def test_infeasible_receiver_is_stated(self):
+        text = emit_pseudocode(
+            CONTIGUOUS, strided(64), OperationStyle.CHAINED, BARE
+        )
+        assert "infeasible" in text

@@ -1,0 +1,126 @@
+"""Tests for communication-set generation (repro.compiler.commgen)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.commgen import CommOp, CommPlan, redistribute_1d, transpose_2d
+from repro.compiler.distributions import Block, BlockCyclic, Cyclic, Irregular
+from repro.core.patterns import CONTIGUOUS, strided
+
+
+class TestRedistribute:
+    def test_identity_redistribution_is_empty(self):
+        plan = redistribute_1d(Block(64, 4), Block(64, 4))
+        assert len(plan) == 0
+
+    def test_block_to_cyclic_patterns(self):
+        plan = redistribute_1d(Block(64, 4), Cyclic(64, 4))
+        # Sender reads every 4th local element; receiver writes a
+        # contiguous run of its cyclic storage.
+        assert plan.pattern_histogram() == {"4Q1": 12}
+
+    def test_cyclic_to_block_patterns(self):
+        plan = redistribute_1d(Cyclic(64, 4), Block(64, 4))
+        assert plan.pattern_histogram() == {"1Q4": 12}
+
+    def test_word_conservation(self):
+        src, dst = Block(60, 4), Cyclic(60, 4)
+        plan = redistribute_1d(src, dst)
+        moved = sum(op.nwords for op in plan.ops)
+        # Elements that change owner:
+        stay = sum(
+            int(np.sum(dst.owners(src.local_indices(p)) == p)) for p in range(4)
+        )
+        assert moved == 60 - stay
+
+    def test_irregular_destination_is_indexed(self):
+        rng = np.random.default_rng(1)
+        node_map = rng.integers(0, 4, size=128)
+        plan = redistribute_1d(Block(128, 4), Irregular(node_map, 4))
+        patterns = {op.x.subscript for op in plan.ops}
+        assert patterns == {"w"}
+
+    def test_element_words_scale_payload_and_stride(self):
+        scalar = redistribute_1d(Block(64, 4), Cyclic(64, 4))
+        complex_plan = redistribute_1d(
+            Block(64, 4), Cyclic(64, 4), element_words=2
+        )
+        assert complex_plan.ops[0].nwords == 2 * scalar.ops[0].nwords
+        assert complex_plan.ops[0].x == strided(8, block=2)
+
+    def test_mismatched_extents_rejected(self):
+        with pytest.raises(ValueError):
+            redistribute_1d(Block(64, 4), Block(32, 4))
+
+    def test_mismatched_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            redistribute_1d(Block(64, 4), Block(64, 8))
+
+    def test_block_cyclic_round_trip_shapes(self):
+        plan = redistribute_1d(BlockCyclic(64, 4, 4), Block(64, 4))
+        assert len(plan) > 0
+        for op in plan.ops:
+            assert op.nwords > 0
+
+
+class TestTranspose:
+    def test_is_all_to_all(self):
+        plan = transpose_2d(64, 64, 8)
+        assert len(plan) == 8 * 7
+        assert set(plan.flows()) == {
+            (s, d) for s in range(8) for d in range(8) if s != d
+        }
+
+    def test_row_order_is_1qn(self):
+        plan = transpose_2d(1024, 1024, 64, element_words=2, loop_order="row")
+        op = plan.dominant_op()
+        assert op.x.is_contiguous  # long patch rows read as streams
+        assert op.y == strided(2048, block=2)
+
+    def test_col_order_is_nq1(self):
+        plan = transpose_2d(1024, 1024, 64, element_words=2, loop_order="col")
+        op = plan.dominant_op()
+        assert op.x == strided(2048, block=2)
+        assert op.y.is_contiguous
+
+    def test_patch_size(self):
+        plan = transpose_2d(1024, 1024, 64, element_words=2)
+        assert plan.dominant_op().nwords == 16 * 16 * 2
+
+    def test_total_volume(self):
+        plan = transpose_2d(256, 256, 16)
+        off_diagonal = 256 * 256 - 16 * (16 * 16)
+        assert sum(op.nwords for op in plan.ops) == off_diagonal
+
+    def test_invalid_partition_rejected(self):
+        with pytest.raises(ValueError):
+            transpose_2d(100, 100, 8)
+
+    def test_invalid_loop_order_rejected(self):
+        with pytest.raises(ValueError):
+            transpose_2d(64, 64, 8, loop_order="diagonal")
+
+
+class TestCommPlan:
+    def test_dominant_op_of_empty_plan_rejected(self):
+        with pytest.raises(ValueError):
+            CommPlan([], name="empty").dominant_op()
+
+    def test_dominant_op_majority(self):
+        ops = [
+            CommOp(0, 1, CONTIGUOUS, CONTIGUOUS, 100),
+            CommOp(1, 2, CONTIGUOUS, CONTIGUOUS, 200),
+            CommOp(2, 3, CONTIGUOUS, strided(4), 500),
+        ]
+        plan = CommPlan(ops)
+        dominant = plan.dominant_op()
+        assert dominant.notation == "1Q1"
+        assert dominant.nwords == 150  # mean of the majority shape
+
+    def test_messages_from(self):
+        plan = transpose_2d(64, 64, 4)
+        assert len(plan.messages_from(2)) == 3
+
+    def test_nbytes(self):
+        op = CommOp(0, 1, CONTIGUOUS, CONTIGUOUS, 10)
+        assert op.nbytes == 80

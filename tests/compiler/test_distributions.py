@@ -1,0 +1,103 @@
+"""Tests for HPF-style distributions (repro.compiler.distributions)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.distributions import Block, BlockCyclic, Cyclic, Irregular
+
+ALL_DISTS = [
+    Block(100, 4),
+    Cyclic(100, 4),
+    BlockCyclic(100, 4, 8),
+    Irregular((np.arange(100) * 7) % 4, 4),
+]
+
+
+class TestCommonInvariants:
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+    def test_every_element_owned_exactly_once(self, dist):
+        seen = np.concatenate(
+            [dist.local_indices(p) for p in range(dist.n_nodes)]
+        )
+        assert sorted(seen.tolist()) == list(range(dist.extent))
+
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+    def test_owner_consistent_with_local_indices(self, dist):
+        for p in range(dist.n_nodes):
+            owned = dist.local_indices(p)
+            assert np.all(dist.owners(owned) == p)
+
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+    def test_local_offsets_are_storage_positions(self, dist):
+        for p in range(dist.n_nodes):
+            owned = dist.local_indices(p)
+            offsets = dist.local_offset(owned)
+            assert sorted(offsets.tolist()) == list(range(len(owned)))
+
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+    def test_scalar_owner(self, dist):
+        assert dist.owner(0) == int(dist.owners(np.array([0]))[0])
+
+
+class TestBlock:
+    def test_layout(self):
+        dist = Block(16, 4)
+        assert dist.local_indices(0).tolist() == [0, 1, 2, 3]
+        assert dist.local_indices(3).tolist() == [12, 13, 14, 15]
+
+    def test_ragged_tail(self):
+        dist = Block(10, 4)  # blocks of 3: 3,3,3,1
+        assert dist.n_local(0) == 3
+        assert dist.n_local(3) == 1
+
+
+class TestCyclic:
+    def test_layout(self):
+        dist = Cyclic(8, 4)
+        assert dist.local_indices(1).tolist() == [1, 5]
+        assert dist.owner(6) == 2
+
+    def test_local_offset(self):
+        dist = Cyclic(16, 4)
+        assert dist.local_offset(np.array([1, 5, 9])).tolist() == [0, 1, 2]
+
+
+class TestBlockCyclic:
+    def test_layout(self):
+        dist = BlockCyclic(16, 2, 4)
+        assert dist.local_indices(0).tolist() == [0, 1, 2, 3, 8, 9, 10, 11]
+
+    def test_block_one_equals_cyclic(self):
+        a = BlockCyclic(20, 4, 1)
+        b = Cyclic(20, 4)
+        for p in range(4):
+            assert a.local_indices(p).tolist() == b.local_indices(p).tolist()
+
+    def test_invalid_block_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCyclic(16, 2, 0)
+
+
+class TestIrregular:
+    def test_explicit_map(self):
+        dist = Irregular([0, 1, 1, 0, 2], 3)
+        assert dist.local_indices(1).tolist() == [1, 2]
+        assert dist.owner(4) == 2
+
+    def test_out_of_range_map_rejected(self):
+        with pytest.raises(ValueError):
+            Irregular([0, 5], 3)
+
+
+class TestValidation:
+    def test_bad_extent(self):
+        with pytest.raises(ValueError):
+            Block(0, 4)
+
+    def test_bad_node_count(self):
+        with pytest.raises(ValueError):
+            Cyclic(10, 0)
+
+    def test_bad_node_query(self):
+        with pytest.raises(ValueError):
+            Block(10, 2).local_indices(2)

@@ -1,0 +1,133 @@
+"""Tests for indexed gather (Figure 2) and functional plan execution."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    Block,
+    Cyclic,
+    execute_plan,
+    indexed_gather,
+    join_by_distribution,
+    redistribute_1d,
+    split_by_distribution,
+)
+from repro.compiler.commgen import CommOp, CommPlan
+from repro.core.patterns import CONTIGUOUS
+
+
+def run_redistribution(data, src_dist, dst_dist):
+    """Execute B = A through the plan, including the local part."""
+    plan = redistribute_1d(src_dist, dst_dist)
+    src_locals = split_by_distribution(data, src_dist)
+    dst_locals = [
+        np.full(dst_dist.n_local(p), np.nan) for p in range(dst_dist.n_nodes)
+    ]
+    execute_plan(plan, src_locals, dst_locals)
+    for p in range(src_dist.n_nodes):
+        mine = src_dist.local_indices(p)
+        stays = dst_dist.owners(mine) == p
+        dst_locals[p][dst_dist.local_offset(mine[stays])] = src_locals[p][stays]
+    return join_by_distribution(dst_locals, dst_dist)
+
+
+class TestExecutePlan:
+    @pytest.mark.parametrize(
+        "src_factory,dst_factory",
+        [
+            (Block, Cyclic),
+            (Cyclic, Block),
+        ],
+    )
+    def test_redistribution_moves_exactly_the_right_data(
+        self, src_factory, dst_factory
+    ):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=120)
+        out = run_redistribution(data, src_factory(120, 6), dst_factory(120, 6))
+        assert np.array_equal(out, data)
+
+    def test_ragged_extents(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=101)  # not divisible by 7
+        out = run_redistribution(data, Block(101, 7), Cyclic(101, 7))
+        assert np.array_equal(out, data)
+
+    def test_plan_without_offsets_rejected(self):
+        plan = CommPlan([CommOp(0, 1, CONTIGUOUS, CONTIGUOUS, 4)])
+        with pytest.raises(ValueError, match="no offsets"):
+            execute_plan(plan, [np.zeros(4)], [np.zeros(4), np.zeros(4)])
+
+    def test_split_join_roundtrip(self):
+        data = np.arange(50, dtype=float)
+        dist = Cyclic(50, 4)
+        assert np.array_equal(
+            join_by_distribution(split_by_distribution(data, dist), dist), data
+        )
+
+    def test_split_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            split_by_distribution(np.zeros(10), Block(20, 2))
+
+
+class TestIndexedGather:
+    def test_permutation_gather_is_indexed_traffic(self):
+        rng = np.random.default_rng(5)
+        X = rng.permutation(256)
+        plan = indexed_gather(Block(256, 8), Block(256, 8), X)
+        histogram = plan.pattern_histogram()
+        dominant = max(histogram, key=histogram.get)
+        assert dominant == "wQw"
+
+    def test_identity_index_produces_no_communication(self):
+        X = np.arange(64)
+        plan = indexed_gather(Block(64, 4), Block(64, 4), X)
+        assert len(plan) == 0
+
+    def test_gather_executes_correctly(self):
+        """A = B[X] run through the plan equals the direct expression."""
+        rng = np.random.default_rng(6)
+        n = 144
+        B = rng.normal(size=n)
+        X = rng.permutation(n)
+        a_dist, b_dist = Block(n, 6), Cyclic(n, 6)
+        plan = indexed_gather(a_dist, b_dist, X)
+
+        b_locals = split_by_distribution(B, b_dist)
+        a_locals = [np.full(a_dist.n_local(p), np.nan) for p in range(6)]
+        execute_plan(plan, b_locals, a_locals)
+        # Local part: A elements whose B[X[i]] lives on the same node.
+        positions = np.arange(n)
+        same = a_dist.owners(positions) == b_dist.owners(X)
+        for i in positions[same]:
+            node = a_dist.owner(i)
+            a_locals[node][a_dist.local_offset(np.array([i]))[0]] = b_locals[
+                node
+            ][b_dist.local_offset(np.array([X[i]]))[0]]
+        A = join_by_distribution(a_locals, a_dist)
+        assert np.array_equal(A, B[X])
+
+    def test_duplicate_indices_allowed(self):
+        """X need not be a permutation (broadcast-style gathers)."""
+        X = np.zeros(32, dtype=int)  # everyone reads B[0]
+        plan = indexed_gather(Block(32, 4), Block(32, 4), X)
+        # B[0]'s owner (node 0) sends to the other three nodes.
+        assert {op.src for op in plan.ops} == {0}
+        assert {op.dst for op in plan.ops} == {1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="extent"):
+            indexed_gather(Block(10, 2), Block(10, 2), np.arange(5))
+        with pytest.raises(ValueError, match="out of range"):
+            indexed_gather(Block(4, 2), Block(4, 2), np.array([0, 1, 2, 9]))
+        with pytest.raises(ValueError, match="node-count"):
+            indexed_gather(Block(8, 2), Block(8, 4), np.arange(8))
+
+    def test_words_conserved(self):
+        rng = np.random.default_rng(7)
+        X = rng.permutation(128)
+        a_dist, b_dist = Block(128, 4), Block(128, 4)
+        plan = indexed_gather(a_dist, b_dist, X)
+        positions = np.arange(128)
+        remote = (a_dist.owners(positions) != b_dist.owners(X)).sum()
+        assert sum(op.nwords for op in plan.ops) == remote

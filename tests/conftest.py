@@ -1,0 +1,58 @@
+"""Shared fixtures: machines, models and small measurement harnesses.
+
+Simulator measurements are the slow part of the suite, so fixtures are
+session-scoped and use short streams; accuracy-sensitive calibration
+tests use their own longer streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import paragon, t3d
+
+#: Short stream length for functional (non-calibration) simulator tests.
+FAST_WORDS = 4096
+
+
+@pytest.fixture(scope="session")
+def t3d_machine():
+    return t3d()
+
+
+@pytest.fixture(scope="session")
+def paragon_machine():
+    return paragon()
+
+
+@pytest.fixture(scope="session", params=["t3d", "paragon"])
+def machine(request, t3d_machine, paragon_machine):
+    """Parametrized over both of the paper's machines."""
+    return t3d_machine if request.param == "t3d" else paragon_machine
+
+
+@pytest.fixture(scope="session")
+def t3d_model(t3d_machine):
+    """T3D model over the published calibration (paper's bold values)."""
+    return t3d_machine.model(source="paper")
+
+
+@pytest.fixture(scope="session")
+def paragon_model(paragon_machine):
+    return paragon_machine.model(source="paper")
+
+
+@pytest.fixture(scope="session")
+def t3d_node(t3d_machine):
+    """A fast (short-stream) T3D memory-system harness."""
+    return t3d_machine.node_memory(nwords=FAST_WORDS)
+
+
+@pytest.fixture(scope="session")
+def paragon_node(paragon_machine):
+    return paragon_machine.node_memory(nwords=FAST_WORDS)
+
+
+def within(value: float, reference: float, tolerance: float) -> bool:
+    """True when ``value`` is within ``tolerance`` (fractional) of ``reference``."""
+    return abs(value - reference) <= tolerance * abs(reference)

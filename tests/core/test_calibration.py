@@ -1,0 +1,136 @@
+"""Tests for throughput tables (repro.core.calibration)."""
+
+import pytest
+
+from repro.core.calibration import ThroughputTable, pattern_key
+from repro.core.errors import CalibrationError
+from repro.core.patterns import CONTIGUOUS, FIXED, INDEXED, strided
+from repro.core.transfers import TransferKind, copy, load_send, network_data
+
+
+@pytest.fixture
+def table():
+    t = ThroughputTable("test")
+    t.set(TransferKind.COPY, "1", "1", 93.0)
+    t.set(TransferKind.COPY, "1", 16, 70.8)
+    t.set(TransferKind.COPY, "1", 64, 67.9)
+    t.set(TransferKind.COPY, 64, "1", 33.3)
+    t.set(TransferKind.COPY, "1", "w", 38.5)
+    t.set(TransferKind.LOAD_SEND, "1", "0", 126.0)
+    t.set(TransferKind.NETWORK_DATA, "0", "0", 69.0)
+    return t
+
+
+class TestPatternKey:
+    def test_keys(self):
+        assert pattern_key(FIXED) == "0"
+        assert pattern_key(CONTIGUOUS) == "1"
+        assert pattern_key(INDEXED) == "w"
+        assert pattern_key(strided(48)) == 48
+
+    def test_blocked_stride_keys_by_stride(self):
+        assert pattern_key(strided(48, block=2)) == 48
+
+
+class TestSetAndGet:
+    def test_exact_lookup(self, table):
+        assert table.lookup(copy(CONTIGUOUS, strided(64))) == 67.9
+        assert table.lookup(load_send(CONTIGUOUS)) == 126.0
+        assert table.lookup(network_data()) == 69.0
+
+    def test_set_transfer_convenience(self):
+        t = ThroughputTable()
+        t.set_transfer(copy(INDEXED, CONTIGUOUS), 32.9)
+        assert t.get(TransferKind.COPY, "w", "1") == 32.9
+
+    def test_rejects_nonpositive_rates(self):
+        t = ThroughputTable()
+        for bad in (0, -1, float("nan"), float("inf")):
+            with pytest.raises(CalibrationError):
+                t.set(TransferKind.COPY, "1", "1", bad)
+
+    def test_get_returns_none_for_missing(self, table):
+        assert table.get(TransferKind.COPY, "w", "w") is None
+
+    def test_has(self, table):
+        assert table.has(TransferKind.COPY, "1", 64)
+        assert not table.has(TransferKind.COPY, "1", 65)
+
+    def test_len_and_iter(self, table):
+        assert len(table) == 7
+        keys = [key for key, __ in table]
+        assert len(keys) == 7
+
+    def test_merge(self, table):
+        other = ThroughputTable("other")
+        other.set(TransferKind.COPY, "1", "1", 50.0)
+        other.set(TransferKind.COPY, "w", "1", 32.9)
+        table.merge(other)
+        assert table.get(TransferKind.COPY, "1", "1") == 50.0
+        assert table.get(TransferKind.COPY, "w", "1") == 32.9
+
+    def test_merge_without_overwrite(self, table):
+        other = ThroughputTable("other")
+        other.set(TransferKind.COPY, "1", "1", 50.0)
+        table.merge(other, overwrite=False)
+        assert table.get(TransferKind.COPY, "1", "1") == 93.0
+
+    def test_to_dict_notation_keys(self, table):
+        d = table.to_dict()
+        assert d["1C64"] == 67.9
+        assert d["1S0"] == 126.0
+        assert d["Nd"] == 69.0
+
+
+class TestStrideInterpolation:
+    def test_large_stride_uses_largest_anchor(self, table):
+        # The paper's rule: stride 64 applies to any larger stride.
+        assert table.lookup(copy(CONTIGUOUS, strided(1024))) == 67.9
+
+    def test_between_anchors_interpolates(self, table):
+        rate = table.lookup(copy(CONTIGUOUS, strided(32)))
+        assert 67.9 < rate < 70.8
+
+    def test_interpolation_is_log_scaled(self, table):
+        # stride 32 is exactly halfway between 16 and 64 in log2.
+        rate = table.lookup(copy(CONTIGUOUS, strided(32)))
+        assert rate == pytest.approx((70.8 + 67.9) / 2)
+
+    def test_below_smallest_anchor_uses_contiguous_anchor(self, table):
+        rate = table.lookup(copy(CONTIGUOUS, strided(2)))
+        assert 70.8 < rate < 93.0
+
+    def test_read_side_interpolation(self, table):
+        # Only one anchor on the read side: all strides collapse to it.
+        assert table.lookup(copy(strided(8), CONTIGUOUS)) < 93.0
+
+    def test_missing_anchor_family_raises(self, table):
+        with pytest.raises(CalibrationError, match="no strided"):
+            table.lookup(load_send(strided(8)))
+
+
+class TestTwoSidedStrided:
+    def test_two_sided_approximation(self, table):
+        table.set(TransferKind.COPY, 16, "1", 34.4)
+        rate = table.lookup(copy(strided(16), strided(16)))
+        # 1/r = 1/34.4 + 1/70.8 - 1/93: slower than either one-sided rate.
+        assert rate < 34.4
+        assert rate == pytest.approx(1.0 / (1 / 34.4 + 1 / 70.8 - 1 / 93.0))
+
+    def test_two_sided_needs_contiguous_base(self):
+        t = ThroughputTable()
+        t.set(TransferKind.COPY, "1", 16, 50.0)
+        t.set(TransferKind.COPY, 16, "1", 40.0)
+        with pytest.raises(CalibrationError, match="1C1"):
+            t.lookup(copy(strided(16), strided(16)))
+
+
+class TestErrors:
+    def test_missing_entry_names_the_key(self, table):
+        with pytest.raises(CalibrationError, match="wC1"):
+            table.lookup(copy(INDEXED, CONTIGUOUS))
+
+    def test_invalid_pattern_key_rejected(self):
+        t = ThroughputTable()
+        with pytest.raises(CalibrationError):
+            t.set(TransferKind.COPY, "q", "1", 10.0)

@@ -1,0 +1,154 @@
+"""Tests for composition expressions (repro.core.composition)."""
+
+import pytest
+
+from repro.core.composition import Par, Seq, Term, as_expr, par, seq
+from repro.core.errors import CompositionError
+from repro.core.patterns import CONTIGUOUS, FIXED, INDEXED, strided
+from repro.core.transfers import (
+    copy,
+    load_send,
+    network_adp,
+    network_data,
+    receive_deposit,
+    receive_store,
+)
+from repro.core.resources import NodeRole
+
+
+def packing_op(y=strided(64)):
+    """The paper's buffer-packing composition for 1Q64."""
+    return seq(
+        copy(CONTIGUOUS, CONTIGUOUS, role=NodeRole.SENDER),
+        par(load_send(CONTIGUOUS), network_data(), receive_deposit(CONTIGUOUS)),
+        copy(CONTIGUOUS, y, role=NodeRole.RECEIVER),
+    )
+
+
+class TestConstruction:
+    def test_seq_flattens(self):
+        a = copy(CONTIGUOUS, CONTIGUOUS)
+        b = copy(CONTIGUOUS, strided(2))
+        c = copy(strided(2), CONTIGUOUS)
+        nested = seq(a, seq(b, c))
+        assert isinstance(nested, Seq)
+        assert len(nested.parts) == 3
+
+    def test_par_flattens(self):
+        grouped = par(load_send(CONTIGUOUS), par(network_data(), receive_deposit(CONTIGUOUS)))
+        assert len(grouped.parts) == 3
+
+    def test_empty_compositions_rejected(self):
+        with pytest.raises(CompositionError):
+            seq()
+        with pytest.raises(CompositionError):
+            par()
+
+    def test_as_expr_wraps_transfers(self):
+        term = as_expr(network_data())
+        assert isinstance(term, Term)
+
+    def test_as_expr_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_expr("1C1")
+
+    def test_operator_sugar(self):
+        op = load_send(CONTIGUOUS) | network_data() | receive_deposit(CONTIGUOUS)
+        assert isinstance(op, Par)
+        chain = copy(INDEXED, CONTIGUOUS) >> load_send(CONTIGUOUS)
+        assert isinstance(chain, Seq)
+
+
+class TestNotation:
+    def test_paper_notation(self):
+        op = packing_op()
+        assert op.notation() == "1C1 o (1S0 || Nd || 0D1) o 1C64"
+
+    def test_chained_notation(self):
+        op = par(load_send(INDEXED), network_adp(), receive_deposit(INDEXED))
+        assert op.notation() == "wS0 || Nadp || 0Dw"
+
+    def test_nested_parenthesization(self):
+        inner = par(network_data(), receive_deposit(CONTIGUOUS))
+        op = seq(copy(CONTIGUOUS, CONTIGUOUS), inner)
+        assert op.notation() == "1C1 o (Nd || 0D1)"
+
+
+class TestBoundaryPatterns:
+    def test_term_patterns(self):
+        term = Term(copy(strided(4), INDEXED))
+        assert term.read_pattern() == strided(4)
+        assert term.write_pattern() == INDEXED
+
+    def test_seq_patterns_from_ends(self):
+        op = packing_op(y=strided(8))
+        assert op.read_pattern() == CONTIGUOUS
+        assert op.write_pattern() == strided(8)
+
+    def test_par_unique_memory_pattern(self):
+        group = par(load_send(strided(2)), network_data(), receive_deposit(INDEXED))
+        assert group.read_pattern() == strided(2)
+        assert group.write_pattern() == INDEXED
+
+    def test_par_all_fixed_is_fixed(self):
+        group = par(network_data(), network_adp())
+        assert group.read_pattern() == FIXED
+
+    def test_par_ambiguous_pattern_is_none(self):
+        group = par(
+            copy(CONTIGUOUS, CONTIGUOUS),
+            copy(strided(2), strided(2), role=NodeRole.RECEIVER),
+        )
+        assert group.read_pattern() is None
+
+
+class TestValidation:
+    def test_valid_packing_operation(self):
+        packing_op().validate()
+
+    def test_sequence_pattern_mismatch_rejected(self):
+        bad = seq(
+            copy(CONTIGUOUS, strided(2)),
+            copy(strided(4), CONTIGUOUS),
+        )
+        with pytest.raises(CompositionError, match="pattern mismatch"):
+            bad.validate()
+
+    def test_fixed_boundaries_are_exempt(self):
+        # S writes to a FIFO (0); the following deposit reads from one.
+        op = seq(load_send(CONTIGUOUS), receive_deposit(strided(64)))
+        op.validate()
+
+    def test_parallel_shared_exclusive_resource_rejected(self):
+        # Two transfers on the sender CPU cannot overlap.
+        bad = par(load_send(CONTIGUOUS), load_send(strided(2)))
+        with pytest.raises(CompositionError, match="exclusive resource"):
+            bad.validate()
+
+    def test_parallel_shared_capacity_resource_allowed(self):
+        # Deposit engine and receiver-side copy share memory (capacity),
+        # which is legal; aggregate bandwidth is a constraint concern.
+        group = par(
+            receive_deposit(CONTIGUOUS),
+            copy(CONTIGUOUS, strided(2), role=NodeRole.RECEIVER),
+        )
+        group.validate()
+
+    def test_validation_recurses(self):
+        inner = par(load_send(CONTIGUOUS), load_send(CONTIGUOUS))
+        outer = seq(copy(CONTIGUOUS, CONTIGUOUS, role=NodeRole.SENDER), inner)
+        with pytest.raises(CompositionError):
+            outer.validate()
+
+
+class TestTraversal:
+    def test_terms_yield_left_to_right(self):
+        op = packing_op()
+        notations = [t.notation for t in op.terms()]
+        assert notations == ["1C1", "1S0", "Nd", "0D1", "1C64"]
+
+    def test_all_resources_union(self):
+        op = packing_op()
+        roles = {resource.role for resource in op.all_resources()}
+        assert NodeRole.SENDER in roles
+        assert NodeRole.RECEIVER in roles

@@ -1,0 +1,68 @@
+"""Tests for resource constraints (repro.core.constraints)."""
+
+import pytest
+
+from repro.core.calibration import ThroughputTable
+from repro.core.constraints import (
+    EntryRef,
+    ResourceConstraint,
+    duplex_memory_constraint,
+)
+from repro.core.errors import ConstraintError
+from repro.core.patterns import CONTIGUOUS, strided
+from repro.core.transfers import TransferKind
+
+
+@pytest.fixture
+def table():
+    t = ThroughputTable("constraints")
+    t.set(TransferKind.COPY, "1", "1", 93.0)
+    t.set(TransferKind.COPY, "1", 64, 67.9)
+    return t
+
+
+class TestResourceConstraint:
+    def test_literal_limit(self):
+        c = ResourceConstraint("bus", demand=2.0, capacity=400.0)
+        assert c.limit(None) == 200.0
+
+    def test_entry_ref_limit(self, table):
+        c = ResourceConstraint(
+            "mem", demand=2.0, capacity=EntryRef(TransferKind.COPY, "1", "1")
+        )
+        assert c.limit(table) == 46.5
+
+    def test_entry_ref_with_pattern_objects(self, table):
+        c = ResourceConstraint(
+            "mem",
+            demand=1.0,
+            capacity=EntryRef(TransferKind.COPY, CONTIGUOUS, strided(64)),
+        )
+        assert c.limit(table) == 67.9
+
+    def test_entry_ref_needs_table(self, table):
+        c = ResourceConstraint(
+            "mem", demand=1.0, capacity=EntryRef(TransferKind.COPY, "1", "1")
+        )
+        with pytest.raises(ConstraintError, match="none was supplied"):
+            c.limit(None)
+
+    def test_invalid_demand(self):
+        with pytest.raises(ConstraintError):
+            ResourceConstraint("bad", demand=0.0, capacity=10.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConstraintError):
+            ResourceConstraint("bad", demand=1.0, capacity=-5.0)
+
+
+class TestDuplexMemoryConstraint:
+    def test_default_is_the_paper_formula(self, table):
+        """(2 x |xQy|) < |C| from Section 3.4.1."""
+        c = duplex_memory_constraint()
+        assert c.demand == 2.0
+        assert c.limit(table) == 93.0 / 2.0
+
+    def test_custom_patterns(self, table):
+        c = duplex_memory_constraint(write=strided(64))
+        assert c.limit(table) == pytest.approx(67.9 / 2.0)

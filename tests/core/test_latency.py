@@ -1,0 +1,72 @@
+"""Tests for the latency extension (repro.core.latency)."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.latency import LatencyModel
+
+
+class TestPredictions:
+    def test_time_is_affine(self):
+        model = LatencyModel(startup_ns=10_000.0, asymptotic_mbps=100.0)
+        assert model.time_ns(0) == 10_000.0
+        assert model.time_ns(1000) == 10_000.0 + 10_000.0
+
+    def test_throughput_approaches_asymptote(self):
+        model = LatencyModel(startup_ns=10_000.0, asymptotic_mbps=100.0)
+        assert model.throughput(1 << 30) == pytest.approx(100.0, rel=1e-3)
+
+    def test_half_performance_length(self):
+        model = LatencyModel(startup_ns=10_000.0, asymptotic_mbps=100.0)
+        n_half = model.half_performance_bytes
+        assert n_half == pytest.approx(1000.0)
+        assert model.throughput(int(n_half)) == pytest.approx(50.0)
+
+    def test_throughput_monotone_in_size(self):
+        model = LatencyModel(startup_ns=5_000.0, asymptotic_mbps=60.0)
+        sizes = [64, 1024, 65536, 1 << 20]
+        rates = [model.throughput(n) for n in sizes]
+        assert rates == sorted(rates)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            LatencyModel(startup_ns=-1.0, asymptotic_mbps=10.0)
+        with pytest.raises(ModelError):
+            LatencyModel(startup_ns=0.0, asymptotic_mbps=0.0)
+
+    def test_invalid_size(self):
+        model = LatencyModel(startup_ns=0.0, asymptotic_mbps=10.0)
+        with pytest.raises(ModelError):
+            model.throughput(0)
+
+
+class TestFitting:
+    def test_exact_recovery_from_model_samples(self):
+        truth = LatencyModel(startup_ns=20_000.0, asymptotic_mbps=80.0)
+        curve = [(n, truth.throughput(n)) for n in (256, 4096, 65536, 1 << 20)]
+        fitted = LatencyModel.fit(curve)
+        assert fitted.startup_ns == pytest.approx(truth.startup_ns, rel=1e-6)
+        assert fitted.asymptotic_mbps == pytest.approx(
+            truth.asymptotic_mbps, rel=1e-6
+        )
+
+    def test_fit_on_simulated_sweep(self, t3d_machine):
+        from repro.bench import figure1
+
+        curve = figure1(t3d_machine)["PVM"]
+        fitted = LatencyModel.fit(curve)
+        # PVM's fixed overhead is ~126 us per message in our profile.
+        assert 50_000 < fitted.startup_ns < 400_000
+        assert 10 < fitted.asymptotic_mbps < 30
+
+    def test_fit_requires_two_sizes(self):
+        with pytest.raises(ModelError):
+            LatencyModel.fit([(1024, 10.0), (1024, 10.0)])
+
+    def test_fit_rejects_nonpositive_rates(self):
+        with pytest.raises(ModelError):
+            LatencyModel.fit([(1024, 10.0), (2048, -1.0)])
+
+    def test_str_mentions_all_parameters(self):
+        text = str(LatencyModel(startup_ns=10_000.0, asymptotic_mbps=100.0))
+        assert "t0" in text and "B=" in text and "n1/2" in text

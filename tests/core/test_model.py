@@ -1,0 +1,56 @@
+"""Tests for the model facade (repro.core.model)."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.model import CopyTransferModel
+from repro.core.operations import OperationStyle
+from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+
+
+class TestBuildAndEstimate:
+    def test_style_coercion(self, t3d_model):
+        by_enum = t3d_model.estimate(CONTIGUOUS, CONTIGUOUS, OperationStyle.CHAINED)
+        by_value = t3d_model.estimate(CONTIGUOUS, CONTIGUOUS, "chained")
+        by_name = t3d_model.estimate(CONTIGUOUS, CONTIGUOUS, "CHAINED")
+        assert by_enum.mbps == by_value.mbps == by_name.mbps
+
+    def test_unknown_style_rejected(self, t3d_model):
+        with pytest.raises(ModelError, match="unknown operation style"):
+            t3d_model.estimate(CONTIGUOUS, CONTIGUOUS, "smuggled")
+
+    def test_build_returns_composition(self, t3d_model):
+        expr = t3d_model.build(strided(64), CONTIGUOUS, "buffer-packing")
+        assert "64C1" in expr.notation()
+
+    def test_estimates_are_positive(self, machine):
+        model = machine.model(source="paper")
+        for x in (CONTIGUOUS, strided(64), INDEXED):
+            for y in (CONTIGUOUS, strided(64), INDEXED):
+                assert model.estimate(x, y, "buffer-packing").mbps > 0
+                assert model.estimate(x, y, "chained").mbps > 0
+
+
+class TestChoose:
+    def test_chained_wins_for_noncontiguous_on_t3d(self, t3d_model):
+        choice = t3d_model.choose(CONTIGUOUS, strided(64))
+        assert choice.style is OperationStyle.CHAINED
+        assert choice.alternatives  # buffer-packing was considered
+        style, estimate = choice.alternatives[0]
+        assert style is OperationStyle.BUFFER_PACKING
+        assert estimate.mbps < choice.mbps
+
+    def test_chained_wins_for_indexed_on_both(self, t3d_model, paragon_model):
+        for model in (t3d_model, paragon_model):
+            choice = model.choose(INDEXED, INDEXED)
+            assert choice.style is OperationStyle.CHAINED
+
+    def test_choice_exposes_throughput(self, t3d_model):
+        choice = t3d_model.choose(CONTIGUOUS, CONTIGUOUS)
+        assert choice.mbps == choice.estimate.mbps
+
+
+class TestNotation:
+    def test_q_notation(self, t3d_model):
+        assert t3d_model.q_notation(CONTIGUOUS, strided(64), "buffer-packing") == "1Q64"
+        assert t3d_model.q_notation(INDEXED, INDEXED, "chained") == "wQ'w"

@@ -1,0 +1,123 @@
+"""Tests for the xQy operation builders (repro.core.operations)."""
+
+import pytest
+
+from repro.core.composition import Par, Seq
+from repro.core.errors import CompositionError
+from repro.core.operations import (
+    CommCapabilities,
+    DepositSupport,
+    buffer_packing,
+    chained,
+)
+from repro.core.patterns import CONTIGUOUS, FIXED, INDEXED, strided
+from repro.core.transfers import TransferKind
+
+
+T3D_CAPS = CommCapabilities(deposit=DepositSupport.ANY)
+PARAGON_CAPS = CommCapabilities(
+    deposit=DepositSupport.CONTIGUOUS,
+    dma_send=True,
+    coprocessor_receive=True,
+)
+BARE_CAPS = CommCapabilities(deposit=DepositSupport.NONE)
+
+
+def kinds(expr):
+    return [t.kind for t in expr.terms()]
+
+
+class TestBufferPacking:
+    def test_shape_matches_paper_formula(self):
+        op = buffer_packing(strided(64), INDEXED, T3D_CAPS)
+        assert op.notation() == "64C1 o (1S0 || Nd || 0D1) o 1Cw"
+
+    def test_contiguous_still_copies_under_pvm_semantics(self):
+        op = buffer_packing(CONTIGUOUS, CONTIGUOUS, T3D_CAPS)
+        assert op.notation() == "1C1 o (1S0 || Nd || 0D1) o 1C1"
+
+    def test_low_level_library_skips_redundant_copies(self):
+        caps = CommCapabilities(
+            deposit=DepositSupport.ANY, pack_even_contiguous=False
+        )
+        op = buffer_packing(CONTIGUOUS, CONTIGUOUS, caps)
+        assert op.notation() == "1S0 || Nd || 0D1"
+        # One-sided: only the needed copy is emitted.
+        op = buffer_packing(CONTIGUOUS, strided(64), caps)
+        assert op.notation() == "(1S0 || Nd || 0D1) o 1C64"
+
+    def test_paragon_uses_dma_fetch_send(self):
+        op = buffer_packing(CONTIGUOUS, strided(64), PARAGON_CAPS)
+        assert TransferKind.FETCH_SEND in kinds(op)
+        assert TransferKind.LOAD_SEND not in kinds(op)
+
+    def test_no_deposit_engine_falls_back_to_receive_store(self):
+        op = buffer_packing(CONTIGUOUS, CONTIGUOUS, BARE_CAPS)
+        assert TransferKind.RECEIVE_STORE in kinds(op)
+
+    def test_overlap_unpack_moves_scatter_into_parallel(self):
+        caps = CommCapabilities(
+            deposit=DepositSupport.CONTIGUOUS, dma_send=True, overlap_unpack=True
+        )
+        op = buffer_packing(CONTIGUOUS, strided(64), caps)
+        assert isinstance(op, Seq)
+        assert isinstance(op.parts[-1], Par)
+        assert "1C64" in op.parts[-1].notation()
+
+    def test_network_stage_is_always_data_only(self):
+        op = buffer_packing(INDEXED, INDEXED, T3D_CAPS)
+        assert TransferKind.NETWORK_DATA in kinds(op)
+        assert TransferKind.NETWORK_ADP not in kinds(op)
+
+    def test_fixed_patterns_rejected(self):
+        with pytest.raises(CompositionError):
+            buffer_packing(FIXED, CONTIGUOUS, T3D_CAPS)
+
+    def test_operations_validate(self):
+        for x in (CONTIGUOUS, strided(64), INDEXED):
+            for y in (CONTIGUOUS, strided(64), INDEXED):
+                buffer_packing(x, y, T3D_CAPS).validate()
+                buffer_packing(x, y, PARAGON_CAPS).validate()
+
+
+class TestChained:
+    def test_contiguous_uses_data_network(self):
+        op = chained(CONTIGUOUS, CONTIGUOUS, T3D_CAPS)
+        assert op.notation() == "1S0 || Nd || 0D1"
+
+    def test_noncontiguous_uses_address_data_pairs(self):
+        op = chained(strided(64), strided(64), T3D_CAPS)
+        assert op.notation() == "64S0 || Nadp || 0D64"
+
+    def test_mixed_patterns_use_adp(self):
+        op = chained(CONTIGUOUS, strided(64), T3D_CAPS)
+        assert TransferKind.NETWORK_ADP in kinds(op)
+
+    def test_paragon_coprocessor_receive(self):
+        op = chained(strided(64), strided(64), PARAGON_CAPS)
+        assert op.notation() == "64S0 || Nadp || 0R64"
+
+    def test_paragon_contiguous_can_use_dma_deposit(self):
+        op = chained(CONTIGUOUS, CONTIGUOUS, PARAGON_CAPS)
+        assert TransferKind.RECEIVE_DEPOSIT in kinds(op)
+
+    def test_no_background_receiver_rejected(self):
+        with pytest.raises(CompositionError, match="no background receiver"):
+            chained(CONTIGUOUS, strided(64), BARE_CAPS)
+
+    def test_operations_validate(self):
+        for x in (CONTIGUOUS, strided(64), INDEXED):
+            for y in (CONTIGUOUS, strided(64), INDEXED):
+                chained(x, y, T3D_CAPS).validate()
+                chained(x, y, PARAGON_CAPS).validate()
+
+    def test_chained_is_always_fully_parallel(self):
+        op = chained(INDEXED, INDEXED, T3D_CAPS)
+        assert isinstance(op, Par)
+
+
+class TestCapabilities:
+    def test_chained_receiver_availability(self):
+        assert T3D_CAPS.chained_receiver_available
+        assert PARAGON_CAPS.chained_receiver_available
+        assert not BARE_CAPS.chained_receiver_available

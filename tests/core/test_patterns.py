@@ -1,0 +1,125 @@
+"""Tests for access patterns (repro.core.patterns)."""
+
+import pytest
+
+from repro.core.errors import PatternError
+from repro.core.patterns import (
+    CONTIGUOUS,
+    FIXED,
+    INDEXED,
+    AccessPattern,
+    PatternKind,
+    strided,
+)
+
+
+class TestConstruction:
+    def test_fixed_singleton_properties(self):
+        assert FIXED.is_fixed
+        assert not FIXED.is_memory_pattern
+        assert FIXED.subscript == "0"
+
+    def test_contiguous_properties(self):
+        assert CONTIGUOUS.is_contiguous
+        assert CONTIGUOUS.is_memory_pattern
+        assert CONTIGUOUS.subscript == "1"
+
+    def test_indexed_properties(self):
+        assert INDEXED.is_indexed
+        assert INDEXED.subscript == "w"
+        assert INDEXED.needs_addresses_on_wire
+
+    def test_strided_basic(self):
+        p = strided(64)
+        assert p.is_strided
+        assert p.stride == 64
+        assert p.block == 1
+        assert p.subscript == "64"
+        assert p.needs_addresses_on_wire
+
+    def test_strided_blocked(self):
+        p = strided(64, block=2)
+        assert p.block == 2
+        assert p.subscript == "64x2"
+
+    def test_contiguous_does_not_need_addresses(self):
+        assert not CONTIGUOUS.needs_addresses_on_wire
+
+    def test_classmethod_constructors_match_constants(self):
+        assert AccessPattern.fixed() == FIXED
+        assert AccessPattern.contiguous() == CONTIGUOUS
+        assert AccessPattern.indexed() == INDEXED
+        assert AccessPattern.strided(8) == strided(8)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad_stride", [1, 0, -3, None])
+    def test_strided_requires_stride_at_least_two(self, bad_stride):
+        with pytest.raises(PatternError):
+            AccessPattern(PatternKind.STRIDED, stride=bad_stride)
+
+    def test_block_must_be_smaller_than_stride(self):
+        with pytest.raises(PatternError):
+            strided(4, block=4)
+        with pytest.raises(PatternError):
+            strided(4, block=0)
+
+    def test_non_strided_rejects_stride(self):
+        with pytest.raises(PatternError):
+            AccessPattern(PatternKind.CONTIGUOUS, stride=4)
+
+    def test_non_strided_rejects_block(self):
+        with pytest.raises(PatternError):
+            AccessPattern(PatternKind.INDEXED, block=2)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert strided(16) == strided(16)
+        assert strided(16) != strided(32)
+        assert len({strided(16), strided(16), strided(32)}) == 2
+
+    def test_patterns_key_dictionaries(self):
+        table = {CONTIGUOUS: 1, strided(64): 2, INDEXED: 3}
+        assert table[AccessPattern.strided(64)] == 2
+
+    def test_blocked_and_plain_strided_differ(self):
+        assert strided(16, block=2) != strided(16)
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", FIXED),
+            ("1", CONTIGUOUS),
+            ("64", strided(64)),
+            ("2", strided(2)),
+            ("w", INDEXED),
+            ("ω", INDEXED),
+            ("omega", INDEXED),
+            ("64x2", strided(64, block=2)),
+            ("  16 ", strided(16)),
+        ],
+    )
+    def test_parse_valid(self, text, expected):
+        assert AccessPattern.parse(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "x", "1.5", "-4", "64x", "ax2"])
+    def test_parse_invalid(self, text):
+        with pytest.raises(PatternError):
+            AccessPattern.parse(text)
+
+    def test_parse_roundtrips_subscript(self):
+        for pattern in (FIXED, CONTIGUOUS, INDEXED, strided(7), strided(9, block=3)):
+            assert AccessPattern.parse(pattern.subscript) == pattern
+
+    def test_str_is_subscript(self):
+        assert str(strided(12)) == "12"
+
+
+class TestMatching:
+    def test_matches_is_equality(self):
+        assert CONTIGUOUS.matches(CONTIGUOUS)
+        assert not CONTIGUOUS.matches(strided(2))
+        assert strided(8).matches(strided(8))

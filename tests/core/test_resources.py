@@ -1,0 +1,33 @@
+"""Tests for the resource model (repro.core.resources)."""
+
+from repro.core.resources import NodeRole, Resource, ResourceUnit, resources
+
+
+class TestResource:
+    def test_exclusivity_split(self):
+        exclusive = {
+            ResourceUnit.CPU,
+            ResourceUnit.COPROCESSOR,
+            ResourceUnit.DMA,
+            ResourceUnit.DEPOSIT,
+        }
+        for unit in ResourceUnit:
+            assert unit.is_exclusive == (unit in exclusive)
+
+    def test_resource_identity_includes_role(self):
+        sender = Resource(ResourceUnit.CPU, NodeRole.SENDER)
+        receiver = Resource(ResourceUnit.CPU, NodeRole.RECEIVER)
+        assert sender != receiver
+        assert len({sender, receiver}) == 2
+
+    def test_resource_str(self):
+        assert str(Resource(ResourceUnit.DMA, NodeRole.SENDER)) == "sender:dma"
+
+    def test_resources_helper(self):
+        bundle = resources(NodeRole.LOCAL, ResourceUnit.CPU, ResourceUnit.MEMORY)
+        assert len(bundle) == 2
+        assert all(r.role is NodeRole.LOCAL for r in bundle)
+
+    def test_exclusive_propagates(self):
+        assert Resource(ResourceUnit.CPU, NodeRole.LOCAL).is_exclusive
+        assert not Resource(ResourceUnit.MEMORY, NodeRole.LOCAL).is_exclusive

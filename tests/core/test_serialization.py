@@ -1,0 +1,68 @@
+"""Tests for table serialization (repro.core.serialization)."""
+
+import pytest
+
+from repro.core.calibration import ThroughputTable
+from repro.core.errors import CalibrationError
+from repro.core.serialization import (
+    dump_table,
+    load_table,
+    table_from_dict,
+    table_to_dict,
+)
+from repro.core.transfers import TransferKind
+
+
+@pytest.fixture
+def table():
+    t = ThroughputTable("roundtrip")
+    t.set(TransferKind.COPY, "1", "1", 93.0)
+    t.set(TransferKind.COPY, "1", 64, 67.9)
+    t.set(TransferKind.COPY, "w", "1", 32.9)
+    t.set(TransferKind.LOAD_SEND, 16, "0", 38.0)
+    t.set(TransferKind.FETCH_SEND, "1", "0", 160.0)
+    t.set(TransferKind.RECEIVE_STORE, "0", "w", 42.0)
+    t.set(TransferKind.RECEIVE_DEPOSIT, "0", 64, 52.0)
+    t.set(TransferKind.NETWORK_DATA, "0", "0", 69.0)
+    t.set(TransferKind.NETWORK_ADP, "0", "0", 38.0)
+    return t
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_entries(self, table):
+        rebuilt = table_from_dict(table_to_dict(table))
+        assert rebuilt.to_dict() == table.to_dict()
+        assert rebuilt.name == "roundtrip"
+
+    def test_file_roundtrip(self, table, tmp_path):
+        path = tmp_path / "table.json"
+        dump_table(table, str(path))
+        rebuilt = load_table(str(path))
+        assert rebuilt.to_dict() == table.to_dict()
+
+    def test_published_machine_tables_roundtrip(self, t3d_machine, paragon_machine):
+        for machine in (t3d_machine, paragon_machine):
+            original = machine.paper_table()
+            rebuilt = table_from_dict(table_to_dict(original))
+            assert rebuilt.to_dict() == original.to_dict()
+
+    def test_rebuilt_table_answers_lookups(self, table):
+        from repro.core.patterns import CONTIGUOUS, strided
+        from repro.core.transfers import copy
+
+        rebuilt = table_from_dict(table_to_dict(table))
+        assert rebuilt.lookup(copy(CONTIGUOUS, strided(128))) == 67.9
+
+
+class TestErrors:
+    def test_missing_entries_field(self):
+        with pytest.raises(CalibrationError):
+            table_from_dict({"name": "x"})
+
+    def test_garbage_key_rejected(self):
+        with pytest.raises(CalibrationError, match="unparseable"):
+            table_from_dict({"entries": {"1Z1": 10.0}})
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(CalibrationError):
+            table_from_dict({"entries": {"1C1": -5.0}})

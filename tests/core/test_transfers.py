@@ -1,0 +1,118 @@
+"""Tests for basic transfers (repro.core.transfers)."""
+
+import pytest
+
+from repro.core.errors import PatternError
+from repro.core.patterns import CONTIGUOUS, FIXED, INDEXED, strided
+from repro.core.resources import NodeRole, ResourceUnit
+from repro.core.transfers import (
+    TransferKind,
+    copy,
+    fetch_send,
+    load_send,
+    network_adp,
+    network_data,
+    receive_deposit,
+    receive_store,
+)
+
+
+def units(transfer):
+    return {resource.unit for resource in transfer.uses}
+
+
+def roles(transfer):
+    return {resource.role for resource in transfer.uses}
+
+
+class TestNotation:
+    def test_copy_notation(self):
+        assert copy(CONTIGUOUS, strided(64)).notation == "1C64"
+        assert copy(INDEXED, CONTIGUOUS).notation == "wC1"
+
+    def test_send_receive_notation(self):
+        assert load_send(CONTIGUOUS).notation == "1S0"
+        assert fetch_send(CONTIGUOUS).notation == "1F0"
+        assert receive_store(strided(64)).notation == "0R64"
+        assert receive_deposit(INDEXED).notation == "0Dw"
+
+    def test_network_notation(self):
+        assert network_data().notation == "Nd"
+        assert network_adp().notation == "Nadp"
+
+    def test_str_matches_notation(self):
+        transfer = copy(CONTIGUOUS, CONTIGUOUS)
+        assert str(transfer) == transfer.notation
+
+
+class TestValidation:
+    def test_send_requires_memory_read(self):
+        with pytest.raises(PatternError):
+            load_send(FIXED)
+
+    def test_deposit_requires_memory_write(self):
+        with pytest.raises(PatternError):
+            receive_deposit(FIXED)
+
+    def test_copy_rejects_fixed_ends(self):
+        with pytest.raises(PatternError):
+            copy(FIXED, CONTIGUOUS)
+        with pytest.raises(PatternError):
+            copy(CONTIGUOUS, FIXED)
+
+
+class TestResources:
+    def test_copy_uses_cpu_and_memory(self):
+        transfer = copy(CONTIGUOUS, CONTIGUOUS)
+        assert ResourceUnit.CPU in units(transfer)
+        assert ResourceUnit.MEMORY in units(transfer)
+
+    def test_copy_role_defaults_local_and_is_settable(self):
+        assert roles(copy(CONTIGUOUS, CONTIGUOUS)) == {NodeRole.LOCAL}
+        sender_copy = copy(CONTIGUOUS, CONTIGUOUS, role=NodeRole.SENDER)
+        assert roles(sender_copy) == {NodeRole.SENDER}
+
+    def test_load_send_is_a_sender_cpu_transfer(self):
+        transfer = load_send(strided(64))
+        assert ResourceUnit.CPU in units(transfer)
+        assert roles(transfer) == {NodeRole.SENDER}
+
+    def test_fetch_send_uses_dma_not_cpu(self):
+        transfer = fetch_send(CONTIGUOUS)
+        assert ResourceUnit.DMA in units(transfer)
+        assert ResourceUnit.CPU not in units(transfer)
+
+    def test_receive_deposit_uses_deposit_engine(self):
+        transfer = receive_deposit(strided(64))
+        assert ResourceUnit.DEPOSIT in units(transfer)
+        assert ResourceUnit.CPU not in units(transfer)
+        assert roles(transfer) == {NodeRole.RECEIVER}
+
+    def test_receive_store_coprocessor_flag(self):
+        main = receive_store(CONTIGUOUS)
+        coproc = receive_store(CONTIGUOUS, coprocessor=True)
+        assert ResourceUnit.CPU in units(main)
+        assert ResourceUnit.COPROCESSOR in units(coproc)
+        assert ResourceUnit.CPU not in units(coproc)
+
+    def test_network_uses_only_network(self):
+        assert units(network_data()) == {ResourceUnit.NETWORK}
+
+
+class TestKindPredicates:
+    def test_network_kinds(self):
+        assert TransferKind.NETWORK_DATA.is_network
+        assert TransferKind.NETWORK_ADP.is_network
+        assert not TransferKind.COPY.is_network
+
+    def test_background_kinds(self):
+        assert TransferKind.FETCH_SEND.is_background
+        assert TransferKind.RECEIVE_DEPOSIT.is_background
+        assert not TransferKind.LOAD_SEND.is_background
+        assert not TransferKind.RECEIVE_STORE.is_background
+
+    def test_exclusive_units(self):
+        assert ResourceUnit.CPU.is_exclusive
+        assert ResourceUnit.DEPOSIT.is_exclusive
+        assert not ResourceUnit.MEMORY.is_exclusive
+        assert not ResourceUnit.NETWORK.is_exclusive

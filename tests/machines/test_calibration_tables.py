@@ -1,0 +1,124 @@
+"""Calibration validation: simulators vs the paper's Tables 1-3.
+
+These are the Section 4 reproduction tests: running the memory-system
+simulator with each machine's parameters must land within a stated
+tolerance of every published basic-transfer figure, and — more
+importantly — must preserve every qualitative asymmetry the paper
+builds its argument on.
+
+Known quantitative deviations (documented in EXPERIMENTS.md) get
+per-entry tolerance overrides rather than being skipped.
+"""
+
+import pytest
+
+from repro.machines import measure_table
+
+#: Default fractional tolerance for simulated-vs-published entries.
+TOLERANCE = 0.15
+
+#: Entries where the simulator is known to deviate further; values are
+#: the accepted fractional tolerance (see EXPERIMENTS.md, "calibration").
+LOOSE = {
+    ("Intel Paragon", "16C1"): 0.30,
+    ("Intel Paragon", "16S0"): 0.30,
+    ("Intel Paragon", "0R16"): 1.00,
+    ("Intel Paragon", "0Rw"): 0.30,
+    ("Intel Paragon", "wC1"): 0.30,
+    ("Intel Paragon", "wS0"): 0.30,
+    ("Intel Paragon", "1C16"): 0.25,
+    ("Intel Paragon", "1Cw"): 0.25,
+}
+
+
+@pytest.fixture(scope="module")
+def tables(t3d_machine, paragon_machine):
+    result = {}
+    for machine in (t3d_machine, paragon_machine):
+        result[machine.name] = (
+            machine.paper_table().to_dict(),
+            measure_table(machine, nwords=16384).to_dict(),
+        )
+    return result
+
+
+def entries(tables, name):
+    published, simulated = tables[name]
+    return sorted(set(published) & set(simulated))
+
+
+class TestQuantitativeCalibration:
+    def test_t3d_every_entry_within_tolerance(self, tables):
+        published, simulated = tables["Cray T3D"]
+        for key in entries(tables, "Cray T3D"):
+            tolerance = LOOSE.get(("Cray T3D", key), TOLERANCE)
+            assert simulated[key] == pytest.approx(published[key], rel=tolerance), (
+                f"{key}: simulated {simulated[key]:.1f} vs "
+                f"published {published[key]:.1f}"
+            )
+
+    def test_paragon_every_entry_within_tolerance(self, tables):
+        published, simulated = tables["Intel Paragon"]
+        for key in entries(tables, "Intel Paragon"):
+            tolerance = LOOSE.get(("Intel Paragon", key), TOLERANCE)
+            assert simulated[key] == pytest.approx(published[key], rel=tolerance), (
+                f"{key}: simulated {simulated[key]:.1f} vs "
+                f"published {published[key]:.1f}"
+            )
+
+    def test_coverage_t3d(self, tables):
+        """Every Table 1-3 figure for the T3D is actually simulated."""
+        assert {
+            "1C1", "1C64", "64C1", "1Cw", "wC1",
+            "1S0", "64S0", "wS0",
+            "0D1", "0D64", "0Dw",
+            "Nd", "Nadp",
+        } <= set(entries(tables, "Cray T3D"))
+
+    def test_coverage_paragon(self, tables):
+        assert {
+            "1C1", "1C64", "64C1", "1Cw", "wC1",
+            "1S0", "1F0", "64S0", "wS0",
+            "0R1", "0R64", "0Rw", "0D1",
+            "Nd", "Nadp",
+        } <= set(entries(tables, "Intel Paragon"))
+
+
+class TestQualitativeShape:
+    """The asymmetries the paper's optimization advice rests on."""
+
+    def test_t3d_strided_stores_beat_strided_loads(self, tables):
+        __, simulated = tables["Cray T3D"]
+        assert simulated["1C64"] > 1.5 * simulated["64C1"]
+
+    def test_paragon_strided_loads_at_least_match_stores(self, tables):
+        __, simulated = tables["Intel Paragon"]
+        assert simulated["64C1"] >= 0.95 * simulated["1C64"]
+
+    def test_paragon_indexed_loads_beat_strided_loads(self, tables):
+        """Table 1's Paragon inversion: wC1 > 64C1."""
+        __, simulated = tables["Intel Paragon"]
+        assert simulated["wC1"] > simulated["64C1"]
+
+    def test_t3d_indexed_and_strided_loads_comparable(self, tables):
+        __, simulated = tables["Cray T3D"]
+        assert simulated["wC1"] == pytest.approx(simulated["64C1"], rel=0.25)
+
+    def test_send_faster_than_copy_for_contiguous_t3d(self, tables):
+        """1S0 > 1C1: NI stores don't consume DRAM bandwidth."""
+        __, simulated = tables["Cray T3D"]
+        assert simulated["1S0"] > simulated["1C1"]
+
+    def test_deposit_block_framing_advantage(self, tables):
+        __, simulated = tables["Cray T3D"]
+        assert simulated["0D1"] > 2 * simulated["0D64"]
+        assert simulated["0D64"] == pytest.approx(simulated["0Dw"], rel=0.1)
+
+    def test_paragon_dma_send_fastest(self, tables):
+        __, simulated = tables["Intel Paragon"]
+        assert simulated["1F0"] > 2 * simulated["1S0"]
+
+    def test_contiguous_is_best_pattern_everywhere(self, tables):
+        for name in ("Cray T3D", "Intel Paragon"):
+            __, simulated = tables[name]
+            assert simulated["1C1"] >= max(simulated["1C64"], simulated["64C1"])

@@ -1,0 +1,83 @@
+"""Config-invariant tests: the machine descriptions match Section 3.5.
+
+These lock the *qualitative* hardware facts the paper states, so a
+future calibration tweak cannot silently turn the T3D into a machine
+with pipelined loads or the Paragon into one with a general deposit
+engine.
+"""
+
+from repro.core.operations import DepositSupport
+from repro.machines import paragon, t3d
+
+
+class TestT3DDescription:
+    def test_alpha_blocking_loads(self, t3d_machine):
+        """The 21064 has no load pipelining."""
+        assert t3d_machine.node.processor.pipelined_load_depth == 0
+
+    def test_write_around_cache(self, t3d_machine):
+        assert t3d_machine.node.cache.write_policy == "around"
+
+    def test_cache_geometry(self, t3d_machine):
+        cache = t3d_machine.node.cache
+        assert cache.size_bytes == 8192
+        assert cache.associativity == 1  # direct-mapped on-chip cache
+
+    def test_non_interleaved_memory(self, t3d_machine):
+        """'a simple non-interleaved memory system'."""
+        assert t3d_machine.node.dram.n_banks == 1
+
+    def test_annex_handles_any_pattern(self, t3d_machine):
+        assert t3d_machine.capabilities.deposit is DepositSupport.ANY
+        assert t3d_machine.node.deposit.patterns == "any"
+
+    def test_no_dma_no_coprocessor(self, t3d_machine):
+        assert not t3d_machine.node.dma.present
+        assert not t3d_machine.capabilities.coprocessor_receive
+
+    def test_torus_with_port_sharing(self, t3d_machine):
+        assert t3d_machine.network.port_sharing == 2
+        assert t3d_machine.topology(64).wraparound
+
+    def test_write_buffer_merges(self, t3d_machine):
+        assert t3d_machine.node.write_buffer.merge
+
+    def test_read_ahead_available(self, t3d_machine):
+        assert t3d_machine.node.read_ahead.enabled
+        assert not t3d_machine.node.read_ahead.survives_writes
+
+
+class TestParagonDescription:
+    def test_i860_pipelined_loads(self, paragon_machine):
+        assert paragon_machine.node.processor.pipelined_load_depth == 3
+        assert paragon_machine.node.processor.pipelined_loads_bypass_cache
+
+    def test_write_through_under_sunmos(self, paragon_machine):
+        assert paragon_machine.node.cache.write_policy == "through"
+
+    def test_cache_geometry(self, paragon_machine):
+        cache = paragon_machine.node.cache
+        assert cache.size_bytes == 16384
+        assert cache.associativity == 4
+
+    def test_dma_is_contiguous_only(self, paragon_machine):
+        assert paragon_machine.node.dma.present
+        assert paragon_machine.capabilities.deposit is DepositSupport.CONTIGUOUS
+        assert not paragon_machine.node.deposit.supports(False)
+
+    def test_second_processor_available(self, paragon_machine):
+        assert paragon_machine.capabilities.coprocessor_receive
+
+    def test_mesh_without_wraparound(self, paragon_machine):
+        assert not paragon_machine.topology(64).wraparound
+        assert paragon_machine.network.port_sharing == 1
+
+    def test_measurement_quirks_recorded(self, paragon_machine):
+        quirks = paragon_machine.quirks
+        assert quirks.send_rate_scale < 1.0   # pipelined loads unusable
+        assert quirks.measures_simplex        # no simultaneous send+recv
+        assert quirks.bus_interleave_scale > 1.0
+
+    def test_clock_rates(self, t3d_machine, paragon_machine):
+        assert t3d_machine.node.processor.clock_mhz == 150.0
+        assert paragon_machine.node.processor.clock_mhz == 50.0

@@ -1,0 +1,89 @@
+"""Tests for machine wiring (repro.machines.base, t3d, paragon)."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.core import TransferKind
+from repro.core.operations import DepositSupport
+from repro.machines import measure_table, paragon, replace_node, t3d
+
+
+class TestConstruction:
+    def test_machines_are_fresh_instances(self):
+        assert t3d() is not t3d()
+
+    def test_names(self, t3d_machine, paragon_machine):
+        assert t3d_machine.name == "Cray T3D"
+        assert paragon_machine.name == "Intel Paragon"
+
+    def test_capability_differences(self, t3d_machine, paragon_machine):
+        assert t3d_machine.capabilities.deposit is DepositSupport.ANY
+        assert paragon_machine.capabilities.deposit is DepositSupport.CONTIGUOUS
+        assert paragon_machine.capabilities.coprocessor_receive
+        assert not t3d_machine.capabilities.coprocessor_receive
+
+
+class TestPaperTables:
+    def test_paper_table_has_network_entries(self, t3d_machine):
+        table = t3d_machine.paper_table()
+        assert table.get(TransferKind.NETWORK_DATA, "0", "0") == 69.0
+        assert table.get(TransferKind.NETWORK_ADP, "0", "0") == 38.0
+
+    def test_paper_table_congestion_selection(self, t3d_machine):
+        table = t3d_machine.paper_table(congestion=4)
+        assert table.get(TransferKind.NETWORK_DATA, "0", "0") == 35.0
+
+    def test_published_values_table1(self, t3d_machine, paragon_machine):
+        assert t3d_machine.published.get(TransferKind.COPY, "1", "1") == 93.0
+        assert paragon_machine.published.get(TransferKind.COPY, "1", "1") == 67.6
+
+
+class TestModels:
+    def test_model_sources(self, t3d_machine):
+        paper_model = t3d_machine.model(source="paper")
+        sim_model = t3d_machine.model(source="simulated")
+        assert paper_model.table is not sim_model.table
+        assert len(sim_model.table) > 0
+
+    def test_unknown_source_rejected(self, t3d_machine):
+        with pytest.raises(ValueError):
+            t3d_machine.model(source="folklore")
+
+
+class TestMeasureCaching:
+    def test_repeated_measurement_is_cached(self, t3d_machine):
+        first = measure_table(t3d_machine, nwords=4096)
+        second = measure_table(t3d_machine, nwords=4096)
+        assert first is second
+
+    def test_different_parameters_not_conflated(self, t3d_machine):
+        a = measure_table(t3d_machine, nwords=4096)
+        b = measure_table(t3d_machine, nwords=4096, congestion=4)
+        assert a is not b
+        assert a.get(TransferKind.NETWORK_DATA, "0", "0") != b.get(
+            TransferKind.NETWORK_DATA, "0", "0"
+        )
+
+    def test_modified_machine_remeasures(self, t3d_machine):
+        modified = replace_node(
+            t3d_machine,
+            dram=replace(t3d_machine.node.dram, read_miss_ns=400.0),
+        )
+        base = measure_table(t3d_machine, nwords=4096)
+        slow = measure_table(modified, nwords=4096)
+        assert slow.get(TransferKind.COPY, 64, "1") < base.get(
+            TransferKind.COPY, 64, "1"
+        )
+
+
+class TestOverrides:
+    def test_with_overrides_replaces_fields(self, t3d_machine):
+        changed = t3d_machine.with_overrides(index_run=5)
+        assert changed.index_run == 5
+        assert t3d_machine.index_run == 1
+
+    def test_replace_node_shorthand(self, t3d_machine):
+        changed = replace_node(t3d_machine, name="tweaked")
+        assert changed.node.name == "tweaked"
+        assert changed.node.dram == t3d_machine.node.dram

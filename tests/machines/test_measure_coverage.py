@@ -1,0 +1,62 @@
+"""Tests for measurement-harness coverage (repro.machines.measure)."""
+
+import pytest
+
+from repro.core import TransferKind
+from repro.machines import measure_table
+
+
+@pytest.fixture(scope="module")
+def t3d_table(t3d_machine):
+    return measure_table(t3d_machine, nwords=4096)
+
+
+@pytest.fixture(scope="module")
+def paragon_table(paragon_machine):
+    return measure_table(paragon_machine, nwords=4096)
+
+
+class TestCoverage:
+    def test_t3d_measures_only_existing_hardware(self, t3d_table):
+        """No DMA, no co-processor on the T3D: no 1F0, no 0Ry entries."""
+        assert not t3d_table.has(TransferKind.FETCH_SEND, "1", "0")
+        assert not t3d_table.has(TransferKind.RECEIVE_STORE, "0", "1")
+        # But the general deposit engine covers all patterns.
+        assert t3d_table.has(TransferKind.RECEIVE_DEPOSIT, "0", "w")
+        assert t3d_table.has(TransferKind.RECEIVE_DEPOSIT, "0", 64)
+
+    def test_paragon_dma_is_contiguous_only(self, paragon_table):
+        assert paragon_table.has(TransferKind.FETCH_SEND, "1", "0")
+        assert paragon_table.has(TransferKind.RECEIVE_DEPOSIT, "0", "1")
+        assert not paragon_table.has(TransferKind.RECEIVE_DEPOSIT, "0", 64)
+        # The co-processor receive-store covers the rest.
+        assert paragon_table.has(TransferKind.RECEIVE_STORE, "0", "w")
+
+    def test_stride_anchor_coverage(self, t3d_table):
+        for stride in (2, 4, 8, 16, 32, 64):
+            assert t3d_table.has(TransferKind.COPY, "1", stride)
+            assert t3d_table.has(TransferKind.COPY, stride, "1")
+            assert t3d_table.has(TransferKind.LOAD_SEND, stride, "0")
+
+    def test_network_entries_present(self, t3d_table, paragon_table):
+        for table in (t3d_table, paragon_table):
+            assert table.has(TransferKind.NETWORK_DATA, "0", "0")
+            assert table.has(TransferKind.NETWORK_ADP, "0", "0")
+
+    def test_custom_stride_list(self, t3d_machine):
+        table = measure_table(t3d_machine, nwords=4096, strides=(4, 128))
+        assert table.has(TransferKind.COPY, "1", 128)
+        assert not table.has(TransferKind.COPY, "1", 64)
+
+
+class TestModelUsability:
+    def test_simulated_model_answers_every_pattern(self, t3d_machine):
+        """The simulated table must be complete enough to evaluate the
+        full Figure 7 pattern grid without CalibrationError."""
+        from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+
+        model = t3d_machine.model(source="simulated")
+        for x in (CONTIGUOUS, strided(3), strided(100), INDEXED):
+            for y in (CONTIGUOUS, strided(3), strided(100), INDEXED):
+                for style in ("buffer-packing", "chained"):
+                    assert model.estimate(x, y, style).mbps > 0

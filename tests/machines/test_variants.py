@@ -1,0 +1,81 @@
+"""Tests for what-if machine variants (repro.machines.variants)."""
+
+import pytest
+
+from repro.core import CompositionError
+from repro.core.operations import OperationStyle
+from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+from repro.machines import (
+    paragon,
+    paragon_fixed_ni,
+    t3d,
+    t3d_contiguous_deposits,
+    t3d_without_readahead,
+)
+from repro.runtime.engine import CommRuntime
+from repro.runtime.libraries import lowlevel_profile
+
+
+def simplex_chained_mbps(machine, x, y, nbytes=131072):
+    runtime = CommRuntime(machine, library=lowlevel_profile())
+    return runtime.transfer(
+        x, y, nbytes, OperationStyle.CHAINED, duplex=False
+    ).mbps
+
+
+class TestParagonFixedNI:
+    def test_send_quirks_removed(self):
+        machine = paragon_fixed_ni()
+        assert machine.quirks.send_rate_scale == 1.0
+        assert not machine.quirks.measures_simplex
+
+    def test_recovers_the_30_to_40_percent_loss(self):
+        """Section 5.1.4: pipelined loads unusable -> 30-40% loss.
+        With working parts, processor-send-bound chained transfers
+        should gain roughly that back (like for like: simplex)."""
+        stock = simplex_chained_mbps(paragon(), strided(16), CONTIGUOUS)
+        fixed = simplex_chained_mbps(paragon_fixed_ni(), strided(16), CONTIGUOUS)
+        gain = fixed / stock - 1.0
+        assert 0.2 < gain < 0.5
+
+    def test_hardware_unchanged(self):
+        assert paragon_fixed_ni().node == paragon().node
+
+
+class TestT3DContiguousDeposits:
+    def test_chained_infeasible_for_noncontiguous(self):
+        model = t3d_contiguous_deposits().model(source="paper")
+        with pytest.raises(CompositionError):
+            model.build(INDEXED, INDEXED, "chained")
+
+    def test_contiguous_chained_still_works(self):
+        model = t3d_contiguous_deposits().model(source="paper")
+        assert model.estimate(CONTIGUOUS, CONTIGUOUS, "chained").mbps > 0
+
+    def test_compiler_falls_back_to_packing(self):
+        choice = t3d_contiguous_deposits().model(source="paper").choose(
+            INDEXED, INDEXED
+        )
+        assert choice.style is OperationStyle.BUFFER_PACKING
+
+    def test_simulator_agrees_with_capabilities(self):
+        node = t3d_contiguous_deposits().node_memory(nwords=512)
+        assert not node.supports_deposit(strided(64))
+
+
+class TestT3DWithoutReadahead:
+    def test_send_streams_lose_most_of_their_edge(self):
+        stock = t3d().node_memory(4096).measure_load_send(CONTIGUOUS)
+        without = t3d_without_readahead().node_memory(4096).measure_load_send(
+            CONTIGUOUS
+        )
+        assert stock > 1.4 * without
+
+
+class TestVariantIsolation:
+    def test_variants_do_not_mutate_stock_machines(self):
+        stock = t3d()
+        t3d_contiguous_deposits()
+        t3d_without_readahead()
+        assert stock.capabilities.deposit.value == "any"
+        assert stock.node.read_ahead.enabled

@@ -1,0 +1,109 @@
+"""Tests for the set-associative cache (repro.memsim.cache)."""
+
+import pytest
+
+from repro.memsim.cache import Cache
+from repro.memsim.config import CacheConfig
+
+
+def direct_mapped(size=256, line=32):
+    return Cache(CacheConfig(size_bytes=size, line_bytes=line, associativity=1))
+
+
+def four_way(size=512, line=32):
+    return Cache(CacheConfig(size_bytes=size, line_bytes=line, associativity=4))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = direct_mapped()
+        assert not cache.lookup_load(0)
+        assert cache.lookup_load(0)
+        assert cache.lookup_load(24)  # same 32-byte line
+
+    def test_different_line_misses(self):
+        cache = direct_mapped()
+        cache.lookup_load(0)
+        assert not cache.lookup_load(32)
+
+    def test_hit_rate_accounting(self):
+        cache = direct_mapped()
+        cache.lookup_load(0)
+        cache.lookup_load(8)
+        assert cache.hit_rate == 0.5
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(CacheConfig(size_bytes=100, line_bytes=32))
+        with pytest.raises(ValueError):
+            Cache(CacheConfig(size_bytes=96, line_bytes=32, associativity=2))
+
+
+class TestDirectMappedConflicts:
+    def test_aliasing_addresses_evict(self):
+        cache = direct_mapped(size=256, line=32)  # 8 lines, 8 sets
+        cache.lookup_load(0)
+        cache.lookup_load(256)  # same set, different tag: evicts
+        assert not cache.lookup_load(0)
+
+    def test_non_aliasing_addresses_coexist(self):
+        cache = direct_mapped(size=256, line=32)
+        cache.lookup_load(0)
+        cache.lookup_load(32)
+        assert cache.lookup_load(0)
+        assert cache.lookup_load(32)
+
+
+class TestAssociativity:
+    def test_four_way_tolerates_four_aliases(self):
+        cache = four_way(size=512, line=32)  # 16 lines, 4 sets
+        set_stride = 4 * 32  # same set every 128 bytes
+        for i in range(4):
+            cache.lookup_load(i * set_stride * 4)
+        for i in range(4):
+            assert cache.lookup_load(i * set_stride * 4)
+
+    def test_lru_evicts_oldest(self):
+        cache = four_way(size=512, line=32)
+        addresses = [i * 512 for i in range(5)]  # 5 aliases into one set
+        for address in addresses:
+            cache.lookup_load(address)
+        assert not cache.lookup_load(addresses[0])  # evicted (LRU)
+        assert cache.lookup_load(addresses[4])
+
+    def test_lru_refresh_on_hit(self):
+        cache = four_way(size=512, line=32)
+        addresses = [i * 512 for i in range(4)]
+        for address in addresses:
+            cache.lookup_load(address)
+        cache.lookup_load(addresses[0])  # refresh line 0
+        cache.lookup_load(4 * 512)       # evicts line 1, not line 0
+        assert cache.lookup_load(addresses[0])
+        assert not cache.lookup_load(addresses[1])
+
+
+class TestStores:
+    def test_store_never_allocates(self):
+        cache = direct_mapped()
+        assert not cache.lookup_store(0)
+        assert not cache.lookup_load(0)  # still a load miss afterwards
+
+    def test_store_hits_present_line(self):
+        cache = direct_mapped()
+        cache.lookup_load(0)
+        assert cache.lookup_store(8)
+
+
+class TestInvalidation:
+    def test_invalidate_all(self):
+        cache = direct_mapped()
+        cache.lookup_load(0)
+        cache.invalidate_all()
+        assert not cache.lookup_load(0)
+
+    def test_reset_clears_statistics(self):
+        cache = direct_mapped()
+        cache.lookup_load(0)
+        cache.reset()
+        assert cache.hits == 0
+        assert cache.misses == 0

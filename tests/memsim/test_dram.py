@@ -1,0 +1,107 @@
+"""Tests for the open-page DRAM model (repro.memsim.dram)."""
+
+import pytest
+
+from repro.memsim.config import DRAMConfig
+from repro.memsim.dram import DRAM
+
+
+@pytest.fixture
+def dram():
+    return DRAM(
+        DRAMConfig(
+            page_bytes=1024,
+            read_hit_ns=100.0,
+            read_miss_ns=200.0,
+            read_occupancy_hit_ns=40.0,
+            read_occupancy_miss_ns=80.0,
+            write_hit_ns=30.0,
+            write_miss_ns=120.0,
+            burst_word_ns=10.0,
+        )
+    )
+
+
+class TestPageBehaviour:
+    def test_first_access_misses(self, dram):
+        latency, occupancy = dram.read(0)
+        assert (latency, occupancy) == (200.0, 80.0)
+        assert dram.page_misses == 1
+
+    def test_same_page_hits(self, dram):
+        dram.read(0)
+        latency, occupancy = dram.read(512)
+        assert (latency, occupancy) == (100.0, 40.0)
+        assert dram.page_hits == 1
+
+    def test_crossing_page_misses(self, dram):
+        dram.read(0)
+        latency, __ = dram.read(1024)
+        assert latency == 200.0
+
+    def test_returning_to_closed_page_misses_again(self, dram):
+        dram.read(0)
+        dram.read(1024)
+        latency, __ = dram.read(0)
+        assert latency == 200.0
+
+    def test_write_timings(self, dram):
+        assert dram.write(0) == 120.0
+        assert dram.write(8) == 30.0
+
+    def test_reads_and_writes_share_the_open_page(self, dram):
+        dram.read(0)
+        assert dram.write(8) == 30.0
+
+    def test_hit_rate(self, dram):
+        dram.read(0)
+        dram.read(8)
+        dram.read(16)
+        assert dram.hit_rate == pytest.approx(2 / 3)
+
+    def test_reset(self, dram):
+        dram.read(0)
+        dram.reset()
+        assert dram.page_hits == 0
+        latency, __ = dram.read(0)
+        assert latency == 200.0
+
+
+class TestBursts:
+    def test_read_burst_adds_per_word_cost(self, dram):
+        latency, occupancy = dram.read_burst(0, 4)
+        assert latency == 200.0 + 3 * 10.0
+        assert occupancy == 80.0 + 3 * 10.0
+
+    def test_single_word_burst_equals_read(self, dram):
+        assert dram.read_burst(0, 1) == (200.0, 80.0)
+
+    def test_write_burst(self, dram):
+        assert dram.write_burst(0, 4) == 120.0 + 3 * 10.0
+
+
+class TestBanking:
+    def test_banks_keep_independent_open_pages(self):
+        dram = DRAM(DRAMConfig(page_bytes=256, n_banks=2, read_hit_ns=50,
+                               read_miss_ns=150))
+        dram.read(0)      # bank 0, page 0
+        dram.read(256)    # bank 1, page 1
+        # Returning to page 0 still hits: bank 1's activity didn't close it.
+        latency, __ = dram.read(8)
+        assert latency == 50
+
+    def test_single_bank_ping_pongs(self):
+        dram = DRAM(DRAMConfig(page_bytes=256, n_banks=1, read_hit_ns=50,
+                               read_miss_ns=150))
+        dram.read(0)
+        dram.read(512)    # same bank, different page: closes page 0
+        latency, __ = dram.read(8)
+        assert latency == 150
+
+    def test_same_bank_different_page_misses(self):
+        dram = DRAM(DRAMConfig(page_bytes=256, n_banks=2, read_hit_ns=50,
+                               read_miss_ns=150))
+        dram.read(0)       # bank 0, page 0
+        dram.read(512)     # bank 0, page 2: closes page 0
+        latency, __ = dram.read(0)
+        assert latency == 150

@@ -1,0 +1,161 @@
+"""Tests for the memory-system timeline engine (repro.memsim.engine).
+
+Functional behaviour and the *qualitative* microarchitecture effects;
+quantitative calibration against the paper's tables is covered in
+tests/machines/.
+"""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+from repro.machines import paragon_node_config, t3d_node_config
+from repro.memsim.config import DepositConfig, DMAConfig
+from repro.memsim.engine import MemoryEngine
+from repro.memsim.streams import make_stream
+
+N = 2048
+
+
+def run_copy(node, read_pattern, write_pattern, nwords=N, index_run=2):
+    engine = MemoryEngine(node)
+    read = make_stream(read_pattern, nwords, base=0, seed=1, index_run=index_run)
+    write = make_stream(
+        write_pattern, nwords, base=(1 << 24) + 256, seed=2, index_run=index_run
+    )
+    return engine.run_copy(read, write)
+
+
+class TestKernelResults:
+    def test_mbps_consistent_with_time(self, t3d_machine):
+        result = run_copy(t3d_machine.node, CONTIGUOUS, CONTIGUOUS)
+        assert result.mbps == pytest.approx(result.nwords * 8 / result.ns * 1000)
+
+    def test_mismatched_streams_rejected(self, t3d_machine):
+        engine = MemoryEngine(t3d_machine.node)
+        with pytest.raises(ValueError):
+            engine.run_copy(
+                make_stream(CONTIGUOUS, 8), make_stream(CONTIGUOUS, 16)
+            )
+
+    def test_statistics_populated(self, t3d_machine):
+        result = run_copy(t3d_machine.node, CONTIGUOUS, CONTIGUOUS)
+        assert 0 < result.dram_page_hit_rate < 1
+        assert 0 < result.cache_hit_rate < 1
+
+
+class TestMicroarchitectureEffects:
+    def test_t3d_strided_stores_beat_strided_loads(self, t3d_machine):
+        """The write-back queue posts stores; blocking loads stall."""
+        stores = run_copy(t3d_machine.node, CONTIGUOUS, strided(64))
+        loads = run_copy(t3d_machine.node, strided(64), CONTIGUOUS)
+        assert stores.mbps > 1.5 * loads.mbps
+
+    def test_paragon_strided_loads_at_least_match_stores(self, paragon_machine):
+        """Pipelined loads pay occupancy; write-through stores pay misses."""
+        stores = run_copy(paragon_machine.node, CONTIGUOUS, strided(64))
+        loads = run_copy(paragon_machine.node, strided(64), CONTIGUOUS)
+        assert loads.mbps >= stores.mbps
+
+    def test_contiguous_fastest_on_both(self, machine):
+        base = run_copy(machine.node, CONTIGUOUS, CONTIGUOUS)
+        for pattern in (strided(64), INDEXED):
+            assert base.mbps > run_copy(machine.node, CONTIGUOUS, pattern).mbps
+            assert base.mbps > run_copy(machine.node, pattern, CONTIGUOUS).mbps
+
+    def test_rdal_accelerates_pure_load_streams_only(self, t3d_machine):
+        """1S0 beats the load half of 1C1: read-ahead survives on pure
+        load streams but is broken by interleaved DRAM writes."""
+        engine = MemoryEngine(t3d_machine.node)
+        send = engine.run_load_send(make_stream(CONTIGUOUS, N))
+        copy = run_copy(t3d_machine.node, CONTIGUOUS, CONTIGUOUS)
+        assert send.mbps > copy.mbps
+
+    def test_rdal_off_slows_sends(self, t3d_machine):
+        node = replace(
+            t3d_machine.node,
+            read_ahead=replace(t3d_machine.node.read_ahead, enabled=False),
+        )
+        with_rdal = MemoryEngine(t3d_machine.node).run_load_send(
+            make_stream(CONTIGUOUS, N)
+        )
+        without = MemoryEngine(node).run_load_send(make_stream(CONTIGUOUS, N))
+        # The paper measured ~60% improvement from read-ahead.
+        assert with_rdal.mbps > 1.3 * without.mbps
+
+    def test_wbq_merging_speeds_contiguous_stores(self, t3d_machine):
+        node = replace(
+            t3d_machine.node,
+            write_buffer=replace(t3d_machine.node.write_buffer, merge=False),
+        )
+        merged = run_copy(t3d_machine.node, CONTIGUOUS, CONTIGUOUS)
+        unmerged = run_copy(node, CONTIGUOUS, CONTIGUOUS)
+        assert merged.mbps > unmerged.mbps
+
+    def test_pipelined_loads_hide_latency(self, paragon_machine):
+        node = replace(
+            paragon_machine.node,
+            processor=replace(
+                paragon_machine.node.processor,
+                pipelined_load_depth=0,
+                pipelined_loads_bypass_cache=False,
+            ),
+        )
+        pipelined = run_copy(paragon_machine.node, strided(64), CONTIGUOUS)
+        blocking = run_copy(node, strided(64), CONTIGUOUS)
+        assert pipelined.mbps > blocking.mbps
+
+    def test_occupancy_scale_slows_memory_bound_kernels(self, paragon_machine):
+        read = make_stream(strided(64), N)
+        write = make_stream(CONTIGUOUS, N, base=(1 << 24) + 256)
+        fast = MemoryEngine(paragon_machine.node).run_copy(read, write)
+        slow = MemoryEngine(paragon_machine.node, occupancy_scale=2.0).run_copy(
+            make_stream(strided(64), N),
+            make_stream(CONTIGUOUS, N, base=(1 << 24) + 256),
+        )
+        assert slow.ns > 1.3 * fast.ns
+
+
+class TestSendReceiveKernels:
+    def test_load_send_capped_by_ni(self, t3d_machine):
+        engine = MemoryEngine(t3d_machine.node)
+        result = engine.run_load_send(make_stream(CONTIGUOUS, N))
+        assert result.mbps <= t3d_machine.node.ni.fifo_mbps + 1e-9
+
+    def test_receive_store_slower_for_strided(self, paragon_machine):
+        engine = MemoryEngine(paragon_machine.node)
+        contiguous = engine.run_receive_store(make_stream(CONTIGUOUS, N))
+        strided_result = MemoryEngine(paragon_machine.node).run_receive_store(
+            make_stream(strided(64), N)
+        )
+        assert contiguous.mbps > strided_result.mbps
+
+    def test_deposit_contiguous_faster_than_pairs(self, t3d_machine):
+        engine = MemoryEngine(t3d_machine.node)
+        block = engine.run_deposit(make_stream(CONTIGUOUS, N))
+        pairs = MemoryEngine(t3d_machine.node).run_deposit(
+            make_stream(strided(64), N)
+        )
+        assert block.mbps > 1.5 * pairs.mbps
+
+    def test_deposit_rejects_unsupported_pattern(self, paragon_machine):
+        engine = MemoryEngine(paragon_machine.node)
+        with pytest.raises(ValueError, match="deposit engine"):
+            engine.run_deposit(make_stream(strided(64), N))
+
+    def test_fetch_send_requires_dma(self, t3d_machine):
+        engine = MemoryEngine(t3d_machine.node)
+        with pytest.raises(ValueError, match="no DMA"):
+            engine.run_fetch_send(N)
+
+    def test_fetch_send_page_kicks_cost_time(self, paragon_machine):
+        # Lift the NI cap so the DMA engine itself is the bottleneck.
+        node = replace(
+            paragon_machine.node,
+            ni=replace(paragon_machine.node.ni, fifo_mbps=10000.0),
+        )
+        no_kicks = replace(node, dma=replace(node.dma, page_kick_ns=0.0))
+        with_kicks = MemoryEngine(node).run_fetch_send(1 << 16)
+        without = MemoryEngine(no_kicks).run_fetch_send(1 << 16)
+        assert with_kicks.ns > without.ns

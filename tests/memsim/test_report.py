@@ -1,0 +1,53 @@
+"""Tests for transfer profiles (repro.memsim.report)."""
+
+import pytest
+
+from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+from repro.memsim.report import profile_copy, profile_load_send
+
+
+class TestProfileCopy:
+    def test_fields_consistent(self, t3d_node):
+        profile = profile_copy(t3d_node, CONTIGUOUS, CONTIGUOUS)
+        assert profile.name == "1C1"
+        assert profile.mbps == pytest.approx(8000.0 / profile.ns_per_word, rel=1e-6)
+        assert 0 <= profile.cache_hit_rate <= 1
+        assert 0 <= profile.dram_page_hit_rate <= 1
+
+    def test_copies_are_memory_bound(self, t3d_node):
+        """The paper's point: memory, not instruction issue, limits
+        communication-related copies on these machines."""
+        for x, y in [
+            (CONTIGUOUS, CONTIGUOUS),
+            (strided(64), CONTIGUOUS),
+            (INDEXED, CONTIGUOUS),
+        ]:
+            assert profile_copy(t3d_node, x, y).bound_by == "memory"
+
+    def test_indexed_issue_bound_higher(self, t3d_node):
+        plain = profile_copy(t3d_node, CONTIGUOUS, CONTIGUOUS)
+        indexed = profile_copy(t3d_node, INDEXED, CONTIGUOUS)
+        assert indexed.issue_ns_per_word > plain.issue_ns_per_word
+
+    def test_strided_loads_kill_cache_hits(self, t3d_node):
+        profile = profile_copy(t3d_node, strided(64), CONTIGUOUS)
+        assert profile.cache_hit_rate < 0.05
+
+    def test_render_mentions_boundedness(self, t3d_node):
+        text = profile_copy(t3d_node, CONTIGUOUS, CONTIGUOUS).render()
+        assert "bound" in text
+        assert "MB/s" in text
+
+
+class TestProfileLoadSend:
+    def test_t3d_contiguous_send_near_issue_bound(self, t3d_node):
+        """With read-ahead the 1S0 loop approaches its issue bound —
+        which is why 1S0 (126 MB/s) beats 1C1 (93 MB/s)."""
+        profile = profile_load_send(t3d_node, CONTIGUOUS)
+        assert profile.bound_by == "issue"
+
+    def test_strided_send_memory_bound(self, t3d_node):
+        assert profile_load_send(t3d_node, strided(64)).bound_by == "memory"
+
+    def test_name(self, paragon_node):
+        assert profile_load_send(paragon_node, INDEXED).name == "wS0"

@@ -1,0 +1,88 @@
+"""Tests for address-stream generation (repro.memsim.streams)."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import CONTIGUOUS, FIXED, INDEXED, strided
+from repro.memsim.config import WORD_BYTES
+from repro.memsim.streams import make_stream
+
+
+class TestContiguous:
+    def test_addresses_are_dense_words(self):
+        stream = make_stream(CONTIGUOUS, 16, base=1000)
+        expected = 1000 + np.arange(16) * WORD_BYTES
+        assert np.array_equal(stream.addresses, expected)
+
+    def test_no_index_addresses(self):
+        assert make_stream(CONTIGUOUS, 8).index_addresses is None
+
+    def test_payload_bytes(self):
+        assert make_stream(CONTIGUOUS, 10).payload_bytes == 80
+
+
+class TestStrided:
+    def test_constant_stride(self):
+        stream = make_stream(strided(64), 4)
+        diffs = np.diff(stream.addresses)
+        assert np.all(diffs == 64 * WORD_BYTES)
+
+    def test_blocked_stride(self):
+        stream = make_stream(strided(8, block=2), 6)
+        # Pairs of consecutive words, 8 words apart:
+        expected = np.array([0, 8, 64, 72, 128, 136])
+        assert np.array_equal(stream.addresses, expected)
+
+    def test_block_tail_truncated(self):
+        stream = make_stream(strided(8, block=2), 5)
+        assert stream.nwords == 5
+
+
+class TestIndexed:
+    def test_has_index_addresses(self):
+        stream = make_stream(INDEXED, 64)
+        assert stream.index_addresses is not None
+        assert len(stream.index_addresses) == 64
+        # Index elements are 4-byte ints read contiguously.
+        assert np.all(np.diff(stream.index_addresses) == 4)
+
+    def test_deterministic_given_seed(self):
+        a = make_stream(INDEXED, 128, seed=7)
+        b = make_stream(INDEXED, 128, seed=7)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_different_seeds_differ(self):
+        a = make_stream(INDEXED, 128, seed=7)
+        b = make_stream(INDEXED, 128, seed=8)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_index_array_disjoint_from_data(self):
+        stream = make_stream(INDEXED, 256)
+        assert stream.index_addresses.min() > stream.addresses.max()
+
+    def test_addresses_word_aligned(self):
+        stream = make_stream(INDEXED, 256)
+        assert np.all(stream.addresses % WORD_BYTES == 0)
+
+    def test_run_length_increases_page_locality(self):
+        def page_hit_fraction(run):
+            stream = make_stream(INDEXED, 4096, seed=3, index_run=run)
+            pages = stream.addresses // 256
+            return float(np.mean(pages[1:] == pages[:-1]))
+
+        assert page_hit_fraction(8) > page_hit_fraction(1) + 0.2
+
+    def test_run_one_has_negligible_locality(self):
+        stream = make_stream(INDEXED, 4096, seed=3, index_run=1)
+        pages = stream.addresses // 256
+        assert float(np.mean(pages[1:] == pages[:-1])) < 0.1
+
+
+class TestValidation:
+    def test_fixed_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            make_stream(FIXED, 8)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ValueError):
+            make_stream(CONTIGUOUS, 0)

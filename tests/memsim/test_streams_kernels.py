@@ -1,0 +1,59 @@
+"""Tests for pure-stream kernels and latency probes (repro.memsim)."""
+
+import pytest
+
+from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+
+
+class TestLoadStreams:
+    def test_contiguous_stream_is_fastest(self, t3d_node):
+        contiguous = t3d_node.measure_load_stream(CONTIGUOUS)
+        for pattern in (strided(8), strided(64), INDEXED):
+            assert contiguous > t3d_node.measure_load_stream(pattern)
+
+    def test_t3d_readahead_ratio(self, t3d_node):
+        """Contiguous reads with read-ahead run several times faster
+        than single-word strided reads (Section 3.5.1: 320 vs 55)."""
+        ratio = t3d_node.measure_load_stream(CONTIGUOUS) / (
+            t3d_node.measure_load_stream(strided(64))
+        )
+        assert ratio > 5
+
+    def test_pure_stream_beats_copy(self, machine):
+        """A pure read stream always beats the read half of a copy."""
+        node = machine.node_memory(nwords=4096)
+        assert node.measure_load_stream(CONTIGUOUS) > node.measure_copy(
+            CONTIGUOUS, CONTIGUOUS
+        )
+
+    def test_indexed_stream_charges_index_loads(self, t3d_node):
+        assert t3d_node.measure_load_stream(INDEXED) < (
+            t3d_node.measure_load_stream(strided(64)) * 1.1
+        )
+
+
+class TestStoreStreams:
+    def test_contiguous_store_stream_fast(self, t3d_node):
+        """Merged, posted writes stream near the write-buffer bound."""
+        assert t3d_node.measure_store_stream(CONTIGUOUS) > 200
+
+    def test_strided_stores_slower(self, t3d_node):
+        contiguous = t3d_node.measure_store_stream(CONTIGUOUS)
+        strided_rate = t3d_node.measure_store_stream(strided(64))
+        assert strided_rate < 0.5 * contiguous
+
+    def test_t3d_store_streams_beat_load_streams_when_strided(self, t3d_node):
+        """Posted writes vs blocking reads, isolated per direction."""
+        stores = t3d_node.measure_store_stream(strided(64))
+        loads = t3d_node.measure_load_stream(strided(64))
+        assert stores > 1.5 * loads
+
+
+class TestLatencyProbe:
+    def test_t3d_latency_near_datasheet(self, t3d_node):
+        assert t3d_node.load_latency_ns() == pytest.approx(162.0, abs=20)
+
+    def test_paragon_latency_higher(self, paragon_node):
+        """The i860 node's cold-load latency exceeds the T3D's — which
+        is why it needs pipelined loads to compete."""
+        assert paragon_node.load_latency_ns() > 200

@@ -1,0 +1,96 @@
+"""Tests for the write-back cache policy (the modern-node archetype)."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.core.patterns import CONTIGUOUS, strided
+from repro.machines import t3d
+from repro.memsim.cache import Cache
+from repro.memsim.config import CacheConfig
+from repro.memsim.node import NodeMemorySystem
+
+
+def writeback_node(**cache_changes):
+    base = t3d().node
+    cache = replace(base.cache, write_policy="back", **cache_changes)
+    return NodeMemorySystem(replace(base, cache=cache), nwords=4096)
+
+
+def stock_node():
+    return NodeMemorySystem(t3d().node, nwords=4096)
+
+
+class TestCacheDirtyTracking:
+    def test_store_allocate_installs_dirty(self):
+        cache = Cache(CacheConfig(size_bytes=128, line_bytes=32, associativity=1))
+        hit, evicted = cache.store_allocate(0)
+        assert not hit and evicted is None
+        hit, __ = cache.store_allocate(8)  # same line
+        assert hit
+
+    def test_dirty_eviction_reported(self):
+        cache = Cache(CacheConfig(size_bytes=128, line_bytes=32, associativity=1))
+        cache.store_allocate(0)            # set 0, dirty
+        hit, evicted = cache.load_allocate(128)  # aliases set 0
+        assert not hit
+        assert evicted == (0, True)
+        assert cache.dirty_evictions == 1
+
+    def test_clean_eviction_not_dirty(self):
+        cache = Cache(CacheConfig(size_bytes=128, line_bytes=32, associativity=1))
+        cache.load_allocate(0)
+        __, evicted = cache.load_allocate(128)
+        assert evicted == (0, False)
+        assert cache.dirty_evictions == 0
+
+    def test_invalidate_clears_dirty_bits(self):
+        cache = Cache(CacheConfig(size_bytes=128, line_bytes=32, associativity=1))
+        cache.store_allocate(0)
+        cache.invalidate_all()
+        __, evicted = cache.load_allocate(128)
+        assert evicted is None  # nothing resident to evict
+
+    def test_plain_probe_discards_dirty_state_of_victims(self):
+        cache = Cache(CacheConfig(size_bytes=128, line_bytes=32, associativity=1))
+        cache.store_allocate(0)
+        cache.lookup_load(128)  # non-tracking install evicts line 0
+        __, evicted = cache.load_allocate(256)
+        # Line 128 was installed clean; its eviction is not dirty.
+        assert evicted == (128, False)
+
+
+class TestWriteBackBehaviour:
+    def test_single_touch_stores_slower_than_write_around(self):
+        """Communication stores touch each word once: write-allocate
+        pays a fill plus an eventual write-back per line, so the
+        'modern' policy loses to the T3D's write-around + WBQ."""
+        modern = writeback_node()
+        stock = stock_node()
+        assert stock.measure_copy(CONTIGUOUS, CONTIGUOUS) > (
+            1.2 * modern.measure_copy(CONTIGUOUS, CONTIGUOUS)
+        )
+
+    def test_strided_single_touch_also_slower(self):
+        modern = writeback_node()
+        stock = stock_node()
+        assert stock.measure_copy(CONTIGUOUS, strided(64)) > (
+            modern.measure_copy(CONTIGUOUS, strided(64))
+        )
+
+    def test_dirty_evictions_occur_in_streams(self):
+        node = writeback_node()
+        result = node.copy_result(CONTIGUOUS, CONTIGUOUS)
+        # The destination stream wrote far more lines than the cache
+        # holds: nearly all of them must have been written back.
+        assert result.ns > 0
+        engine_cache_lines = node.config.cache.n_lines
+        assert node.nwords // node.config.cache.line_words > engine_cache_lines
+
+    def test_send_streams_unaffected(self):
+        """Load-sends never store to memory: policy is irrelevant."""
+        modern = writeback_node()
+        stock = stock_node()
+        assert modern.measure_load_send(CONTIGUOUS) == pytest.approx(
+            stock.measure_load_send(CONTIGUOUS), rel=0.02
+        )

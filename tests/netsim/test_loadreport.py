@@ -1,0 +1,52 @@
+"""Tests for link-load analysis (repro.netsim.loadreport)."""
+
+import pytest
+
+from repro.netsim import Mesh, Torus, all_to_all, cyclic_shift, link_load_report
+
+
+class TestReport:
+    def test_hop_conservation(self):
+        mesh = Mesh(4, 4)
+        flows = all_to_all(16)
+        report = link_load_report(mesh, flows)
+        expected = sum(len(mesh.route(s, d)) for s, d in flows)
+        assert report.total_hops == expected
+
+    def test_max_load_matches_topology(self):
+        mesh = Mesh(4, 16)
+        flows = all_to_all(64)
+        report = link_load_report(mesh, flows)
+        assert report.max_load == mesh.max_link_congestion(flows)
+
+    def test_hottest_sorted_desc(self):
+        report = link_load_report(Mesh(4, 16), all_to_all(64), hottest=5)
+        loads = [load for __, load in report.hottest]
+        assert loads == sorted(loads, reverse=True)
+        assert loads[0] == report.max_load
+
+    def test_aspect_ratio_shows_in_dimensions(self):
+        """Section 4.3's Paragon quirk, made visible: on the skewed
+        4x16 mesh the long (column) dimension carries far more load."""
+        report = link_load_report(Mesh(4, 16), all_to_all(64))
+        rows, cols = report.by_dimension
+        assert cols.max_load > 2 * rows.max_load
+
+    def test_square_mesh_is_balanced(self):
+        report = link_load_report(Mesh(8, 8), all_to_all(64))
+        rows, cols = report.by_dimension
+        assert rows.max_load == cols.max_load
+
+    def test_empty_flows(self):
+        report = link_load_report(Torus(4, 4), [])
+        assert report.max_load == 0
+        assert report.total_hops == 0
+
+    def test_shift_loads_one_per_link(self):
+        report = link_load_report(Torus(16), cyclic_shift(16))
+        assert report.max_load == 1
+
+    def test_render(self):
+        text = link_load_report(Mesh(4, 4), all_to_all(16)).render()
+        assert "worst link load" in text
+        assert "dim 0" in text and "dim 1" in text

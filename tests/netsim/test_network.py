@@ -1,0 +1,110 @@
+"""Tests for the bandwidth model (repro.netsim.network)."""
+
+import pytest
+
+from repro.netsim.network import FramingMode, NetworkConfig, NetworkModel
+from repro.netsim.patterns import all_to_all, cyclic_shift
+from repro.netsim.topology import Mesh, Torus
+
+
+@pytest.fixture
+def t3d_net(t3d_machine):
+    return t3d_machine.network_model(n_nodes=64)
+
+
+@pytest.fixture
+def paragon_net(paragon_machine):
+    return paragon_machine.network_model(n_nodes=64)
+
+
+class TestRates:
+    def test_table4_t3d_data_only(self, t3d_net):
+        """Table 4, T3D row, data-only columns."""
+        assert t3d_net.rate(FramingMode.DATA_ONLY, 1) == pytest.approx(142, rel=0.03)
+        assert t3d_net.rate(FramingMode.DATA_ONLY, 2) == pytest.approx(69, rel=0.03)
+        assert t3d_net.rate(FramingMode.DATA_ONLY, 4) == pytest.approx(35, rel=0.03)
+
+    def test_table4_t3d_adp(self, t3d_net):
+        assert t3d_net.rate(FramingMode.ADDRESS_DATA_PAIRS, 1) == pytest.approx(
+            62, rel=0.03
+        )
+        assert t3d_net.rate(FramingMode.ADDRESS_DATA_PAIRS, 2) == pytest.approx(
+            38, rel=0.05
+        )
+        assert t3d_net.rate(FramingMode.ADDRESS_DATA_PAIRS, 4) == pytest.approx(
+            20, rel=0.05
+        )
+
+    def test_table4_paragon(self, paragon_net):
+        assert paragon_net.rate(FramingMode.DATA_ONLY, 1) == pytest.approx(176, rel=0.03)
+        assert paragon_net.rate(FramingMode.DATA_ONLY, 2) == pytest.approx(90, rel=0.03)
+        assert paragon_net.rate(FramingMode.ADDRESS_DATA_PAIRS, 2) == pytest.approx(
+            45, rel=0.03
+        )
+
+    def test_default_congestion_is_machine_typical(self, t3d_net):
+        assert t3d_net.rate(FramingMode.DATA_ONLY) == t3d_net.rate(
+            FramingMode.DATA_ONLY, 2
+        )
+
+    def test_t3d_adp_endpoint_cap_binds_at_low_congestion(self, t3d_net):
+        """The annex caps adp transfers at ~62 even on an idle network,
+        which is why Table 4's adp column falls less than 2x from
+        congestion 1 to 2."""
+        c1 = t3d_net.rate(FramingMode.ADDRESS_DATA_PAIRS, 1)
+        c2 = t3d_net.rate(FramingMode.ADDRESS_DATA_PAIRS, 2)
+        assert c1 / c2 < 1.8
+
+    def test_paragon_scales_proportionally(self, paragon_net):
+        c1 = paragon_net.rate(FramingMode.DATA_ONLY, 1)
+        c4 = paragon_net.rate(FramingMode.DATA_ONLY, 4)
+        assert c1 / c4 == pytest.approx(4.0)
+
+    def test_invalid_congestion_rejected(self, t3d_net):
+        with pytest.raises(ValueError):
+            t3d_net.rate(FramingMode.DATA_ONLY, 0.5)
+
+
+class TestPatternCongestion:
+    def test_t3d_port_sharing_floor(self, t3d_net):
+        """Two T3D nodes share a port: min congestion 2 at full use."""
+        shift = cyclic_shift(64)
+        assert t3d_net.congestion_for(shift) >= 2
+
+    def test_t3d_half_populated_avoids_port_sharing(self, t3d_net):
+        shift = cyclic_shift(64)
+        assert t3d_net.congestion_for(shift, active_nodes=32) == 1
+
+    def test_paragon_shift_is_congestion_one(self, paragon_net):
+        assert paragon_net.congestion_for(cyclic_shift(64)) == 1
+
+    def test_all_to_all_congests_more_than_shift(self, paragon_net):
+        aapc = paragon_net.congestion_for(all_to_all(64))
+        shift = paragon_net.congestion_for(cyclic_shift(64))
+        assert aapc > shift
+
+    def test_rate_for_pattern_combines(self, paragon_net):
+        rate = paragon_net.rate_for_pattern(FramingMode.DATA_ONLY, cyclic_shift(64))
+        assert rate == paragon_net.rate(FramingMode.DATA_ONLY, 1)
+
+    def test_model_without_topology_rejects_patterns(self):
+        model = NetworkModel(NetworkConfig())
+        with pytest.raises(ValueError):
+            model.congestion_for([(0, 1)])
+
+
+class TestMachineTopologies:
+    def test_t3d_topology_is_torus(self, t3d_machine):
+        topology = t3d_machine.topology(64)
+        assert isinstance(topology, Torus)
+        assert topology.n_nodes == 64
+        assert topology.dims == (4, 4, 4)
+
+    def test_paragon_topology_is_elongated_mesh(self, paragon_machine):
+        topology = paragon_machine.topology(64)
+        assert isinstance(topology, Mesh)
+        assert topology.dims == (4, 16)
+
+    def test_odd_sizes_still_factor(self, t3d_machine, paragon_machine):
+        assert t3d_machine.topology(30).n_nodes == 30
+        assert paragon_machine.topology(24).n_nodes == 24

@@ -1,0 +1,57 @@
+"""Tests for traffic-pattern generators (repro.netsim.patterns)."""
+
+import pytest
+
+from repro.netsim.patterns import (
+    all_to_all,
+    cyclic_shift,
+    neighbor_exchange,
+    transpose_exchange,
+)
+
+
+class TestAllToAll:
+    def test_counts(self):
+        flows = all_to_all(8)
+        assert len(flows) == 8 * 7
+        assert len(set(flows)) == len(flows)
+
+    def test_no_self_flows_by_default(self):
+        assert all(src != dst for src, dst in all_to_all(5))
+
+    def test_include_self(self):
+        flows = all_to_all(4, include_self=True)
+        assert len(flows) == 16
+        assert (2, 2) in flows
+
+    def test_transpose_exchange_is_aapc(self):
+        assert set(transpose_exchange(6)) == set(all_to_all(6))
+
+
+class TestCyclicShift:
+    def test_default_offset(self):
+        flows = cyclic_shift(4)
+        assert flows == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_custom_offset(self):
+        flows = cyclic_shift(6, offset=2)
+        assert (0, 2) in flows
+        assert (5, 1) in flows
+
+    def test_every_node_sends_and_receives_once(self):
+        flows = cyclic_shift(16, offset=5)
+        assert len({src for src, __ in flows}) == 16
+        assert len({dst for __, dst in flows}) == 16
+
+
+class TestNeighborExchange:
+    def test_adjacency_flows(self):
+        adjacency = [[1], [0, 2], [1]]
+        flows = neighbor_exchange(adjacency)
+        assert set(flows) == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_self_entries_ignored(self):
+        assert neighbor_exchange([[0]]) == []
+
+    def test_empty(self):
+        assert neighbor_exchange([]) == []

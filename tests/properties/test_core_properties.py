@@ -1,0 +1,145 @@
+"""Property-based tests for the copy-transfer model algebra."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.calibration import ThroughputTable
+from repro.core.composition import par, seq
+from repro.core.patterns import AccessPattern, strided
+from repro.core.throughput import evaluate
+from repro.core.transfers import TransferKind, copy
+from repro.core.resources import NodeRole
+
+# -- strategies ---------------------------------------------------------------
+
+strides = st.integers(min_value=2, max_value=4096)
+
+
+@st.composite
+def strided_patterns(draw):
+    stride = draw(strides)
+    block = draw(st.integers(min_value=1, max_value=max(1, stride - 1)))
+    return AccessPattern.strided(stride, block=block)
+
+
+memory_patterns = st.one_of(
+    st.just(AccessPattern.contiguous()),
+    st.just(AccessPattern.indexed()),
+    strided_patterns(),
+)
+
+rates = st.floats(min_value=0.5, max_value=500.0, allow_nan=False)
+
+
+class TestPatternProperties:
+    @given(memory_patterns)
+    def test_parse_subscript_roundtrip(self, pattern):
+        assert AccessPattern.parse(pattern.subscript) == pattern
+
+    @given(strides, strides)
+    def test_equality_iff_same_stride(self, a, b):
+        assert (strided(a) == strided(b)) == (a == b)
+
+    @given(memory_patterns)
+    def test_hash_consistent_with_equality(self, pattern):
+        clone = AccessPattern.parse(pattern.subscript)
+        assert hash(clone) == hash(pattern)
+
+
+class TestEvaluationRules:
+    @given(st.lists(rates, min_size=1, max_size=5))
+    @settings(max_examples=50)
+    def test_parallel_is_min(self, branch_rates):
+        """|X || Y|| ...| == min of branch rates, via network branches
+        evaluated against per-branch tables merged into one."""
+        table = ThroughputTable()
+        # Use distinct one-sided copies so each branch gets its own rate.
+        parts = []
+        for i, rate in enumerate(branch_rates):
+            pattern = strided(i + 2)
+            table.set(TransferKind.COPY, pattern, "1", rate)
+            parts.append(
+                copy(pattern, AccessPattern.contiguous(), role=NodeRole(
+                    ["local", "sender", "receiver"][i % 3]
+                ))
+            )
+        # Give each branch a unique exclusive CPU by alternating roles;
+        # skip validation since roles may still collide.
+        estimate = evaluate(par(*parts), table, validate=False)
+        assert estimate.mbps == pytest.approx(min(branch_rates))
+
+    @given(st.lists(rates, min_size=1, max_size=5))
+    @settings(max_examples=50)
+    def test_sequential_is_harmonic(self, stage_rates):
+        table = ThroughputTable()
+        parts = []
+        previous = AccessPattern.contiguous()
+        for i, rate in enumerate(stage_rates):
+            nxt = strided(i + 2)
+            table.set(TransferKind.COPY, previous, nxt, rate)
+            parts.append(copy(previous, nxt))
+            previous = nxt
+        estimate = evaluate(seq(*parts), table)
+        expected = 1.0 / sum(1.0 / r for r in stage_rates)
+        assert estimate.mbps == pytest.approx(expected)
+
+    @given(rates, rates, rates)
+    def test_seq_associativity(self, a, b, c):
+        table = ThroughputTable()
+        p1, p2, p3 = (
+            AccessPattern.contiguous(),
+            strided(2),
+            strided(3),
+        )
+        p4 = strided(5)
+        table.set(TransferKind.COPY, p1, p2, a)
+        table.set(TransferKind.COPY, p2, p3, b)
+        table.set(TransferKind.COPY, p3, p4, c)
+        t1, t2, t3 = copy(p1, p2), copy(p2, p3), copy(p3, p4)
+        left = evaluate(seq(seq(t1, t2), t3), table).mbps
+        right = evaluate(seq(t1, seq(t2, t3)), table).mbps
+        assert left == pytest.approx(right)
+
+    @given(st.lists(rates, min_size=2, max_size=4))
+    @settings(max_examples=50)
+    def test_sequential_slower_than_every_stage(self, stage_rates):
+        table = ThroughputTable()
+        parts = []
+        previous = AccessPattern.contiguous()
+        for i, rate in enumerate(stage_rates):
+            nxt = strided(i + 2)
+            table.set(TransferKind.COPY, previous, nxt, rate)
+            parts.append(copy(previous, nxt))
+            previous = nxt
+        estimate = evaluate(seq(*parts), table)
+        assert estimate.mbps < min(stage_rates)
+
+
+class TestInterpolationProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from([2, 4, 8, 16, 32, 64]), rates),
+            min_size=2,
+            max_size=6,
+            unique_by=lambda pair: pair[0],
+        ),
+        strides,
+    )
+    @settings(max_examples=100)
+    def test_interpolation_bounded_by_anchors(self, anchors, query):
+        table = ThroughputTable()
+        for stride, rate in anchors:
+            table.set(TransferKind.COPY, "1", stride, rate)
+        value = table.lookup(copy(AccessPattern.contiguous(), strided(query)))
+        values = [rate for __, rate in anchors]
+        assert min(values) - 1e-9 <= value <= max(values) + 1e-9
+
+    @given(rates)
+    def test_large_strides_flat(self, rate):
+        table = ThroughputTable()
+        table.set(TransferKind.COPY, "1", 64, rate)
+        for stride in (64, 128, 1024, 65536):
+            assert table.lookup(
+                copy(AccessPattern.contiguous(), strided(stride))
+            ) == pytest.approx(rate)

@@ -1,0 +1,150 @@
+"""Tests for the communication runtime (repro.runtime.engine)."""
+
+import pytest
+
+from repro.core.errors import CompositionError
+from repro.core.operations import OperationStyle
+from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+from repro.runtime.engine import CommRuntime, measure_q
+from repro.runtime.libraries import (
+    lowlevel_profile,
+    packing_profile,
+    pvm3_profile,
+    pvm_profile,
+)
+
+MSG = 64 * 1024
+
+
+@pytest.fixture(scope="module")
+def t3d_runtime(t3d_machine):
+    return CommRuntime(t3d_machine)
+
+
+@pytest.fixture(scope="module")
+def paragon_runtime(paragon_machine):
+    return CommRuntime(paragon_machine)
+
+
+class TestBasics:
+    def test_measured_transfer_fields(self, t3d_runtime):
+        result = t3d_runtime.transfer(CONTIGUOUS, CONTIGUOUS, MSG)
+        assert result.nbytes == MSG
+        assert result.mbps > 0
+        assert result.ns == pytest.approx(MSG / result.mbps * 1000.0)
+        assert dict(result.resource_busy_ns)
+
+    def test_invalid_size_rejected(self, t3d_runtime):
+        with pytest.raises(ValueError):
+            t3d_runtime.transfer(CONTIGUOUS, CONTIGUOUS, 0)
+
+    def test_invalid_rate_source_rejected(self, t3d_machine):
+        with pytest.raises(ValueError):
+            CommRuntime(t3d_machine, rates="vibes")
+
+    def test_paper_rates_accepted(self, t3d_machine):
+        runtime = CommRuntime(t3d_machine, rates="paper")
+        assert runtime.transfer(CONTIGUOUS, CONTIGUOUS, MSG).mbps > 0
+
+    def test_pvm_cannot_do_chained(self, t3d_machine):
+        runtime = CommRuntime(t3d_machine, library=pvm_profile())
+        with pytest.raises(CompositionError, match="chained"):
+            runtime.transfer(CONTIGUOUS, CONTIGUOUS, MSG, OperationStyle.CHAINED)
+
+
+class TestMeasuredVsModel:
+    """Measured throughput never beats the model (Figures 7/8)."""
+
+    @pytest.mark.parametrize(
+        "x,y",
+        [
+            (CONTIGUOUS, CONTIGUOUS),
+            (CONTIGUOUS, strided(64)),
+            (strided(64), CONTIGUOUS),
+            (INDEXED, INDEXED),
+        ],
+    )
+    @pytest.mark.parametrize("style", list(OperationStyle))
+    def test_measured_below_model(self, machine, x, y, style):
+        model = machine.model(source="simulated")
+        measured = measure_q(machine, x, y, MSG, style)
+        predicted = model.estimate(x, y, style).mbps
+        assert measured.mbps <= predicted * 1.05
+
+    def test_measured_within_half_of_model_for_large_messages(self, machine):
+        model = machine.model(source="simulated")
+        measured = measure_q(
+            machine, CONTIGUOUS, strided(64), 1 << 20, OperationStyle.CHAINED
+        )
+        predicted = model.estimate(CONTIGUOUS, strided(64), "chained").mbps
+        assert measured.mbps > 0.5 * predicted
+
+
+class TestHeadlineOrdering:
+    @pytest.mark.parametrize(
+        "x,y",
+        [
+            (CONTIGUOUS, strided(64)),
+            (strided(16), CONTIGUOUS),
+            (INDEXED, INDEXED),
+        ],
+    )
+    def test_chained_beats_packing_measured(self, machine, x, y):
+        packing = measure_q(machine, x, y, MSG, OperationStyle.BUFFER_PACKING)
+        chained = measure_q(machine, x, y, MSG, OperationStyle.CHAINED)
+        assert chained.mbps > packing.mbps
+
+
+class TestLibraries:
+    def test_library_ladder(self, t3d_machine):
+        """PVM3 < PVM < hand packing < chained low-level, at 64 KB."""
+        rates = {}
+        for library in (pvm3_profile(), pvm_profile(), packing_profile()):
+            runtime = CommRuntime(t3d_machine, library=library)
+            rates[library.name] = runtime.transfer(
+                CONTIGUOUS, CONTIGUOUS, MSG, OperationStyle.BUFFER_PACKING
+            ).mbps
+        low = CommRuntime(t3d_machine, library=lowlevel_profile())
+        rates["low-level"] = low.transfer(
+            CONTIGUOUS, CONTIGUOUS, MSG, OperationStyle.CHAINED
+        ).mbps
+        assert (
+            rates["PVM3"] < rates["PVM"] < rates["buffer-packing"] < rates["low-level"]
+        )
+
+    def test_small_messages_overhead_bound(self, t3d_machine):
+        runtime = CommRuntime(t3d_machine, library=pvm_profile())
+        small = runtime.transfer(
+            CONTIGUOUS, CONTIGUOUS, 64, OperationStyle.BUFFER_PACKING
+        )
+        # 64 B in ~>120 us of overhead: well under 1 MB/s.
+        assert small.mbps < 1.0
+
+    def test_sweep_is_monotone_in_size(self, t3d_machine):
+        runtime = CommRuntime(t3d_machine, library=pvm_profile())
+        sizes = [256, 4096, 65536, 1 << 20]
+        curve = runtime.sweep_message_sizes(sizes)
+        rates = [rate for __, rate in curve]
+        assert rates == sorted(rates)
+
+
+class TestDuplexAndCongestion:
+    def test_duplex_never_faster(self, t3d_runtime):
+        simplex = t3d_runtime.transfer(CONTIGUOUS, CONTIGUOUS, MSG, duplex=False)
+        duplex = t3d_runtime.transfer(CONTIGUOUS, CONTIGUOUS, MSG, duplex=True)
+        assert duplex.mbps <= simplex.mbps
+
+    def test_higher_congestion_slower(self, t3d_runtime):
+        fast = t3d_runtime.transfer(CONTIGUOUS, CONTIGUOUS, MSG, congestion=1)
+        slow = t3d_runtime.transfer(CONTIGUOUS, CONTIGUOUS, MSG, congestion=4)
+        assert fast.mbps > slow.mbps
+
+    def test_paragon_measured_simplex_convention(self, paragon_machine):
+        assert paragon_machine.quirks.measures_simplex
+        # measure_q should therefore not pay the duplex penalty.
+        result = measure_q(
+            paragon_machine, CONTIGUOUS, CONTIGUOUS, MSG, OperationStyle.CHAINED
+        )
+        runtime = CommRuntime(paragon_machine)
+        duplex = runtime.transfer(CONTIGUOUS, CONTIGUOUS, MSG, duplex=True)
+        assert result.mbps > duplex.mbps

@@ -1,0 +1,53 @@
+"""Tests for library profiles (repro.runtime.libraries)."""
+
+import pytest
+
+from repro.runtime.libraries import (
+    LibraryProfile,
+    lowlevel_profile,
+    packing_profile,
+    pvm3_profile,
+    pvm_profile,
+)
+
+
+class TestProfiles:
+    def test_overhead_ladder(self):
+        """Per-message cost: PVM3 > PVM > packing > low-level."""
+        costs = [
+            pvm3_profile().per_message_ns,
+            pvm_profile().per_message_ns,
+            packing_profile().per_message_ns,
+            lowlevel_profile().per_message_ns,
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_only_lowlevel_supports_chained(self):
+        assert lowlevel_profile().supports_chained
+        for profile in (pvm_profile(), pvm3_profile(), packing_profile()):
+            assert not profile.supports_chained
+
+    def test_pvm_buffers_and_packs(self):
+        profile = pvm_profile()
+        assert profile.system_buffer_copies == 2
+        assert profile.pack_even_contiguous
+
+    def test_lowlevel_skips_copies(self):
+        profile = lowlevel_profile()
+        assert profile.system_buffer_copies == 0
+        assert not profile.pack_even_contiguous
+
+    def test_packing_profile_packs_without_buffers(self):
+        profile = packing_profile()
+        assert profile.pack_even_contiguous
+        assert profile.system_buffer_copies == 0
+
+    def test_pvm_fragments(self):
+        assert pvm_profile().fragment_bytes == 16384
+        assert pvm3_profile().fragment_bytes == 4096
+        assert lowlevel_profile().fragment_bytes > (1 << 40)
+
+    def test_custom_profile(self):
+        custom = LibraryProfile(name="mine", per_message_ns=1.0)
+        assert custom.fragment_bytes > 0
+        assert not custom.supports_chained

@@ -1,0 +1,100 @@
+"""Tests for the chunked stage pipeline (repro.runtime.stages)."""
+
+import pytest
+
+from repro.runtime.stages import Stage, StagePipeline
+
+
+def run(stages, nbytes=1 << 20, chunk=8192):
+    return StagePipeline(stages).run(nbytes, chunk_bytes=chunk)
+
+
+class TestSingleStage:
+    def test_rate_recovered(self):
+        result = run([Stage("only", 100.0, "cpu")])
+        assert result.mbps == pytest.approx(100.0, rel=0.01)
+
+    def test_chunk_overhead_slows(self):
+        clean = run([Stage("s", 100.0, "cpu")])
+        noisy = run([Stage("s", 100.0, "cpu", chunk_overhead_ns=10_000.0)])
+        assert noisy.mbps < clean.mbps
+
+    def test_startup_charged_once(self):
+        with_startup = run([Stage("s", 100.0, "cpu", startup_ns=1e6)])
+        without = run([Stage("s", 100.0, "cpu")])
+        assert with_startup.ns == pytest.approx(without.ns + 1e6)
+
+
+class TestParallelStages:
+    def test_disjoint_resources_pipeline_to_min(self):
+        """The model's parallel (min) rule emerges with many chunks."""
+        stages = [
+            Stage("send", 120.0, "cpu"),
+            Stage("net", 60.0, "net"),
+            Stage("recv", 150.0, "deposit"),
+        ]
+        result = run(stages)
+        assert result.mbps == pytest.approx(60.0, rel=0.05)
+
+    def test_bottleneck_identified(self):
+        stages = [Stage("send", 120.0, "cpu"), Stage("net", 60.0, "net")]
+        assert run(stages).bottleneck() == "net"
+
+
+class TestSharedResource:
+    def test_shared_resource_harmonic(self):
+        """The model's sequential (harmonic) rule: same resource."""
+        stages = [Stage("a", 100.0, "cpu"), Stage("b", 50.0, "cpu")]
+        result = run(stages)
+        expected = 1.0 / (1 / 100.0 + 1 / 50.0)
+        assert result.mbps == pytest.approx(expected, rel=0.05)
+
+    def test_mixed_composition(self):
+        """cpu-shared pair in parallel with a slower background stage."""
+        stages = [
+            Stage("a", 100.0, "cpu"),
+            Stage("b", 100.0, "cpu"),
+            Stage("net", 40.0, "net"),
+        ]
+        result = run(stages)
+        assert result.mbps == pytest.approx(40.0, rel=0.05)
+
+
+class TestGranularity:
+    def test_single_chunk_serializes_everything(self):
+        stages = [Stage("a", 100.0, "cpu"), Stage("b", 100.0, "net")]
+        nbytes = 1 << 20
+        whole = StagePipeline(stages).run(nbytes, chunk_bytes=nbytes)
+        fine = StagePipeline(stages).run(nbytes, chunk_bytes=4096)
+        # Store-and-forward: both stages' full time; pipelined: ~max.
+        assert whole.mbps == pytest.approx(50.0, rel=0.02)
+        assert fine.mbps > 90.0
+
+    def test_tail_chunk_handled(self):
+        result = run([Stage("s", 100.0, "cpu")], nbytes=10_000, chunk=4096)
+        assert result.nbytes == 10_000
+        assert result.mbps == pytest.approx(100.0, rel=0.05)
+
+    def test_busy_accounting_sums(self):
+        stages = [Stage("a", 100.0, "cpu"), Stage("b", 50.0, "net")]
+        result = run(stages)
+        assert result.stage_busy_ns["b"] == pytest.approx(
+            2 * result.stage_busy_ns["a"], rel=0.01
+        )
+
+
+class TestValidation:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            StagePipeline([])
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            StagePipeline([Stage("s", 0.0, "cpu")])
+
+    def test_nonpositive_sizes_rejected(self):
+        pipeline = StagePipeline([Stage("s", 10.0, "cpu")])
+        with pytest.raises(ValueError):
+            pipeline.run(0)
+        with pytest.raises(ValueError):
+            pipeline.run(100, chunk_bytes=0)

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface (repro.__main__)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--machine", "cm5"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["estimate"])
+        assert args.machine == "t3d"
+        assert args.x == "1" and args.y == "64"
+
+
+class TestCommands:
+    def test_machines(self, capsys):
+        main(["machines"])
+        out = capsys.readouterr().out
+        assert "Cray T3D" in out
+        assert "Intel Paragon" in out
+        assert "chained" in out
+
+    def test_estimate(self, capsys):
+        main(["estimate", "--machine", "t3d", "--x", "1", "--y", "64"])
+        out = capsys.readouterr().out
+        assert "1Q64" in out
+        assert "-> use chained" in out
+
+    def test_estimate_verbose_shows_breakdown(self, capsys):
+        main(["estimate", "--verbose"])
+        out = capsys.readouterr().out
+        assert "bottleneck" in out
+
+    def test_measure(self, capsys):
+        main(
+            ["measure", "--machine", "t3d", "--x", "w", "--y", "w",
+             "--bytes", "32768", "--style", "chained"]
+        )
+        out = capsys.readouterr().out
+        assert "MB/s" in out
+        assert "us" in out
+
+    def test_table_prints_entries(self, capsys):
+        main(["table", "--machine", "paragon"])
+        out = capsys.readouterr().out
+        assert "1F0" in out
+
+    def test_table_json_export(self, tmp_path, capsys):
+        path = tmp_path / "table.json"
+        main(["table", "--machine", "t3d", "--json", str(path)])
+        payload = json.loads(path.read_text())
+        assert payload["entries"]["1C1"] == 93.0
+
+    def test_simulated_table_source(self, capsys):
+        main(["table", "--machine", "t3d", "--source", "simulated"])
+        out = capsys.readouterr().out
+        assert "simulated" in out
+
+
+class TestAdvise:
+    def test_advise_t3d(self, capsys):
+        main(["advise", "--machine", "t3d"])
+        out = capsys.readouterr().out
+        assert "'row'" in out  # T3D: strided stores
+        assert "chained" in out
+
+    def test_advise_paragon(self, capsys):
+        main(["advise", "--machine", "paragon"])
+        out = capsys.readouterr().out
+        assert "'col'" in out  # Paragon: strided loads
+
+    def test_advise_custom_shape(self, capsys):
+        main(
+            ["advise", "--machine", "t3d", "--rows", "512", "--cols", "512",
+             "--nodes", "16", "--element-words", "1"]
+        )
+        out = capsys.readouterr().out
+        assert "predicted step time" in out

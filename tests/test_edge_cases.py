@@ -1,0 +1,83 @@
+"""Cross-cutting edge cases not covered by the per-module suites."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import Block, Cyclic, redistribute_1d
+from repro.core import ThroughputTable, TransferKind
+from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+from repro.memsim.streams import make_stream
+from repro.runtime.engine import CommRuntime
+from repro.runtime.stages import Stage, StagePipeline
+
+
+class TestTinyWorkloads:
+    def test_one_word_streams(self, t3d_machine):
+        """Every simulator kernel accepts the degenerate 1-word case."""
+        from repro.memsim.node import NodeMemorySystem
+
+        node = NodeMemorySystem(t3d_machine.node, nwords=1)
+        assert node.measure_copy(CONTIGUOUS, CONTIGUOUS) > 0
+        assert node.measure_load_send(CONTIGUOUS) > 0
+        assert node.measure_deposit(CONTIGUOUS) > 0
+
+    def test_one_byte_transfer(self, t3d_machine):
+        runtime = CommRuntime(t3d_machine)
+        result = runtime.transfer(CONTIGUOUS, CONTIGUOUS, 1)
+        assert result.ns > 0
+
+    def test_single_chunk_pipeline(self):
+        pipeline = StagePipeline([Stage("s", 10.0, "r")])
+        result = pipeline.run(10, chunk_bytes=1 << 20)
+        assert result.nbytes == 10
+
+    def test_two_node_redistribution(self):
+        plan = redistribute_1d(Block(4, 2), Cyclic(4, 2))
+        assert len(plan) == 2
+
+    def test_single_node_distribution_no_communication(self):
+        plan = redistribute_1d(Block(16, 1), Cyclic(16, 1))
+        assert len(plan) == 0
+
+
+class TestBlockedPatternLookups:
+    def test_blocked_stride_uses_stride_anchor(self):
+        table = ThroughputTable()
+        table.set(TransferKind.COPY, "1", 64, 50.0)
+        table.set(TransferKind.COPY, "1", "1", 90.0)
+        from repro.core.transfers import copy
+
+        blocked = copy(CONTIGUOUS, strided(64, block=2))
+        assert table.lookup(blocked) == 50.0
+
+    def test_both_sides_blocked(self):
+        table = ThroughputTable()
+        table.set(TransferKind.COPY, "1", "1", 90.0)
+        table.set(TransferKind.COPY, "1", 64, 50.0)
+        table.set(TransferKind.COPY, 64, "1", 40.0)
+        from repro.core.transfers import copy
+
+        rate = table.lookup(copy(strided(64, block=2), strided(2048, block=2)))
+        assert 0 < rate < 40.0
+
+
+class TestStreamEdges:
+    def test_index_run_larger_than_stream(self):
+        stream = make_stream(INDEXED, 4, index_run=1000)
+        assert stream.nwords == 4
+
+    def test_strided_block_longer_than_count(self):
+        stream = make_stream(strided(16, block=8), 3)
+        assert stream.nwords == 3
+        assert np.array_equal(stream.addresses, np.array([0, 8, 16]))
+
+
+class TestMachineEdges:
+    def test_odd_partition_sizes(self, t3d_machine, paragon_machine):
+        for n in (1, 2, 7, 13):
+            assert t3d_machine.topology(n).n_nodes == n
+            assert paragon_machine.topology(n).n_nodes == n
+
+    def test_network_model_on_tiny_partition(self, t3d_machine):
+        model = t3d_machine.network_model(n_nodes=2)
+        assert model.congestion_for([(0, 1), (1, 0)]) >= 1

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Slow full-scale examples are exercised end to end — they
+take a few seconds each, which is acceptable for the value of knowing
+the quickstart actually works.
+"""
+
+import runpy
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "transpose_fft",
+        "compiler_redistribution",
+        "fem_earthquake",
+        "airshed_redistribution",
+        "design_a_machine",
+    } <= names

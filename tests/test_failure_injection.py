@@ -1,0 +1,90 @@
+"""Failure-injection tests: every layer fails loudly and legibly.
+
+A performance model that silently extrapolates past its calibration is
+worse than none; these tests pin the error behaviour users rely on.
+"""
+
+import pytest
+
+from repro.core import (
+    CalibrationError,
+    CommCapabilities,
+    CompositionError,
+    CopyTransferModel,
+    DepositSupport,
+    ModelError,
+    ThroughputTable,
+    TransferKind,
+)
+from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+from repro.machines import Machine, RuntimeQuirks
+from repro.runtime.engine import CommRuntime
+
+
+class TestModelFailures:
+    def test_empty_table_names_the_missing_key(self):
+        model = CopyTransferModel(
+            table=ThroughputTable("empty"),
+            capabilities=CommCapabilities(deposit=DepositSupport.ANY),
+        )
+        with pytest.raises(CalibrationError, match="1C1"):
+            model.estimate(CONTIGUOUS, CONTIGUOUS, "buffer-packing")
+
+    def test_partial_table_fails_on_the_missing_stage(self):
+        table = ThroughputTable("partial")
+        table.set(TransferKind.COPY, "1", "1", 93.0)
+        table.set(TransferKind.LOAD_SEND, "1", "0", 126.0)
+        table.set(TransferKind.NETWORK_DATA, "0", "0", 69.0)
+        model = CopyTransferModel(
+            table=table,
+            capabilities=CommCapabilities(deposit=DepositSupport.ANY),
+        )
+        with pytest.raises(CalibrationError, match="0D1"):
+            model.estimate(CONTIGUOUS, CONTIGUOUS, "buffer-packing")
+
+    def test_no_receiver_chained_is_composition_error(self):
+        model = CopyTransferModel(
+            table=ThroughputTable("any"),
+            capabilities=CommCapabilities(deposit=DepositSupport.NONE),
+        )
+        with pytest.raises(CompositionError, match="background receiver"):
+            model.build(CONTIGUOUS, strided(64), "chained")
+
+    def test_choose_still_works_when_chained_infeasible(self, t3d_machine):
+        machine_caps = CommCapabilities(deposit=DepositSupport.NONE)
+        model = CopyTransferModel(
+            table=t3d_machine.paper_table(), capabilities=machine_caps
+        )
+        # The paper table has no 0R1 entry, so packing also fails here —
+        # with a calibration error, not a silent wrong answer.
+        with pytest.raises((CalibrationError, ModelError)):
+            model.choose(CONTIGUOUS, strided(64))
+
+
+class TestRuntimeFailures:
+    def test_unknown_style_string(self, t3d_machine):
+        runtime = CommRuntime(t3d_machine)
+        with pytest.raises(ValueError):
+            runtime.transfer(CONTIGUOUS, CONTIGUOUS, 1024, style="smuggle")
+
+    def test_indexed_patterns_fail_without_calibration(self, t3d_machine):
+        """A runtime built on a table lacking indexed entries refuses
+        an indexed transfer instead of guessing."""
+        table = ThroughputTable("no-indexed")
+        table.set(TransferKind.LOAD_SEND, "1", "0", 126.0)
+        runtime = CommRuntime(t3d_machine)
+        runtime.table = table
+        with pytest.raises(CalibrationError):
+            runtime.transfer(INDEXED, INDEXED, 1024, style="chained")
+
+
+class TestSimulatorGuards:
+    def test_deposit_pattern_guard(self, paragon_machine):
+        node = paragon_machine.node_memory(nwords=512)
+        with pytest.raises(ValueError, match="deposit engine"):
+            node.deposit_result(strided(64))
+
+    def test_missing_dma_guard(self, t3d_machine):
+        node = t3d_machine.node_memory(nwords=512)
+        with pytest.raises(ValueError, match="no DMA"):
+            node.fetch_send_result()

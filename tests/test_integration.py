@@ -1,0 +1,157 @@
+"""Cross-layer integration tests.
+
+These exercise the full stack the way a user would: compiler-generated
+plans feed the model and the runtime; a brand-new machine defined as a
+parameter set works everywhere; serialized calibrations reproduce
+model results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import Block, Cyclic, redistribute_1d, transpose_2d
+from repro.core import (
+    CommCapabilities,
+    DepositSupport,
+    OperationStyle,
+    table_from_dict,
+    table_to_dict,
+)
+from repro.core.model import CopyTransferModel
+from repro.machines import Machine, RuntimeQuirks
+from repro.machines.t3d import t3d_node_config
+from repro.netsim.network import NetworkConfig
+from repro.netsim.topology import Torus
+from repro.runtime import CommRuntime, CommunicationStep, lowlevel_profile
+from repro.runtime.engine import measure_q
+
+
+class TestCompilerToModelToRuntime:
+    def test_redistribution_end_to_end(self, t3d_machine):
+        """block->cyclic: the compiler classifies, the model chooses
+        chained, the runtime confirms chained is indeed faster."""
+        plan = redistribute_1d(Block(1 << 14, 64), Cyclic(1 << 14, 64))
+        dominant = plan.dominant_op()
+        model = t3d_machine.model(source="paper")
+        choice = model.choose(dominant.x, dominant.y)
+        assert choice.style is OperationStyle.CHAINED
+
+        nbytes = max(dominant.nbytes, 32 * 1024)
+        measured = {
+            style: measure_q(t3d_machine, dominant.x, dominant.y, nbytes, style).mbps
+            for style in OperationStyle
+        }
+        assert (
+            measured[OperationStyle.CHAINED]
+            > measured[OperationStyle.BUFFER_PACKING]
+        )
+
+    def test_transpose_plan_through_collective_step(self, t3d_machine):
+        plan = transpose_2d(512, 512, 64, element_words=2)
+        dominant = plan.dominant_op()
+        runtime = CommRuntime(t3d_machine, library=lowlevel_profile())
+        step = CommunicationStep(
+            runtime, plan.flows(), dominant.x, dominant.y, dominant.nbytes
+        )
+        result = step.run(OperationStyle.CHAINED)
+        assert result.messages_per_node == 63
+        assert 0 < result.per_node_mbps < 160
+
+    def test_model_upper_bounds_runtime_across_grid(self, machine):
+        """For every pattern pair the simulated-calibration model is an
+        upper bound on the end-to-end measurement."""
+        from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+
+        model = machine.model(source="simulated")
+        for x in (CONTIGUOUS, strided(64), INDEXED):
+            for y in (CONTIGUOUS, strided(64), INDEXED):
+                for style in OperationStyle:
+                    predicted = model.estimate(x, y, style).mbps
+                    measured = measure_q(machine, x, y, 64 * 1024, style).mbps
+                    assert measured <= predicted * 1.05, (
+                        f"{x}Q{y} {style.value}: measured {measured:.1f} "
+                        f"> model {predicted:.1f}"
+                    )
+
+
+def hypothetical_machine() -> Machine:
+    """A third machine defined purely as data: a T3D-like node with a
+    general deposit engine AND a DMA, on a small torus."""
+    from repro.core.calibration import ThroughputTable
+    from dataclasses import replace
+
+    node = replace(t3d_node_config(), name="hypothetical-node",
+                   dma=replace(t3d_node_config().dma, present=True))
+    return Machine(
+        name="Hypothetical",
+        node=node,
+        network=NetworkConfig(
+            payload_data_mbps=200.0,
+            payload_adp_mbps=100.0,
+            port_sharing=1,
+            default_congestion=2,
+        ),
+        topology_factory=lambda n: Torus(*([2] * max(1, n.bit_length() - 1)))
+        if n & (n - 1) == 0
+        else Torus(n),
+        capabilities=CommCapabilities(
+            deposit=DepositSupport.ANY,
+            dma_send=True,
+            coprocessor_receive=False,
+        ),
+        published=ThroughputTable("hypothetical (none published)"),
+        quirks=RuntimeQuirks(),
+        index_run=2,
+    )
+
+
+class TestThirdMachine:
+    """DESIGN.md decision 4: adding a machine is one config."""
+
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return hypothetical_machine()
+
+    def test_simulated_calibration_works(self, machine):
+        table = machine.simulated_table(nwords=4096)
+        assert len(table) > 10
+
+    def test_model_works(self, machine):
+        from repro.core.patterns import CONTIGUOUS, strided
+
+        model = machine.model(source="simulated")
+        choice = model.choose(CONTIGUOUS, strided(64))
+        assert choice.mbps > 0
+
+    def test_runtime_works(self, machine):
+        from repro.core.patterns import INDEXED
+
+        result = measure_q(
+            machine, INDEXED, INDEXED, 32 * 1024, OperationStyle.CHAINED
+        )
+        assert result.mbps > 0
+
+    def test_kernels_work(self, machine):
+        from repro.apps import SORKernel
+
+        report = SORKernel(machine, n=256, n_nodes=16).report()
+        assert report.chained_measured_mbps > 0
+
+
+class TestSerializationIntegration:
+    def test_serialized_calibration_reproduces_model(self, t3d_machine):
+        from repro.core.patterns import CONTIGUOUS, strided
+
+        original = t3d_machine.model(source="paper")
+        rebuilt_table = table_from_dict(table_to_dict(original.table))
+        rebuilt = CopyTransferModel(
+            table=rebuilt_table,
+            capabilities=t3d_machine.capabilities,
+            name="rebuilt",
+        )
+        for style in OperationStyle:
+            assert rebuilt.estimate(CONTIGUOUS, strided(64), style).mbps == (
+                pytest.approx(
+                    original.estimate(CONTIGUOUS, strided(64), style).mbps
+                )
+            )
