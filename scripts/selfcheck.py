@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""AST-based repo self-lint: enforce invariants the test suite can't.
+
+Run as ``python scripts/selfcheck.py`` (CI does).  Checks every module
+under ``src/repro/``:
+
+* **SC001** — no mutable dataclass field defaults: an annotated class
+  attribute in a ``@dataclass`` must not default to a list/dict/set
+  literal (or a bare ``list()``/``dict()``/``set()`` call); use
+  ``field(default_factory=...)``.
+* **SC002** — every subclass of ``ModelError`` (transitively) carries a
+  docstring: error types are user-facing API and the docstring is the
+  only place their meaning is recorded.
+* **SC003** — ``__all__`` consistency: every name a module exports must
+  be bound at module top level (def / class / assignment / import),
+  and ``__all__`` must not contain duplicates.
+
+Exit status: 0 when clean, 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+MUTABLE_CALLS = ("list", "dict", "set")
+
+
+def iter_modules() -> Iterator[Tuple[Path, ast.Module]]:
+    for path in sorted(PACKAGE_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        yield path, tree
+
+
+def is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == "dataclass":
+            return True
+    return False
+
+
+def is_mutable_default(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        return value.func.id in MUTABLE_CALLS
+    return False
+
+
+def check_mutable_dataclass_defaults(
+    path: Path, tree: ast.Module
+) -> Iterator[str]:
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef) and is_dataclass_decorated(node)):
+            continue
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign):
+                continue
+            if statement.value is None:
+                continue
+            if is_mutable_default(statement.value):
+                target = ast.unparse(statement.target)
+                yield (
+                    f"SC001 {path.relative_to(REPO_ROOT)}:{statement.lineno}: "
+                    f"dataclass {node.name}.{target} has a mutable default; "
+                    "use field(default_factory=...)"
+                )
+
+
+def collect_classes(
+    modules: List[Tuple[Path, ast.Module]],
+) -> Dict[str, Tuple[Path, ast.ClassDef, List[str]]]:
+    """Map class name -> (path, node, base names) across the package.
+
+    Class names are unique enough within this package for the
+    transitive ``ModelError`` walk; a collision would only widen the
+    set of classes required to carry docstrings.
+    """
+    classes: Dict[str, Tuple[Path, ast.ClassDef, List[str]]] = {}
+    for path, tree in modules:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                bases = []
+                for base in node.bases:
+                    if isinstance(base, ast.Name):
+                        bases.append(base.id)
+                    elif isinstance(base, ast.Attribute):
+                        bases.append(base.attr)
+                classes[node.name] = (path, node, bases)
+    return classes
+
+
+def check_error_docstrings(
+    modules: List[Tuple[Path, ast.Module]],
+) -> Iterator[str]:
+    classes = collect_classes(modules)
+    error_types: Set[str] = {"ModelError"}
+    grew = True
+    while grew:
+        grew = False
+        for name, (__, ___, bases) in classes.items():
+            if name not in error_types and error_types & set(bases):
+                error_types.add(name)
+                grew = True
+    for name in sorted(error_types):
+        if name not in classes:
+            continue
+        path, node, __ = classes[name]
+        if ast.get_docstring(node) is None:
+            yield (
+                f"SC002 {path.relative_to(REPO_ROOT)}:{node.lineno}: "
+                f"error class {name} has no docstring"
+            )
+
+
+def module_bindings(tree: ast.Module) -> Set[str]:
+    bound: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        bound.add(name_node.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+    return bound
+
+
+def check_all_consistency(path: Path, tree: ast.Module) -> Iterator[str]:
+    exported: List[str] = []
+    lineno = 0
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                lineno = node.lineno
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        exported.append(element.value)
+    if not exported:
+        return
+    rel = path.relative_to(REPO_ROOT)
+    duplicates = sorted({n for n in exported if exported.count(n) > 1})
+    for name in duplicates:
+        yield f"SC003 {rel}:{lineno}: __all__ lists {name!r} more than once"
+    bound = module_bindings(tree)
+    for name in exported:
+        if name not in bound:
+            yield (
+                f"SC003 {rel}:{lineno}: __all__ exports {name!r} "
+                "but the module never binds it"
+            )
+
+
+def main() -> int:
+    modules = list(iter_modules())
+    violations: List[str] = []
+    for path, tree in modules:
+        violations.extend(check_mutable_dataclass_defaults(path, tree))
+        violations.extend(check_all_consistency(path, tree))
+    violations.extend(check_error_docstrings(modules))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"selfcheck: {len(violations)} violation(s)")
+        return 1
+    print(f"selfcheck: {len(modules)} modules clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,22 +4,40 @@ Commands:
 
 * ``machines`` — list the built-in machines and their headline rates;
 * ``estimate`` — model throughput of ``xQy`` for both strategies;
+* ``lint`` — statically analyze a composition expression or ``xQy``
+  operation and report structured diagnostics;
 * ``measure`` — end-to-end runtime measurement of one transfer;
 * ``table`` — print (or export as JSON) a calibration table;
 * ``advise`` — pick strategy and loop order for a distributed transpose;
 * ``report`` — regenerate every paper comparison (slow).
+
+Exit codes, uniform across subcommands:
+
+* ``0`` — success (for ``lint``: no error-severity diagnostics);
+* ``1`` — operational failure (a :class:`ModelError`, or ``lint``
+  found at least one error-severity diagnostic);
+* ``2`` — usage error (argparse: unknown flags, bad choices).
 """
 
 from __future__ import annotations
 
 import argparse
+import json as json_module
+import sys
+from typing import Optional
 
+from .core.errors import ModelError
 from .core.patterns import AccessPattern
 from .core.operations import OperationStyle
 from .core.serialization import dump_table
 from .machines import paragon, t3d
 
 MACHINES = {"t3d": t3d, "paragon": paragon}
+
+#: Uniform exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
 
 
 def _machine(name: str):
@@ -52,13 +70,75 @@ def cmd_estimate(args: argparse.Namespace) -> None:
     x = AccessPattern.parse(args.x)
     y = AccessPattern.parse(args.y)
     for style in OperationStyle:
-        estimate = model.estimate(x, y, style)
+        estimate = model.estimate(x, y, style, analyze=args.analyze)
         print(f"{model.q_notation(x, y, style):8} {style.value:16} "
               f"{estimate.mbps:7.1f} MB/s")
-        if args.verbose:
+        if args.verbose or (args.analyze and estimate.diagnostics):
             print(estimate.render())
     choice = model.choose(x, y)
     print(f"-> use {choice.style.value}")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import analyze, has_errors, parse_expr, render_report
+
+    model = None
+    if args.machine != "none":
+        machine = _machine(args.machine)
+        model = machine.model(source=args.source, congestion=args.congestion)
+
+    if args.expr is not None:
+        exprs = [parse_expr(args.expr)]
+    else:
+        if model is None:
+            raise ModelError(
+                "lint needs either a notation string or a machine to build "
+                "xQy from --x/--y/--style"
+            )
+        x = AccessPattern.parse(args.x)
+        y = AccessPattern.parse(args.y)
+        if args.style == "both":
+            styles = [s.value for s in OperationStyle]
+        else:
+            styles = [args.style]
+        exprs = [model.build(x, y, style) for style in styles]
+
+    rules = args.rules.split(",") if args.rules else None
+    results = []
+    for expr in exprs:
+        diagnostics = analyze(
+            expr,
+            table=model.table if model else None,
+            capabilities=model.capabilities if model else None,
+            constraints=model.constraints if model else (),
+            rules=rules,
+        )
+        results.append((expr, diagnostics))
+
+    all_diagnostics = [d for __, diagnostics in results for d in diagnostics]
+    if args.json:
+        payload = {
+            "results": [
+                {
+                    "notation": expr.notation(),
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                }
+                for expr, diagnostics in results
+            ],
+            "counts": {
+                severity: sum(
+                    1 for d in all_diagnostics if d.severity.value == severity
+                )
+                for severity in ("error", "warning", "advice")
+            },
+            "ok": not has_errors(all_diagnostics),
+        }
+        print(json_module.dumps(payload, indent=2))
+    else:
+        for expr, diagnostics in results:
+            print(f"lint {expr.notation()}")
+            print(render_report(diagnostics))
+    return EXIT_FAILURE if has_errors(all_diagnostics) else EXIT_OK
 
 
 def cmd_measure(args: argparse.Namespace) -> None:
@@ -146,6 +226,39 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("paper", "simulated"))
     estimate.add_argument("--congestion", type=int, default=None)
     estimate.add_argument("--verbose", action="store_true")
+    estimate.add_argument("--analyze", action="store_true",
+                          help="attach static-analyzer diagnostics")
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically analyze a composition expression or xQy operation",
+        description=(
+            "Run the copy-transfer plan linter.  Give either a notation "
+            "string ('64C1 o (1S0 || Nd || 0D1) o 1C1') or --x/--y/--style "
+            "to lint the expressions a machine's model would build.  "
+            "Exits 1 when any error-severity diagnostic is found."
+        ),
+    )
+    lint.add_argument("expr", nargs="?", default=None,
+                      help="composition in paper notation")
+    lint.add_argument("--machine", default="t3d",
+                      choices=sorted(MACHINES) + ["none"],
+                      help="machine context for calibration/capability rules "
+                           "('none' for composition rules only)")
+    lint.add_argument("--x", default="1", help="read pattern (0/1/s/w)")
+    lint.add_argument("--y", default="64", help="write pattern (0/1/s/w)")
+    lint.add_argument(
+        "--style",
+        default="both",
+        choices=[style.value for style in OperationStyle] + ["both"],
+    )
+    lint.add_argument("--source", default="paper",
+                      choices=("paper", "simulated"))
+    lint.add_argument("--congestion", type=int, default=None)
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit machine-readable diagnostics")
 
     measure = commands.add_parser("measure", help="end-to-end measurement")
     measure.add_argument("--machine", default="t3d", choices=sorted(MACHINES))
@@ -178,18 +291,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
+    """Run one subcommand; returns a uniform exit code (module docstring)."""
     args = build_parser().parse_args(argv)
     handler = {
         "advise": cmd_advise,
         "machines": cmd_machines,
         "estimate": cmd_estimate,
+        "lint": cmd_lint,
         "measure": cmd_measure,
         "table": cmd_table,
         "report": cmd_report,
     }[args.command]
-    handler(args)
+    try:
+        code: Optional[int] = handler(args)
+    except ModelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    return EXIT_OK if code is None else code
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

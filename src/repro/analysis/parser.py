@@ -1,0 +1,235 @@
+"""Parse the paper's composition notation back into ``Expr`` trees.
+
+The pretty-printer (:meth:`Expr.notation`) renders expressions like::
+
+    64C1 o (1S0 || Nd || 0D1) o 1C1
+
+This module inverts it so the CLI (``python -m repro lint``) and tests
+can analyze arbitrary expressions written as strings.  Accepted tokens:
+
+* basic transfers — ``<read><letter><write>`` with patterns ``0``,
+  ``1``, a stride like ``64`` (optionally blocked: ``64x2``) or ``w`` /
+  ``ω`` for indexed, and letters ``C`` (copy), ``S`` (load-send),
+  ``F`` (fetch-send), ``R`` (receive-store), ``D`` (receive-deposit);
+* network transfers — ``Nd`` and ``Nadp``;
+* operators — ``o`` / ``∘`` for sequential, ``||`` / ``‖`` for
+  parallel, with parentheses for grouping.  ``||`` binds tighter than
+  ``o``, matching how the printer parenthesizes.
+
+Parsed copies are placed on the node role the chain implies: copies
+before any send/network transfer gather on the sender, copies after a
+receive land on the receiver, and copies in a purely local expression
+stay local.  ``parse_expr("...").notation()`` round-trips up to
+whitespace and redundant parentheses.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..core.composition import Expr, Term, par, seq
+from ..core.errors import ModelError
+from ..core.patterns import AccessPattern
+from ..core.resources import NodeRole
+from ..core.transfers import (
+    BasicTransfer,
+    TransferKind,
+    copy,
+    fetch_send,
+    load_send,
+    network_adp,
+    network_data,
+    receive_deposit,
+    receive_store,
+)
+
+__all__ = ["NotationError", "parse_expr"]
+
+
+class NotationError(ModelError):
+    """A composition-notation string cannot be parsed."""
+
+
+_PATTERN = r"(?:\d+x\d+|\d+|[01wω])"
+_TOKEN = re.compile(
+    rf"\s*(?:(?P<net>Nadp|Nd)"
+    rf"|(?P<leaf>(?P<read>{_PATTERN})(?P<kind>[CSFRD])(?P<write>{_PATTERN}))"
+    rf"|(?P<par>\|\||‖)"
+    rf"|(?P<seq>o\b|∘)"
+    rf"|(?P<open>\()"
+    rf"|(?P<close>\)))"
+)
+
+
+class _Tokenizer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.tokens: List[Tuple[str, str, int]] = []
+        self._scan()
+        self.index = 0
+
+    def _scan(self) -> None:
+        pos = 0
+        while pos < len(self.text):
+            match = _TOKEN.match(self.text, pos)
+            if match is None:
+                remainder = self.text[pos:].strip()
+                if not remainder:
+                    break
+                raise NotationError(
+                    f"cannot tokenize notation at offset {pos}: {remainder[:20]!r}"
+                )
+            for name in ("net", "leaf", "par", "seq", "open", "close"):
+                value = match.group(name)
+                if value is not None:
+                    self.tokens.append((name, value, match.start(name)))
+                    break
+            pos = match.end()
+
+    def peek(self) -> Optional[Tuple[str, str, int]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise NotationError(f"unexpected end of notation {self.text!r}")
+        self.index += 1
+        return token
+
+
+def _build_leaf(text: str, offset: int) -> BasicTransfer:
+    match = _TOKEN.match(text)
+    assert match is not None and match.group("leaf")
+    read = AccessPattern.parse(match.group("read"))
+    write = AccessPattern.parse(match.group("write"))
+    kind = match.group("kind")
+    if kind == "C":
+        return copy(read, write)
+    if kind == "S":
+        _expect_fixed(write, text, "S", "write", offset)
+        return load_send(read)
+    if kind == "F":
+        _expect_fixed(write, text, "F", "write", offset)
+        return fetch_send(read)
+    if kind == "R":
+        _expect_fixed(read, text, "R", "read", offset)
+        return receive_store(write)
+    assert kind == "D"
+    _expect_fixed(read, text, "D", "read", offset)
+    return receive_deposit(write)
+
+
+def _expect_fixed(
+    pattern: AccessPattern, text: str, letter: str, side: str, offset: int
+) -> None:
+    if not pattern.is_fixed:
+        raise NotationError(
+            f"transfer {text!r} at offset {offset}: the {side} side of "
+            f"{letter!r} is a fixed NI port and must be written 0"
+        )
+
+
+def _parse_sequence(tokens: _Tokenizer) -> Expr:
+    parts = [_parse_parallel(tokens)]
+    while True:
+        token = tokens.peek()
+        if token is None or token[0] != "seq":
+            break
+        tokens.next()
+        parts.append(_parse_parallel(tokens))
+    if len(parts) == 1:
+        return parts[0]
+    return seq(*parts)
+
+
+def _parse_parallel(tokens: _Tokenizer) -> Expr:
+    parts = [_parse_atom(tokens)]
+    while True:
+        token = tokens.peek()
+        if token is None or token[0] != "par":
+            break
+        tokens.next()
+        parts.append(_parse_atom(tokens))
+    if len(parts) == 1:
+        return parts[0]
+    return par(*parts)
+
+
+def _parse_atom(tokens: _Tokenizer) -> Expr:
+    name, value, offset = tokens.next()
+    if name == "open":
+        inner = _parse_sequence(tokens)
+        closing = tokens.next()
+        if closing[0] != "close":
+            raise NotationError(
+                f"expected ')' at offset {closing[2]}, got {closing[1]!r}"
+            )
+        return inner
+    if name == "net":
+        return Term(network_adp() if value == "Nadp" else network_data())
+    if name == "leaf":
+        return Term(_build_leaf(value, offset))
+    raise NotationError(f"unexpected token {value!r} at offset {offset}")
+
+
+def _assign_copy_roles(expr: Expr) -> Expr:
+    """Re-home parsed copies onto the node role the chain implies.
+
+    In a point-to-point chain, reorganizing copies before the network
+    stage run on the sender and copies after it run on the receiver;
+    expressions with no network stage are node-local.  Roles matter for
+    the exclusive-resource rule: a gather on the sender does not
+    conflict with a scatter on the receiver.
+    """
+    terms = list(expr.terms())
+    network_seen = any(t.kind.is_network for t in terms)
+    if not network_seen:
+        return expr
+    state = {"before_network": True}
+
+    def rebuild(node: Expr) -> Expr:
+        if isinstance(node, Term):
+            transfer = node.transfer
+            if transfer.kind.is_network:
+                state["before_network"] = False
+                return node
+            if transfer.kind is not TransferKind.COPY:
+                if transfer.kind in (
+                    TransferKind.RECEIVE_STORE,
+                    TransferKind.RECEIVE_DEPOSIT,
+                ):
+                    state["before_network"] = False
+                return node
+            role = (
+                NodeRole.SENDER if state["before_network"] else NodeRole.RECEIVER
+            )
+            return Term(copy(transfer.read, transfer.write, role=role))
+        rebuilt = tuple(rebuild(part) for part in node.parts)  # type: ignore[attr-defined]
+        return type(node)(rebuilt)  # type: ignore[call-arg]
+
+    return rebuild(expr)
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse composition notation into an :class:`Expr` tree.
+
+    >>> parse_expr("64C1 o (1S0 || Nd || 0D1) o 1C1").notation()
+    '64C1 o (1S0 || Nd || 0D1) o 1C1'
+
+    Raises :class:`NotationError` on malformed input and
+    :class:`~repro.core.errors.PatternError` on malformed patterns.
+    """
+    tokens = _Tokenizer(text)
+    if tokens.peek() is None:
+        raise NotationError("empty composition notation")
+    expr = _parse_sequence(tokens)
+    trailing = tokens.peek()
+    if trailing is not None:
+        raise NotationError(
+            f"trailing input at offset {trailing[2]}: {trailing[1]!r}"
+        )
+    return _assign_copy_roles(expr)

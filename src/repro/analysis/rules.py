@@ -1,0 +1,666 @@
+"""The linter's rule registry and built-in rules.
+
+Rules are small functions registered with the :func:`rule` decorator.
+An *expression* rule receives an :class:`AnalysisContext` (the tree,
+its notation and span map, and — when available — the machine's
+calibration table, capabilities and standing constraints) and yields
+:class:`Finding` objects; the linter turns findings into
+:class:`~repro.analysis.diagnostics.Diagnostic` instances carrying the
+rule's id and severity.  A *plan* rule does the same over a
+:class:`PlanContext` wrapping a compiler-emitted
+:class:`~repro.compiler.commgen.CommPlan`.
+
+Severity policy: only the ``CT1xx`` rules — exact static mirrors of
+``Expr.validate()`` — are error severity, so *the analyzer reports an
+error if and only if validation would raise* (a property test enforces
+this).  Model-misapplication findings are warnings and performance
+findings are advice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..core.calibration import ThroughputTable, pattern_key
+from ..core.composition import Expr, Par, Seq, Term
+from ..core.constraints import ResourceConstraint
+from ..core.errors import CalibrationError, CompositionError
+from ..core.operations import CommCapabilities, chained
+from ..core.patterns import CONTIGUOUS, FIXED, AccessPattern
+from ..core.resources import Resource, ResourceUnit
+from ..core.transfers import BasicTransfer, TransferKind
+from .diagnostics import Severity
+from .tree import Path, walk
+
+if TYPE_CHECKING:
+    from ..compiler.commgen import CommPlan
+
+__all__ = [
+    "AnalysisContext",
+    "PlanContext",
+    "Finding",
+    "Rule",
+    "RULES",
+    "rule",
+    "expression_rules",
+    "plan_rules",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One raw rule hit: where it is and what to say about it.
+
+    ``path`` addresses the offending node of the expression tree
+    (``None`` for findings with no single anchor, e.g. plan-scope
+    rules); the linter resolves it to a notation span.
+    """
+
+    message: str
+    path: Optional[Path] = None
+    hint: Optional[str] = None
+
+
+@dataclass
+class AnalysisContext:
+    """Everything an expression rule may inspect.
+
+    ``table``, ``capabilities`` and ``constraints`` are optional: the
+    linter runs with whatever the caller can supply, and rules that
+    need a missing ingredient simply stay silent.
+    """
+
+    expr: Expr
+    notation: str
+    spans: Mapping[Path, "object"]
+    table: Optional[ThroughputTable] = None
+    capabilities: Optional[CommCapabilities] = None
+    constraints: Tuple[ResourceConstraint, ...] = ()
+
+    def leaves(self) -> Iterator[Tuple[Path, BasicTransfer]]:
+        """Yield ``(path, transfer)`` for every leaf term."""
+        for path, node in walk(self.expr):
+            if isinstance(node, Term):
+                yield path, node.transfer
+
+
+@dataclass
+class PlanContext:
+    """Everything a plan rule may inspect.
+
+    ``model`` (a :class:`~repro.core.model.CopyTransferModel`, untyped
+    here to avoid an import cycle) and ``style`` are optional, like the
+    optional fields of :class:`AnalysisContext`.
+    """
+
+    plan: "CommPlan"
+    model: Optional[object] = None
+    style: Optional[str] = None
+
+
+CheckFn = Callable[..., Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    rule_id: str
+    severity: Severity
+    title: str
+    scope: str  # "expr" or "plan"
+    check: CheckFn = field(compare=False)
+
+
+#: All registered rules, keyed by rule id.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str, severity: Severity, title: str, scope: str = "expr"
+) -> Callable[[CheckFn], CheckFn]:
+    """Register a rule function under ``rule_id``."""
+
+    def decorator(check: CheckFn) -> CheckFn:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        if scope not in ("expr", "plan"):
+            raise ValueError(f"unknown rule scope {scope!r}")
+        RULES[rule_id] = Rule(rule_id, severity, title, scope, check)
+        return check
+
+    return decorator
+
+
+def expression_rules() -> List[Rule]:
+    return [r for r in RULES.values() if r.scope == "expr"]
+
+
+def plan_rules() -> List[Rule]:
+    return [r for r in RULES.values() if r.scope == "plan"]
+
+
+# ---------------------------------------------------------------------------
+# CT1xx — composition legality (static mirror of Expr.validate)
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "CT101",
+    Severity.ERROR,
+    "sequential pattern mismatch",
+)
+def ct101_seq_pattern_mismatch(ctx: AnalysisContext) -> Iterator[Finding]:
+    """Write pattern of step *n* must match the read pattern of step *n+1*.
+
+    Mirrors the Section 3.3 matching rule enforced by ``Seq.validate``:
+    fixed ends (``0``) and ambiguous boundaries are exempt.
+    """
+    for path, node in walk(ctx.expr):
+        if not isinstance(node, Seq):
+            continue
+        for index, (left, right) in enumerate(zip(node.parts, node.parts[1:])):
+            produced = left.write_pattern()
+            consumed = right.read_pattern()
+            if produced is None or consumed is None:
+                continue
+            if produced == FIXED or consumed == FIXED:
+                continue
+            if not produced.matches(consumed):
+                yield Finding(
+                    message=(
+                        f"sequential step {index + 1} ({left.notation(top=False)}) "
+                        f"writes pattern {produced} but step {index + 2} "
+                        f"({right.notation(top=False)}) reads pattern {consumed}"
+                    ),
+                    path=path + (index + 1,),
+                    hint=(
+                        f"insert a reorganizing copy {produced}C{consumed} "
+                        "between the steps, or change one side's pattern"
+                    ),
+                )
+
+
+@rule(
+    "CT102",
+    Severity.ERROR,
+    "parallel branches share an exclusive resource",
+)
+def ct102_par_exclusive_conflict(ctx: AnalysisContext) -> Iterator[Finding]:
+    """Parallel branches must occupy disjoint exclusive resources.
+
+    Mirrors ``Par.validate``: CPUs, co-processors, DMA and deposit
+    engines serve one basic transfer at a time, so two branches of a
+    ``‖`` that both need one cannot overlap (Section 3.3).
+    """
+    for path, node in walk(ctx.expr):
+        if not isinstance(node, Par):
+            continue
+        seen: Dict[Resource, int] = {}
+        reported: Set[Tuple[Resource, int, int]] = set()
+        for index, part in enumerate(node.parts):
+            for resource in sorted(part.all_resources(), key=str):
+                if not resource.is_exclusive:
+                    continue
+                if resource in seen and seen[resource] != index:
+                    key = (resource, seen[resource], index)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield Finding(
+                        message=(
+                            f"parallel branches {seen[resource] + 1} "
+                            f"({node.parts[seen[resource]].notation(top=False)}) and "
+                            f"{index + 1} ({part.notation(top=False)}) both occupy "
+                            f"exclusive resource {resource}"
+                        ),
+                        path=path + (index,),
+                        hint=(
+                            "run the branches sequentially, or move one onto a "
+                            "background engine (DMA fetch-send, deposit engine, "
+                            "co-processor receive-store)"
+                        ),
+                    )
+                else:
+                    seen[resource] = index
+
+
+@rule(
+    "CT103",
+    Severity.ERROR,
+    "degenerate empty composition",
+)
+def ct103_empty_composition(ctx: AnalysisContext) -> Iterator[Finding]:
+    """A ``Seq`` or ``Par`` node with no parts cannot be evaluated.
+
+    The ``seq()`` / ``par()`` builders refuse to construct these, but a
+    directly instantiated node (or one produced by a buggy transform)
+    would crash pattern queries with an ``IndexError`` deep inside the
+    evaluator; flag it here instead.
+    """
+    for path, node in walk(ctx.expr):
+        if isinstance(node, (Seq, Par)) and len(node.parts) == 0:
+            kind = "sequential" if isinstance(node, Seq) else "parallel"
+            yield Finding(
+                message=f"empty {kind} composition node has no parts",
+                path=path,
+                hint="build expressions with seq()/par(), which reject empty part lists",
+            )
+
+
+# ---------------------------------------------------------------------------
+# CT2xx — model misapplication (legal composition, unreliable estimate)
+# ---------------------------------------------------------------------------
+
+#: Capacity resources whose aggregate load the model polices with
+#: resource constraints (Section 3.4.1 uses the memory system's total
+#: bandwidth; the bus and the NI port are capped the same way).
+_CAPPED_CAPACITY_UNITS = (
+    ResourceUnit.MEMORY,
+    ResourceUnit.BUS,
+    ResourceUnit.NI_PORT,
+)
+
+
+def _constraint_covers(constraint: ResourceConstraint, unit: ResourceUnit) -> bool:
+    if constraint.resource is not None:
+        return constraint.resource is unit
+    return unit.value.replace("_", " ") in constraint.name.lower()
+
+
+@rule(
+    "CT201",
+    Severity.WARNING,
+    "shared capacity resource with no covering constraint",
+)
+def ct201_uncovered_shared_capacity(ctx: AnalysisContext) -> Iterator[Finding]:
+    """Parallel branches sharing memory/bus/NI bandwidth need a constraint.
+
+    Capacity resources may legally be shared between branches, but the
+    min rule then overstates throughput unless a
+    :class:`ResourceConstraint` caps the aggregate load — the paper's
+    ``2 × |xQy| ≤ |memory bandwidth|`` duplex cap (Section 3.4.1).
+    """
+    for path, node in walk(ctx.expr):
+        if not isinstance(node, Par):
+            continue
+        users: Dict[Resource, int] = {}
+        for part in node.parts:
+            branch_resources = part.all_resources()
+            for resource in branch_resources:
+                if resource.is_exclusive:
+                    continue
+                if resource.unit not in _CAPPED_CAPACITY_UNITS:
+                    continue
+                users[resource] = users.get(resource, 0) + 1
+        for resource in sorted(users, key=str):
+            if users[resource] < 2:
+                continue
+            if any(_constraint_covers(c, resource.unit) for c in ctx.constraints):
+                continue
+            yield Finding(
+                message=(
+                    f"{users[resource]} parallel branches share capacity "
+                    f"resource {resource} but no resource constraint caps "
+                    "their aggregate bandwidth"
+                ),
+                path=path,
+                hint=(
+                    "add a ResourceConstraint (e.g. duplex_memory_constraint()) "
+                    "so the estimate respects the shared bandwidth"
+                ),
+            )
+
+
+@rule(
+    "CT202",
+    Severity.WARNING,
+    "missing calibration-table entry",
+)
+def ct202_missing_calibration(ctx: AnalysisContext) -> Iterator[Finding]:
+    """Every leaf transfer needs a table entry or interpolation anchors.
+
+    Evaluating the expression would raise ``CalibrationError`` at the
+    first gap (Section 4's tables must cover every basic transfer an
+    operation uses); report all gaps up front instead.
+    """
+    if ctx.table is None:
+        return
+    seen: Set[Tuple[TransferKind, object, object]] = set()
+    for path, transfer in ctx.leaves():
+        key = (
+            transfer.kind,
+            pattern_key(transfer.read),
+            pattern_key(transfer.write),
+        )
+        if key in seen:
+            continue
+        try:
+            ctx.table.lookup(transfer)
+        except CalibrationError as exc:
+            seen.add(key)
+            yield Finding(
+                message=(
+                    f"no calibration for {transfer.notation}: {exc}"
+                ),
+                path=path,
+                hint=(
+                    f"add a {transfer.notation} entry (or strided anchors) to "
+                    f"table {ctx.table.name!r}, or recalibrate with "
+                    "machines.measure.measure_table"
+                ),
+            )
+
+
+@rule(
+    "CT203",
+    Severity.WARNING,
+    "data-only network framing under a scattered pattern",
+)
+def ct203_wrong_network_framing(ctx: AnalysisContext) -> Iterator[Finding]:
+    """Scattered remote stores must ship address-data pairs (``Nadp``).
+
+    A data-only transfer ``Nd`` describes its payload by base address
+    and length, which only works when both memory ends of the chain are
+    contiguous; strided and indexed patterns need addresses on the wire
+    (Section 3.2).  Check every ``Par`` that contains an ``Nd`` leaf.
+    """
+    for path, node in walk(ctx.expr):
+        if not isinstance(node, Par):
+            continue
+        network_index: Optional[int] = None
+        for index, part in enumerate(node.parts):
+            if isinstance(part, Term) and part.transfer.kind is TransferKind.NETWORK_DATA:
+                network_index = index
+                break
+        if network_index is None:
+            continue
+        for index, part in enumerate(node.parts):
+            if index == network_index:
+                continue
+            for transfer in part.terms():
+                offender: Optional[AccessPattern] = None
+                if transfer.kind in (TransferKind.LOAD_SEND, TransferKind.FETCH_SEND):
+                    if transfer.read.needs_addresses_on_wire:
+                        offender = transfer.read
+                elif transfer.kind in (
+                    TransferKind.RECEIVE_STORE,
+                    TransferKind.RECEIVE_DEPOSIT,
+                ):
+                    if transfer.write.needs_addresses_on_wire:
+                        offender = transfer.write
+                if offender is not None:
+                    yield Finding(
+                        message=(
+                            f"data-only network transfer Nd paired with "
+                            f"{transfer.notation}, whose pattern {offender} "
+                            "needs addresses on the wire"
+                        ),
+                        path=path + (network_index,),
+                        hint=(
+                            "use Nadp (address-data pairs) for non-contiguous "
+                            "chained transfers; it halves useful wire bandwidth "
+                            "but makes the scatter addressable"
+                        ),
+                    )
+
+
+@rule(
+    "CT204",
+    Severity.WARNING,
+    "index-array read not charged against indexed throughput",
+)
+def ct204_uncharged_index_read(ctx: AnalysisContext) -> Iterator[Finding]:
+    """Indexed rates must be slower than the contiguous rate.
+
+    Section 2.2: reading the index array is part of an ω access and is
+    charged against the transfer's throughput.  A calibration in which
+    an indexed transfer is at least as fast as its contiguous twin has
+    almost certainly omitted that charge.
+    """
+    if ctx.table is None:
+        return
+    seen: Set[Tuple[TransferKind, object, object]] = set()
+    for path, transfer in ctx.leaves():
+        if not (transfer.read.is_indexed or transfer.write.is_indexed):
+            continue
+        key = (
+            transfer.kind,
+            pattern_key(transfer.read),
+            pattern_key(transfer.write),
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        twin_read = CONTIGUOUS if transfer.read.is_indexed else transfer.read
+        twin_write = CONTIGUOUS if transfer.write.is_indexed else transfer.write
+        try:
+            indexed_rate = ctx.table.lookup(transfer)
+            twin_rate = ctx.table.lookup_kind(transfer.kind, twin_read, twin_write)
+        except CalibrationError:
+            continue  # CT202 reports the gap
+        if indexed_rate >= twin_rate:
+            twin_notation = (
+                f"{twin_read.subscript}{transfer.kind.letter}{twin_write.subscript}"
+            )
+            yield Finding(
+                message=(
+                    f"{transfer.notation} is calibrated at {indexed_rate:.1f} MB/s, "
+                    f"not slower than its contiguous twin {twin_notation} at "
+                    f"{twin_rate:.1f} MB/s — the index-array read appears uncharged"
+                ),
+                path=path,
+                hint=(
+                    "recalibrate the ω entries with the index-array reads "
+                    "charged against payload throughput (Section 2.2)"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# CT3xx — performance advice (legal, well-modelled, but improvable)
+# ---------------------------------------------------------------------------
+
+
+def _contains_kinds(expr: Expr) -> Set[TransferKind]:
+    return {t.kind for t in expr.terms()}
+
+
+@rule(
+    "CT301",
+    Severity.ADVICE,
+    "buffer packing where the model predicts chaining is faster",
+)
+def ct301_packing_beaten_by_chained(ctx: AnalysisContext) -> Iterator[Finding]:
+    """The paper's headline result, surfaced as advice.
+
+    When an expression has the buffer-packing shape (reorganizing
+    copies around a network stage) and the machine can chain — stream
+    elements in their home pattern with a background receiver — compare
+    the two estimates and suggest the chained form if it wins
+    (Sections 3.4, 5.1.2).
+    """
+    if ctx.table is None or ctx.capabilities is None:
+        return
+    kinds = _contains_kinds(ctx.expr)
+    if TransferKind.COPY not in kinds:
+        return
+    if not kinds & {TransferKind.NETWORK_DATA, TransferKind.NETWORK_ADP}:
+        return
+    x = ctx.expr.read_pattern()
+    y = ctx.expr.write_pattern()
+    if x is None or y is None or x.is_fixed or y.is_fixed:
+        return
+    try:
+        chained_expr = chained(x, y, ctx.capabilities)
+    except CompositionError:
+        return  # machine cannot chain this operation
+    from ..core.throughput import evaluate
+
+    try:
+        packing_mbps = evaluate(
+            ctx.expr, ctx.table, constraints=ctx.constraints, validate=False
+        ).mbps
+        chained_mbps = evaluate(
+            chained_expr, ctx.table, constraints=ctx.constraints, validate=False
+        ).mbps
+    except CalibrationError:
+        return  # CT202 reports the gap
+    if chained_mbps > packing_mbps * 1.02:
+        yield Finding(
+            message=(
+                f"buffer packing reaches {packing_mbps:.1f} MB/s but the chained "
+                f"form {chained_expr.notation()} is predicted at "
+                f"{chained_mbps:.1f} MB/s "
+                f"({chained_mbps / packing_mbps:.1f}x)"
+            ),
+            path=(),
+            hint=(
+                "stream elements in their home pattern and let the deposit "
+                "engine (or co-processor) scatter in the background "
+                "(Section 5.1.2)"
+            ),
+        )
+
+
+@rule(
+    "CT302",
+    Severity.ADVICE,
+    "redundant reorganizing copy",
+)
+def ct302_redundant_copy(ctx: AnalysisContext) -> Iterator[Finding]:
+    """A copy whose read and write patterns already match moves nothing.
+
+    ``1C1`` composed into a pipeline re-reads and re-writes every word
+    without changing its layout — the forced packing copy of PVM-style
+    libraries that the paper's Figure 1 shows halving throughput.
+    Flagged as advice because a library may force it for buffering.
+    """
+    for path, transfer in ctx.leaves():
+        if transfer.kind is not TransferKind.COPY:
+            continue
+        if transfer.read.matches(transfer.write):
+            yield Finding(
+                message=(
+                    f"copy {transfer.notation} reads and writes the same "
+                    f"pattern {transfer.read}; it reorganizes nothing"
+                ),
+                path=path,
+                hint=(
+                    "drop the copy (or use a library that skips packing for "
+                    "matching patterns) to avoid touching every word twice"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# CT4xx — compiler-plan rules
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "CT401",
+    Severity.WARNING,
+    "dead communication operation (zero payload)",
+    scope="plan",
+)
+def ct401_zero_byte_op(ctx: PlanContext) -> Iterator[Finding]:
+    """A plan operation that moves zero words is dead weight.
+
+    It still pays per-message library overhead and occupies a slot in
+    every collective schedule step, for no data moved.
+    """
+    for index, op in enumerate(ctx.plan.ops):
+        if op.nwords <= 0:
+            yield Finding(
+                message=(
+                    f"plan {ctx.plan.name!r} op[{index}] {op.notation} "
+                    f"({op.src}->{op.dst}) transfers {op.nwords} words"
+                ),
+                hint="filter empty communication sets before emitting the plan",
+            )
+
+
+@rule(
+    "CT402",
+    Severity.WARNING,
+    "self-message emitted as communication",
+    scope="plan",
+)
+def ct402_self_message(ctx: PlanContext) -> Iterator[Finding]:
+    """``src == dst`` should be a local copy, not a network operation.
+
+    The communication generators exclude node-local traffic
+    (``redistribute_1d`` skips it explicitly); a plan containing one
+    would be charged network and NI costs for data that never leaves
+    the node.
+    """
+    for index, op in enumerate(ctx.plan.ops):
+        if op.src == op.dst:
+            yield Finding(
+                message=(
+                    f"plan {ctx.plan.name!r} op[{index}] {op.notation} sends "
+                    f"node {op.src} to itself"
+                ),
+                hint=(
+                    f"emit a local copy {op.x.subscript}C{op.y.subscript} "
+                    "instead of a network operation"
+                ),
+            )
+
+
+@rule(
+    "CT403",
+    Severity.ERROR,
+    "plan operation infeasible in the requested style",
+    scope="plan",
+)
+def ct403_infeasible_style(ctx: PlanContext) -> Iterator[Finding]:
+    """Every operation shape a plan needs must be implementable.
+
+    With an explicit style, every shape must build in that style; with
+    no style, at least one of the paper's two strategies must exist for
+    each shape (a chained-only request fails on machines without a
+    background receiver, Section 5.1.2).
+    """
+    if ctx.model is None:
+        return
+    build = ctx.model.build  # type: ignore[attr-defined]
+    seen: Set[Tuple[str, str]] = set()
+    for op in ctx.plan.ops:
+        shape = (op.x.subscript, op.y.subscript)
+        if shape in seen:
+            continue
+        seen.add(shape)
+        if ctx.style is not None:
+            styles = [ctx.style]
+        else:
+            styles = ["buffer-packing", "chained"]
+        errors = []
+        for style in styles:
+            try:
+                build(op.x, op.y, style)
+            except CompositionError as exc:
+                errors.append(str(exc))
+        if len(errors) == len(styles):
+            yield Finding(
+                message=(
+                    f"plan {ctx.plan.name!r} needs {op.notation} but no "
+                    f"requested style is feasible: {'; '.join(errors)}"
+                ),
+                hint=(
+                    "choose a feasible style, or target a machine with a "
+                    "general deposit engine / co-processor receiver"
+                ),
+            )

@@ -1,0 +1,56 @@
+"""Tree utilities shared by the linter: walking and span computation.
+
+Every node of a composition expression is addressed by a *path* — the
+tuple of child indices from the root (the root itself is ``()``).  The
+span map ties each path to the character range the node occupies in the
+root's ``notation()`` rendering, so diagnostics can point precisely at
+the offending step of an expression like ``64C1 o (1S0 || Nd || 0D1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..core.composition import Expr, Par, Seq
+from .diagnostics import Span
+
+__all__ = ["Path", "walk", "compute_spans"]
+
+Path = Tuple[int, ...]
+
+#: Separators used by ``Seq.notation`` / ``Par.notation``.
+_SEPARATORS = {Seq: " o ", Par: " || "}
+
+
+def walk(expr: Expr, path: Path = ()) -> Iterator[Tuple[Path, Expr]]:
+    """Yield ``(path, node)`` for every node, depth-first, root first."""
+    yield path, expr
+    if isinstance(expr, (Seq, Par)):
+        for index, part in enumerate(expr.parts):
+            yield from walk(part, path + (index,))
+
+
+def compute_spans(expr: Expr) -> Dict[Path, Span]:
+    """Map every node path to its span in ``expr.notation()``.
+
+    Mirrors the rendering rules of :meth:`Expr.notation`: sequence
+    parts join with ``" o "``, parallel parts with ``" || "``, and
+    nested composite nodes are parenthesized.
+    """
+    spans: Dict[Path, Span] = {}
+    _fill(expr, top=True, offset=0, path=(), spans=spans)
+    return spans
+
+
+def _fill(
+    expr: Expr, top: bool, offset: int, path: Path, spans: Dict[Path, Span]
+) -> None:
+    text = expr.notation(top=top)
+    spans[path] = Span(offset, offset + len(text))
+    if not isinstance(expr, (Seq, Par)):
+        return
+    separator = _SEPARATORS[type(expr)]
+    cursor = offset if top else offset + 1  # skip the opening paren
+    for index, part in enumerate(expr.parts):
+        _fill(part, top=False, offset=cursor, path=path + (index,), spans=spans)
+        cursor += len(part.notation(top=False)) + len(separator)

@@ -20,6 +20,7 @@ from typing import Optional, Union
 from .calibration import PatternKey, ThroughputTable
 from .errors import ConstraintError
 from .patterns import AccessPattern, CONTIGUOUS
+from .resources import ResourceUnit
 from .transfers import TransferKind
 
 __all__ = ["EntryRef", "ResourceConstraint", "duplex_memory_constraint"]
@@ -67,11 +68,17 @@ class ResourceConstraint:
         capacity: The resource's bandwidth in MB/s, or an
             :class:`EntryRef` resolved against the calibration table at
             evaluation time.
+        resource: Which capacity unit this constraint polices, when it
+            maps onto one (``ResourceUnit.MEMORY`` for the duplex cap).
+            The static analyzer uses it to tell covered shared
+            resources from uncovered ones; ``None`` means the
+            constraint is not tied to a single unit.
     """
 
     name: str
     demand: float
     capacity: Union[float, EntryRef]
+    resource: Optional[ResourceUnit] = None
 
     def __post_init__(self) -> None:
         if self.demand <= 0:
@@ -109,4 +116,5 @@ def duplex_memory_constraint(
         name="duplex memory bandwidth",
         demand=demand,
         capacity=EntryRef(TransferKind.COPY, read, write),
+        resource=ResourceUnit.MEMORY,
     )

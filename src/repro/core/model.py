@@ -17,7 +17,7 @@ which reproduces the ``|1Q'64| = 38 MB/s`` figure of Section 5.1.2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Sequence, Tuple, Union
 
 from .calibration import ThroughputTable
@@ -97,14 +97,37 @@ class CopyTransferModel:
         expr: Expr,
         extra_constraints: Sequence[ResourceConstraint] = (),
         validate: bool = True,
+        analyze: bool = False,
     ) -> ThroughputEstimate:
-        """Evaluate an arbitrary composition under this machine's table."""
-        return evaluate(
-            expr,
-            self.table,
-            constraints=tuple(self.constraints) + tuple(extra_constraints),
-            validate=validate,
+        """Evaluate an arbitrary composition under this machine's table.
+
+        With ``analyze=True`` the static linter
+        (:func:`repro.analysis.analyze`) runs over the expression with
+        this machine's table, capabilities and constraints, and its
+        diagnostics are attached to the returned estimate.  The linter
+        subsumes validation (its ``CT1xx`` errors mirror
+        ``Expr.validate`` exactly), so evaluation proceeds even for
+        illegal compositions and the caller can inspect the diagnostics
+        instead of catching ``CompositionError``.
+        """
+        constraints = tuple(self.constraints) + tuple(extra_constraints)
+        if not analyze:
+            return evaluate(expr, self.table, constraints=constraints,
+                            validate=validate)
+        from ..analysis import analyze as run_linter
+
+        diagnostics = tuple(
+            run_linter(
+                expr,
+                table=self.table,
+                capabilities=self.capabilities,
+                constraints=constraints,
+            )
         )
+        estimate = evaluate(
+            expr, self.table, constraints=constraints, validate=False
+        )
+        return replace(estimate, diagnostics=diagnostics)
 
     def estimate(
         self,
@@ -112,10 +135,13 @@ class CopyTransferModel:
         y: AccessPattern,
         style: StyleLike,
         extra_constraints: Sequence[ResourceConstraint] = (),
+        analyze: bool = False,
     ) -> ThroughputEstimate:
         """Predict the throughput of ``xQy`` implemented in ``style``."""
         return self.estimate_expr(
-            self.build(x, y, style), extra_constraints=extra_constraints
+            self.build(x, y, style),
+            extra_constraints=extra_constraints,
+            analyze=analyze,
         )
 
     def choose(

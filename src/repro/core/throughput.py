@@ -16,12 +16,15 @@ figure and a full per-node breakdown for reporting and debugging.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from .calibration import ThroughputTable
 from .composition import Expr, Par, Seq, Term
 from .constraints import ResourceConstraint
 from .errors import ModelError
+
+if TYPE_CHECKING:
+    from ..analysis.diagnostics import Diagnostic
 
 __all__ = ["EvalNode", "ConstraintReport", "ThroughputEstimate", "evaluate"]
 
@@ -74,12 +77,18 @@ class ThroughputEstimate:
 
     ``mbps`` is the constrained end-to-end throughput; ``unconstrained_mbps``
     the figure before resource constraints; ``root`` the evaluation tree.
+    ``diagnostics`` carries the static analyzer's findings when the
+    estimate was requested with ``analyze=True`` (see
+    :meth:`repro.core.model.CopyTransferModel.estimate`); an
+    error-severity diagnostic means the composition is illegal and the
+    figure is indicative at best.
     """
 
     mbps: float
     unconstrained_mbps: float
     root: EvalNode
     constraints: Tuple[ConstraintReport, ...] = ()
+    diagnostics: Tuple["Diagnostic", ...] = ()
 
     @property
     def constrained(self) -> bool:
@@ -94,6 +103,8 @@ class ThroughputEstimate:
                 f"constraint {report.name}: limit {report.limit_mbps:.1f} MB/s "
                 f"[{marker}]"
             )
+        for diagnostic in self.diagnostics:
+            lines.append(diagnostic.render())
         lines.append(f"estimate: {self.mbps:.1f} MB/s")
         return "\n".join(lines)
 

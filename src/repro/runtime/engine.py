@@ -25,7 +25,7 @@ that make real measurements land 10-20% under the model (Figures 7/8).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..core.errors import CompositionError
 from ..core.operations import DepositSupport, OperationStyle
@@ -35,6 +35,9 @@ from ..machines.base import Machine
 from ..memsim.config import WORD_BYTES
 from .libraries import LibraryProfile, lowlevel_profile
 from .stages import Stage, StagePipeline
+
+if TYPE_CHECKING:
+    from ..analysis.diagnostics import Diagnostic
 
 __all__ = ["MeasuredTransfer", "CommRuntime", "CPU_CHUNK_OVERHEAD_NS", "measure_q"]
 
@@ -55,6 +58,9 @@ class MeasuredTransfer:
         ns: Wall-clock time including library overheads.
         phase_ns: Time spent in each sequential phase, by name.
         memory_capped: Whether the duplex memory cap bound the result.
+        diagnostics: Static-analyzer findings for the executed
+            composition, populated when the transfer was requested with
+            ``analyze=True``.
     """
 
     mbps: float
@@ -66,6 +72,7 @@ class MeasuredTransfer:
     phase_ns: Tuple[Tuple[str, float], ...]
     resource_busy_ns: Tuple[Tuple[str, float], ...] = ()
     memory_capped: bool = False
+    diagnostics: Tuple["Diagnostic", ...] = ()
 
     def bottleneck_busy_ns(self) -> float:
         """Busy time of the most-loaded resource for this message.
@@ -289,6 +296,7 @@ class CommRuntime:
         style: OperationStyle = OperationStyle.CHAINED,
         congestion: Optional[float] = None,
         duplex: bool = False,
+        analyze: bool = False,
     ) -> MeasuredTransfer:
         """Measure one point-to-point ``xQy`` transfer of ``nbytes``.
 
@@ -302,6 +310,9 @@ class CommRuntime:
                 (all-to-all, shifts): memory-touching stages slow by
                 the bus-interleave quirk and the duplex memory cap
                 applies.
+            analyze: Run the static linter over the model-level
+                composition this transfer executes and attach its
+                diagnostics to the result.
         """
         if nbytes <= 0:
             raise ValueError(f"need a positive transfer size, got {nbytes}")
@@ -367,6 +378,39 @@ class CommRuntime:
             phase_ns=tuple(phase_times),
             resource_busy_ns=tuple(sorted(resource_busy.items())),
             memory_capped=capped,
+            diagnostics=self._analyze(x, y, style, duplex) if analyze else (),
+        )
+
+    def _analyze(
+        self,
+        x: AccessPattern,
+        y: AccessPattern,
+        style: OperationStyle,
+        duplex: bool,
+    ) -> Tuple["Diagnostic", ...]:
+        """Lint the model-level composition behind one runtime transfer."""
+        from ..analysis import analyze as run_linter
+        from ..core.constraints import duplex_memory_constraint
+        from ..core.operations import buffer_packing, chained
+
+        builder = (
+            buffer_packing if style is OperationStyle.BUFFER_PACKING else chained
+        )
+        try:
+            expr = builder(x, y, self.machine.capabilities)
+        except CompositionError:
+            # The phase builders have already accepted this transfer
+            # (e.g. a co-processor receive the expression algebra lacks
+            # a builder for); nothing model-level to lint.
+            return ()
+        constraints = (duplex_memory_constraint(),) if duplex else ()
+        return tuple(
+            run_linter(
+                expr,
+                table=self.table,
+                capabilities=self.machine.capabilities,
+                constraints=constraints,
+            )
         )
 
     def _derate_for_duplex(self, phase: _Phase) -> _Phase:
@@ -407,6 +451,7 @@ def measure_q(
     nbytes: int,
     style: OperationStyle,
     congestion: Optional[float] = None,
+    analyze: bool = False,
 ) -> MeasuredTransfer:
     """Measure ``xQy`` under the paper's measurement conventions.
 
@@ -424,5 +469,6 @@ def measure_q(
     runtime = CommRuntime(machine, library=library)
     duplex = not machine.quirks.measures_simplex
     return runtime.transfer(
-        x, y, nbytes, style=style, congestion=congestion, duplex=duplex
+        x, y, nbytes, style=style, congestion=congestion, duplex=duplex,
+        analyze=analyze,
     )

@@ -1,0 +1,116 @@
+"""Tests for the diagnostic data model (repro.analysis.diagnostics)."""
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    Severity,
+    Span,
+    has_errors,
+    max_severity,
+    render_report,
+)
+
+
+def diag(rule="CT101", severity=Severity.ERROR, **kwargs):
+    return Diagnostic(rule=rule, severity=severity, message="msg", **kwargs)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ADVICE < Severity.WARNING < Severity.ERROR
+
+    def test_rank(self):
+        assert [s.rank for s in (Severity.ADVICE, Severity.WARNING,
+                                 Severity.ERROR)] == [0, 1, 2]
+
+
+class TestSpan:
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Span(-1, 3)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Span(5, 2)
+
+    def test_underline_points_at_range(self):
+        text = "64C1 o 2C1"
+        span = Span(7, 10)
+        underline = span.underline(text)
+        assert underline == "       ^^^"
+        assert text[span.start:span.end] == "2C1"
+
+    def test_underline_never_empty(self):
+        assert Span(3, 3).underline("abcdef") == "   ^"
+
+
+class TestDiagnostic:
+    def test_render_includes_rule_severity_message(self):
+        text = diag().render()
+        assert text.startswith("CT101 error: msg")
+
+    def test_render_with_span_and_hint(self):
+        text = diag(
+            notation="64C1 o 2C1", span=Span(7, 10), hint="fix it"
+        ).render()
+        lines = text.splitlines()
+        assert lines[1].strip() == "64C1 o 2C1"
+        assert lines[2].strip() == "^^^"
+        assert lines[3].strip() == "hint: fix it"
+
+    def test_to_dict_minimal(self):
+        assert diag().to_dict() == {
+            "rule": "CT101",
+            "severity": "error",
+            "message": "msg",
+        }
+
+    def test_to_dict_full(self):
+        payload = diag(
+            notation="64C1", span=Span(0, 4), hint="h"
+        ).to_dict()
+        assert payload["span"] == [0, 4]
+        assert payload["notation"] == "64C1"
+        assert payload["hint"] == "h"
+
+
+class TestAggregates:
+    def test_has_errors(self):
+        assert has_errors([diag(severity=Severity.ERROR)])
+        assert not has_errors([diag(severity=Severity.WARNING),
+                               diag(severity=Severity.ADVICE)])
+        assert not has_errors([])
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        assert max_severity([diag(severity=Severity.ADVICE)]) is Severity.ADVICE
+        assert max_severity(
+            [diag(severity=Severity.ADVICE), diag(severity=Severity.ERROR)]
+        ) is Severity.ERROR
+
+    def test_render_report_empty(self):
+        assert render_report([]) == "no findings"
+
+    def test_render_report_counts_and_order(self):
+        report = render_report(
+            [
+                diag(rule="CT301", severity=Severity.ADVICE),
+                diag(rule="CT101", severity=Severity.ERROR),
+                diag(rule="CT201", severity=Severity.WARNING),
+            ]
+        )
+        lines = report.splitlines()
+        assert lines[0].startswith("CT101 error")
+        assert lines[-1] == "1 error, 1 warning, 1 advice"
+
+    def test_render_report_pluralizes_but_not_advice(self):
+        report = render_report(
+            [
+                diag(rule="CT101", severity=Severity.ERROR),
+                diag(rule="CT102", severity=Severity.ERROR),
+                diag(rule="CT301", severity=Severity.ADVICE),
+                diag(rule="CT302", severity=Severity.ADVICE),
+            ]
+        )
+        assert report.splitlines()[-1] == "2 errors, 2 advice"

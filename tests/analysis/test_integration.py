@@ -1,0 +1,142 @@
+"""Cross-layer wiring: estimate/runtime/CLI all surface linter output."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import analyze, parse_expr
+from repro.core.operations import OperationStyle
+from repro.core.patterns import CONTIGUOUS, strided
+from repro.machines import t3d
+from repro.runtime.engine import CommRuntime
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return t3d()
+
+
+@pytest.fixture(scope="module")
+def model(machine):
+    return machine.model()
+
+
+class TestModelEstimateAnalyze:
+    def test_estimate_expr_carries_identical_diagnostics(self, model):
+        expr = parse_expr("64C1 o 2C1")
+        direct = analyze(
+            expr,
+            table=model.table,
+            capabilities=model.capabilities,
+            constraints=model.constraints,
+        )
+        estimate = model.estimate_expr(expr, analyze=True)
+        assert list(estimate.diagnostics) == direct
+        assert any(d.rule == "CT101" for d in estimate.diagnostics)
+
+    def test_analyze_subsumes_validation(self, model):
+        # Illegal composition still evaluates when analyzed: the
+        # error-severity diagnostic replaces the CompositionError.
+        estimate = model.estimate_expr(parse_expr("64C1 o 2C1"), analyze=True)
+        assert estimate.mbps > 0
+
+    def test_estimate_default_has_no_diagnostics(self, model):
+        estimate = model.estimate(CONTIGUOUS, strided(64), "chained")
+        assert estimate.diagnostics == ()
+
+    def test_estimate_analyze_renders_diagnostics(self, model):
+        estimate = model.estimate(
+            CONTIGUOUS, strided(64), "buffer-packing", analyze=True
+        )
+        assert any(d.rule == "CT301" for d in estimate.diagnostics)
+        assert "CT301" in estimate.render()
+
+
+class TestRuntimeAnalyze:
+    def test_measurement_carries_diagnostics(self, machine):
+        runtime = CommRuntime(machine)
+        result = runtime.transfer(
+            CONTIGUOUS, strided(64), 32768,
+            style=OperationStyle.BUFFER_PACKING, analyze=True,
+        )
+        assert any(d.rule == "CT301" for d in result.diagnostics)
+
+    def test_measurement_default_is_silent(self, machine):
+        runtime = CommRuntime(machine)
+        result = runtime.transfer(
+            CONTIGUOUS, strided(64), 32768, style=OperationStyle.CHAINED
+        )
+        assert result.diagnostics == ()
+
+
+class TestLintCli:
+    def test_error_exits_nonzero_and_names_rule(self, capsys):
+        code = main(["lint", "64C1 o 2C1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "CT101" in out
+        # Both patterns and the offending step are named.
+        assert "pattern 1" in out and "pattern 2" in out and "2C1" in out
+
+    def test_clean_expression_exits_zero(self, capsys):
+        code = main(["lint", "1S0 || Nadp || 0D64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no findings" in out
+
+    def test_advice_does_not_fail_the_lint(self, capsys):
+        code = main(["lint", "--machine", "t3d", "--x", "1", "--y", "64",
+                     "--style", "buffer-packing"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CT301" in out
+
+    def test_json_mode(self, capsys):
+        code = main(["lint", "--json", "64C1 o 2C1"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["ok"] is False
+        assert payload["counts"]["error"] >= 1
+        [result] = payload["results"]
+        assert result["notation"] == "64C1 o 2C1"
+        rules = {d["rule"] for d in result["diagnostics"]}
+        assert "CT101" in rules
+        [ct101] = [d for d in result["diagnostics"] if d["rule"] == "CT101"]
+        start, end = ct101["span"]
+        assert result["notation"][start:end] == "2C1"
+
+    def test_rule_selection(self, capsys):
+        code = main(["lint", "--rules", "CT302", "--json", "64C1 o 2C1"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0  # CT101 not selected, so no errors
+        assert payload["counts"]["error"] == 0
+
+    def test_unknown_rule_id_fails(self, capsys):
+        code = main(["lint", "--rules", "CT999", "1C1"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "CT999" in err
+
+    def test_unparseable_notation_fails_cleanly(self, capsys):
+        code = main(["lint", "not a composition"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error:" in err
+
+    def test_machine_none_runs_composition_rules_only(self, capsys):
+        code = main(["lint", "--machine", "none", "--json",
+                     "1C1 o (1S0 || Nd || 0D1) o 1C64"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        rules = {
+            d["rule"]
+            for result in payload["results"]
+            for d in result["diagnostics"]
+        }
+        assert "CT301" not in rules  # needs a table and capabilities
+
+    def test_machine_none_without_expression_fails(self, capsys):
+        code = main(["lint", "--machine", "none"])
+        assert code == 1
+        assert "notation" in capsys.readouterr().err

@@ -1,0 +1,103 @@
+"""Tests for the notation parser (repro.analysis.parser)."""
+
+import pytest
+
+from repro.analysis import NotationError, parse_expr
+from repro.core.composition import Par, Seq, Term
+from repro.core.errors import ModelError
+from repro.core.resources import NodeRole
+from repro.core.transfers import TransferKind
+
+
+ROUND_TRIPS = [
+    "1C1",
+    "64C1",
+    "64x2C1",
+    "wCw",
+    "1S0",
+    "1F0",
+    "0R64",
+    "0D1",
+    "Nd",
+    "Nadp",
+    "64C1 o 1C64",
+    "1S0 || Nd || 0D1",
+    "64C1 o (1S0 || Nd || 0D1) o 1C1",
+    "1S0 || Nadp || 0D64",
+    "(1S0 || Nd || 0D1) o 1C64",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", ROUND_TRIPS)
+    def test_notation_round_trips(self, text):
+        assert parse_expr(text).notation() == text
+
+    def test_whitespace_insensitive(self):
+        a = parse_expr("64C1 o (1S0 || Nd || 0D1)")
+        b = parse_expr("64C1o(1S0||Nd||0D1)")
+        assert a.notation() == b.notation()
+
+    def test_unicode_operators(self):
+        assert parse_expr("1S0 ‖ Nd ‖ 0D1").notation() == "1S0 || Nd || 0D1"
+        assert parse_expr("64C1 ∘ 1C64").notation() == "64C1 o 1C64"
+
+
+class TestStructure:
+    def test_par_binds_tighter_than_seq(self):
+        expr = parse_expr("64C1 o 1S0 || Nd || 0D1")
+        assert isinstance(expr, Seq)
+        assert isinstance(expr.parts[0], Term)
+        assert isinstance(expr.parts[1], Par)
+        assert len(expr.parts[1].parts) == 3
+
+    def test_transfer_kinds(self):
+        kinds = [t.kind for t in parse_expr(
+            "64C1 o (1F0 || Nadp || 0R1) o 1C64"
+        ).terms()]
+        assert kinds == [
+            TransferKind.COPY,
+            TransferKind.FETCH_SEND,
+            TransferKind.NETWORK_ADP,
+            TransferKind.RECEIVE_STORE,
+            TransferKind.COPY,
+        ]
+
+    def test_copy_roles_assigned_around_network(self):
+        expr = parse_expr("64C1 o (1S0 || Nd || 0D1) o 1C64")
+        first, *_rest, last = list(expr.terms())
+        assert {r.role for r in first.uses} == {NodeRole.SENDER}
+        assert {r.role for r in last.uses} == {NodeRole.RECEIVER}
+
+    def test_local_expression_keeps_local_role(self):
+        expr = parse_expr("64C1 o 1C64")
+        for transfer in expr.terms():
+            assert {r.role for r in transfer.uses} == {NodeRole.LOCAL}
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "1X1",          # unknown transfer letter
+            "64C1 o",       # dangling operator
+            "(1S0 || Nd",   # unclosed paren
+            "64C1) o 1C1",  # stray close paren
+            "1C1 1C1",      # missing operator
+            "hello",
+        ],
+    )
+    def test_malformed_notation_raises(self, text):
+        with pytest.raises(NotationError):
+            parse_expr(text)
+
+    @pytest.mark.parametrize("text", ["1S1", "1F64", "64R1", "1D1"])
+    def test_network_port_sides_must_be_fixed(self, text):
+        with pytest.raises(NotationError):
+            parse_expr(text)
+
+    def test_notation_error_is_a_model_error(self):
+        with pytest.raises(ModelError):
+            parse_expr("?")

@@ -1,0 +1,346 @@
+"""Positive and negative tests for every built-in lint rule."""
+
+import pytest
+
+from repro.analysis import RULES, Severity, analyze, analyze_plan, parse_expr
+from repro.compiler.commgen import CommOp, CommPlan
+from repro.core.calibration import ThroughputTable
+from repro.core.composition import Par, Seq, Term, par, seq
+from repro.core.constraints import duplex_memory_constraint
+from repro.core.model import CopyTransferModel
+from repro.core.operations import CommCapabilities, OperationStyle
+from repro.core.patterns import CONTIGUOUS, INDEXED, strided
+from repro.core.transfers import (
+    TransferKind,
+    copy,
+    fetch_send,
+    load_send,
+    network_adp,
+    network_data,
+    receive_deposit,
+    receive_store,
+)
+from repro.machines import t3d
+
+
+def rules_fired(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+@pytest.fixture(scope="module")
+def model():
+    return t3d().model()
+
+
+class TestRegistry:
+    def test_expected_rule_set(self):
+        assert set(RULES) == {
+            "CT101", "CT102", "CT103",
+            "CT201", "CT202", "CT203", "CT204",
+            "CT301", "CT302",
+            "CT401", "CT402", "CT403",
+        }
+
+    def test_severity_bands(self):
+        for rule_id, rule in RULES.items():
+            if rule.scope == "expr":
+                expected = {
+                    "1": Severity.ERROR,
+                    "2": Severity.WARNING,
+                    "3": Severity.ADVICE,
+                }[rule_id[2]]
+                assert rule.severity is expected
+
+    def test_only_ct1xx_expression_rules_are_errors(self):
+        for rule_id, rule in RULES.items():
+            if rule.scope == "expr" and rule.severity is Severity.ERROR:
+                assert rule_id.startswith("CT1")
+
+
+class TestCT101SeqMismatch:
+    def test_fires_on_pattern_mismatch(self):
+        diagnostics = analyze(parse_expr("64C1 o 2C1"))
+        hits = [d for d in diagnostics if d.rule == "CT101"]
+        assert len(hits) == 1
+        d = hits[0]
+        assert d.severity is Severity.ERROR
+        # Names both steps and both patterns.
+        assert "64C1" in d.message and "2C1" in d.message
+        assert "pattern 1" in d.message and "pattern 2" in d.message
+        # The span anchors on the offending right-hand step.
+        assert d.notation[d.span.start:d.span.end] == "2C1"
+        assert d.hint is not None
+
+    def test_silent_on_matching_chain(self):
+        diagnostics = analyze(parse_expr("64C1 o 1C64"))
+        assert "CT101" not in rules_fired(diagnostics)
+
+    def test_fixed_ports_exempt(self):
+        # 1S0 writes the fixed NI port; no mismatch with the 0D1 read.
+        diagnostics = analyze(parse_expr("1S0 || Nd || 0D1"))
+        assert "CT101" not in rules_fired(diagnostics)
+
+    def test_nested_seq_reported_with_inner_span(self):
+        expr = seq(
+            copy(CONTIGUOUS, CONTIGUOUS),
+            seq(copy(strided(64), CONTIGUOUS), copy(strided(2), CONTIGUOUS)),
+        )
+        hits = [d for d in analyze(expr) if d.rule == "CT101"]
+        # Outer boundary 1C1 -> 64C1 mismatches too, inner 1 -> 2 as well.
+        assert len(hits) == 2
+
+
+class TestCT102ParExclusiveConflict:
+    def test_fires_when_two_branches_need_the_cpu(self):
+        expr = par(load_send(CONTIGUOUS), load_send(CONTIGUOUS))
+        hits = [d for d in analyze(expr) if d.rule == "CT102"]
+        assert len(hits) == 1
+        assert "cpu" in hits[0].message.lower()
+
+    def test_silent_on_disjoint_engines(self):
+        diagnostics = analyze(parse_expr("1S0 || Nadp || 0D64"))
+        assert "CT102" not in rules_fired(diagnostics)
+
+    def test_reports_each_conflicting_pair_once(self):
+        expr = par(load_send(CONTIGUOUS), load_send(CONTIGUOUS),
+                   load_send(CONTIGUOUS))
+        hits = [d for d in analyze(expr) if d.rule == "CT102"]
+        assert len(hits) == 2  # branch 1-2 and 1-3 (dedup keeps first owner)
+
+
+class TestCT103EmptyComposition:
+    def test_fires_on_directly_built_empty_nodes(self):
+        for node, kind in ((Seq(()), "sequential"), (Par(()), "parallel")):
+            hits = [d for d in analyze(node) if d.rule == "CT103"]
+            assert len(hits) == 1
+            assert kind in hits[0].message
+
+    def test_silent_on_populated_nodes(self):
+        diagnostics = analyze(parse_expr("64C1 o 1C64"))
+        assert "CT103" not in rules_fired(diagnostics)
+
+
+class TestCT201UncoveredSharedCapacity:
+    def test_fires_per_shared_capacity_resource(self):
+        expr = par(load_send(CONTIGUOUS), fetch_send(CONTIGUOUS))
+        hits = [d for d in analyze(expr) if d.rule == "CT201"]
+        # CPU vs DMA is legal, but memory, bus and NI port are shared.
+        assert len(hits) == 3
+        text = " ".join(d.message for d in hits)
+        assert "memory" in text and "bus" in text and "ni_port" in text
+
+    def test_constraint_covers_its_resource(self):
+        expr = par(load_send(CONTIGUOUS), fetch_send(CONTIGUOUS))
+        diagnostics = analyze(
+            expr, constraints=(duplex_memory_constraint(),)
+        )
+        hits = [d for d in diagnostics if d.rule == "CT201"]
+        assert len(hits) == 2
+        assert all("memory" not in d.message for d in hits)
+
+    def test_silent_without_sharing(self):
+        diagnostics = analyze(parse_expr("1S0 || Nadp || 0D64"))
+        assert "CT201" not in rules_fired(diagnostics)
+
+
+class TestCT202MissingCalibration:
+    def test_fires_on_table_gap(self):
+        table = ThroughputTable("gappy")
+        table.set(TransferKind.COPY, "1", "1", 90.0)
+        expr = Term(load_send(CONTIGUOUS))
+        hits = [d for d in analyze(expr, table=table) if d.rule == "CT202"]
+        assert len(hits) == 1
+        assert "1S0" in hits[0].message
+        assert "gappy" in hits[0].hint
+
+    def test_silent_without_a_table(self):
+        diagnostics = analyze(Term(load_send(CONTIGUOUS)))
+        assert "CT202" not in rules_fired(diagnostics)
+
+    def test_silent_on_covered_expression(self, model):
+        expr = model.build(CONTIGUOUS, strided(64), OperationStyle.CHAINED)
+        diagnostics = analyze(expr, table=model.table)
+        assert "CT202" not in rules_fired(diagnostics)
+
+    def test_duplicate_gaps_reported_once(self):
+        table = ThroughputTable("empty")
+        expr = seq(copy(CONTIGUOUS, CONTIGUOUS), copy(CONTIGUOUS, CONTIGUOUS))
+        hits = [d for d in analyze(expr, table=table) if d.rule == "CT202"]
+        assert len(hits) == 1
+
+
+class TestCT203WrongNetworkFraming:
+    def test_fires_on_nd_with_scattered_deposit(self):
+        expr = par(
+            load_send(CONTIGUOUS), network_data(), receive_deposit(strided(64))
+        )
+        hits = [d for d in analyze(expr) if d.rule == "CT203"]
+        assert len(hits) == 1
+        assert "Nd" in hits[0].message
+        assert "Nadp" in hits[0].hint
+
+    def test_fires_on_nd_with_strided_send(self):
+        expr = par(
+            load_send(strided(64)), network_data(), receive_store(CONTIGUOUS)
+        )
+        assert "CT203" in rules_fired(analyze(expr))
+
+    def test_silent_with_adp_framing(self):
+        diagnostics = analyze(parse_expr("1S0 || Nadp || 0D64"))
+        assert "CT203" not in rules_fired(diagnostics)
+
+    def test_silent_when_both_ends_contiguous(self):
+        diagnostics = analyze(parse_expr("1S0 || Nd || 0D1"))
+        assert "CT203" not in rules_fired(diagnostics)
+
+
+class TestCT204UnchargedIndexRead:
+    @staticmethod
+    def table(indexed_rate):
+        table = ThroughputTable("idx")
+        table.set(TransferKind.COPY, "1", "1", 50.0)
+        table.set(TransferKind.COPY, "w", "1", indexed_rate)
+        return table
+
+    def test_fires_when_indexed_not_slower(self):
+        expr = Term(copy(INDEXED, CONTIGUOUS))
+        hits = [
+            d for d in analyze(expr, table=self.table(50.0))
+            if d.rule == "CT204"
+        ]
+        assert len(hits) == 1
+        assert "wC1" in hits[0].message and "1C1" in hits[0].message
+
+    def test_silent_when_index_read_charged(self):
+        expr = Term(copy(INDEXED, CONTIGUOUS))
+        diagnostics = analyze(expr, table=self.table(24.0))
+        assert "CT204" not in rules_fired(diagnostics)
+
+    def test_silent_on_calibration_gap(self):
+        # The missing-entry case belongs to CT202.
+        expr = Term(copy(INDEXED, CONTIGUOUS))
+        diagnostics = analyze(expr, table=ThroughputTable("empty"))
+        fired = rules_fired(diagnostics)
+        assert "CT204" not in fired and "CT202" in fired
+
+
+class TestCT301PackingBeatenByChained:
+    def test_fires_on_t3d_1q64_packing(self, model):
+        expr = model.build(CONTIGUOUS, strided(64), OperationStyle.BUFFER_PACKING)
+        hits = [
+            d
+            for d in analyze(
+                expr, table=model.table, capabilities=model.capabilities
+            )
+            if d.rule == "CT301"
+        ]
+        assert len(hits) == 1
+        # The paper's headline numbers: 25 vs 38 MB/s (Section 5.1.2).
+        assert "25.0" in hits[0].message and "38.0" in hits[0].message
+
+    def test_silent_on_the_chained_form(self, model):
+        expr = model.build(CONTIGUOUS, strided(64), OperationStyle.CHAINED)
+        diagnostics = analyze(
+            expr, table=model.table, capabilities=model.capabilities
+        )
+        assert "CT301" not in rules_fired(diagnostics)
+
+    def test_silent_without_machine_context(self, model):
+        expr = model.build(CONTIGUOUS, strided(64), OperationStyle.BUFFER_PACKING)
+        assert "CT301" not in rules_fired(analyze(expr))
+
+
+class TestCT302RedundantCopy:
+    def test_fires_on_matching_patterns(self):
+        hits = [
+            d for d in analyze(parse_expr("1C1")) if d.rule == "CT302"
+        ]
+        assert len(hits) == 1
+        assert "reorganizes nothing" in hits[0].message
+
+    def test_silent_on_reorganizing_copy(self):
+        diagnostics = analyze(parse_expr("64C1"))
+        assert "CT302" not in rules_fired(diagnostics)
+
+
+def plan(*ops, name="test-plan"):
+    return CommPlan(ops=list(ops), name=name)
+
+
+def op(src=0, dst=1, x=CONTIGUOUS, y=CONTIGUOUS, nwords=128):
+    return CommOp(src=src, dst=dst, x=x, y=y, nwords=nwords)
+
+
+class TestCT401ZeroByteOp:
+    def test_fires_on_zero_words(self):
+        hits = [
+            d for d in analyze_plan(plan(op(nwords=0))) if d.rule == "CT401"
+        ]
+        assert len(hits) == 1
+        assert "0 words" in hits[0].message
+
+    def test_silent_on_payload(self):
+        assert "CT401" not in rules_fired(analyze_plan(plan(op())))
+
+
+class TestCT402SelfMessage:
+    def test_fires_on_src_equals_dst(self):
+        hits = [
+            d for d in analyze_plan(plan(op(src=3, dst=3)))
+            if d.rule == "CT402"
+        ]
+        assert len(hits) == 1
+        assert "itself" in hits[0].message
+        assert "1C1" in hits[0].hint
+
+    def test_silent_on_real_messages(self):
+        assert "CT402" not in rules_fired(analyze_plan(plan(op())))
+
+
+class TestCT403InfeasibleStyle:
+    @staticmethod
+    def bare_model():
+        # No deposit engine, no co-processor: chaining is impossible.
+        return CopyTransferModel(
+            table=ThroughputTable("bare"),
+            capabilities=CommCapabilities(),
+            name="bare",
+        )
+
+    def test_fires_when_requested_style_cannot_build(self):
+        diagnostics = analyze_plan(
+            plan(op(y=strided(64))), model=self.bare_model(), style="chained"
+        )
+        hits = [d for d in diagnostics if d.rule == "CT403"]
+        assert len(hits) == 1
+        assert hits[0].severity is Severity.ERROR
+        assert "1Q64" in hits[0].message
+
+    def test_silent_when_any_style_works(self):
+        diagnostics = analyze_plan(
+            plan(op(y=strided(64))), model=self.bare_model()
+        )
+        assert "CT403" not in rules_fired(diagnostics)
+
+    def test_silent_without_model(self):
+        diagnostics = analyze_plan(plan(op(y=strided(64))), style="chained")
+        assert "CT403" not in rules_fired(diagnostics)
+
+
+class TestPlanExpressionInheritance:
+    def test_plan_inherits_expression_findings(self, model):
+        # The packing form of 1Q64 carries CT301/CT302 advice; linting
+        # the plan with a model surfaces them for its dominant shape.
+        diagnostics = analyze_plan(
+            plan(op(y=strided(64))), model=model, style="buffer-packing"
+        )
+        fired = rules_fired(diagnostics)
+        assert "CT301" in fired and "CT302" in fired
+
+    def test_duplicate_shapes_linted_once(self, model):
+        diagnostics = analyze_plan(
+            plan(op(dst=1, y=strided(64)), op(dst=2, y=strided(64))),
+            model=model,
+            style="buffer-packing",
+        )
+        assert len([d for d in diagnostics if d.rule == "CT301"]) == 1

@@ -1,0 +1,56 @@
+"""Tests for tree walking and span computation (repro.analysis.tree)."""
+
+from repro.analysis import parse_expr
+from repro.analysis.tree import compute_spans, walk
+from repro.core.composition import Term, par, seq
+from repro.core.patterns import CONTIGUOUS, strided
+from repro.core.transfers import copy, load_send, network_data, receive_deposit
+
+
+def chain():
+    return seq(
+        copy(strided(64), CONTIGUOUS),
+        par(load_send(CONTIGUOUS), network_data(), receive_deposit(CONTIGUOUS)),
+        copy(CONTIGUOUS, CONTIGUOUS),
+    )
+
+
+class TestWalk:
+    def test_root_first_depth_first(self):
+        paths = [path for path, __ in walk(chain())]
+        assert paths == [
+            (), (0,), (1,), (1, 0), (1, 1), (1, 2), (2,),
+        ]
+
+    def test_leaf_walk(self):
+        term = Term(copy(CONTIGUOUS, CONTIGUOUS))
+        assert list(walk(term)) == [((), term)]
+
+
+class TestComputeSpans:
+    def test_every_span_slices_to_the_node_notation(self):
+        expr = chain()
+        notation = expr.notation()
+        spans = compute_spans(expr)
+        nodes = dict(walk(expr))
+        assert set(spans) == set(nodes)
+        for path, node in nodes.items():
+            span = spans[path]
+            expected = node.notation(top=(path == ()))
+            assert notation[span.start:span.end] == expected
+
+    def test_nested_parenthesized_expression(self):
+        expr = parse_expr("64C1 o (1S0 || Nd || 0D1) o 1C1")
+        notation = expr.notation()
+        spans = compute_spans(expr)
+        assert notation[spans[(0,)].start:spans[(0,)].end] == "64C1"
+        assert notation[spans[(1,)].start:spans[(1,)].end] == (
+            "(1S0 || Nd || 0D1)"
+        )
+        assert notation[spans[(1, 1)].start:spans[(1, 1)].end] == "Nd"
+        assert notation[spans[(2,)].start:spans[(2,)].end] == "1C1"
+
+    def test_root_span_covers_whole_notation(self):
+        expr = chain()
+        span = compute_spans(expr)[()]
+        assert (span.start, span.end) == (0, len(expr.notation()))

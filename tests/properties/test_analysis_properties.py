@@ -1,0 +1,143 @@
+"""Property-based tests for the static analyzer.
+
+The central invariant of the linter's severity policy: over arbitrary
+composition trees — legal and illegal alike — ``Expr.validate()``
+raises :class:`CompositionError` *if and only if* :func:`analyze`
+emits at least one error-severity diagnostic.  The ``CT1xx`` rules are
+exact static mirrors of validation, and no other expression rule is
+allowed to reach error severity.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis import Severity, analyze, parse_expr
+from repro.analysis.tree import compute_spans, walk
+from repro.core.composition import Expr, par, seq
+from repro.core.errors import CompositionError
+from repro.core.patterns import AccessPattern
+from repro.core.resources import NodeRole
+from repro.core.transfers import (
+    copy,
+    fetch_send,
+    load_send,
+    network_adp,
+    network_data,
+    receive_deposit,
+    receive_store,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+patterns = st.one_of(
+    st.just(AccessPattern.contiguous()),
+    st.just(AccessPattern.indexed()),
+    st.integers(min_value=2, max_value=128).map(AccessPattern.strided),
+)
+
+roles = st.sampled_from(list(NodeRole))
+
+#: Leaf transfers spanning every kind, pattern family and node role, so
+#: generated trees hit both legal chains and every illegality the CT1xx
+#: rules cover (pattern mismatches, exclusive-resource collisions).
+transfers = st.one_of(
+    st.builds(copy, patterns, patterns, role=roles),
+    st.builds(load_send, patterns),
+    st.builds(fetch_send, patterns),
+    st.builds(receive_store, patterns,
+              coprocessor=st.booleans()),
+    st.builds(receive_deposit, patterns),
+    st.just(network_data()),
+    st.just(network_adp()),
+)
+
+
+def expressions(max_leaves=6):
+    return st.recursive(
+        transfers.map(lambda t: t._as_term()),
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda parts: seq(*parts)
+            ),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda parts: par(*parts)
+            ),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def validate_raises(expr: Expr) -> bool:
+    try:
+        expr.validate()
+    except CompositionError:
+        return True
+    return False
+
+
+class TestErrorEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(expressions())
+    def test_analyzer_error_iff_validate_raises(self, expr):
+        diagnostics = analyze(expr)
+        emitted = any(d.severity is Severity.ERROR for d in diagnostics)
+        assert emitted == validate_raises(expr), (
+            f"analyze/validate disagree on {expr.notation()!r}: "
+            f"diagnostics={[d.rule for d in diagnostics]}"
+        )
+
+    @settings(max_examples=300, deadline=None)
+    @given(expressions())
+    def test_error_rules_stay_in_the_ct1xx_band(self, expr):
+        for diagnostic in analyze(expr):
+            if diagnostic.severity is Severity.ERROR:
+                assert diagnostic.rule.startswith("CT1")
+
+
+class TestStructuralProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(expressions())
+    def test_every_diagnostic_span_lies_within_notation(self, expr):
+        notation = expr.notation()
+        for diagnostic in analyze(expr):
+            assert diagnostic.notation == notation
+            if diagnostic.span is not None:
+                assert 0 <= diagnostic.span.start <= diagnostic.span.end
+                assert diagnostic.span.end <= len(notation)
+
+    @settings(max_examples=200, deadline=None)
+    @given(expressions())
+    def test_spans_cover_every_node_faithfully(self, expr):
+        notation = expr.notation()
+        spans = compute_spans(expr)
+        for path, node in walk(expr):
+            span = spans[path]
+            assert notation[span.start:span.end] == node.notation(
+                top=(path == ())
+            )
+
+    @settings(max_examples=200, deadline=None)
+    @given(expressions())
+    def test_analyze_is_deterministic(self, expr):
+        assert analyze(expr) == analyze(expr)
+
+
+class TestParserProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(expressions())
+    def test_printed_notation_reparses_to_the_same_notation(self, expr):
+        notation = expr.notation()
+        assert parse_expr(notation).notation() == notation
+
+    @settings(max_examples=200, deadline=None)
+    @given(expressions())
+    def test_reparse_preserves_error_equivalence(self, expr):
+        # Round-tripping may re-home copy roles, which must never
+        # change *whether* the expression is legal-by-pattern; compare
+        # the analyzer verdict on the reparsed tree with its own
+        # validate() instead of the original's.
+        reparsed = parse_expr(expr.notation())
+        emitted = any(
+            d.severity is Severity.ERROR for d in analyze(reparsed)
+        )
+        assert emitted == validate_raises(reparsed)
