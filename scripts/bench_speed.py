@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the calibration path: scalar vs fast engine.
+
+Times end-to-end regeneration of the paper experiments that lean on
+the memory-system simulator — Table 1 calibration, the Figure 4 stride
+curves, the Figure 7 strategy comparison — once forced onto the scalar
+reference oracle and once on the vectorized fast path, plus a
+cache-warm rerun.  Emits ``BENCH_speed.json`` so the performance
+trajectory stays visible across changes:
+
+    python scripts/bench_speed.py [--output BENCH_speed.json]
+
+The fast path must not change answers, so the harness also
+cross-checks a headline figure between the two engines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.caching import CACHE_ENV, default_cache  # noqa: E402
+from repro.memsim.engine import ENGINE_VERSION  # noqa: E402
+from repro.memsim.fastpath import FASTPATH_VERSION  # noqa: E402
+from repro.memsim.node import ENGINE_ENV  # noqa: E402
+
+#: The acceptance bar: figure-4 regeneration at least this much faster.
+FIG4_TARGET_SPEEDUP = 5.0
+
+FIG4_STRIDES = (2, 4, 8, 16, 32, 64)
+
+
+def _regen_figure4():
+    from repro.bench import figure4
+    from repro.machines import paragon, t3d
+
+    return {
+        "t3d": figure4(t3d(), FIG4_STRIDES),
+        "paragon": figure4(paragon(), FIG4_STRIDES),
+    }
+
+
+def _regen_table1():
+    from repro.bench import table1
+    from repro.machines import paragon, t3d
+
+    return {
+        "t3d": [row.ours for row in table1(t3d())],
+        "paragon": [row.ours for row in table1(paragon())],
+    }
+
+
+def _regen_figure7():
+    from repro.bench import figure7
+
+    return figure7()
+
+
+SECTIONS = {
+    "figure4": _regen_figure4,
+    "table1": _regen_table1,
+    "figure7": _regen_figure7,
+}
+
+
+def _timed(fn, repeat: int):
+    """Best-of-``repeat`` wall time and the last result."""
+    best = float("inf")
+    result = None
+    for __ in range(repeat):
+        default_cache().clear()
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _run_mode(mode: str, repeat: int):
+    """Time every section with the given engine forced."""
+    os.environ[ENGINE_ENV] = mode
+    timings = {}
+    results = {}
+    for name, fn in SECTIONS.items():
+        timings[name], results[name] = _timed(fn, repeat)
+    return timings, results
+
+
+def _flatten_fig4(curves) -> list:
+    return [
+        rate
+        for machine_curves in curves.values()
+        for series in machine_curves.values()
+        for __, rate in series
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_speed.json")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="take the best of N runs per section")
+    args = parser.parse_args()
+
+    # Engine-vs-engine timings exclude the calibration cache; it gets
+    # its own measurement below.
+    os.environ[CACHE_ENV] = "off"
+
+    scalar_times, scalar_results = _run_mode("scalar", args.repeat)
+    fast_times, fast_results = _run_mode("auto", args.repeat)
+
+    # Parity spot check on the headline numbers.
+    mismatches = [
+        (a, b)
+        for a, b in zip(
+            _flatten_fig4(scalar_results["figure4"]),
+            _flatten_fig4(fast_results["figure4"]),
+        )
+        if abs(a - b) > 1e-6 * max(abs(a), abs(b), 1.0)
+    ]
+
+    # Cache effect: cold vs warm table regeneration with caching on.
+    del os.environ[CACHE_ENV]
+    os.environ[ENGINE_ENV] = "auto"
+    default_cache().clear(disk=True)
+    started = time.perf_counter()
+    _regen_table1()
+    cold_s = time.perf_counter() - started
+    started = time.perf_counter()
+    _regen_table1()
+    warm_s = time.perf_counter() - started
+    os.environ.pop(ENGINE_ENV, None)
+
+    sections = {}
+    for name in SECTIONS:
+        speedup = (
+            scalar_times[name] / fast_times[name]
+            if fast_times[name] > 0
+            else float("inf")
+        )
+        sections[name] = {
+            "scalar_s": round(scalar_times[name], 4),
+            "fast_s": round(fast_times[name], 4),
+            "speedup": round(speedup, 2),
+        }
+    payload = {
+        "generated_by": "scripts/bench_speed.py",
+        "engine_version": ENGINE_VERSION,
+        "fastpath_version": FASTPATH_VERSION,
+        "sections": sections,
+        "calibration_cache": {
+            "table1_cold_s": round(cold_s, 4),
+            "table1_warm_s": round(warm_s, 4),
+        },
+        "parity_mismatches": len(mismatches),
+        "meets_target": {
+            "figure4_speedup_gte_5x":
+                sections["figure4"]["speedup"] >= FIG4_TARGET_SPEEDUP,
+        },
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    print(f"{'section':10} {'scalar':>9} {'fast':>9} {'speedup':>8}")
+    for name, row in sections.items():
+        print(
+            f"{name:10} {row['scalar_s']:8.2f}s {row['fast_s']:8.2f}s "
+            f"{row['speedup']:7.2f}x"
+        )
+    print(
+        f"table1 with calibration cache: cold {cold_s:.2f}s -> "
+        f"warm {warm_s * 1e3:.1f}ms"
+    )
+    print(f"wrote {args.output}")
+
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} scalar/fast figure-4 mismatches",
+              file=sys.stderr)
+        return 1
+    if not payload["meets_target"]["figure4_speedup_gte_5x"]:
+        print(
+            f"FAIL: figure-4 speedup "
+            f"{sections['figure4']['speedup']:.2f}x < "
+            f"{FIG4_TARGET_SPEEDUP:.0f}x target",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ Commands:
   operation and report structured diagnostics;
 * ``measure`` — end-to-end runtime measurement of one transfer;
 * ``table`` — print (or export as JSON) a calibration table;
+* ``calibrate`` — run the Section-4 calibration measurements against
+  the simulators (``--no-cache`` bypasses the calibration cache);
 * ``advise`` — pick strategy and loop order for a distributed transpose;
 * ``report`` — regenerate every paper comparison (slow).
 
@@ -185,6 +187,28 @@ def cmd_table(args: argparse.Namespace) -> None:
         print(f"  {key:8} {rate:7.1f} MB/s")
 
 
+def cmd_calibrate(args: argparse.Namespace) -> None:
+    import time
+
+    names = sorted(MACHINES) if args.machine == "all" else [args.machine]
+    for name in names:
+        machine = _machine(name)
+        started = time.perf_counter()
+        table = machine.simulated_table(
+            congestion=args.congestion,
+            nwords=args.words,
+            use_cache=not args.no_cache,
+        )
+        elapsed = time.perf_counter() - started
+        print(f"{table.name}  ({elapsed * 1e3:.0f} ms)")
+        for key, rate in sorted(table.to_dict().items()):
+            print(f"  {key:8} {rate:7.1f} MB/s")
+        if args.json:
+            path = args.json if len(names) == 1 else f"{name}-{args.json}"
+            dump_table(table, path)
+            print(f"wrote {path}")
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     import runpy
     import os
@@ -287,6 +311,27 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--congestion", type=int, default=None)
     table.add_argument("--json", default=None, help="write JSON to this path")
 
+    calibrate = commands.add_parser(
+        "calibrate",
+        help="run the Section-4 calibration measurements on the simulators",
+        description=(
+            "Derive a machine's calibration table by running every basic "
+            "transfer on the memory-system simulator.  Results come from "
+            "the calibration cache when an identical measurement has run "
+            "before; --no-cache forces a full remeasurement and leaves "
+            "the cache untouched."
+        ),
+    )
+    calibrate.add_argument("--machine", default="all",
+                           choices=sorted(MACHINES) + ["all"])
+    calibrate.add_argument("--words", type=int, default=32768,
+                           help="stream length per measurement")
+    calibrate.add_argument("--congestion", type=int, default=None)
+    calibrate.add_argument("--no-cache", action="store_true",
+                           help="bypass the calibration cache entirely")
+    calibrate.add_argument("--json", default=None,
+                           help="write the table(s) as JSON to this path")
+
     commands.add_parser("report", help="regenerate all paper comparisons")
     return parser
 
@@ -296,6 +341,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "advise": cmd_advise,
+        "calibrate": cmd_calibrate,
         "machines": cmd_machines,
         "estimate": cmd_estimate,
         "lint": cmd_lint,

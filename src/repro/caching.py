@@ -1,0 +1,205 @@
+"""Calibration result caching.
+
+Deriving a calibration table runs dozens of 32 Ki-word kernel
+simulations, so the library caches tables at two levels:
+
+* an **in-process LRU** keyed by a content hash of everything the
+  measurement depends on — the full :class:`~repro.memsim.config.NodeConfig`,
+  stream length, index-run locality, congestion, stride anchors, the
+  engine selection, and the engine semantic versions;
+* an optional **on-disk layer** under ``.repro-cache/`` (override with
+  the ``REPRO_CACHE_DIR`` environment variable) holding one JSON table
+  per key, so repeat benchmark runs in fresh processes skip simulation
+  entirely.
+
+Invalidation is by key construction, never by mtime: any change to the
+node parameters or to the engines' semantic versions
+(:data:`~repro.memsim.engine.ENGINE_VERSION`,
+:data:`~repro.memsim.fastpath.FASTPATH_VERSION`) produces a different
+hash, and stale entries are simply never referenced again.  Delete the
+cache directory — or run ``python -m repro calibrate --no-cache`` — to
+bypass everything.
+
+Set ``REPRO_CACHE=off`` to disable both layers process-wide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Optional
+
+from .core.calibration import ThroughputTable
+from .core.serialization import table_from_dict, table_to_dict
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_ENV",
+    "CalibrationCache",
+    "content_key",
+    "default_cache",
+]
+
+#: Environment variable selecting the on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling caching altogether (``off``/``0``/``no``).
+CACHE_ENV = "REPRO_CACHE"
+
+#: Bump to orphan every existing disk entry (format changes).
+_FORMAT_VERSION = "1"
+
+_DEFAULT_DIR = ".repro-cache"
+_DEFAULT_MAX_ENTRIES = 64
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a key part to JSON-stable plain data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                name: _canonical(part)
+                for name, part in dataclasses.asdict(value).items()
+            },
+        }
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(part) for part in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def content_key(*parts: Any) -> str:
+    """A stable hex digest of arbitrary (mostly-dataclass) key parts."""
+    payload = json.dumps(
+        _canonical(parts), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _caching_disabled() -> bool:
+    return os.environ.get(CACHE_ENV, "").strip().lower() in (
+        "off",
+        "0",
+        "no",
+        "false",
+    )
+
+
+class CalibrationCache:
+    """Two-layer (memory LRU + disk JSON) cache of throughput tables.
+
+    Args:
+        max_entries: In-process LRU capacity.
+        directory: On-disk location; ``None`` resolves ``REPRO_CACHE_DIR``
+            or falls back to ``.repro-cache`` under the working
+            directory.  Pass ``directory=False``-like empty string via
+            ``use_disk=False`` to keep the cache memory-only.
+        use_disk: Whether to mirror entries to disk.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = _DEFAULT_MAX_ENTRIES,
+        directory: Optional[str] = None,
+        use_disk: bool = True,
+    ) -> None:
+        self.max_entries = max_entries
+        self.use_disk = use_disk
+        self._directory = directory
+        self._memory: "OrderedDict[str, ThroughputTable]" = OrderedDict()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> Path:
+        configured = self._directory or os.environ.get(CACHE_DIR_ENV)
+        return Path(configured) if configured else Path(_DEFAULT_DIR)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / "tables" / f"{key}.json"
+
+    def lookup(self, key: str) -> Optional[ThroughputTable]:
+        """Return the cached table for ``key``, or ``None``."""
+        if _caching_disabled():
+            return None
+        table = self._memory.get(key)
+        if table is not None:
+            self._memory.move_to_end(key)
+            self.memory_hits += 1
+            return table
+        if self.use_disk:
+            path = self._path(key)
+            try:
+                with open(path) as handle:
+                    table = table_from_dict(json.load(handle))
+            except Exception:  # noqa: BLE001 - a corrupt or missing
+                # entry is just a miss; it will be rewritten on store.
+                table = None
+            if table is not None:
+                self._remember(key, table)
+                self.disk_hits += 1
+                return table
+        self.misses += 1
+        return None
+
+    def store(self, key: str, table: ThroughputTable) -> None:
+        """Insert a table under ``key`` in both layers."""
+        if _caching_disabled():
+            return
+        self._remember(key, table)
+        if not self.use_disk:
+            return
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish so concurrent processes never read a
+            # half-written table.
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(table_to_dict(table), handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full filesystem silently degrades to the
+            # in-memory layer.
+            pass
+
+    def _remember(self, key: str, table: ThroughputTable) -> None:
+        self._memory[key] = table
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory layer; with ``disk=True`` also delete files."""
+        self._memory.clear()
+        if disk:
+            tables = self.directory / "tables"
+            if tables.is_dir():
+                for path in tables.glob("*.json"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+_DEFAULT_CACHE = CalibrationCache()
+
+
+def default_cache() -> CalibrationCache:
+    """The process-wide calibration cache."""
+    return _DEFAULT_CACHE

@@ -125,6 +125,13 @@ def _evaluate_node(expr: Expr, table: ThroughputTable) -> EvalNode:
         )
     if isinstance(expr, Seq):
         children = tuple(_evaluate_node(part, table) for part in expr.parts)
+        for node in children:
+            if node.mbps <= 0.0:
+                raise ModelError(
+                    f"sequential composition {expr.notation()} contains the "
+                    f"zero-throughput step {node.notation}; the harmonic "
+                    "rule is undefined for a step that moves no data"
+                )
         inverse = sum(1.0 / node.mbps for node in children)
         dominant = max(children, key=lambda node: 1.0 / node.mbps)
         return EvalNode(

@@ -147,12 +147,21 @@ class Machine:
         congestion: Optional[int] = None,
         nwords: int = DEFAULT_MEASURE_WORDS,
         strides: Tuple[int, ...] = (2, 4, 8, 16, 32, 64),
+        use_cache: bool = True,
     ) -> ThroughputTable:
-        """Calibration derived by running the simulators (Section 4)."""
+        """Calibration derived by running the simulators (Section 4).
+
+        Repeat calls are served from the calibration cache
+        (:mod:`repro.caching`); ``use_cache=False`` remeasures.
+        """
         from .measure import measure_table
 
         return measure_table(
-            self, congestion=congestion, nwords=nwords, strides=strides
+            self,
+            congestion=congestion,
+            nwords=nwords,
+            strides=strides,
+            use_cache=use_cache,
         )
 
     # -- models -------------------------------------------------------------------

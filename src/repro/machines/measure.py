@@ -6,23 +6,30 @@ runs every basic transfer the machine supports on the memory-system
 simulator, takes the network rates from the network model, and returns
 a ready-to-use :class:`~repro.core.calibration.ThroughputTable`.
 
-Results are cached per (machine name, parameters) because the word-by-
-word simulation of long streams is the slow part of the library.
+Tables are cached through :mod:`repro.caching` — an in-process LRU
+plus an on-disk layer — keyed by a content hash of everything the
+measurement depends on, because simulating the full grid of long
+streams is the slow part of the library.  Pass ``use_cache=False`` (or
+run ``python -m repro calibrate --no-cache``) to force remeasurement.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Tuple
 
+from ..caching import default_cache
 from ..core.calibration import ThroughputTable
 from ..core.operations import DepositSupport
 from ..core.patterns import CONTIGUOUS, INDEXED, strided
 from ..core.transfers import TransferKind
-from ..memsim.node import DEFAULT_MEASURE_WORDS, NodeMemorySystem
+from ..memsim.engine import ENGINE_VERSION
+from ..memsim.fastpath import FASTPATH_VERSION
+from ..memsim.node import DEFAULT_MEASURE_WORDS, ENGINE_ENV, NodeMemorySystem
 from ..netsim.network import FramingMode
 from .base import Machine
 
-__all__ = ["measure_table", "DEFAULT_STRIDES"]
+__all__ = ["measure_table", "measurement_cache_key", "DEFAULT_STRIDES"]
 
 #: Stride anchors measured by default; enough for log-interpolation to
 #: track the Figure 4 curves.
@@ -99,11 +106,45 @@ def _measure_network(
     )
 
 
+def measurement_cache_key(
+    machine: Machine,
+    congestion: int,
+    nwords: int,
+    strides: Tuple[int, ...],
+    occupancy_scale: float = 1.0,
+) -> str:
+    """Content hash identifying one calibration measurement exactly.
+
+    Everything the resulting table depends on participates: the full
+    node config, the network config and congestion point, stream
+    parameters, the engine selection (a forced scalar oracle may differ
+    from the fast path in the last float ulp) and the engines' semantic
+    versions, so editing timing rules orphans stale disk entries.
+    """
+    from ..caching import content_key
+
+    return content_key(
+        "calibration-table",
+        ENGINE_VERSION,
+        FASTPATH_VERSION,
+        os.environ.get(ENGINE_ENV) or "auto",
+        machine.name,
+        machine.node,
+        machine.network,
+        machine.index_run,
+        congestion,
+        nwords,
+        strides,
+        occupancy_scale,
+    )
+
+
 def measure_table(
     machine: Machine,
     congestion: Optional[int] = None,
     nwords: int = DEFAULT_MEASURE_WORDS,
     strides: Tuple[int, ...] = DEFAULT_STRIDES,
+    use_cache: bool = True,
 ) -> ThroughputTable:
     """Measure a full calibration table on the simulators.
 
@@ -114,27 +155,18 @@ def measure_table(
         nwords: Stream length per measurement.
         strides: Stride anchors to measure on both sides of copies,
             sends and receives.
+        use_cache: Consult/populate the calibration cache
+            (:mod:`repro.caching`).  ``False`` always remeasures and
+            leaves the cache untouched.
     """
     if congestion is None:
         congestion = machine.network.default_congestion
-    return _measure_table_cached(machine, congestion, nwords, tuple(strides))
-
-
-# The machine objects are rebuilt per call (t3d() returns a fresh one),
-# so cache on the stable identity: name + parameters.
-_CACHE: dict = {}
-
-
-def _measure_table_cached(
-    machine: Machine,
-    congestion: int,
-    nwords: int,
-    strides: Tuple[int, ...],
-) -> ThroughputTable:
-    key = (machine.name, machine.node, congestion, nwords, strides, machine.index_run)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
+    strides = tuple(strides)
+    key = measurement_cache_key(machine, congestion, nwords, strides)
+    if use_cache:
+        cached = default_cache().lookup(key)
+        if cached is not None:
+            return cached
     table = ThroughputTable(
         f"{machine.name} (simulated, congestion {congestion})"
     )
@@ -143,5 +175,6 @@ def _measure_table_cached(
     _measure_sends(table, node, machine, strides)
     _measure_receives(table, node, machine, strides)
     _measure_network(table, machine, congestion)
-    _CACHE[key] = table
+    if use_cache:
+        default_cache().store(key, table)
     return table

@@ -33,7 +33,14 @@ from .config import WORD_BYTES, NodeConfig
 from .dram import DRAM
 from .streams import AccessStream
 
-__all__ = ["KernelResult", "MemoryEngine"]
+__all__ = ["KernelResult", "MemoryEngine", "ENGINE_VERSION"]
+
+#: Semantic version of the timeline rules.  Bump whenever a change can
+#: alter any kernel's timing or hit rates — it is part of every
+#: calibration cache key (see :mod:`repro.caching`), so bumping it
+#: orphans stale cached tables.  "2": page-kick boundary accounting and
+#: read-ahead window eviction fixes.
+ENGINE_VERSION = "2"
 
 #: Ratio of MB (1e6 bytes) to ns for MB/s conversion: bytes / ns * 1000.
 _NS_PER_S = 1e9
@@ -193,6 +200,19 @@ class MemoryEngine:
                 latency, occupancy = self.dram.read_burst(next_line, words)
                 self.dram_free = start + self._occ(occupancy)
                 self._prefetched[next_line] = start + latency
+        # The read-ahead unit tracks one stream window: lines at or
+        # behind the current fill, or beyond the look-ahead horizon,
+        # fall out of the detector.  Without this eviction a stream
+        # that jumps and returns would collect free hits from fills
+        # issued arbitrarily long ago, and the table would grow without
+        # bound over a long run.
+        horizon = line_address + cfg.read_ahead.depth * line_bytes
+        if len(self._prefetched) > cfg.read_ahead.depth:
+            self._prefetched = {
+                line: when
+                for line, when in self._prefetched.items()
+                if line_address < line <= horizon
+            }
 
     def _load(
         self, address: int, readahead_active: bool, force_cached: bool = False
@@ -422,7 +442,14 @@ class MemoryEngine:
         if not cfg.dma.present:
             raise ValueError(f"node {cfg.name!r} has no DMA engine")
         bytes_total = nwords * WORD_BYTES
-        pages_crossed = bytes_total // cfg.dma.page_bytes
+        # A kick is owed per page *boundary crossed*, not per page of
+        # payload: a transfer ending exactly on a boundary (bytes_total
+        # an exact multiple of the page size) crosses one boundary
+        # fewer than the quotient suggests.
+        if bytes_total <= 0:
+            pages_crossed = 0
+        else:
+            pages_crossed = (bytes_total - 1) // cfg.dma.page_bytes
         ns = (
             cfg.dma.setup_ns
             + nwords * cfg.dma.word_ns

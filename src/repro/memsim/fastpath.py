@@ -1,0 +1,863 @@
+"""Vectorized fast path for the memory-system timeline engine.
+
+:class:`FastEngine` computes the same :class:`~repro.memsim.engine.KernelResult`
+as :class:`~repro.memsim.engine.MemoryEngine` — same nanoseconds, same
+hit rates — but replaces the per-word Python dispatch with three batch
+stages over the whole address stream:
+
+1. **Classification** (pure numpy): cache hit/miss per probe, the
+   write-buffer's entry/merge/drain structure, and the DRAM open-page
+   hit/miss of every memory operation.  None of these depend on the
+   clocks, only on address order, so they vectorize exactly.
+2. **Compilation**: the classified stream is reduced to a short array
+   of timeline *events* — blocking line fills, pipelined fills,
+   write-buffer drains, read-ahead fills — each carrying the processor
+   time accumulated since the previous event.  Words that stay inside
+   the cache or the write buffer produce no event at all.
+3. **Replay**: one tight loop advances the engine's clocks (``cpu_t``,
+   ``dram_free``, the posted-store drain point, the pipelined-load
+   queue, the read-ahead window) over the event array.  The arithmetic
+   is the scalar engine's, in the scalar engine's order, so results
+   agree to float rounding (~1e-12 relative).
+
+The fast path is an optimization, not a new model: the scalar
+``MemoryEngine`` remains the reference oracle, and a stream that falls
+outside the envelope below raises :class:`FastpathUnsupported` so
+callers (see :class:`~repro.memsim.node.NodeMemorySystem`) fall back.
+
+Supported envelope:
+
+* cache write policies ``"around"`` and ``"through"`` (``"back"``'s
+  dirty-eviction traffic couples the cache to the write buffer per
+  word and stays on the oracle);
+* set-associative caches either direct-mapped (exact classification
+  for arbitrary address streams) or, for higher associativity, probe
+  streams that never revisit an evicted line (monotone per channel,
+  disjoint regions across channels — true of every stream the
+  measurement harness generates);
+* read-ahead on strictly contiguous load streams;
+* write-buffer depth < 256 and read-ahead depth <= 16.
+
+Every kernel of the Section 4 calibration grid on the built-in T3D and
+Paragon configurations qualifies; ``tests/properties`` holds the
+hypothesis parity suite that enforces oracle agreement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .config import WORD_BYTES, NodeConfig
+from .engine import KernelResult, MemoryEngine
+from .streams import AccessStream
+
+__all__ = ["FastEngine", "FastpathUnsupported", "FASTPATH_VERSION"]
+
+#: Bumped whenever fastpath semantics change; part of calibration cache keys.
+FASTPATH_VERSION = "1"
+
+# -- position keys -------------------------------------------------------------
+#
+# Every per-word action gets a key ``word * 64 + slot`` so increments,
+# probes and memory operations from different channels interleave in
+# exactly the scalar engine's program order.  Memory operations append
+# an intra-slot index (``key * 256 + intra``) to order the several
+# write bursts of one drain.
+
+_S_PRE = 0        # constants before the index-read fill
+_S_IDX_R = 2      # read-side index-array line fill
+_S_DATA_PRE = 4   # constants before the data access
+_S_DATA = 6       # data line fill / pipelined load / read-ahead consume
+_S_SCHED = 8      # read-ahead prefetch fills (slots 8 .. 8+depth-1)
+_S_POST = 24      # constants after the data access (NI port store)
+_S_IDX_W_PRE = 26
+_S_IDX_W = 28     # write-side index-array line fill
+_S_STORE_PRE = 30
+_S_STORE = 32     # write-buffer drain triggered by this word's store
+_S_OVERHEAD = 34  # loop overhead
+
+_MAX_READAHEAD_DEPTH = 16
+_MAX_WB_DEPTH = 255
+
+# Event opcodes replayed by the timeline loop.
+_EV_BLOCKING = 0
+_EV_DRAIN = 1
+_EV_PIPE = 2
+_EV_RA_CONSUME = 3
+_EV_RA_SCHED = 4
+_EV_FINAL_DRAIN = 5
+
+
+class FastpathUnsupported(Exception):
+    """The stream/config combination is outside the vectorized envelope."""
+
+
+# -- vector helpers ------------------------------------------------------------
+
+
+def _prev_equal_in_group(group: np.ndarray, value: np.ndarray) -> np.ndarray:
+    """True where the nearest earlier element of the same group has equal value.
+
+    The open-page rule for a multi-bank DRAM: group by bank, compare
+    each access's page with the previous access to the same bank.
+    """
+    n = group.shape[0]
+    hit = np.zeros(n, dtype=bool)
+    if n == 0:
+        return hit
+    order = np.argsort(group, kind="stable")
+    g = group[order]
+    v = value[order]
+    same = np.empty(n, dtype=bool)
+    same[0] = False
+    np.logical_and(g[1:] == g[:-1], v[1:] == v[:-1], out=same[1:])
+    hit[order] = same
+    return hit
+
+
+def _last_install_matches(
+    group: np.ndarray, value: np.ndarray, install: np.ndarray
+) -> np.ndarray:
+    """True where the latest earlier *installing* probe of the same group
+    recorded the same value.
+
+    This is the exact hit rule of a direct-mapped cache: the group is
+    the set index, the value the line id, and probes that do not
+    install (write-around / write-through stores) observe without
+    changing state.
+    """
+    n = group.shape[0]
+    hits = np.zeros(n, dtype=bool)
+    if n == 0:
+        return hits
+    order = np.argsort(group, kind="stable")
+    g = group[order]
+    v = value[order]
+    inst = install[order]
+    idx = np.arange(n, dtype=np.int64)
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.not_equal(g[1:], g[:-1], out=boundary[1:])
+    seg = np.cumsum(boundary) - 1
+    offset = seg * np.int64(n)
+    # Marker of the most recent install seen so far, segment-disambiguated.
+    marker = np.where(inst, idx + offset + 1, np.int64(0))
+    cummax = np.maximum.accumulate(marker)
+    prev = np.empty(n, dtype=np.int64)
+    prev[0] = 0
+    prev[1:] = cummax[:-1]
+    valid = prev > offset
+    prev_idx = np.where(valid, prev - offset - 1, 0)
+    hit_sorted = valid & (v[prev_idx] == v)
+    hits[order] = hit_sorted
+    return hits
+
+
+def _build_store_plan(
+    addresses: np.ndarray, line_bytes: int, depth: int, merge: bool
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Reduce a posted-store stream to write-buffer entries and drains.
+
+    Returns ``(entry_addr, entry_words, entry_drain, drain_word)``:
+    one row per buffer entry (its burst address and merged word count),
+    the index of the drain that flushes it (``len(drain_word)`` for the
+    final drain at ``_finish``), and the word index whose store
+    triggered each drain.
+
+    Mirrors ``MemoryEngine._store``: an entry extends only while it is
+    the newest entry of a non-empty buffer and the incoming store hits
+    the same line; appending the ``depth``-th entry drains the whole
+    buffer immediately, so the last entry of a full batch never merges.
+    """
+    n = addresses.shape[0]
+    depth_eff = max(int(depth), 1)
+    use_merge = bool(merge) and depth_eff > 1
+    if use_merge:
+        lines = addresses // line_bytes
+        starts_mask = np.empty(n, dtype=bool)
+        starts_mask[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=starts_mask[1:])
+        starts = np.flatnonzero(starts_mask)
+        if starts.shape[0] == n:
+            use_merge = False  # no two consecutive stores share a line
+
+    if not use_merge:
+        entry_addr = addresses
+        entry_words = np.ones(n, dtype=np.int64)
+        n_drains = n // depth_eff
+        drain_word = np.arange(1, n_drains + 1, dtype=np.int64) * depth_eff - 1
+        entry_drain = np.minimum(
+            np.arange(n, dtype=np.int64) // depth_eff, n_drains
+        )
+        return entry_addr, entry_words, entry_drain, drain_word
+
+    addr_list = addresses.tolist()
+    bounds = starts.tolist()
+    bounds.append(n)
+    e_addr: List[int] = []
+    e_words: List[int] = []
+    drain_words: List[int] = []
+    drain_ecount: List[int] = []
+    in_batch = 0
+    for k in range(len(bounds) - 1):
+        start, end = bounds[k], bounds[k + 1]
+        e_addr.append(addr_list[start])
+        e_words.append(1)
+        in_batch += 1
+        pos = start + 1
+        if in_batch == depth_eff:
+            drain_words.append(start)
+            drain_ecount.append(len(e_addr))
+            in_batch = 0
+            if pos < end:
+                e_addr.append(addr_list[pos])
+                e_words.append(1)
+                in_batch = 1
+                pos += 1
+        if in_batch and pos < end:
+            e_words[-1] += end - pos
+    n_entries = len(e_addr)
+    entry_drain = np.searchsorted(
+        np.asarray(drain_ecount, dtype=np.int64),
+        np.arange(n_entries, dtype=np.int64),
+        side="right",
+    )
+    return (
+        np.asarray(e_addr, dtype=np.int64),
+        np.asarray(e_words, dtype=np.int64),
+        entry_drain,
+        np.asarray(drain_words, dtype=np.int64),
+    )
+
+
+# -- probe channels ------------------------------------------------------------
+
+
+class _ProbeChannel:
+    """One interleaved stream of cache probes (data loads, index loads,
+    or store lookups), with its per-word position slot."""
+
+    def __init__(
+        self,
+        slot: int,
+        addresses: np.ndarray,
+        install: bool,
+    ) -> None:
+        self.slot = slot
+        self.addresses = addresses
+        self.install = install
+        self.hits: Optional[np.ndarray] = None
+
+
+def _classify_cache(
+    node: NodeConfig, channels: List[_ProbeChannel]
+) -> Tuple[int, int]:
+    """Fill each channel's per-probe hit array; return (hits, misses).
+
+    Direct-mapped caches get the exact forward-fill classification for
+    arbitrary probe streams.  Higher associativity requires the
+    monotone / disjoint-region envelope (see module docstring).
+    """
+    channels = [c for c in channels if c.addresses.shape[0]]
+    if not channels:
+        return 0, 0
+    cache = node.cache
+    if cache.size_bytes % cache.line_bytes or cache.n_lines % cache.associativity:
+        raise FastpathUnsupported("malformed cache geometry")
+    line_bytes = cache.line_bytes
+    n_sets = cache.n_sets
+    if n_sets <= 0:
+        raise FastpathUnsupported("cache has no sets")
+
+    if cache.associativity == 1:
+        keys = np.concatenate(
+            [
+                np.arange(c.addresses.shape[0], dtype=np.int64) * 64 + c.slot
+                for c in channels
+            ]
+        )
+        lines = np.concatenate([c.addresses // line_bytes for c in channels])
+        install = np.concatenate(
+            [
+                np.full(c.addresses.shape[0], c.install, dtype=bool)
+                for c in channels
+            ]
+        )
+        order = np.argsort(keys, kind="stable")
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(order.shape[0], dtype=np.int64)
+        hits_ordered = _last_install_matches(
+            (lines % n_sets)[order], (lines // n_sets)[order], install[order]
+        )
+        hits_all = hits_ordered[inverse]
+        offset = 0
+        for channel in channels:
+            count = channel.addresses.shape[0]
+            channel.hits = hits_all[offset : offset + count]
+            offset += count
+    else:
+        installers = [c for c in channels if c.install]
+        if len(installers) > cache.associativity:
+            raise FastpathUnsupported(
+                "more interleaved install streams than cache ways"
+            )
+        ranges = []
+        for channel in channels:
+            lines = channel.addresses // line_bytes
+            if channel.install and np.any(np.diff(lines) < 0):
+                raise FastpathUnsupported(
+                    "set-associative classification needs monotone probe "
+                    "streams"
+                )
+            ranges.append((int(lines.min()), int(lines.max()), channel))
+        ranges.sort(key=lambda r: r[0])
+        for (_, hi, _), (lo, _, _) in zip(ranges, ranges[1:]):
+            if lo <= hi:
+                raise FastpathUnsupported(
+                    "probe streams overlap; LRU interaction not vectorized"
+                )
+        for channel in channels:
+            lines = channel.addresses // line_bytes
+            if channel.install:
+                hits = np.empty(lines.shape[0], dtype=bool)
+                hits[0] = False
+                np.equal(lines[1:], lines[:-1], out=hits[1:])
+                channel.hits = hits
+            else:
+                channel.hits = np.zeros(lines.shape[0], dtype=bool)
+    hits = sum(int(c.hits.sum()) for c in channels)
+    total = sum(c.addresses.shape[0] for c in channels)
+    return hits, total - hits
+
+
+# -- the fast engine -----------------------------------------------------------
+
+
+class FastEngine:
+    """Vectorized twin of :class:`~repro.memsim.engine.MemoryEngine`.
+
+    Same constructor signature and ``run_*`` interface; raises
+    :class:`FastpathUnsupported` instead of silently approximating when
+    a stream falls outside the envelope.
+    """
+
+    def __init__(self, node: NodeConfig, occupancy_scale: float = 1.0) -> None:
+        self.node = node
+        self.occupancy_scale = occupancy_scale
+        self._check_config()
+
+    def _check_config(self) -> None:
+        node = self.node
+        if node.cache.write_policy not in ("around", "through"):
+            raise FastpathUnsupported(
+                f"write policy {node.cache.write_policy!r} stays on the oracle"
+            )
+        if node.write_buffer.depth > _MAX_WB_DEPTH:
+            raise FastpathUnsupported("write buffer too deep for the fast path")
+        if node.read_ahead.enabled and node.read_ahead.depth > _MAX_READAHEAD_DEPTH:
+            raise FastpathUnsupported("read-ahead too deep for the fast path")
+
+    # -- public kernels ----------------------------------------------------
+
+    def run_load_stream(self, read: AccessStream) -> KernelResult:
+        return self._run_processor_kernel(read=read, write=None)
+
+    def run_store_stream(self, write: AccessStream) -> KernelResult:
+        return self._run_processor_kernel(read=None, write=write)
+
+    def run_copy(self, read: AccessStream, write: AccessStream) -> KernelResult:
+        if read.nwords != write.nwords:
+            raise ValueError("read and write streams must have equal length")
+        return self._run_processor_kernel(read=read, write=write)
+
+    def run_load_send(self, read: AccessStream) -> KernelResult:
+        result = self._run_processor_kernel(
+            read=read, write=None, ni_store=True
+        )
+        return self._cap_by_ni(result)
+
+    def run_receive_store(self, write: AccessStream) -> KernelResult:
+        result = self._run_processor_kernel(
+            read=None, write=write, ni_load=True
+        )
+        return self._cap_by_ni(result)
+
+    def run_fetch_send(self, nwords: int) -> KernelResult:
+        # Already O(1) in the scalar engine; delegate so the DMA page
+        # accounting lives in exactly one place.
+        return MemoryEngine(self.node, self.occupancy_scale).run_fetch_send(
+            nwords
+        )
+
+    def load_latency_ns(self, address: int = 0) -> float:
+        return MemoryEngine(self.node, self.occupancy_scale).load_latency_ns(
+            address
+        )
+
+    # -- deposit (no processor: closed-form recurrence) --------------------
+
+    def run_deposit(self, write: AccessStream) -> KernelResult:
+        cfg = self.node
+        if not cfg.deposit.supports(write.pattern.is_contiguous):
+            raise ValueError(
+                f"deposit engine ({cfg.deposit.patterns}) cannot handle "
+                f"write pattern {write.pattern}"
+            )
+        merge = write.pattern.is_contiguous
+        word_ns = (
+            cfg.deposit.contiguous_word_ns if merge else cfg.deposit.pair_word_ns
+        )
+        addresses = np.asarray(write.addresses, dtype=np.int64)
+        n = addresses.shape[0]
+        if n == 0:
+            return self._cap_by_ni(KernelResult(ns=0.0, nwords=0))
+        if merge:
+            lines = addresses // cfg.cache.line_bytes
+            starts_mask = np.empty(n, dtype=bool)
+            starts_mask[0] = True
+            np.not_equal(lines[1:], lines[:-1], out=starts_mask[1:])
+            starts = np.flatnonzero(starts_mask)
+            bounds = np.append(starts, n)
+            entry_addr = addresses[starts]
+            entry_words = np.diff(bounds)
+            # Entry r flushes while the engine stamps the first word of
+            # run r+1 (the final entry flushes after the loop).
+            flush_at = np.append(bounds[1:-1] + 1, n).astype(np.float64) * word_ns
+        else:
+            entry_addr = addresses
+            entry_words = np.ones(n, dtype=np.int64)
+            flush_at = np.append(
+                np.arange(2, n + 1, dtype=np.float64), float(n)
+            ) * word_ns
+
+        dram = cfg.dram
+        page = entry_addr // dram.page_bytes
+        hit = _prev_equal_in_group(page % dram.n_banks, page)
+        occ = (
+            np.where(hit, dram.write_hit_ns, dram.write_miss_ns)
+            + dram.burst_word_ns * (entry_words - 1)
+        ) * self.occupancy_scale
+        # dram_free_k = max(flush_k, dram_free_{k-1}) + occ_k, solved by
+        # the max-prefix identity over cumulative occupancies.
+        cum = np.cumsum(occ)
+        dram_final = float(np.max(flush_at - (cum - occ)) + cum[-1])
+        engine_t = float(n) * word_ns
+        result = KernelResult(
+            ns=max(engine_t, dram_final),
+            nwords=n,
+            dram_page_hit_rate=float(hit.sum()) / hit.shape[0] if hit.shape[0] else 0.0,
+        )
+        return self._cap_by_ni(result)
+
+    # -- shared processor-kernel machinery ---------------------------------
+
+    def _cap_by_ni(self, result: KernelResult) -> KernelResult:
+        fifo = self.node.ni.fifo_mbps
+        if fifo <= 0:
+            return result
+        floor_ns = result.nwords * WORD_BYTES / fifo * 1000.0
+        if result.ns >= floor_ns:
+            return result
+        return KernelResult(
+            ns=floor_ns,
+            nwords=result.nwords,
+            cache_hit_rate=result.cache_hit_rate,
+            dram_page_hit_rate=result.dram_page_hit_rate,
+        )
+
+    def _readahead_active(self, read: AccessStream, writes_to_dram: bool) -> bool:
+        cfg = self.node.read_ahead
+        if not cfg.enabled or not read.pattern.is_contiguous:
+            return False
+        return cfg.survives_writes or not writes_to_dram
+
+    def _run_processor_kernel(
+        self,
+        read: Optional[AccessStream],
+        write: Optional[AccessStream],
+        ni_store: bool = False,
+        ni_load: bool = False,
+    ) -> KernelResult:
+        node = self.node
+        proc = node.processor
+        cache = node.cache
+        cyc = proc.cycle_ns
+        line_bytes = cache.line_bytes
+        line_words = cache.line_words
+        pipe_depth = proc.pipelined_load_depth
+        scale = self.occupancy_scale
+        nwords = read.nwords if read is not None else write.nwords  # type: ignore[union-attr]
+        if nwords == 0:
+            result = KernelResult(ns=0.0, nwords=0)
+            return self._cap_by_ni(result) if ni_store or ni_load else result
+        word_keys = np.arange(nwords, dtype=np.int64) * 64
+
+        writes_to_dram = write is not None
+        # When the read-ahead unit is engaged the engine routes every
+        # data miss through it even at depth 0, where the empty window
+        # degenerates to plain blocking fills.
+        ra_mode = read is not None and self._readahead_active(
+            read, writes_to_dram=writes_to_dram
+        )
+        readahead = ra_mode and node.read_ahead.depth > 0
+        data_probed = read is not None and not (
+            pipe_depth > 0 and proc.pipelined_loads_bypass_cache
+        )
+
+        # ---- cache probes ------------------------------------------------
+        channels: List[_ProbeChannel] = []
+        idx_r = idx_w = data_ch = store_ch = None
+        if read is not None and read.index_addresses is not None:
+            idx_r = _ProbeChannel(
+                _S_IDX_R, np.asarray(read.index_addresses, np.int64), True
+            )
+            channels.append(idx_r)
+        if data_probed:
+            data_ch = _ProbeChannel(
+                _S_DATA, np.asarray(read.addresses, np.int64), True
+            )
+            channels.append(data_ch)
+        if write is not None and write.index_addresses is not None:
+            idx_w = _ProbeChannel(
+                _S_IDX_W, np.asarray(write.index_addresses, np.int64), True
+            )
+            channels.append(idx_w)
+        if write is not None and cache.write_policy == "through":
+            store_ch = _ProbeChannel(
+                _S_STORE, np.asarray(write.addresses, np.int64), False
+            )
+            channels.append(store_ch)
+        cache_hits, cache_misses = _classify_cache(node, channels)
+
+        # ---- memory operations (build order), events ---------------------
+        ops_key: List[np.ndarray] = []
+        ops_addr: List[np.ndarray] = []
+        ops_words: List[np.ndarray] = []
+        ops_is_write: List[np.ndarray] = []
+        ev_specs: List[Tuple[np.ndarray, int, Optional[int]]] = []
+        # ev_specs rows: (event keys, opcode, op-group id or None); op
+        # groups pair each event with the memory operation feeding it.
+
+        def add_read_ops(words_idx: np.ndarray, slot: int, addrs: np.ndarray,
+                         burst_words: int, opcode: int) -> None:
+            keys = words_idx * 64 + slot
+            ops_key.append(keys * 256)
+            ops_addr.append(addrs)
+            ops_words.append(
+                np.full(addrs.shape[0], burst_words, dtype=np.int64)
+            )
+            ops_is_write.append(np.zeros(addrs.shape[0], dtype=bool))
+            ev_specs.append((keys, opcode, len(ops_key) - 1))
+
+        fill_opcode = _EV_PIPE if pipe_depth > 0 else _EV_BLOCKING
+
+        for channel in (idx_r, idx_w):
+            if channel is None:
+                continue
+            miss = np.flatnonzero(~channel.hits)
+            if miss.shape[0]:
+                fills = (
+                    channel.addresses[miss] // line_bytes
+                ) * line_bytes
+                add_read_ops(miss, channel.slot, fills, line_words, fill_opcode)
+
+        ra_depth = node.read_ahead.depth
+        if read is not None:
+            data_addr = np.asarray(read.addresses, np.int64)
+            if not data_probed:
+                # Pipelined loads bypass the cache: every word issues.
+                add_read_ops(
+                    np.arange(nwords, dtype=np.int64),
+                    _S_DATA,
+                    data_addr,
+                    1,
+                    _EV_PIPE,
+                )
+            else:
+                miss = np.flatnonzero(~data_ch.hits)
+                if miss.shape[0]:
+                    fills = (data_addr[miss] // line_bytes) * line_bytes
+                    if readahead:
+                        miss_lines = fills // line_bytes
+                        if np.any(np.diff(miss_lines) != 1):
+                            raise FastpathUnsupported(
+                                "read-ahead needs a strictly advancing "
+                                "contiguous line walk"
+                            )
+                        # First fill is a demand (blocking) read...
+                        add_read_ops(
+                            miss[:1], _S_DATA, fills[:1], line_words,
+                            _EV_BLOCKING,
+                        )
+                        # ...followed by consumes of earlier prefetches.
+                        if miss.shape[0] > 1:
+                            ev_specs.append(
+                                (miss[1:] * 64 + _S_DATA, _EV_RA_CONSUME, None)
+                            )
+                        # Prefetches: the first miss primes the whole
+                        # window, every later miss tops it up by one.
+                        first_line = int(miss_lines[0])
+                        for ahead in range(1, ra_depth + 1):
+                            add_read_ops(
+                                miss[:1],
+                                _S_SCHED + ahead - 1,
+                                np.asarray(
+                                    [(first_line + ahead) * line_bytes],
+                                    np.int64,
+                                ),
+                                line_words,
+                                _EV_RA_SCHED,
+                            )
+                        if miss.shape[0] > 1:
+                            add_read_ops(
+                                miss[1:],
+                                _S_SCHED,
+                                (miss_lines[1:] + ra_depth) * line_bytes,
+                                line_words,
+                                _EV_RA_SCHED,
+                            )
+                    else:
+                        add_read_ops(
+                            miss,
+                            _S_DATA,
+                            fills,
+                            line_words,
+                            _EV_BLOCKING if ra_mode else fill_opcode,
+                        )
+
+        n_drains = 0
+        entry_drain = None
+        if write is not None:
+            store_addr = np.asarray(write.addresses, np.int64)
+            entry_addr, entry_words, entry_drain, drain_word = _build_store_plan(
+                store_addr, line_bytes, node.write_buffer.depth,
+                node.write_buffer.merge,
+            )
+            n_drains = drain_word.shape[0]
+            n_entries = entry_addr.shape[0]
+            # Each buffer entry reaches DRAM at its drain's position;
+            # leftovers flush at the finish drain past the last word.
+            final_key = np.int64((nwords + 1) * 64)
+            if n_drains:
+                entry_pos = np.where(
+                    entry_drain < n_drains,
+                    drain_word[np.minimum(entry_drain, n_drains - 1)] * 64
+                    + _S_STORE,
+                    final_key,
+                )
+            else:
+                entry_pos = np.full(n_entries, final_key, dtype=np.int64)
+            # FIFO position within the flushing batch (entry_drain is
+            # nondecreasing, so batches are consecutive runs).
+            idx = np.arange(n_entries, dtype=np.int64)
+            order_in_group = np.zeros(n_entries, dtype=np.int64)
+            if n_entries:
+                change = np.empty(n_entries, dtype=bool)
+                change[0] = True
+                np.not_equal(entry_drain[1:], entry_drain[:-1], out=change[1:])
+                group_start = np.maximum.accumulate(np.where(change, idx, 0))
+                order_in_group = idx - group_start
+            if np.any(order_in_group >= 256):
+                raise FastpathUnsupported("write batch too large to order")
+            ops_key.append(entry_pos * 256 + order_in_group)
+            ops_addr.append(entry_addr)
+            ops_words.append(entry_words)
+            ops_is_write.append(np.ones(entry_addr.shape[0], dtype=bool))
+            if n_drains:
+                ev_specs.append((drain_word * 64 + _S_STORE, _EV_DRAIN, None))
+
+        # The finish drain always runs (a no-op when nothing is pending).
+        ev_specs.append(
+            (np.asarray([(nwords + 1) * 64], np.int64), _EV_FINAL_DRAIN, None)
+        )
+
+        # ---- DRAM page classification over the merged operation order ----
+        all_key = np.concatenate(ops_key) if ops_key else np.zeros(0, np.int64)
+        all_addr = np.concatenate(ops_addr) if ops_addr else np.zeros(0, np.int64)
+        all_words = (
+            np.concatenate(ops_words) if ops_words else np.zeros(0, np.int64)
+        )
+        all_write = (
+            np.concatenate(ops_is_write) if ops_is_write else np.zeros(0, bool)
+        )
+        dram = node.dram
+        order = np.argsort(all_key, kind="stable")
+        page = all_addr // dram.page_bytes
+        hit_sorted = _prev_equal_in_group(
+            (page % dram.n_banks)[order], page[order]
+        )
+        page_hit = np.zeros(all_addr.shape[0], dtype=bool)
+        page_hit[order] = hit_sorted
+        burst_extra = dram.burst_word_ns * (all_words - 1)
+        lat = np.where(page_hit, dram.read_hit_ns, dram.read_miss_ns) + burst_extra
+        occ = np.where(
+            all_write,
+            np.where(page_hit, dram.write_hit_ns, dram.write_miss_ns),
+            np.where(
+                page_hit,
+                dram.read_occupancy_hit_ns,
+                dram.read_occupancy_miss_ns,
+            ),
+        ) + burst_extra
+        occ = occ * scale
+        page_hits = int(page_hit.sum())
+        page_total = int(page_hit.shape[0])
+
+        # Per-group offsets into the flat op arrays.
+        group_offsets = np.cumsum(
+            [0] + [arr.shape[0] for arr in ops_addr]
+        )
+
+        drain_sums = np.zeros(n_drains + 1, dtype=np.float64)
+        if write is not None and entry_drain is not None and entry_drain.shape[0]:
+            write_slice = slice(group_offsets[-2], group_offsets[-1])
+            drain_sums = np.bincount(
+                entry_drain,
+                weights=occ[write_slice],
+                minlength=n_drains + 1,
+            )
+
+        # ---- assemble events --------------------------------------------
+        ev_key_parts: List[np.ndarray] = []
+        ev_type_parts: List[np.ndarray] = []
+        ev_p1_parts: List[np.ndarray] = []
+        ev_p2_parts: List[np.ndarray] = []
+        for keys, opcode, group in ev_specs:
+            count = keys.shape[0]
+            ev_key_parts.append(keys)
+            ev_type_parts.append(np.full(count, opcode, dtype=np.int64))
+            if group is not None:
+                lo = group_offsets[group]
+                ev_p1_parts.append(lat[lo : lo + count])
+                ev_p2_parts.append(occ[lo : lo + count])
+            elif opcode == _EV_DRAIN:
+                ev_p1_parts.append(drain_sums[:n_drains])
+                ev_p2_parts.append(np.zeros(count))
+            elif opcode == _EV_FINAL_DRAIN:
+                ev_p1_parts.append(drain_sums[n_drains:])
+                ev_p2_parts.append(np.zeros(count))
+            else:  # consume
+                ev_p1_parts.append(np.zeros(count))
+                ev_p2_parts.append(np.zeros(count))
+        ev_key = np.concatenate(ev_key_parts)
+        ev_order = np.argsort(ev_key, kind="stable")
+        ev_key = ev_key[ev_order]
+        ev_type = np.concatenate(ev_type_parts)[ev_order]
+        ev_p1 = np.concatenate(ev_p1_parts)[ev_order]
+        ev_p2 = np.concatenate(ev_p2_parts)[ev_order]
+
+        # ---- processor-time increments ----------------------------------
+        inc_cols: List[Tuple[int, np.ndarray]] = []
+
+        def const(slot: int, value: float) -> None:
+            if value:
+                inc_cols.append((slot, np.full(nwords, value)))
+
+        def hit_bonus(slot: int, channel: Optional[_ProbeChannel]) -> None:
+            if channel is not None and cache.hit_ns and channel.hits is not None:
+                amounts = np.where(channel.hits, cache.hit_ns, 0.0)
+                inc_cols.append((slot, amounts))
+
+        pre = 0.0
+        if ni_load:
+            pre += node.ni.load_ns
+        if idx_r is not None:
+            pre += (proc.index_extra_cycles + proc.load_issue_cycles) * cyc
+        const(_S_PRE, pre)
+        hit_bonus(_S_PRE, idx_r)
+        if read is not None:
+            const(_S_DATA_PRE, proc.load_issue_cycles * cyc)
+            hit_bonus(_S_DATA_PRE, data_ch)
+        if ni_store:
+            const(_S_POST, node.ni.store_ns)
+        if idx_w is not None:
+            const(
+                _S_IDX_W_PRE,
+                (proc.index_extra_cycles + proc.load_issue_cycles) * cyc,
+            )
+            hit_bonus(_S_IDX_W_PRE, idx_w)
+        if write is not None:
+            const(_S_STORE_PRE, proc.store_issue_cycles * cyc)
+        const(_S_OVERHEAD, proc.loop_overhead_cycles * cyc)
+
+        a_pre = np.zeros(ev_key.shape[0])
+        if inc_cols:
+            inc_cols.sort(key=lambda col: col[0])
+            slots = np.asarray([slot for slot, _ in inc_cols], dtype=np.int64)
+            inc_keys = (word_keys[:, None] + slots[None, :]).ravel()
+            inc_amounts = np.column_stack([arr for _, arr in inc_cols]).ravel()
+            cumulative = np.cumsum(inc_amounts)
+            positions = np.searchsorted(inc_keys, ev_key, side="left")
+            consumed = np.where(positions > 0, cumulative[positions - 1], 0.0)
+            a_pre[0] = consumed[0]
+            np.subtract(consumed[1:], consumed[:-1], out=a_pre[1:])
+
+        ns = _replay(
+            ev_type.tolist(),
+            a_pre.tolist(),
+            ev_p1.tolist(),
+            ev_p2.tolist(),
+            pipe_depth,
+        )
+        total_probes = cache_hits + cache_misses
+        return KernelResult(
+            ns=ns,
+            nwords=nwords,
+            cache_hit_rate=cache_hits / total_probes if total_probes else 0.0,
+            dram_page_hit_rate=page_hits / page_total if page_total else 0.0,
+        )
+
+
+def _replay(
+    ev_type: List[int],
+    ev_a: List[float],
+    ev_p1: List[float],
+    ev_p2: List[float],
+    pipe_depth: int,
+) -> float:
+    """Advance the engine clocks over the compiled event array."""
+    cpu = 0.0
+    dram = 0.0
+    bda = 0.0  # batch-drained-at: when the previous drain left the queue
+    pipe: List[float] = []
+    pipe_head = 0
+    ra_fifo: List[float] = []
+    ra_head = 0
+    for typ, a, p1, p2 in zip(ev_type, ev_a, ev_p1, ev_p2):
+        cpu += a
+        if typ == _EV_BLOCKING:
+            start = dram if dram > cpu else cpu
+            dram = start + p2
+            cpu = start + p1
+        elif typ == _EV_DRAIN:
+            if bda > cpu:
+                cpu = bda
+            dram += p1
+            bda = dram
+        elif typ == _EV_PIPE:
+            if len(pipe) - pipe_head >= pipe_depth:
+                ready = pipe[pipe_head]
+                pipe_head += 1
+                if ready > cpu:
+                    cpu = ready
+            start = dram if dram > cpu else cpu
+            dram = start + p2
+            pipe.append(start + p1)
+        elif typ == _EV_RA_CONSUME:
+            ready = ra_fifo[ra_head]
+            ra_head += 1
+            if ready > cpu:
+                cpu = ready
+        elif typ == _EV_RA_SCHED:
+            start = dram if dram > cpu else cpu
+            dram = start + p2
+            ra_fifo.append(start + p1)
+        else:  # _EV_FINAL_DRAIN
+            dram += p1
+            bda = dram
+    for ready in pipe[pipe_head:]:
+        if ready > cpu:
+            cpu = ready
+    return cpu if cpu > dram else dram

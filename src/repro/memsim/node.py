@@ -13,14 +13,24 @@ using fine grain timers" (Section 4):
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Callable, Dict, Optional, Tuple
 
 from ..core.patterns import AccessPattern
 from .config import NodeConfig
 from .engine import KernelResult, MemoryEngine
+from .fastpath import FastEngine, FastpathUnsupported
 from .streams import DEFAULT_INDEX_RUN, AccessStream, make_stream
 
-__all__ = ["NodeMemorySystem", "DEFAULT_MEASURE_WORDS"]
+__all__ = ["NodeMemorySystem", "DEFAULT_MEASURE_WORDS", "ENGINE_ENV"]
+
+#: Environment variable overriding every :class:`NodeMemorySystem`'s
+#: engine selection: ``auto`` (default), ``fast`` (vectorized path,
+#: error if a stream falls outside its envelope) or ``scalar`` (always
+#: the reference oracle).
+ENGINE_ENV = "REPRO_MEMSIM_ENGINE"
+
+_ENGINE_MODES = ("auto", "fast", "scalar")
 
 #: Default stream length for measurements: 32 Ki words = 256 KB, far
 #: beyond both machines' first-level caches so cold-start effects wash
@@ -43,6 +53,19 @@ class NodeMemorySystem:
         index_run: Locality run length for indexed streams (see
             :mod:`repro.memsim.streams`).
         occupancy_scale: Bus-arbitration multiplier passed to the engine.
+        engine: ``"auto"`` uses the vectorized fast path when a stream
+            qualifies and falls back to the scalar oracle otherwise;
+            ``"fast"`` raises
+            :class:`~repro.memsim.fastpath.FastpathUnsupported` instead
+            of falling back; ``"scalar"`` always runs the oracle.  The
+            ``REPRO_MEMSIM_ENGINE`` environment variable, when set,
+            overrides this argument everywhere.
+
+    Kernel results are memoized per instance: the streams are
+    deterministic functions of ``(config, nwords, index_run,
+    occupancy_scale, pattern)``, so re-measuring the same transfer is a
+    dictionary lookup.  ``last_engine`` reports which engine produced
+    the most recent (uncached) result.
     """
 
     def __init__(
@@ -51,14 +74,67 @@ class NodeMemorySystem:
         nwords: int = DEFAULT_MEASURE_WORDS,
         index_run: int = DEFAULT_INDEX_RUN,
         occupancy_scale: float = 1.0,
+        engine: str = "auto",
     ) -> None:
+        if engine not in _ENGINE_MODES:
+            raise ValueError(
+                f"engine must be one of {_ENGINE_MODES}, got {engine!r}"
+            )
         self.config = config
         self.nwords = nwords
         self.index_run = index_run
         self.occupancy_scale = occupancy_scale
+        self.engine = engine
+        self.last_engine: Optional[str] = None
+        self._results: Dict[Tuple, KernelResult] = {}
 
     def _engine(self) -> MemoryEngine:
         return MemoryEngine(self.config, occupancy_scale=self.occupancy_scale)
+
+    def _resolve_engine_mode(self) -> str:
+        mode = os.environ.get(ENGINE_ENV) or self.engine
+        if mode not in _ENGINE_MODES:
+            raise ValueError(
+                f"{ENGINE_ENV} must be one of {_ENGINE_MODES}, got {mode!r}"
+            )
+        return mode
+
+    def clear_cache(self) -> None:
+        """Drop memoized kernel results."""
+        self._results.clear()
+
+    def _kernel(
+        self, key: Tuple, run: Callable[[object], KernelResult]
+    ) -> KernelResult:
+        """Run a kernel on the selected engine, memoizing the result.
+
+        ``run`` receives either engine — :class:`FastEngine` mirrors
+        the ``run_*`` interface of the scalar oracle exactly.
+        """
+        mode = self._resolve_engine_mode()
+        cache_key = key + (mode,)
+        cached = self._results.get(cache_key)
+        if cached is not None:
+            return cached
+        if mode == "scalar":
+            result = run(self._engine())
+            used = "scalar"
+        else:
+            try:
+                result = run(
+                    FastEngine(
+                        self.config, occupancy_scale=self.occupancy_scale
+                    )
+                )
+                used = "fast"
+            except FastpathUnsupported:
+                if mode == "fast":
+                    raise
+                result = run(self._engine())
+                used = "scalar"
+        self.last_engine = used
+        self._results[cache_key] = result
+        return result
 
     def _stream(
         self, pattern: AccessPattern, base: int = 0, seed: int = 12345
@@ -75,31 +151,56 @@ class NodeMemorySystem:
         """Run ``xCy`` and return the full kernel result."""
         read_stream = self._stream(read, base=0, seed=12345)
         write_stream = self._stream(write, base=_REGION_GAP, seed=54321)
-        return self._engine().run_copy(read_stream, write_stream)
+        return self._kernel(
+            ("copy", read, write),
+            lambda eng: eng.run_copy(read_stream, write_stream),
+        )
 
     def load_send_result(self, read: AccessPattern) -> KernelResult:
         """Run ``xS0`` and return the full kernel result."""
-        return self._engine().run_load_send(self._stream(read))
+        stream = self._stream(read)
+        return self._kernel(
+            ("load_send", read),
+            lambda eng: eng.run_load_send(stream),
+        )
 
     def receive_store_result(self, write: AccessPattern) -> KernelResult:
         """Run ``0Ry`` and return the full kernel result."""
-        return self._engine().run_receive_store(self._stream(write))
+        stream = self._stream(write)
+        return self._kernel(
+            ("receive_store", write),
+            lambda eng: eng.run_receive_store(stream),
+        )
 
     def deposit_result(self, write: AccessPattern) -> KernelResult:
         """Run ``0Dy`` and return the full kernel result."""
-        return self._engine().run_deposit(self._stream(write))
+        stream = self._stream(write)
+        return self._kernel(
+            ("deposit", write),
+            lambda eng: eng.run_deposit(stream),
+        )
 
     def fetch_send_result(self, nwords: Optional[int] = None) -> KernelResult:
         """Run ``1F0`` and return the full kernel result."""
-        return self._engine().run_fetch_send(nwords or self.nwords)
+        count = nwords or self.nwords
+        # O(1) closed form in the scalar engine already; no fast twin.
+        return self._engine().run_fetch_send(count)
 
     def load_stream_result(self, read: AccessPattern) -> KernelResult:
         """Run a pure load stream (Section 3.5.1 read bandwidth)."""
-        return self._engine().run_load_stream(self._stream(read))
+        stream = self._stream(read)
+        return self._kernel(
+            ("load_stream", read),
+            lambda eng: eng.run_load_stream(stream),
+        )
 
     def store_stream_result(self, write: AccessPattern) -> KernelResult:
         """Run a pure store stream."""
-        return self._engine().run_store_stream(self._stream(write))
+        stream = self._stream(write)
+        return self._kernel(
+            ("store_stream", write),
+            lambda eng: eng.run_store_stream(stream),
+        )
 
     # -- throughput shorthands -----------------------------------------------
 

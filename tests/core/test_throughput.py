@@ -5,7 +5,7 @@ import pytest
 from repro.core.calibration import ThroughputTable
 from repro.core.composition import par, seq
 from repro.core.constraints import EntryRef, ResourceConstraint
-from repro.core.errors import CompositionError
+from repro.core.errors import CompositionError, ModelError
 from repro.core.patterns import CONTIGUOUS, strided
 from repro.core.resources import NodeRole
 from repro.core.throughput import evaluate
@@ -141,3 +141,58 @@ class TestReporting:
         op = par(network_data())
         text = evaluate(op, table, constraints=[constraint]).render()
         assert "BINDING" in text
+
+
+class _ZeroRateTable(ThroughputTable):
+    """A table whose lookups report zero throughput for one kind.
+
+    ``ThroughputTable.set`` refuses nonpositive rates, but a stubbed
+    calibration, a corrupted cache entry or a subclass can still put a
+    zero in front of the evaluator — which must fail loudly instead of
+    dividing by it.
+    """
+
+    def __init__(self, zero_kind, base):
+        super().__init__("zero-rate stub")
+        self.merge(base)
+        self._zero_kind = zero_kind
+
+    def lookup_kind(self, kind, read, write):
+        if kind == self._zero_kind:
+            return 0.0
+        return super().lookup_kind(kind, read, write)
+
+
+class TestZeroRateRegression:
+    """Sequential composition over a zero-rate step raises ModelError.
+
+    The harmonic rule divides by each step's rate; a zero used to
+    surface as a ZeroDivisionError with no indication of which
+    sub-expression was broken.
+    """
+
+    def test_zero_seq_leaf_raises_and_names_the_step(self, table):
+        zero = _ZeroRateTable(TransferKind.COPY, table)
+        op = seq(
+            copy(CONTIGUOUS, CONTIGUOUS, role=NodeRole.SENDER),
+            copy(CONTIGUOUS, strided(64), role=NodeRole.RECEIVER),
+        )
+        with pytest.raises(ModelError, match="zero-throughput step 1C1"):
+            evaluate(op, zero)
+
+    def test_zero_inside_par_inside_seq_raises(self, table):
+        zero = _ZeroRateTable(TransferKind.LOAD_SEND, table)
+        op = seq(
+            copy(CONTIGUOUS, CONTIGUOUS, role=NodeRole.SENDER),
+            par(load_send(CONTIGUOUS), network_data()),
+            copy(CONTIGUOUS, strided(64), role=NodeRole.RECEIVER),
+        )
+        with pytest.raises(ModelError, match="zero-throughput step"):
+            evaluate(op, zero)
+
+    def test_parallel_alone_tolerates_a_zero_branch(self, table):
+        zero = _ZeroRateTable(TransferKind.LOAD_SEND, table)
+        op = par(load_send(CONTIGUOUS), network_data())
+        est = evaluate(op, zero)
+        assert est.mbps == 0.0
+        assert est.root.bottleneck == "1S0"

@@ -1,0 +1,131 @@
+"""Regression tests pinning down timeline-engine bug fixes.
+
+Two historical bugs in :class:`~repro.memsim.engine.MemoryEngine`:
+
+* ``run_fetch_send`` charged a DMA page kick per page of *payload*
+  instead of per page boundary *crossed*, overcharging every transfer
+  that ended exactly on a boundary;
+* ``_load_readahead`` never evicted scheduled prefetches, so the
+  table grew without bound over jumpy streams and a stream that
+  jumped away and returned collected free hits from fills issued
+  arbitrarily long ago.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import AccessPattern
+from repro.memsim.config import (
+    CacheConfig,
+    DMAConfig,
+    NIConfig,
+    NodeConfig,
+    ProcessorConfig,
+    ReadAheadConfig,
+    WORD_BYTES,
+)
+from repro.memsim.engine import MemoryEngine
+from repro.memsim.streams import AccessStream
+
+
+class TestFetchSendPageKicks:
+    """A kick is owed per page boundary crossed, not per page started."""
+
+    def _node(self, page_bytes: int = 4096) -> NodeConfig:
+        return NodeConfig(
+            dma=DMAConfig(
+                present=True,
+                word_ns=45.0,
+                setup_ns=2000.0,
+                page_bytes=page_bytes,
+                page_kick_ns=500.0,
+            ),
+            # Uncapped NI so the assertion sees the raw DMA cost.
+            ni=NIConfig(fifo_mbps=0.0),
+        )
+
+    @staticmethod
+    def _expected_ns(node: NodeConfig, nwords: int, kicks: int) -> float:
+        dma = node.dma
+        return dma.setup_ns + nwords * dma.word_ns + kicks * dma.page_kick_ns
+
+    def test_single_page_needs_no_kick(self):
+        node = self._node()
+        result = MemoryEngine(node).run_fetch_send(16)
+        assert result.ns == pytest.approx(self._expected_ns(node, 16, kicks=0))
+
+    @pytest.mark.parametrize("pages", [1, 2, 5])
+    def test_exact_multiple_crosses_one_boundary_fewer(self, pages):
+        node = self._node()
+        words_per_page = node.dma.page_bytes // WORD_BYTES
+        nwords = pages * words_per_page
+        result = MemoryEngine(node).run_fetch_send(nwords)
+        assert result.ns == pytest.approx(
+            self._expected_ns(node, nwords, kicks=pages - 1)
+        )
+
+    @pytest.mark.parametrize("pages", [1, 2, 5])
+    def test_one_word_past_the_boundary_pays_the_kick(self, pages):
+        node = self._node()
+        words_per_page = node.dma.page_bytes // WORD_BYTES
+        nwords = pages * words_per_page + 1
+        result = MemoryEngine(node).run_fetch_send(nwords)
+        assert result.ns == pytest.approx(
+            self._expected_ns(node, nwords, kicks=pages)
+        )
+
+
+def _readahead_node(depth: int = 2) -> NodeConfig:
+    return NodeConfig(
+        # 32 lines of 32 B, direct-mapped: small enough that a detour
+        # through a distant region evicts every cached line.
+        cache=CacheConfig(size_bytes=1024, line_bytes=32, associativity=1),
+        read_ahead=ReadAheadConfig(enabled=True, depth=depth),
+        processor=ProcessorConfig(pipelined_load_depth=0),
+    )
+
+
+def _load_stream(addresses) -> AccessStream:
+    # The engine activates read-ahead from the declared pattern alone
+    # and walks whatever addresses the stream carries, which lets these
+    # tests drive the RDAL path over streams that jump.
+    return AccessStream(
+        pattern=AccessPattern.contiguous(),
+        addresses=np.asarray(addresses, dtype=np.int64),
+    )
+
+
+class TestReadaheadEviction:
+    def test_prefetch_table_stays_bounded(self):
+        node = _readahead_node(depth=2)
+        engine = MemoryEngine(node)
+        # Every load lands on a fresh distant line, so each one
+        # schedules `depth` prefetches that are never consumed.
+        addresses = np.arange(300, dtype=np.int64) * (1 << 16)
+        engine.run_load_stream(_load_stream(addresses))
+        assert len(engine._prefetched) <= node.read_ahead.depth
+
+    def test_no_free_hits_after_jump_and_return(self):
+        """Returning to lines prefetched long ago costs a full miss.
+
+        Walk lines 0..9 (the fill of line 9 schedules prefetches of
+        lines 10 and 11), detour through a distant region long enough
+        to flush the cache, then visit lines 10-11.  The read-ahead
+        window must have dropped those stale prefetches: the visit has
+        to cost exactly the same as visiting two never-seen lines with
+        the same cache/page alignment.
+        """
+        node = _readahead_node(depth=2)
+        line = node.cache.line_bytes
+        prefix = np.arange(10, dtype=np.int64) * line
+        detour = (1 << 20) + np.arange(40, dtype=np.int64) * line
+        stale_tail = np.array([10 * line, 11 * line], dtype=np.int64)
+        fresh_tail = (1 << 21) + np.array([0, line], dtype=np.int64)
+
+        revisit = np.concatenate([prefix, detour, stale_tail])
+        fresh = np.concatenate([prefix, detour, fresh_tail])
+        ns_revisit = MemoryEngine(node).run_load_stream(
+            _load_stream(revisit)
+        ).ns
+        ns_fresh = MemoryEngine(node).run_load_stream(_load_stream(fresh)).ns
+        assert ns_revisit == pytest.approx(ns_fresh, rel=1e-9)

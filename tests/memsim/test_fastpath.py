@@ -1,0 +1,141 @@
+"""Unit tests for the vectorized fast path (repro.memsim.fastpath).
+
+Broad randomized parity with the scalar oracle lives in
+``tests/properties/test_fastpath_parity.py``; these tests pin the
+envelope boundaries, edge cases and engine-selection plumbing that a
+random sweep might visit only occasionally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import CONTIGUOUS, INDEXED, AccessPattern, strided
+from repro.machines import paragon, t3d
+from repro.memsim.config import (
+    CacheConfig,
+    NodeConfig,
+    ReadAheadConfig,
+    WriteBufferConfig,
+)
+from repro.memsim.engine import MemoryEngine
+from repro.memsim.fastpath import FastEngine, FastpathUnsupported
+from repro.memsim.streams import AccessStream, make_stream
+
+GAP = (1 << 24) + 256
+
+
+def _pair(pattern, nwords, index_run=2):
+    read = make_stream(pattern, nwords, base=0, seed=7, index_run=index_run)
+    write = make_stream(
+        pattern, nwords, base=GAP, seed=8, index_run=index_run
+    )
+    return read, write
+
+
+def _assert_match(ref, fast):
+    assert fast.nwords == ref.nwords
+    assert fast.ns == pytest.approx(ref.ns, rel=1e-9)
+    assert fast.cache_hit_rate == pytest.approx(
+        ref.cache_hit_rate, rel=1e-12, abs=1e-15
+    )
+    assert fast.dram_page_hit_rate == pytest.approx(
+        ref.dram_page_hit_rate, rel=1e-12, abs=1e-15
+    )
+
+
+class TestEnvelope:
+    def test_write_back_policy_stays_on_the_oracle(self):
+        node = NodeConfig(cache=CacheConfig(write_policy="back"))
+        with pytest.raises(FastpathUnsupported):
+            FastEngine(node)
+
+    def test_extreme_write_buffer_depth_rejected(self):
+        node = NodeConfig(write_buffer=WriteBufferConfig(depth=256))
+        with pytest.raises(FastpathUnsupported):
+            FastEngine(node)
+
+    def test_extreme_readahead_depth_rejected(self):
+        node = NodeConfig(
+            read_ahead=ReadAheadConfig(enabled=True, depth=17)
+        )
+        with pytest.raises(FastpathUnsupported):
+            FastEngine(node)
+
+    def test_disabled_readahead_depth_is_irrelevant(self):
+        node = NodeConfig(
+            read_ahead=ReadAheadConfig(enabled=False, depth=1000)
+        )
+        FastEngine(node)  # must not raise
+
+    def test_shipped_machines_qualify(self):
+        for machine in (t3d(), paragon()):
+            FastEngine(machine.node)  # must not raise
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("machine_factory", [t3d, paragon])
+    @pytest.mark.parametrize("nwords", [1, 2, 5])
+    def test_tiny_streams_match_oracle(self, machine_factory, nwords):
+        machine = machine_factory()
+        ref = MemoryEngine(machine.node)
+        fast = FastEngine(machine.node)
+        read, write = _pair(CONTIGUOUS, nwords, machine.index_run)
+        _assert_match(ref.run_copy(read, write), fast.run_copy(read, write))
+        _assert_match(
+            ref.run_store_stream(write), fast.run_store_stream(write)
+        )
+
+    def test_mismatched_copy_lengths_rejected(self):
+        fast = FastEngine(t3d().node)
+        read, _ = _pair(CONTIGUOUS, 8)
+        _, write = _pair(CONTIGUOUS, 16)
+        with pytest.raises(ValueError):
+            fast.run_copy(read, write)
+
+    def test_empty_stream_is_free(self):
+        fast = FastEngine(t3d().node)
+        empty = AccessStream(
+            pattern=AccessPattern.contiguous(),
+            addresses=np.empty(0, dtype=np.int64),
+        )
+        result = fast.run_load_stream(empty)
+        assert result.ns == 0.0
+        assert result.nwords == 0
+
+    def test_occupancy_scale_matches_oracle(self):
+        node = paragon().node
+        ref = MemoryEngine(node, occupancy_scale=1.7)
+        fast = FastEngine(node, occupancy_scale=1.7)
+        read, write = _pair(strided(8), 512)
+        _assert_match(ref.run_copy(read, write), fast.run_copy(read, write))
+
+
+class TestKernelSweep:
+    """One deterministic mid-size case per kernel per machine."""
+
+    @pytest.mark.parametrize("machine_factory", [t3d, paragon])
+    @pytest.mark.parametrize(
+        "pattern", [CONTIGUOUS, strided(4), strided(64), INDEXED]
+    )
+    def test_all_kernels(self, machine_factory, pattern):
+        machine = machine_factory()
+        ref = MemoryEngine(machine.node)
+        fast = FastEngine(machine.node)
+        read, write = _pair(pattern, 1024, machine.index_run)
+        _assert_match(
+            ref.run_load_stream(read), fast.run_load_stream(read)
+        )
+        _assert_match(
+            ref.run_store_stream(write), fast.run_store_stream(write)
+        )
+        _assert_match(ref.run_copy(read, write), fast.run_copy(read, write))
+        _assert_match(
+            ref.run_load_send(read), fast.run_load_send(read)
+        )
+        _assert_match(
+            ref.run_receive_store(write), fast.run_receive_store(write)
+        )
+        if machine.node.deposit.supports(pattern.is_contiguous):
+            _assert_match(
+                ref.run_deposit(write), fast.run_deposit(write)
+            )

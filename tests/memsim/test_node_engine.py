@@ -1,0 +1,98 @@
+"""Engine selection and result memoization in NodeMemorySystem."""
+
+import pytest
+
+from repro.core.patterns import CONTIGUOUS, strided
+from repro.machines import t3d
+from repro.memsim.config import CacheConfig, NodeConfig
+from repro.memsim.fastpath import FastpathUnsupported
+from repro.memsim.node import ENGINE_ENV, NodeMemorySystem
+
+
+@pytest.fixture(autouse=True)
+def _no_engine_env(monkeypatch):
+    monkeypatch.delenv(ENGINE_ENV, raising=False)
+
+
+@pytest.fixture
+def node_config():
+    return t3d().node
+
+
+def _small(config, **kwargs):
+    return NodeMemorySystem(config, nwords=2048, **kwargs)
+
+
+class TestEngineSelection:
+    def test_invalid_engine_rejected(self, node_config):
+        with pytest.raises(ValueError):
+            _small(node_config, engine="turbo")
+
+    def test_auto_uses_fast_path_for_supported_config(self, node_config):
+        node = _small(node_config)
+        node.measure_copy(CONTIGUOUS, strided(8))
+        assert node.last_engine == "fast"
+
+    def test_scalar_engine_forces_the_oracle(self, node_config):
+        node = _small(node_config, engine="scalar")
+        node.measure_copy(CONTIGUOUS, strided(8))
+        assert node.last_engine == "scalar"
+
+    def test_engines_agree(self, node_config):
+        fast = _small(node_config, engine="fast")
+        scalar = _small(node_config, engine="scalar")
+        a = fast.measure_copy(CONTIGUOUS, strided(8))
+        b = scalar.measure_copy(CONTIGUOUS, strided(8))
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_auto_falls_back_outside_the_envelope(self):
+        config = NodeConfig(cache=CacheConfig(write_policy="back"))
+        node = _small(config)
+        node.measure_copy(CONTIGUOUS, CONTIGUOUS)
+        assert node.last_engine == "scalar"
+
+    def test_fast_mode_raises_outside_the_envelope(self):
+        config = NodeConfig(cache=CacheConfig(write_policy="back"))
+        node = _small(config, engine="fast")
+        with pytest.raises(FastpathUnsupported):
+            node.measure_copy(CONTIGUOUS, CONTIGUOUS)
+
+    def test_env_var_overrides_instance_engine(
+        self, node_config, monkeypatch
+    ):
+        monkeypatch.setenv(ENGINE_ENV, "scalar")
+        node = _small(node_config, engine="fast")
+        node.measure_copy(CONTIGUOUS, strided(8))
+        assert node.last_engine == "scalar"
+
+    def test_bogus_env_var_rejected(self, node_config, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "warp")
+        node = _small(node_config)
+        with pytest.raises(ValueError):
+            node.measure_copy(CONTIGUOUS, CONTIGUOUS)
+
+
+class TestMemoization:
+    def test_repeat_measurement_is_a_dict_lookup(self, node_config):
+        node = _small(node_config)
+        first = node.copy_result(CONTIGUOUS, strided(8))
+        node.last_engine = None
+        second = node.copy_result(CONTIGUOUS, strided(8))
+        assert second is first
+        assert node.last_engine is None  # no engine ran
+
+    def test_clear_cache_remeasures(self, node_config):
+        node = _small(node_config)
+        first = node.copy_result(CONTIGUOUS, strided(8))
+        node.clear_cache()
+        second = node.copy_result(CONTIGUOUS, strided(8))
+        assert second is not first
+        assert second.ns == first.ns
+
+    def test_memoization_is_engine_aware(self, node_config, monkeypatch):
+        node = _small(node_config)
+        fast = node.copy_result(CONTIGUOUS, strided(8))
+        monkeypatch.setenv(ENGINE_ENV, "scalar")
+        scalar = node.copy_result(CONTIGUOUS, strided(8))
+        assert scalar is not fast
+        assert node.last_engine == "scalar"

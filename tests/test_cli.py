@@ -86,3 +86,43 @@ class TestAdvise:
         )
         out = capsys.readouterr().out
         assert "predicted step time" in out
+
+
+class TestCalibrate:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, monkeypatch, tmp_path):
+        from repro.caching import default_cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        default_cache().clear()
+
+    def test_calibrate_one_machine(self, capsys):
+        assert main(["calibrate", "--machine", "t3d", "--words", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "Cray T3D" in out
+        assert "MB/s" in out
+
+    def test_calibrate_all_machines(self, capsys):
+        assert main(["calibrate", "--words", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "Cray T3D" in out
+        assert "Intel Paragon" in out
+
+    def test_calibrate_no_cache_leaves_cache_cold(self, capsys, tmp_path):
+        assert main(
+            ["calibrate", "--machine", "t3d", "--words", "2048", "--no-cache"]
+        ) == 0
+        assert not list((tmp_path / "cache").rglob("*.json"))
+
+    def test_calibrate_populates_disk_cache(self, capsys, tmp_path):
+        assert main(["calibrate", "--machine", "t3d", "--words", "2048"]) == 0
+        assert list((tmp_path / "cache").rglob("*.json"))
+
+    def test_calibrate_json_export(self, capsys, tmp_path):
+        path = tmp_path / "table.json"
+        assert main(
+            ["calibrate", "--machine", "t3d", "--words", "2048",
+             "--json", str(path)]
+        ) == 0
+        data = json.loads(path.read_text())
+        assert data["entries"]
