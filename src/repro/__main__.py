@@ -10,6 +10,9 @@ Commands:
 * ``table`` — print (or export as JSON) a calibration table;
 * ``calibrate`` — run the Section-4 calibration measurements against
   the simulators (``--no-cache`` bypasses the calibration cache);
+* ``trace`` — run one transfer (or a collective step) under the
+  tracer and write a Chrome-trace / Perfetto JSON plus a per-resource
+  utilization summary;
 * ``advise`` — pick strategy and loop order for a distributed transpose;
 * ``report`` — regenerate every paper comparison (slow).
 
@@ -156,6 +159,115 @@ def cmd_measure(args: argparse.Namespace) -> None:
         print(f"  {phase:12} {ns / 1000.0:9.1f} us")
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .core.operations import OperationStyle as Style
+    from .runtime.engine import CommRuntime
+    from .trace import (
+        chrome_trace,
+        render_timeline,
+        tracing,
+        utilization,
+        validate_chrome_trace,
+    )
+
+    machine = _machine(args.machine)
+    x = AccessPattern.parse(args.x)
+    y = AccessPattern.parse(args.y)
+    style = Style(args.style)
+
+    with tracing() as tracer:
+        # Built inside the traced region so calibration-cache and
+        # memory-simulator counters land in the trace too.
+        runtime = CommRuntime(machine, rates=args.rates)
+        if args.step is not None:
+            from .netsim.patterns import all_to_all, cyclic_shift
+
+            flows = (
+                all_to_all(args.nodes)
+                if args.step == "all-to-all"
+                else cyclic_shift(args.nodes)
+            )
+            from .runtime.collective import CommunicationStep
+
+            step = CommunicationStep(runtime, flows, x, y, args.bytes)
+            outcome = step.run(style)
+            sample = outcome.sample
+            headline = (
+                f"{args.step} step over {args.nodes} nodes: "
+                f"{outcome.per_node_mbps:.1f} MB/s per node, "
+                f"{outcome.step_ns / 1e3:.1f} us"
+            )
+        else:
+            sample = runtime.transfer(
+                x, y, args.bytes, style=style, duplex=args.duplex
+            )
+            outcome = None
+            headline = str(sample)
+
+    phase_spans = tracer.spans("phase")
+    phase_sum = sum(span.duration_ns for span in phase_spans)
+    # The tracing invariant the docs promise: phase spans partition the
+    # measured end-to-end time of the sampled transfer.
+    if abs(phase_sum - sample.ns) > 1e-6 * max(sample.ns, 1.0):
+        raise ModelError(
+            f"phase spans sum to {phase_sum:.1f} ns but the transfer "
+            f"reported {sample.ns:.1f} ns"
+        )
+
+    payload = chrome_trace(
+        tracer,
+        metadata={
+            "machine": machine.name,
+            "operation": f"{args.x}Q{args.y}",
+            "style": style.value,
+            "nbytes": args.bytes,
+            "transfer_mbps": sample.mbps,
+            "transfer_ns": sample.ns,
+            "phase_sum_ns": phase_sum,
+            "step": args.step,
+        },
+    )
+    errors = validate_chrome_trace(payload)
+    if errors:
+        raise ModelError(
+            "emitted trace fails its own schema: " + "; ".join(errors)
+        )
+    with open(args.out, "w") as handle:
+        json_module.dump(payload, handle, indent=2)
+
+    if args.json:
+        print(json_module.dumps(payload, indent=2))
+        return EXIT_OK
+
+    print(headline)
+    print(f"wrote {args.out} ({len(payload['traceEvents'])} events) — "
+          "load it in chrome://tracing or ui.perfetto.dev")
+    print()
+    print("phases:")
+    for span in phase_spans:
+        share = span.duration_ns / phase_sum * 100.0 if phase_sum else 0.0
+        print(f"  {span.name:20} {span.duration_ns / 1e3:10.1f} us "
+              f"{share:5.1f}%")
+    print(f"  {'total':20} {phase_sum / 1e3:10.1f} us  (= measured "
+          f"{sample.ns / 1e3:.1f} us)")
+    busy = utilization(tracer)
+    if busy:
+        print()
+        print("resource utilization (busy fraction of traced interval):")
+        for track, fraction in busy.items():
+            print(f"  {track:20} {fraction * 100.0:5.1f}%")
+    counters = tracer.metrics.counters()
+    if counters:
+        print()
+        print("counters:")
+        for name, value in sorted(counters.items()):
+            print(f"  {name:32} {value:,.0f}")
+    if args.timeline:
+        print()
+        print(render_timeline(tracer))
+    return EXIT_OK
+
+
 def cmd_advise(args: argparse.Namespace) -> None:
     from .compiler.advisor import advise_transpose
 
@@ -295,6 +407,43 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[style.value for style in OperationStyle],
     )
 
+    trace = commands.add_parser(
+        "trace",
+        help="trace one transfer or collective step, write Chrome-trace JSON",
+        description=(
+            "Run a transfer (default) or a collective step with the "
+            "tracer installed and export the result as Chrome-trace / "
+            "Perfetto JSON plus a per-resource utilization summary.  "
+            "The per-phase span durations always sum to the measured "
+            "end-to-end nanoseconds."
+        ),
+    )
+    trace.add_argument("--machine", default="t3d", choices=sorted(MACHINES))
+    trace.add_argument("--x", default="1", help="read pattern (0/1/s/w)")
+    trace.add_argument("--y", default="64", help="write pattern (0/1/s/w)")
+    trace.add_argument("--bytes", type=int, default=131072)
+    trace.add_argument(
+        "--style",
+        default="chained",
+        choices=[style.value for style in OperationStyle],
+    )
+    trace.add_argument("--rates", default="simulated",
+                       choices=("simulated", "paper"),
+                       help="calibration source for the runtime")
+    trace.add_argument("--duplex", action="store_true",
+                       help="node sends and receives simultaneously")
+    trace.add_argument("--step", default=None,
+                       choices=("all-to-all", "shift"),
+                       help="trace a whole collective step instead")
+    trace.add_argument("--nodes", type=int, default=8,
+                       help="partition size for --step")
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome-trace output path")
+    trace.add_argument("--json", action="store_true",
+                       help="print the Chrome-trace JSON to stdout")
+    trace.add_argument("--timeline", action="store_true",
+                       help="render a text timeline of the trace")
+
     advise = commands.add_parser(
         "advise", help="choose strategy and loop order for a transpose"
     )
@@ -347,6 +496,7 @@ def main(argv=None) -> int:
         "lint": cmd_lint,
         "measure": cmd_measure,
         "table": cmd_table,
+        "trace": cmd_trace,
         "report": cmd_report,
     }[args.command]
     try:

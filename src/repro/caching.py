@@ -36,6 +36,7 @@ from typing import Any, Optional
 
 from .core.calibration import ThroughputTable
 from .core.serialization import table_from_dict, table_to_dict
+from .trace.tracer import current_tracer
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -128,6 +129,13 @@ class CalibrationCache:
     def _path(self, key: str) -> Path:
         return self.directory / "tables" / f"{key}.json"
 
+    @staticmethod
+    def _trace(event: str) -> None:
+        """Report one cache outcome to an active tracer, if any."""
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.inc(f"calibration_cache.{event}")
+
     def lookup(self, key: str) -> Optional[ThroughputTable]:
         """Return the cached table for ``key``, or ``None``."""
         if _caching_disabled():
@@ -136,6 +144,7 @@ class CalibrationCache:
         if table is not None:
             self._memory.move_to_end(key)
             self.memory_hits += 1
+            self._trace("memory_hit")
             return table
         if self.use_disk:
             path = self._path(key)
@@ -148,14 +157,17 @@ class CalibrationCache:
             if table is not None:
                 self._remember(key, table)
                 self.disk_hits += 1
+                self._trace("disk_hit")
                 return table
         self.misses += 1
+        self._trace("miss")
         return None
 
     def store(self, key: str, table: ThroughputTable) -> None:
         """Insert a table under ``key`` in both layers."""
         if _caching_disabled():
             return
+        self._trace("store")
         self._remember(key, table)
         if not self.use_disk:
             return

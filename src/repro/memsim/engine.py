@@ -28,6 +28,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict
 
+from ..trace.tracer import current_tracer
 from .cache import Cache
 from .config import WORD_BYTES, NodeConfig
 from .dram import DRAM
@@ -100,6 +101,8 @@ class MemoryEngine:
         self.cache = Cache(self.node.cache)
         self.cpu_t = 0.0
         self.dram_free = 0.0
+        #: Write-buffer drains performed this run (observability only).
+        self.drains = 0
         # Posted stores waiting to drain: list of (address, words) entries.
         self._store_batch: list = []
         self._batch_drained_at = 0.0
@@ -117,6 +120,7 @@ class MemoryEngine:
         """Drain the posted-store batch to DRAM back to back."""
         if not self._store_batch:
             return
+        self.drains += 1
         start = max(self.dram_free, self._batch_drained_at)
         for address, words in self._store_batch:
             occupancy = self.dram.write_burst(address, words)
@@ -271,12 +275,27 @@ class MemoryEngine:
         while self._pipe:
             self.cpu_t = max(self.cpu_t, self._pipe.popleft())
         ns = max(self.cpu_t, self.dram_free)
+        self._emit_counters()
         return KernelResult(
             ns=ns,
             nwords=nwords,
             cache_hit_rate=self.cache.hit_rate,
             dram_page_hit_rate=self.dram.hit_rate,
         )
+
+    def _emit_counters(self) -> None:
+        """Hand this run's hit/drain/page tallies to an active tracer."""
+        tracer = current_tracer()
+        if tracer is None:
+            return
+        metrics = tracer.metrics
+        metrics.inc("memsim.kernels")
+        metrics.inc("memsim.cache_hits", self.cache.hits)
+        metrics.inc("memsim.cache_misses", self.cache.misses)
+        metrics.inc("memsim.dirty_evictions", self.cache.dirty_evictions)
+        metrics.inc("memsim.page_hits", self.dram.page_hits)
+        metrics.inc("memsim.page_misses", self.dram.page_misses)
+        metrics.inc("memsim.wb_drains", self.drains)
 
     def _readahead_active(self, stream: AccessStream, writes_to_dram: bool) -> bool:
         cfg = self.node.read_ahead
@@ -425,6 +444,7 @@ class MemoryEngine:
             start = max(engine_t, self.dram_free)
             occ = self.dram.write_burst(pending_address, pending_words)
             self.dram_free = start + self._occ(occ)
+        self._emit_counters()
         result = KernelResult(
             ns=max(engine_t, self.dram_free),
             nwords=write.nwords,
@@ -455,6 +475,10 @@ class MemoryEngine:
             + nwords * cfg.dma.word_ns
             + pages_crossed * cfg.dma.page_kick_ns
         )
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.inc("memsim.kernels")
+            tracer.metrics.inc("memsim.dma_page_kicks", pages_crossed)
         return self._cap_by_ni(KernelResult(ns=ns, nwords=nwords))
 
     def _cap_by_ni(self, result: KernelResult) -> KernelResult:

@@ -49,6 +49,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..trace.tracer import current_tracer
 from .config import WORD_BYTES, NodeConfig
 from .engine import KernelResult, MemoryEngine
 from .streams import AccessStream
@@ -444,6 +445,11 @@ class FastEngine:
         cum = np.cumsum(occ)
         dram_final = float(np.max(flush_at - (cum - occ)) + cum[-1])
         engine_t = float(n) * word_ns
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.inc("memsim.kernels")
+            tracer.metrics.inc("memsim.page_hits", int(hit.sum()))
+            tracer.metrics.inc("memsim.page_misses", int((~hit).sum()))
         result = KernelResult(
             ns=max(engine_t, dram_final),
             nwords=n,
@@ -802,6 +808,21 @@ class FastEngine:
             pipe_depth,
         )
         total_probes = cache_hits + cache_misses
+        tracer = current_tracer()
+        if tracer is not None:
+            metrics = tracer.metrics
+            metrics.inc("memsim.kernels")
+            metrics.inc("memsim.cache_hits", cache_hits)
+            metrics.inc("memsim.cache_misses", cache_misses)
+            metrics.inc("memsim.page_hits", page_hits)
+            metrics.inc("memsim.page_misses", page_total - page_hits)
+            # Scheduled drains plus the finish drain when entries are
+            # still buffered past the last word — the same tally the
+            # scalar engine's non-empty _drain_stores calls produce.
+            drains = n_drains
+            if entry_drain is not None and np.any(entry_drain >= n_drains):
+                drains += 1
+            metrics.inc("memsim.wb_drains", drains)
         return KernelResult(
             ns=ns,
             nwords=nwords,

@@ -17,6 +17,7 @@ import os
 from typing import Callable, Dict, Optional, Tuple
 
 from ..core.patterns import AccessPattern
+from ..trace.tracer import current_tracer
 from .config import NodeConfig
 from .engine import KernelResult, MemoryEngine
 from .fastpath import FastEngine, FastpathUnsupported
@@ -113,8 +114,11 @@ class NodeMemorySystem:
         """
         mode = self._resolve_engine_mode()
         cache_key = key + (mode,)
+        tracer = current_tracer()
         cached = self._results.get(cache_key)
         if cached is not None:
+            if tracer is not None:
+                tracer.metrics.inc("memsim.memo_hits")
             return cached
         if mode == "scalar":
             result = run(self._engine())
@@ -133,6 +137,8 @@ class NodeMemorySystem:
                 result = run(self._engine())
                 used = "scalar"
         self.last_engine = used
+        if tracer is not None:
+            tracer.metrics.inc(f"memsim.engine.{used}")
         self._results[cache_key] = result
         return result
 

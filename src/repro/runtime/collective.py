@@ -20,6 +20,7 @@ from typing import Sequence, Tuple
 
 from ..core.operations import OperationStyle
 from ..core.patterns import AccessPattern
+from ..trace.tracer import current_tracer
 from .engine import CommRuntime, MeasuredTransfer
 
 __all__ = ["StepResult", "CommunicationStep"]
@@ -104,10 +105,24 @@ class CommunicationStep:
         return model.congestion_for(self.flows)
 
     def _messages_per_node(self) -> int:
-        by_source: dict = {}
-        for src, __ in self.flows:
-            by_source[src] = by_source.get(src, 0) + 1
-        return max(by_source.values())
+        """Messages the most-loaded node handles during the step.
+
+        A duplex node overlaps one send with one receive, so the
+        number of message slots a node serializes through is
+        ``max(sends, receives)`` — *not* its send count alone.
+        Counting only the send side undercounts fan-in patterns
+        (N senders, one receiver: the hot node receives N messages but
+        sends none) and overstates the hot node's throughput.
+        """
+        sends: dict = {}
+        receives: dict = {}
+        for src, dst in self.flows:
+            sends[src] = sends.get(src, 0) + 1
+            receives[dst] = receives.get(dst, 0) + 1
+        nodes = sends.keys() | receives.keys()
+        return max(
+            max(sends.get(node, 0), receives.get(node, 0)) for node in nodes
+        )
 
     def _steady_state_ns(self, sample: MeasuredTransfer) -> float:
         """Per-message cost once the message stream is pipelined.
@@ -121,7 +136,13 @@ class CommunicationStep:
         """
         busy = dict(sample.resource_busy_ns)
         cpu = busy.pop("sender_cpu", 0.0) + busy.pop("receiver_cpu", 0.0)
-        bottleneck = max([cpu] + list(busy.values()) or [sample.ns])
+        # NB: not ``max([cpu] + list(...) or [fallback])`` — ``+`` binds
+        # tighter than ``or``, which made the fallback dead code.  An
+        # all-zero busy profile (fully hardware-paced transfer) must
+        # fall back to the end-to-end time, not a 0 ns bottleneck.
+        bottleneck = max([cpu, *busy.values()])
+        if bottleneck <= 0.0:
+            bottleneck = sample.ns
         efficiency = self.runtime.machine.quirks.runtime_efficiency
         return bottleneck / efficiency + self.sync_per_message_ns
 
@@ -142,6 +163,36 @@ class CommunicationStep:
         steady_ns = self._steady_state_ns(sample)
         step_ns = sample.ns + self.sync_per_message_ns + (messages - 1) * steady_ns
         bytes_per_node = self.bytes_per_flow * messages
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.count("step.runs")
+            tracer.count("step.messages_per_node", messages)
+            tracer.span(
+                "first-message",
+                track="step",
+                start_ns=0.0,
+                duration_ns=sample.ns,
+                category="step",
+                nbytes=self.bytes_per_flow,
+                congestion=congestion,
+            )
+            tracer.span(
+                "sync",
+                track="step",
+                start_ns=sample.ns,
+                duration_ns=self.sync_per_message_ns,
+                category="step",
+            )
+            if messages > 1:
+                tracer.span(
+                    "steady-state",
+                    track="step",
+                    start_ns=sample.ns + self.sync_per_message_ns,
+                    duration_ns=(messages - 1) * steady_ns,
+                    category="step",
+                    messages=messages - 1,
+                    steady_ns_per_message=steady_ns,
+                )
         return StepResult(
             per_node_mbps=bytes_per_node / step_ns * 1000.0,
             step_ns=step_ns,

@@ -33,6 +33,7 @@ from ..core.patterns import CONTIGUOUS, AccessPattern
 from ..core.transfers import TransferKind
 from ..machines.base import Machine
 from ..memsim.config import WORD_BYTES
+from ..trace.tracer import current_tracer
 from .libraries import LibraryProfile, lowlevel_profile
 from .stages import Stage, StagePipeline
 
@@ -331,28 +332,69 @@ class CommRuntime:
         if duplex:
             phases = [self._derate_for_duplex(phase) for phase in phases]
 
+        tracer = current_tracer()
         total_ns = 0.0
         phase_times: List[Tuple[str, float]] = []
         resource_busy: dict = {}
         for phase in phases:
-            result = StagePipeline(list(phase.stages)).run(
-                nbytes, chunk_bytes=phase.chunk_bytes
-            )
+            pipeline = StagePipeline(list(phase.stages))
+            if tracer is not None:
+                # Chunk spans inside the pipeline are clocked from the
+                # phase start; shift them onto the transfer timeline.
+                with tracer.shifted(total_ns):
+                    result = pipeline.run(
+                        nbytes,
+                        chunk_bytes=phase.chunk_bytes,
+                        trace_phase=phase.name,
+                    )
+            else:
+                result = pipeline.run(nbytes, chunk_bytes=phase.chunk_bytes)
+            if tracer is not None:
+                tracer.span(
+                    phase.name,
+                    track="phase",
+                    start_ns=total_ns,
+                    duration_ns=result.ns,
+                    category="phase",
+                    chunk_bytes=phase.chunk_bytes,
+                    stages=[stage.name for stage in phase.stages],
+                )
             total_ns += result.ns
             phase_times.append((phase.name, result.ns))
-            by_name = {stage.name: stage.resource for stage in phase.stages}
-            for stage_name, busy in result.stage_busy_ns.items():
-                resource = by_name[stage_name]
-                resource_busy[resource] = resource_busy.get(resource, 0.0) + busy
+            for label, stage in zip(pipeline.labels, pipeline.stages):
+                busy = result.stage_busy_ns[label]
+                resource_busy[stage.resource] = (
+                    resource_busy.get(stage.resource, 0.0) + busy
+                )
 
         fragments = -(-nbytes // self.library.fragment_bytes)
-        total_ns += self.library.per_message_ns
-        total_ns += fragments * self.library.per_fragment_ns
+        library_ns = (
+            self.library.per_message_ns + fragments * self.library.per_fragment_ns
+        )
+        if tracer is not None and library_ns > 0.0:
+            tracer.span(
+                "library-overhead",
+                track="phase",
+                start_ns=total_ns,
+                duration_ns=library_ns,
+                category="phase",
+                library=self.library.name,
+                per_message_ns=self.library.per_message_ns,
+                fragments=fragments,
+            )
+            tracer.span(
+                "library-overhead",
+                track="sender_cpu",
+                start_ns=total_ns,
+                duration_ns=library_ns,
+                category="stage",
+                library=self.library.name,
+            )
+        total_ns += library_ns
+        raw_ns = total_ns
         # Protocol costs keep the sender's processor busy.
         resource_busy["sender_cpu"] = (
-            resource_busy.get("sender_cpu", 0.0)
-            + self.library.per_message_ns
-            + fragments * self.library.per_fragment_ns
+            resource_busy.get("sender_cpu", 0.0) + library_ns
         )
         mbps = nbytes / total_ns * 1000.0
         mbps *= self.machine.quirks.runtime_efficiency
@@ -367,6 +409,27 @@ class CommRuntime:
                 mbps = cap
                 capped = True
         total_ns = nbytes / mbps * 1000.0
+
+        if tracer is not None:
+            tracer.count("runtime.transfers")
+            tracer.count("runtime.fragments", fragments)
+            if capped:
+                tracer.count("runtime.duplex_caps")
+            # The residual the model deliberately leaves unexplained
+            # (runtime_efficiency derate, duplex memory cap): traced as
+            # its own phase so the phase spans always sum to the
+            # reported end-to-end ns.
+            residual = total_ns - raw_ns
+            if residual > 0.0:
+                tracer.span(
+                    "duplex-memory-cap" if capped else "efficiency-derate",
+                    track="phase",
+                    start_ns=raw_ns,
+                    duration_ns=residual,
+                    category="phase",
+                    efficiency=self.machine.quirks.runtime_efficiency,
+                    memory_capped=capped,
+                )
 
         return MeasuredTransfer(
             mbps=mbps,

@@ -109,7 +109,11 @@ class PlanStep:
         """
         busy = dict(sample.resource_busy_ns)
         cpu = busy.pop("sender_cpu", 0.0) + busy.pop("receiver_cpu", 0.0)
-        bottleneck = max([cpu] + list(busy.values()) or [sample.ns])
+        # Same precedence trap as CommunicationStep._steady_state_ns:
+        # the ``or``-fallback must apply to the max, not the list tail.
+        bottleneck = max([cpu, *busy.values()])
+        if bottleneck <= 0.0:
+            bottleneck = sample.ns
         scaled = bottleneck * (nbytes / sample.nbytes)
         efficiency = self.runtime.machine.quirks.runtime_efficiency
         return scaled / efficiency + self.sync_per_message_ns

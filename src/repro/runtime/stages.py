@@ -22,7 +22,9 @@ the measured-vs-model gap the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
+
+from ..trace.tracer import current_tracer
 
 __all__ = ["Stage", "PipelineResult", "StagePipeline"]
 
@@ -54,7 +56,13 @@ class Stage:
 
 @dataclass(frozen=True)
 class PipelineResult:
-    """Outcome of pushing one message through a stage pipeline."""
+    """Outcome of pushing one message through a stage pipeline.
+
+    ``stage_busy_ns`` is keyed by stage *label*: the stage's name when
+    unique within the pipeline, else ``"name#index"`` so two stages
+    that happen to share a name keep separate busy accounts (see
+    :attr:`StagePipeline.labels`).
+    """
 
     ns: float
     nbytes: int
@@ -87,9 +95,27 @@ class StagePipeline:
             if stage.rate_mbps <= 0:
                 raise ValueError(f"stage {stage.name!r} has non-positive rate")
         self.stages = list(stages)
+        # Reporting labels: the stage name when unique, "name#i" for
+        # duplicates.  All *internal* accounting is by position, so two
+        # same-named stages never merge busy time or share a startup
+        # charge (they used to, silently).
+        names = [stage.name for stage in self.stages]
+        self.labels = [
+            name if names.count(name) == 1 else f"{name}#{index}"
+            for index, name in enumerate(names)
+        ]
 
-    def run(self, nbytes: int, chunk_bytes: int = 8192) -> PipelineResult:
-        """Push ``nbytes`` through the pipeline in ``chunk_bytes`` chunks."""
+    def run(
+        self, nbytes: int, chunk_bytes: int = 8192, trace_phase: str = ""
+    ) -> PipelineResult:
+        """Push ``nbytes`` through the pipeline in ``chunk_bytes`` chunks.
+
+        When a tracer is installed (:func:`repro.trace.tracing`), every
+        (chunk, stage) occupancy becomes a span on the stage's resource
+        track — prefixed with ``trace_phase`` if given — and each
+        chunk's wait for a busy resource lands in the
+        ``pipeline.resource_wait_ns`` histogram.
+        """
         if nbytes <= 0:
             raise ValueError(f"need a positive transfer size, got {nbytes}")
         if chunk_bytes <= 0:
@@ -98,24 +124,47 @@ class StagePipeline:
         full_chunks, tail = divmod(nbytes, chunk_bytes)
         sizes = [chunk_bytes] * full_chunks + ([tail] if tail else [])
 
+        tracer = current_tracer()
         resource_free: Dict[str, float] = {}
-        started: Dict[str, bool] = {}
-        busy: Dict[str, float] = {stage.name: 0.0 for stage in self.stages}
+        started: List[bool] = [False] * len(self.stages)
+        busy: List[float] = [0.0] * len(self.stages)
         finish = 0.0
 
         # Chunk-major order: stages sharing a resource alternate between
         # consecutive chunks instead of hogging it for the whole message.
-        for size in sizes:
+        for chunk_index, size in enumerate(sizes):
             chunk_ready = 0.0
-            for stage in self.stages:
+            for position, stage in enumerate(self.stages):
                 start = max(chunk_ready, resource_free.get(stage.resource, 0.0))
                 duration = stage.chunk_ns(size)
-                if not started.get(stage.name):
+                if not started[position]:
                     duration += stage.startup_ns
-                    started[stage.name] = True
+                    started[position] = True
+                if tracer is not None:
+                    wait_ns = start - chunk_ready
+                    tracer.span(
+                        (
+                            f"{trace_phase}:{self.labels[position]}"
+                            if trace_phase
+                            else self.labels[position]
+                        ),
+                        track=stage.resource,
+                        start_ns=start,
+                        duration_ns=duration,
+                        category="stage",
+                        chunk=chunk_index,
+                        bytes=size,
+                        wait_ns=wait_ns,
+                    )
+                    if wait_ns > 0.0:
+                        tracer.observe("pipeline.resource_wait_ns", wait_ns)
                 chunk_ready = start + duration
                 resource_free[stage.resource] = chunk_ready
-                busy[stage.name] += duration
+                busy[position] += duration
             finish = chunk_ready
 
-        return PipelineResult(ns=finish, nbytes=nbytes, stage_busy_ns=busy)
+        return PipelineResult(
+            ns=finish,
+            nbytes=nbytes,
+            stage_busy_ns=dict(zip(self.labels, busy)),
+        )

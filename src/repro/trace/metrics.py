@@ -1,0 +1,97 @@
+"""Counters and histograms accumulated alongside trace events.
+
+A :class:`MetricsRegistry` is deliberately tiny: names map to floats
+(counters) or to value lists summarized on demand (histograms).  It
+exists so instrumentation points that have no meaningful position on
+the simulated timeline — cache hit tallies inside a memsim kernel,
+calibration-cache lookups — still land somewhere inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Union
+
+__all__ = ["HistogramSummary", "MetricsRegistry"]
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Summary statistics of one histogram."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Name -> counter / histogram store."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+
+    # -- counters -----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def counter(self, name: str) -> float:
+        """Current value of ``name`` (0.0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def counters(self) -> Mapping[str, float]:
+        return dict(self._counters)
+
+    # -- histograms ---------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        self._histograms.setdefault(name, []).append(value)
+
+    def histogram(self, name: str) -> HistogramSummary:
+        values = self._histograms.get(name, [])
+        if not values:
+            return HistogramSummary(count=0, total=0.0, minimum=0.0, maximum=0.0)
+        return HistogramSummary(
+            count=len(values),
+            total=sum(values),
+            minimum=min(values),
+            maximum=max(values),
+        )
+
+    def percentile(self, name: str, q: float) -> float:
+        """The ``q``-th percentile (0..100, nearest-rank) of ``name``."""
+        values = sorted(self._histograms.get(name, []))
+        if not values:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        rank = max(0, min(len(values) - 1, round(q / 100.0 * (len(values) - 1))))
+        return values[rank]
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Union[float, Dict[str, float]]]:
+        """Plain-data view of every metric, for JSON export."""
+        out: Dict[str, Union[float, Dict[str, float]]] = {}
+        out.update(self._counters)
+        for name in self._histograms:
+            summary = self.histogram(name)
+            out[name] = {
+                "count": float(summary.count),
+                "total": summary.total,
+                "min": summary.minimum,
+                "max": summary.maximum,
+                "mean": summary.mean,
+                "p50": self.percentile(name, 50),
+                "p95": self.percentile(name, 95),
+            }
+        return out
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._histograms)

@@ -82,3 +82,69 @@ class TestStepAccounting:
         packing = step(runtime, all_to_all(16)).run(OperationStyle.BUFFER_PACKING)
         chained = step(runtime, all_to_all(16)).run(OperationStyle.CHAINED)
         assert chained.per_node_mbps > packing.per_node_mbps
+
+
+class TestFanIn:
+    """Regression: message slots must count receives, not just sends."""
+
+    def test_fan_in_counts_receiver_load(self, runtime):
+        # 7 senders, one receiver.  Each node sends at most one message,
+        # but node 0 receives seven — it serializes seven message slots.
+        flows = [(src, 0) for src in range(1, 8)]
+        result = step(runtime, flows).run()
+        assert result.messages_per_node == 7
+
+    def test_fan_out_symmetric(self, runtime):
+        flows = [(0, dst) for dst in range(1, 8)]
+        result = step(runtime, flows).run()
+        assert result.messages_per_node == 7
+
+    def test_fan_in_slower_than_pairwise(self, runtime):
+        pairwise = step(runtime, cyclic_shift(8)).run()
+        fan_in = step(runtime, [(src, 0) for src in range(1, 8)]).run()
+        assert fan_in.step_ns > pairwise.step_ns
+
+
+class TestSteadyStateFallback:
+    """Regression: ``max([cpu] + list(busy) or [ns])`` parenthesized as
+    ``(cpu + busy) or ns``, leaving the fallback dead and letting an
+    all-zero busy profile report a 0 ns per-message bottleneck."""
+
+    def _sample(self, runtime, busy):
+        from repro.runtime.engine import MeasuredTransfer
+
+        return MeasuredTransfer(
+            mbps=100.0,
+            ns=50_000.0,
+            nbytes=8192,
+            style=OperationStyle.CHAINED,
+            library="test",
+            congestion=1.0,
+            phase_ns=(("chained", 50_000.0),),
+            resource_busy_ns=busy,
+        )
+
+    def test_zero_busy_falls_back_to_end_to_end(self, runtime):
+        probe = step(runtime, all_to_all(4))
+        sample = self._sample(runtime, busy=(("network", 0.0),))
+        steady = probe._steady_state_ns(sample)
+        efficiency = runtime.machine.quirks.runtime_efficiency
+        assert steady == pytest.approx(
+            sample.ns / efficiency + probe.sync_per_message_ns
+        )
+
+    def test_empty_busy_falls_back_too(self, runtime):
+        probe = step(runtime, all_to_all(4))
+        sample = self._sample(runtime, busy=())
+        assert probe._steady_state_ns(sample) > probe.sync_per_message_ns
+
+    def test_nonzero_busy_still_used(self, runtime):
+        probe = step(runtime, all_to_all(4))
+        sample = self._sample(
+            runtime,
+            busy=(("network", 30_000.0), ("sender_cpu", 10_000.0)),
+        )
+        efficiency = runtime.machine.quirks.runtime_efficiency
+        assert probe._steady_state_ns(sample) == pytest.approx(
+            30_000.0 / efficiency + probe.sync_per_message_ns
+        )

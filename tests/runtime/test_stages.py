@@ -83,6 +83,46 @@ class TestGranularity:
         )
 
 
+class TestDuplicateNames:
+    """Regression: busy/startup accounting was keyed by stage *name*,
+    so two stages sharing a name merged their busy accounts and the
+    second stage's startup was never charged."""
+
+    def test_duplicate_names_keep_separate_accounts(self):
+        stages = [Stage("copy", 100.0, "cpu"), Stage("copy", 50.0, "net")]
+        result = run(stages)
+        assert set(result.stage_busy_ns) == {"copy#0", "copy#1"}
+        assert result.stage_busy_ns["copy#1"] == pytest.approx(
+            2 * result.stage_busy_ns["copy#0"], rel=0.01
+        )
+
+    def test_duplicate_names_match_renamed_pipeline(self):
+        dup = run([
+            Stage("copy", 100.0, "cpu", startup_ns=1e6),
+            Stage("copy", 50.0, "net", startup_ns=2e6),
+        ])
+        uniq = run([
+            Stage("copy-a", 100.0, "cpu", startup_ns=1e6),
+            Stage("copy-b", 50.0, "net", startup_ns=2e6),
+        ])
+        assert dup.ns == uniq.ns
+        assert dup.mbps == uniq.mbps
+
+    def test_both_startups_charged(self):
+        base = run([Stage("s", 100.0, "cpu"), Stage("s", 100.0, "net")])
+        both = run([
+            Stage("s", 100.0, "cpu", startup_ns=1e6),
+            Stage("s", 100.0, "net", startup_ns=1e6),
+        ])
+        # Disjoint resources at equal rates: the startups land one
+        # after the other ahead of the stream, so both must show up.
+        assert both.ns == pytest.approx(base.ns + 2e6)
+
+    def test_unique_names_unmangled(self):
+        result = run([Stage("a", 100.0, "cpu"), Stage("b", 50.0, "net")])
+        assert set(result.stage_busy_ns) == {"a", "b"}
+
+
 class TestValidation:
     def test_empty_pipeline_rejected(self):
         with pytest.raises(ValueError):

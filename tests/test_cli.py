@@ -88,6 +88,65 @@ class TestAdvise:
         assert "predicted step time" in out
 
 
+class TestTrace:
+    def trace(self, *extra):
+        return [
+            "trace", "--machine", "t3d", "--rates", "paper", *extra
+        ]
+
+    def test_writes_valid_chrome_trace(self, tmp_path, capsys):
+        from repro.trace import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        assert main(self.trace("--out", str(path))) == 0
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        out = capsys.readouterr().out
+        assert "phases:" in out
+        assert "chrome://tracing" in out
+
+    def test_phase_sum_matches_reported_ns(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(self.trace("--out", str(path), "--json")) == 0
+        payload = json.loads(capsys.readouterr().out)
+        meta = payload["metadata"]
+        assert meta["phase_sum_ns"] == pytest.approx(
+            meta["transfer_ns"], rel=1e-6
+        )
+        assert meta["machine"] == "Cray T3D"
+
+    def test_json_round_trips_with_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(self.trace("--out", str(path), "--json")) == 0
+        assert json.loads(capsys.readouterr().out) == json.loads(
+            path.read_text()
+        )
+
+    def test_step_mode(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(
+            self.trace(
+                "--out", str(path), "--step", "all-to-all",
+                "--nodes", "4", "--bytes", "8192",
+            )
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per node" in out
+        payload = json.loads(path.read_text())
+        assert payload["metadata"]["step"] == "all-to-all"
+        assert payload["metrics"]["step.messages_per_node"] == 3.0
+
+    def test_timeline_rendered(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(
+            self.trace("--out", str(path), "--timeline")
+        ) == 0
+        out = capsys.readouterr().out
+        # The timeline prints one bracketed bar per track.
+        assert "network" in out
+        assert "[" in out and "]" in out
+
+
 class TestCalibrate:
     @pytest.fixture(autouse=True)
     def _isolated_cache(self, monkeypatch, tmp_path):

@@ -1,0 +1,74 @@
+"""Tests for the metrics registry (repro.trace.metrics)."""
+
+import pytest
+
+from repro.trace import MetricsRegistry
+
+
+class TestCounters:
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().counter("nope") == 0.0
+
+    def test_inc_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.inc("n")
+        metrics.inc("n", 2.5)
+        assert metrics.counter("n") == 3.5
+
+    def test_counters_view_is_a_copy(self):
+        metrics = MetricsRegistry()
+        metrics.inc("n")
+        view = metrics.counters()
+        view["n"] = 99.0
+        assert metrics.counter("n") == 1.0
+
+
+class TestHistograms:
+    def test_empty_histogram_summary(self):
+        summary = MetricsRegistry().histogram("nope")
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_summary_statistics(self):
+        metrics = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 10.0):
+            metrics.observe("lat", value)
+        summary = metrics.histogram("lat")
+        assert summary.count == 4
+        assert summary.minimum == 1.0
+        assert summary.maximum == 10.0
+        assert summary.mean == 4.0
+
+    def test_percentiles(self):
+        metrics = MetricsRegistry()
+        for value in range(1, 101):
+            metrics.observe("v", float(value))
+        assert metrics.percentile("v", 0) == 1.0
+        assert metrics.percentile("v", 100) == 100.0
+        assert 45.0 <= metrics.percentile("v", 50) <= 55.0
+
+    def test_percentile_out_of_range_rejected(self):
+        metrics = MetricsRegistry()
+        metrics.observe("v", 1.0)
+        with pytest.raises(ValueError):
+            metrics.percentile("v", 101.0)
+
+    def test_percentile_of_missing_is_zero(self):
+        assert MetricsRegistry().percentile("nope", 50) == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_mixes_counters_and_histograms(self):
+        metrics = MetricsRegistry()
+        metrics.inc("count", 2)
+        metrics.observe("lat", 5.0)
+        snap = metrics.snapshot()
+        assert snap["count"] == 2.0
+        assert snap["lat"]["count"] == 1.0
+        assert snap["lat"]["mean"] == 5.0
+
+    def test_len(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        metrics.observe("b", 1.0)
+        assert len(metrics) == 2

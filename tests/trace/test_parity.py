@@ -1,0 +1,81 @@
+"""Trace-off parity: tracing must never change a result.
+
+Every traced entry point is run twice — once with a tracer installed,
+once without — and the results must be bit-identical.  Tracing is an
+observer: it reads model state, it never feeds back into timing.
+"""
+
+from repro.core.patterns import CONTIGUOUS, strided
+from repro.netsim.patterns import all_to_all
+from repro.runtime.collective import CommunicationStep
+from repro.runtime.engine import CommRuntime
+from repro.runtime.stages import Stage, StagePipeline
+from repro.trace import current_tracer, tracing
+
+
+def test_transfer_bit_identical(t3d_machine):
+    runtime = CommRuntime(t3d_machine, rates="paper")
+    plain = runtime.transfer(CONTIGUOUS, strided(64), 131072, duplex=True)
+    with tracing():
+        traced = runtime.transfer(
+            CONTIGUOUS, strided(64), 131072, duplex=True
+        )
+    assert traced == plain
+
+
+def test_pipeline_bit_identical():
+    stages = [
+        Stage("a", 100.0, "cpu", chunk_overhead_ns=500.0),
+        Stage("b", 150.0, "net", startup_ns=2000.0),
+    ]
+    plain = StagePipeline(stages).run(1 << 16, chunk_bytes=4096)
+    with tracing():
+        traced = StagePipeline(stages).run(1 << 16, chunk_bytes=4096)
+    assert traced == plain
+
+
+def test_step_bit_identical(t3d_machine):
+    runtime = CommRuntime(t3d_machine, rates="paper")
+
+    def run_step():
+        return CommunicationStep(
+            runtime, all_to_all(4), CONTIGUOUS, CONTIGUOUS, 8192
+        ).run()
+
+    plain = run_step()
+    with tracing():
+        traced = run_step()
+    assert traced == plain
+
+
+def test_memsim_kernel_bit_identical(t3d_machine):
+    # Fresh harnesses each time: results are memoized per instance, so
+    # reusing one would compare a cached result against itself.
+    def run_kernel():
+        node = t3d_machine.node_memory(nwords=2048)
+        return node.copy_result(CONTIGUOUS, strided(8))
+
+    plain = run_kernel()
+    with tracing():
+        traced = run_kernel()
+    assert traced == plain
+
+
+def test_calibration_table_bit_identical(t3d_machine):
+    from repro.machines.measure import measure_table
+
+    plain = measure_table(t3d_machine, nwords=512, use_cache=False)
+    with tracing():
+        traced = measure_table(t3d_machine, nwords=512, use_cache=False)
+    assert traced.to_dict() == plain.to_dict()
+
+
+def test_no_tracer_leaks_out_of_entry_points(t3d_machine):
+    runtime = CommRuntime(t3d_machine, rates="paper")
+    with tracing() as tracer:
+        runtime.transfer(CONTIGUOUS, CONTIGUOUS, 8192)
+    assert len(tracer) > 0
+    assert current_tracer() is None
+    # And with no tracer installed nothing records anywhere.
+    runtime.transfer(CONTIGUOUS, CONTIGUOUS, 8192)
+    assert current_tracer() is None
