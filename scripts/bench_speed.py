@@ -38,6 +38,10 @@ FIG4_TARGET_SPEEDUP = 5.0
 #: wall-clock ratios on shared CI hardware are noisy).
 TRACE_OVERHEAD_LIMIT = 0.02
 
+#: An installed-but-empty fault plan must stay within the same bound:
+#: the faults-off path is one context-var read per transfer.
+FAULTS_OVERHEAD_LIMIT = 0.02
+
 FIG4_STRIDES = (2, 4, 8, 16, 32, 64)
 
 
@@ -138,13 +142,37 @@ def main() -> int:
         with tracing():
             return _regen_figure4()
 
-    # Back-to-back best-of-N for both sides: single runs are noisier
-    # than the effect being measured.
+    # Faults-off overhead: an installed-but-empty fault plan must cost
+    # no more than the context-var read the instrumentation pays.
+    from repro.faults import FaultPlan, injecting
+
+    def _fig4_empty_plan():
+        with injecting(FaultPlan(seed=0)):
+            return _regen_figure4()
+
+    # Interleaved best-of-N: the modes are timed round-robin rather
+    # than in sequential blocks, so clock drift on shared hardware
+    # penalizes every mode equally instead of whichever ran last.
     os.environ[ENGINE_ENV] = "auto"
-    overhead_repeat = max(args.repeat, 3)
-    untraced_s, __ = _timed(_regen_figure4, overhead_repeat)
-    traced_s, __ = _timed(_fig4_traced, overhead_repeat)
+    overhead_repeat = max(args.repeat, 5)
+    modes = {
+        "untraced": _regen_figure4,
+        "traced": _fig4_traced,
+        "empty_plan": _fig4_empty_plan,
+    }
+    best = {name: float("inf") for name in modes}
+    for __ in range(overhead_repeat):
+        for name, fn in modes.items():
+            default_cache().clear()
+            started = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - started)
+    untraced_s, traced_s = best["untraced"], best["traced"]
+    faulted_s = best["empty_plan"]
     trace_overhead = traced_s / untraced_s - 1.0 if untraced_s > 0 else 0.0
+    faults_overhead = (
+        faulted_s / untraced_s - 1.0 if untraced_s > 0 else 0.0
+    )
 
     # Cache effect: cold vs warm table regeneration with caching on.
     del os.environ[CACHE_ENV]
@@ -184,12 +212,19 @@ def main() -> int:
             "figure4_traced_s": round(traced_s, 4),
             "overhead_pct": round(trace_overhead * 100.0, 2),
         },
+        "faults_overhead": {
+            "figure4_no_plan_s": round(untraced_s, 4),
+            "figure4_empty_plan_s": round(faulted_s, 4),
+            "overhead_pct": round(faults_overhead * 100.0, 2),
+        },
         "parity_mismatches": len(mismatches),
         "meets_target": {
             "figure4_speedup_gte_5x":
                 sections["figure4"]["speedup"] >= FIG4_TARGET_SPEEDUP,
             "figure4_trace_overhead_lt_2pct":
                 trace_overhead < TRACE_OVERHEAD_LIMIT,
+            "figure4_faults_off_overhead_lt_2pct":
+                faults_overhead < FAULTS_OVERHEAD_LIMIT,
         },
     }
     with open(args.output, "w") as handle:
@@ -209,12 +244,22 @@ def main() -> int:
         f"figure4 with tracer installed: {traced_s:.2f}s "
         f"({trace_overhead * 100.0:+.1f}% vs untraced)"
     )
+    print(
+        f"figure4 with empty fault plan: {faulted_s:.2f}s "
+        f"({faults_overhead * 100.0:+.1f}% vs no plan)"
+    )
     print(f"wrote {args.output}")
 
     if trace_overhead >= TRACE_OVERHEAD_LIMIT:
         print(
             f"WARN: tracer overhead {trace_overhead * 100.0:.1f}% >= "
             f"{TRACE_OVERHEAD_LIMIT * 100.0:.0f}% target",
+            file=sys.stderr,
+        )
+    if faults_overhead >= FAULTS_OVERHEAD_LIMIT:
+        print(
+            f"WARN: faults-off overhead {faults_overhead * 100.0:.1f}% >= "
+            f"{FAULTS_OVERHEAD_LIMIT * 100.0:.0f}% target",
             file=sys.stderr,
         )
 

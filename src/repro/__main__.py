@@ -14,12 +14,16 @@ Commands:
   tracer and write a Chrome-trace / Perfetto JSON plus a per-resource
   utilization summary;
 * ``advise`` — pick strategy and loop order for a distributed transpose;
+* ``faults`` — run one transfer (or collective step) twice, healthy and
+  under a seeded fault plan, and report the degradation (JSON via
+  ``--json``, validated against the ``repro-faults-report/1`` schema);
 * ``report`` — regenerate every paper comparison (slow).
 
 Exit codes, uniform across subcommands:
 
 * ``0`` — success (for ``lint``: no error-severity diagnostics);
-* ``1`` — operational failure (a :class:`ModelError`, or ``lint``
+* ``1`` — operational failure (a :class:`ModelError`, including fault
+  aborts, or an unreadable/unwritable input or output file, or ``lint``
   found at least one error-severity diagnostic);
 * ``2`` — usage error (argparse: unknown flags, bad choices).
 """
@@ -284,6 +288,115 @@ def cmd_advise(args: argparse.Namespace) -> None:
     print(advice.render())
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .core.operations import OperationStyle as Style
+    from .faults import FaultPlan, injecting, validate_faults_report
+    from .runtime.engine import CommRuntime
+    from .trace import tracing
+
+    machine = _machine(args.machine)
+    x = AccessPattern.parse(args.x)
+    y = AccessPattern.parse(args.y)
+    style = Style(args.style)
+    if args.plan is not None:
+        plan = FaultPlan.from_json(args.plan)
+        if args.seed is not None:
+            plan = plan.with_seed(args.seed)
+    else:
+        plan = FaultPlan.chaos(args.seed if args.seed is not None else 7)
+
+    def run(active):
+        """One measurement; its own tracer so the runs don't mix."""
+        with tracing() as tracer:
+            runtime = CommRuntime(machine, rates=args.rates, faults=active)
+            if args.step is not None:
+                from .netsim.patterns import all_to_all, cyclic_shift
+                from .runtime.collective import CommunicationStep
+
+                flows = (
+                    all_to_all(args.nodes)
+                    if args.step == "all-to-all"
+                    else cyclic_shift(args.nodes)
+                )
+                step = CommunicationStep(runtime, flows, x, y, args.bytes)
+                outcome = step.run(style)
+                return outcome.per_node_mbps, outcome.step_ns, outcome.sample, tracer
+            sample = runtime.transfer(x, y, args.bytes, style=style)
+            return sample.mbps, sample.ns, sample, tracer
+
+    # ``injecting`` would also work; an explicit runtime argument keeps
+    # the nominal run provably outside the plan's reach.
+    nominal_mbps, nominal_ns, nominal, __ = run(None)
+    degraded_mbps, degraded_ns, degraded, tracer = run(plan)
+
+    def phase_dict(sample):
+        phases = {}
+        for name, ns in sample.phase_ns:
+            phases[name] = phases.get(name, 0.0) + ns
+        return phases
+
+    delta_pct = (
+        (1.0 - degraded_mbps / nominal_mbps) * 100.0 if nominal_mbps else 0.0
+    )
+    counters = {
+        name: value
+        for name, value in sorted(tracer.metrics.counters().items())
+        if name.startswith(("faults.", "step.", "cache."))
+    }
+    payload = {
+        "schema": "repro-faults-report/1",
+        "machine": machine.name,
+        "operation": f"{args.x}Q{args.y}",
+        "style": style.value,
+        "nbytes": args.bytes,
+        "step": args.step,
+        "seed": plan.seed,
+        "plan": plan.to_dict(),
+        "nominal": {
+            "mbps": nominal_mbps,
+            "ns": nominal_ns,
+            "phase_ns": phase_dict(nominal),
+        },
+        "degraded": {
+            "mbps": degraded_mbps,
+            "ns": degraded_ns,
+            "phase_ns": phase_dict(degraded),
+            "retries": degraded.retries,
+            "fallback": (
+                degraded.degraded.to_dict()
+                if degraded.degraded is not None
+                else None
+            ),
+        },
+        "delta": {"throughput_pct": delta_pct},
+        "counters": counters,
+    }
+    errors = validate_faults_report(payload)
+    if errors:
+        raise ModelError(
+            "faults report fails its own schema: " + "; ".join(errors)
+        )
+    if args.json:
+        print(json_module.dumps(payload, indent=2))
+        return EXIT_OK
+
+    print(f"{machine.name} {args.x}Q{args.y} {style.value} "
+          f"{args.bytes} B (seed {plan.seed})")
+    print(f"  plan: {'; '.join(plan.describe())}")
+    print(f"  nominal:  {nominal_mbps:8.1f} MB/s  {nominal_ns / 1e3:10.1f} us")
+    print(f"  degraded: {degraded_mbps:8.1f} MB/s  {degraded_ns / 1e3:10.1f} us"
+          f"  ({delta_pct:+.1f}% throughput lost)")
+    if degraded.retries:
+        print(f"  retries:  {degraded.retries}")
+    if degraded.degraded is not None:
+        print(f"  fallback: {degraded.degraded}")
+    if counters:
+        print("  counters:")
+        for name, value in counters.items():
+            print(f"    {name:32} {value:,.0f}")
+    return EXIT_OK
+
+
 def cmd_table(args: argparse.Namespace) -> None:
     machine = _machine(args.machine)
     if args.source == "paper":
@@ -453,6 +566,45 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--nodes", type=int, default=64)
     advise.add_argument("--element-words", type=int, default=2)
 
+    faults = commands.add_parser(
+        "faults",
+        help="measure one operation healthy vs under a seeded fault plan",
+        description=(
+            "Run a transfer (or a collective step with --step) twice — "
+            "once healthy, once under a fault plan — and report the "
+            "throughput lost, retries paid, and any graceful fallback "
+            "(chained -> buffer-packing when the deposit engine is "
+            "faulted).  Without --plan a built-in chaos plan seeded by "
+            "--seed runs; the emitted JSON embeds the full plan, so any "
+            "report can be replayed verbatim via --plan."
+        ),
+    )
+    faults.add_argument("--machine", default="t3d", choices=sorted(MACHINES))
+    faults.add_argument("--x", default="1", help="read pattern (0/1/s/w)")
+    faults.add_argument("--y", default="64", help="write pattern (0/1/s/w)")
+    faults.add_argument("--bytes", type=int, default=131072)
+    faults.add_argument(
+        "--style",
+        default="chained",
+        choices=[style.value for style in OperationStyle],
+    )
+    faults.add_argument("--rates", default="paper",
+                        choices=("simulated", "paper"),
+                        help="calibration source for the runtime")
+    faults.add_argument("--seed", type=int, default=None,
+                        help="fault-plan seed (default 7; with --plan, "
+                             "re-seeds the loaded plan)")
+    faults.add_argument("--plan", default=None,
+                        help="JSON fault-plan file (default: built-in "
+                             "chaos plan)")
+    faults.add_argument("--step", default=None,
+                        choices=("all-to-all", "shift"),
+                        help="measure a whole collective step instead")
+    faults.add_argument("--nodes", type=int, default=8,
+                        help="partition size for --step")
+    faults.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report")
+
     table = commands.add_parser("table", help="print a calibration table")
     table.add_argument("--machine", default="t3d", choices=sorted(MACHINES))
     table.add_argument("--source", default="paper",
@@ -493,6 +645,7 @@ def main(argv=None) -> int:
         "calibrate": cmd_calibrate,
         "machines": cmd_machines,
         "estimate": cmd_estimate,
+        "faults": cmd_faults,
         "lint": cmd_lint,
         "measure": cmd_measure,
         "table": cmd_table,
@@ -503,6 +656,20 @@ def main(argv=None) -> int:
         code: Optional[int] = handler(args)
     except ModelError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    except BrokenPipeError:
+        # Downstream (head, less) closed the pipe: not our failure,
+        # and nothing left to tell it.
+        return EXIT_FAILURE
+    except OSError as exc:
+        # Unreadable plan/table files, unwritable trace output, ...:
+        # an operational failure, never a traceback.
+        name = getattr(exc, "filename", None)
+        detail = exc.strerror or str(exc)
+        print(
+            f"error: {detail}" + (f": {name}" if name else ""),
+            file=sys.stderr,
+        )
         return EXIT_FAILURE
     return EXIT_OK if code is None else code
 

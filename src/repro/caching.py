@@ -120,6 +120,7 @@ class CalibrationCache:
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     @property
     def directory(self) -> Path:
@@ -130,11 +131,11 @@ class CalibrationCache:
         return self.directory / "tables" / f"{key}.json"
 
     @staticmethod
-    def _trace(event: str) -> None:
+    def _trace(event: str, prefix: str = "calibration_cache") -> None:
         """Report one cache outcome to an active tracer, if any."""
         tracer = current_tracer()
         if tracer is not None:
-            tracer.metrics.inc(f"calibration_cache.{event}")
+            tracer.metrics.inc(f"{prefix}.{event}")
 
     def lookup(self, key: str) -> Optional[ThroughputTable]:
         """Return the cached table for ``key``, or ``None``."""
@@ -148,12 +149,19 @@ class CalibrationCache:
             return table
         if self.use_disk:
             path = self._path(key)
+            table = None
             try:
                 with open(path) as handle:
                     table = table_from_dict(json.load(handle))
-            except Exception:  # noqa: BLE001 - a corrupt or missing
-                # entry is just a miss; it will be rewritten on store.
-                table = None
+            except FileNotFoundError:
+                pass
+            except Exception:  # noqa: BLE001 - a truncated, corrupt or
+                # unreadable entry is just a miss (it will be rewritten
+                # on store), but a *counted* one: a recurring
+                # cache.corrupt in traces means something is damaging
+                # the cache directory.
+                self.corrupt += 1
+                self._trace("corrupt", prefix="cache")
             if table is not None:
                 self._remember(key, table)
                 self.disk_hits += 1
@@ -183,9 +191,9 @@ class CalibrationCache:
                 json.dump(table_to_dict(table), handle, sort_keys=True)
             os.replace(tmp, path)
         except OSError:
-            # A read-only or full filesystem silently degrades to the
-            # in-memory layer.
-            pass
+            # A read-only or full filesystem degrades to the in-memory
+            # layer; the counter keeps the degradation observable.
+            self._trace("store_failed", prefix="cache")
 
     def _remember(self, key: str, table: ThroughputTable) -> None:
         self._memory[key] = table

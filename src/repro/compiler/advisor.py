@@ -15,10 +15,12 @@ parallel system".  This module turns that guidance into code:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.model import CopyTransferModel, StyleChoice
 from ..core.operations import OperationStyle
+from ..faults.degrade import DegradedResult
+from ..faults.spec import FaultPlan, current_fault_plan
 from ..machines.base import Machine
 from .commgen import CommOp, CommPlan, transpose_2d
 
@@ -27,12 +29,18 @@ __all__ = ["OpAdvice", "PlanAdvice", "advise_plan", "advise_transpose"]
 
 @dataclass(frozen=True)
 class OpAdvice:
-    """The recommendation for one ``xQy`` operation."""
+    """The recommendation for one ``xQy`` operation.
+
+    ``degraded`` is set when a fault plan overrode the model's first
+    choice (the deposit engine the chained style needs is unavailable
+    at the op's destination) and the advisor fell back.
+    """
 
     op: CommOp
     style: OperationStyle
     predicted_mbps: float
     alternative_mbps: float
+    degraded: Optional[DegradedResult] = None
 
     @property
     def gain(self) -> float:
@@ -63,6 +71,11 @@ class PlanAdvice:
         winner = max(self.style_histogram, key=self.style_histogram.get)
         return OperationStyle(winner)
 
+    @property
+    def degraded(self) -> Tuple[OpAdvice, ...]:
+        """The ops a fault plan forced away from the model's choice."""
+        return tuple(a for a in self.per_op if a.degraded is not None)
+
     def render(self) -> str:
         lines = [f"plan {self.plan_name!r}:"]
         seen = set()
@@ -71,10 +84,17 @@ class PlanAdvice:
             if key in seen:
                 continue
             seen.add(key)
+            suffix = " (degraded)" if advice.degraded is not None else ""
             lines.append(
                 f"  {key:12} -> {advice.style.value:14} "
                 f"{advice.predicted_mbps:6.1f} MB/s "
-                f"({advice.gain:.2f}x over alternative)"
+                f"({advice.gain:.2f}x over alternative){suffix}"
+            )
+        degraded = self.degraded
+        if degraded:
+            lines.append(
+                f"  degraded ops: {len(degraded)} "
+                f"({degraded[0].degraded.fault})"
             )
         lines.append(
             f"  predicted step time: {self.predicted_step_us:.0f} us "
@@ -83,11 +103,37 @@ class PlanAdvice:
         return "\n".join(lines)
 
 
-def _choose(model: CopyTransferModel, op: CommOp) -> OpAdvice:
+def _choose(
+    model: CopyTransferModel, op: CommOp, deposit_ok: bool = True
+) -> OpAdvice:
     choice: StyleChoice = model.choose(op.x, op.y)
     alternative = (
         choice.alternatives[0][1].mbps if choice.alternatives else 0.0
     )
+    if not deposit_ok and choice.style is OperationStyle.CHAINED:
+        # The fault plan took the deposit engine away at this op's
+        # destination: advise buffer-packing and record the override.
+        for style, estimate in choice.alternatives:
+            if style is OperationStyle.BUFFER_PACKING:
+                packing_mbps = estimate.mbps
+                break
+        else:
+            packing_mbps = model.estimate(
+                op.x, op.y, OperationStyle.BUFFER_PACKING
+            ).mbps
+        return OpAdvice(
+            op=op,
+            style=OperationStyle.BUFFER_PACKING,
+            predicted_mbps=packing_mbps,
+            alternative_mbps=choice.mbps,
+            degraded=DegradedResult(
+                fault="deposit-engine-unavailable",
+                requested=OperationStyle.CHAINED.value,
+                fallback=OperationStyle.BUFFER_PACKING.value,
+                nominal_mbps=choice.mbps,
+                degraded_mbps=packing_mbps,
+            ),
+        )
     return OpAdvice(
         op=op,
         style=choice.style,
@@ -96,10 +142,27 @@ def _choose(model: CopyTransferModel, op: CommOp) -> OpAdvice:
     )
 
 
-def advise_plan(machine: Machine, plan: CommPlan) -> PlanAdvice:
-    """Choose the best implementation per operation of a plan."""
+def advise_plan(
+    machine: Machine,
+    plan: CommPlan,
+    faults: Optional[FaultPlan] = None,
+) -> PlanAdvice:
+    """Choose the best implementation per operation of a plan.
+
+    Args:
+        machine: The target machine.
+        plan: The communication plan to advise.
+        faults: Fault plan to respect; defaults to the one installed
+            with :func:`repro.faults.injecting`, if any.  Ops whose
+            destination has lost its deposit engine are re-advised to
+            buffer-packing with an :attr:`OpAdvice.degraded` record.
+    """
     if not plan.ops:
         raise ValueError(f"plan {plan.name!r} is empty")
+    if faults is None:
+        faults = current_fault_plan()
+    if faults is not None and faults.is_empty():
+        faults = None
     model = machine.model(source="paper" if len(machine.published) else "simulated")
 
     advice_by_shape: Dict[Tuple, OpAdvice] = {}
@@ -107,12 +170,15 @@ def advise_plan(machine: Machine, plan: CommPlan) -> PlanAdvice:
     histogram: Dict[str, int] = {}
     node_us: Dict[int, float] = {}
     for op in plan.ops:
-        shape = (op.x, op.y)
+        deposit_ok = (
+            faults.deposit_available(op.dst) if faults is not None else True
+        )
+        shape = (op.x, op.y, deposit_ok)
         if shape not in advice_by_shape:
-            advice_by_shape[shape] = _choose(model, op)
+            advice_by_shape[shape] = _choose(model, op, deposit_ok=deposit_ok)
         template = advice_by_shape[shape]
         advice = OpAdvice(op, template.style, template.predicted_mbps,
-                          template.alternative_mbps)
+                          template.alternative_mbps, template.degraded)
         per_op.append(advice)
         histogram[advice.style.value] = histogram.get(advice.style.value, 0) + 1
         node_us[op.src] = node_us.get(op.src, 0.0) + (

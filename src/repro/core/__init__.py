@@ -20,8 +20,10 @@ from .errors import (
     CalibrationError,
     CompositionError,
     ConstraintError,
+    FaultError,
     ModelError,
     PatternError,
+    TransferAbortedError,
 )
 from .model import CopyTransferModel, StyleChoice
 from .serialization import dump_table, load_table, table_from_dict, table_to_dict
@@ -54,6 +56,7 @@ __all__ = [
     "CommCapabilities",
     "CompositionError",
     "ConstraintError",
+    "FaultError",
     "CONTIGUOUS",
     "CopyTransferModel",
     "DepositSupport",
@@ -70,6 +73,7 @@ __all__ = [
     "OperationStyle",
     "Par",
     "PatternError",
+    "TransferAbortedError",
     "PatternKind",
     "Resource",
     "ResourceConstraint",

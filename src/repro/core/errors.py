@@ -32,3 +32,17 @@ class CalibrationError(ModelError):
 
 class ConstraintError(ModelError):
     """A resource constraint is malformed (e.g. non-positive capacity)."""
+
+
+class FaultError(ModelError):
+    """An injected fault made an operation impossible.
+
+    Raised when a fault plan leaves no legal way to proceed: a failed
+    link partitions the topology, or a fault spec is malformed.
+    Recoverable faults (deposit-engine loss with a packing fallback,
+    fragment loss within the retry budget) never raise; they degrade.
+    """
+
+
+class TransferAbortedError(FaultError):
+    """A transfer exhausted its retry budget and gave up."""

@@ -1,0 +1,61 @@
+"""Degradation records: what broke, what we did instead, what it cost.
+
+Graceful degradation is only useful if it is *legible*.  When a fault
+plan takes away the deposit engine mid-plan, the runtime silently
+switching to buffer-packing would look exactly like a mis-calibrated
+model.  A :class:`DegradedResult` rides on the
+:class:`~repro.runtime.engine.MeasuredTransfer` instead, naming the
+fault, the fallback taken, and the throughput the fallback gave up
+relative to the nominal (fault-free) path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["DegradedResult"]
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """One graceful-degradation event.
+
+    Attributes:
+        fault: What went wrong ("deposit-engine-unavailable").
+        requested: The implementation the caller asked for.
+        fallback: The implementation actually used.
+        nominal_mbps: Throughput of the requested path without faults.
+        degraded_mbps: Throughput actually delivered.
+    """
+
+    fault: str
+    requested: str
+    fallback: str
+    nominal_mbps: float
+    degraded_mbps: float
+
+    @property
+    def throughput_delta(self) -> float:
+        """Fraction of nominal throughput lost to the degradation."""
+        if self.nominal_mbps <= 0.0:
+            return 0.0
+        return 1.0 - self.degraded_mbps / self.nominal_mbps
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fault": self.fault,
+            "requested": self.requested,
+            "fallback": self.fallback,
+            "nominal_mbps": self.nominal_mbps,
+            "degraded_mbps": self.degraded_mbps,
+            "throughput_delta": self.throughput_delta,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.fault}: {self.requested} -> {self.fallback} "
+            f"({self.degraded_mbps:.1f} MB/s, "
+            f"-{self.throughput_delta * 100.0:.1f}% vs nominal "
+            f"{self.nominal_mbps:.1f} MB/s)"
+        )

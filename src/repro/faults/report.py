@@ -1,0 +1,109 @@
+"""The ``python -m repro faults`` report format and its validator.
+
+The faults CLI emits one JSON object comparing a nominal (fault-free)
+run against the same operation under a fault plan.  The CI chaos job
+replays ``--seed 7`` and validates the emitted payload with
+:func:`validate_faults_report`, so the schema below is load-bearing:
+
+* ``schema`` — format tag, currently ``"repro-faults-report/1"``;
+* ``machine`` / ``operation`` / ``style`` / ``nbytes`` — what ran;
+* ``seed`` / ``plan`` — the full fault plan (replayable verbatim via
+  ``--plan``);
+* ``nominal`` / ``degraded`` — ``{mbps, ns, phase_ns}`` for each run,
+  with ``degraded`` additionally carrying ``retries`` and an optional
+  ``fallback`` (a :class:`~repro.faults.degrade.DegradedResult` dict);
+* ``delta`` — throughput lost to the faults;
+* ``counters`` — the fault-related trace counters of the degraded run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = ["SCHEMA", "validate_faults_report"]
+
+SCHEMA = "repro-faults-report/1"
+
+_RUN_KEYS = ("mbps", "ns", "phase_ns")
+
+
+def _check_run(run: Any, name: str, errors: List[str]) -> None:
+    if not isinstance(run, dict):
+        errors.append(f"{name}: not an object")
+        return
+    for key in _RUN_KEYS:
+        if key not in run:
+            errors.append(f"{name}.{key}: missing")
+    for key in ("mbps", "ns"):
+        value = run.get(key)
+        if key in run and (not isinstance(value, (int, float)) or value <= 0):
+            errors.append(f"{name}.{key}: must be a positive number")
+    phase_ns = run.get("phase_ns")
+    if phase_ns is not None:
+        if not isinstance(phase_ns, dict):
+            errors.append(f"{name}.phase_ns: not an object")
+        else:
+            for phase, ns in phase_ns.items():
+                if not isinstance(ns, (int, float)) or ns < 0:
+                    errors.append(
+                        f"{name}.phase_ns[{phase!r}]: must be >= 0"
+                    )
+
+
+def validate_faults_report(payload: Any) -> List[str]:
+    """Structural errors in a faults report (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != SCHEMA:
+        errors.append(
+            f"schema: expected {SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    for key in ("machine", "operation", "style"):
+        if not isinstance(payload.get(key), str) or not payload.get(key):
+            errors.append(f"{key}: missing or not a string")
+    if not isinstance(payload.get("nbytes"), int) or payload.get("nbytes", 0) <= 0:
+        errors.append("nbytes: must be a positive integer")
+    if not isinstance(payload.get("seed"), int):
+        errors.append("seed: must be an integer")
+    plan = payload.get("plan")
+    if not isinstance(plan, dict):
+        errors.append("plan: not an object")
+    else:
+        from .spec import FaultPlan
+
+        try:
+            FaultPlan.from_dict(plan)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            errors.append(f"plan: not replayable ({exc})")
+    _check_run(payload.get("nominal"), "nominal", errors)
+    degraded = payload.get("degraded")
+    _check_run(degraded, "degraded", errors)
+    if isinstance(degraded, dict):
+        if "retries" in degraded and (
+            not isinstance(degraded["retries"], int)
+            or degraded["retries"] < 0
+        ):
+            errors.append("degraded.retries: must be a non-negative integer")
+        fallback = degraded.get("fallback")
+        if fallback is not None:
+            if not isinstance(fallback, dict):
+                errors.append("degraded.fallback: not an object")
+            else:
+                for key in ("fault", "requested", "fallback"):
+                    if not isinstance(fallback.get(key), str):
+                        errors.append(
+                            f"degraded.fallback.{key}: missing or not a string"
+                        )
+                for key in ("nominal_mbps", "degraded_mbps"):
+                    if not isinstance(fallback.get(key), (int, float)):
+                        errors.append(
+                            f"degraded.fallback.{key}: missing or not a number"
+                        )
+    delta = payload.get("delta")
+    if not isinstance(delta, dict) or "throughput_pct" not in delta:
+        errors.append("delta.throughput_pct: missing")
+    counters = payload.get("counters")
+    if counters is not None and not isinstance(counters, dict):
+        errors.append("counters: not an object")
+    return errors

@@ -87,6 +87,7 @@ class NodeMemorySystem:
         self.occupancy_scale = occupancy_scale
         self.engine = engine
         self.last_engine: Optional[str] = None
+        self.fastpath_fallbacks = 0
         self._results: Dict[Tuple, KernelResult] = {}
 
     def _engine(self) -> MemoryEngine:
@@ -134,6 +135,12 @@ class NodeMemorySystem:
             except FastpathUnsupported:
                 if mode == "fast":
                     raise
+                # ``auto`` degrades to the scalar oracle; count every
+                # such fallback so a configuration that silently never
+                # uses the fast path shows up in metrics.
+                self.fastpath_fallbacks += 1
+                if tracer is not None:
+                    tracer.metrics.inc("memsim.fastpath_unsupported")
                 result = run(self._engine())
                 used = "scalar"
         self.last_engine = used

@@ -150,6 +150,7 @@ def scheduled_congestion(topology: Topology, flows: Sequence[Flow]) -> int:
     key = (
         topology.dims,
         topology.wraparound,
+        topology.routing_key(),
         tuple(sorted(set(flows))),
     )
     cached = _SCHEDULED_CACHE.get(key)

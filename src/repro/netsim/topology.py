@@ -13,8 +13,11 @@ worst link carries than it can support at peak speed — follows.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import FaultError
 
 __all__ = ["Link", "Topology", "Mesh", "Torus"]
 
@@ -95,8 +98,21 @@ class Topology:
             yield position, nxt, positive
             position = nxt
 
-    def route(self, src: int, dst: int) -> List[Link]:
-        """Dimension-order route as a list of directed links."""
+    def route(
+        self,
+        src: int,
+        dst: int,
+        avoid: Optional[FrozenSet[Tuple[int, int]]] = None,
+    ) -> List[Link]:
+        """Dimension-order route as a list of directed links.
+
+        Args:
+            avoid: Directed ``(src, dst)`` node pairs whose links must
+                not be used (failed hardware).  When the dimension-order
+                route would cross one, the route falls back to the
+                shortest detour around the failed links; an unreachable
+                destination raises :class:`~repro.core.errors.FaultError`.
+        """
         src_coord = list(self.coordinates(src))
         dst_coord = self.coordinates(dst)
         links: List[Link] = []
@@ -110,7 +126,70 @@ class Topology:
                     Link(self.node_id(from_coord), self.node_id(to_coord), dim, positive)
                 )
             src_coord[dim] = dst_coord[dim]
+        if avoid and any((link.src, link.dst) in avoid for link in links):
+            return self._route_avoiding(src, dst, avoid)
         return links
+
+    def neighbour_links(self, node: int) -> List[Link]:
+        """The directed links leaving ``node``, in deterministic order."""
+        coord = self.coordinates(node)
+        links: List[Link] = []
+        for dim, size in enumerate(self.dims):
+            if size == 1:
+                continue
+            for positive in (True, False):
+                step = 1 if positive else -1
+                neighbour = coord[dim] + step
+                if self.wraparound:
+                    neighbour %= size
+                elif not 0 <= neighbour < size:
+                    continue
+                if self.wraparound and size == 2 and not positive:
+                    # Both directions reach the same neighbour.
+                    continue
+                to_coord = coord[:dim] + (neighbour,) + coord[dim + 1 :]
+                links.append(Link(node, self.node_id(to_coord), dim, positive))
+        return links
+
+    def _route_avoiding(
+        self, src: int, dst: int, avoid: FrozenSet[Tuple[int, int]]
+    ) -> List[Link]:
+        """Shortest route around failed links (deterministic BFS)."""
+        parents: Dict[int, Link] = {}
+        frontier = deque([src])
+        seen = {src}
+        while frontier:
+            here = frontier.popleft()
+            if here == dst:
+                break
+            for link in self.neighbour_links(here):
+                if (link.src, link.dst) in avoid or link.dst in seen:
+                    continue
+                seen.add(link.dst)
+                parents[link.dst] = link
+                frontier.append(link.dst)
+        if dst not in seen:
+            raise FaultError(
+                f"no route from node {src} to node {dst}: failed links "
+                f"disconnect the destination"
+            )
+        path: List[Link] = []
+        node = dst
+        while node != src:
+            link = parents[node]
+            path.append(link)
+            node = link.src
+        path.reverse()
+        return path
+
+    def routing_key(self) -> Tuple:
+        """Hashable token identifying this topology's routing behaviour.
+
+        Fault-degraded topologies override this so congestion caches
+        keyed on ``(dims, wraparound)`` never mix healthy and degraded
+        routing results.
+        """
+        return ()
 
     def link_loads(self, flows: Iterable[Flow]) -> Dict[Link, int]:
         """How many flows traverse each directed link."""

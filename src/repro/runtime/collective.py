@@ -16,10 +16,12 @@ and receiving simultaneously under the pattern's network congestion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..core.operations import OperationStyle
 from ..core.patterns import AccessPattern
+from ..faults.degrade import DegradedResult
+from ..faults.spec import FaultPlan, current_fault_plan
 from ..trace.tracer import current_tracer
 from .engine import CommRuntime, MeasuredTransfer
 
@@ -47,6 +49,16 @@ class StepResult:
     messages_per_node: int
     bytes_per_node: int
     sample: MeasuredTransfer
+
+    @property
+    def degraded(self) -> Optional[DegradedResult]:
+        """The sample transfer's degradation record, if any."""
+        return self.sample.degraded
+
+    @property
+    def retries(self) -> int:
+        """Retransmissions the sample transfer paid for."""
+        return self.sample.retries
 
 
 class CommunicationStep:
@@ -88,8 +100,23 @@ class CommunicationStep:
         self.schedule_slack = schedule_slack
         self.sync_per_message_ns = sync_per_message_ns
 
-    def _congestion(self) -> float:
+    def _fault_plan(self) -> Optional[FaultPlan]:
+        """The fault plan governing this step, ``None`` when healthy."""
+        plan = (
+            self.runtime.faults
+            if self.runtime.faults is not None
+            else current_fault_plan()
+        )
+        if plan is not None and plan.is_empty():
+            return None
+        return plan
+
+    def _congestion(self, plan: Optional[FaultPlan] = None) -> float:
         model = self.runtime.machine.network_model()
+        if plan is not None:
+            # Failed links reroute the pattern's flows and derated ones
+            # weight their load; both lift the worst-link congestion.
+            model.topology = plan.wrap_topology(model.topology)
         if self.scheduled:
             # Phase-schedule the pattern (shift schedule for complete
             # exchanges, greedy otherwise) and take the worst per-phase
@@ -99,10 +126,30 @@ class CommunicationStep:
             topology = self.runtime.machine.topology(
                 max(max(flow) for flow in self.flows) + 1
             )
+            if plan is not None:
+                topology = plan.wrap_topology(topology)
             per_phase = scheduled_congestion(topology, self.flows)
             floor = max(1, self.runtime.machine.network.port_sharing)
             return float(max(per_phase, floor)) * self.schedule_slack
         return model.congestion_for(self.flows)
+
+    def _sample_flow(self, plan: Optional[FaultPlan]) -> Flow:
+        """The flow that paces the step under ``plan``.
+
+        A collective step finishes when its slowest participant does,
+        so the representative point-to-point sample is taken between
+        the endpoints the plan hurts most (largest combined slowdown;
+        first such flow in pattern order for determinism).
+        """
+        if plan is None:
+            return self.flows[0]
+        return max(
+            self.flows,
+            key=lambda flow: (
+                plan.node_slowdown(flow[0]) * plan.node_slowdown(flow[1]),
+                not plan.deposit_available(flow[1]),
+            ),
+        )
 
     def _messages_per_node(self) -> int:
         """Messages the most-loaded node handles during the step.
@@ -148,8 +195,13 @@ class CommunicationStep:
 
     def run(self, style: OperationStyle = OperationStyle.CHAINED) -> StepResult:
         """Execute the step and report per-node throughput."""
-        congestion = self._congestion()
+        plan = self._fault_plan()
+        congestion = self._congestion(plan)
         messages = self._messages_per_node()
+        src: Optional[int] = None
+        dst: Optional[int] = None
+        if plan is not None:
+            src, dst = self._sample_flow(plan)
         sample = self.runtime.transfer(
             self.x,
             self.y,
@@ -157,6 +209,8 @@ class CommunicationStep:
             style=style,
             congestion=congestion,
             duplex=True,
+            src=src,
+            dst=dst,
         )
         # The first message pays full end-to-end latency; subsequent
         # messages pipeline behind it at the steady-state cost.
@@ -167,6 +221,8 @@ class CommunicationStep:
         if tracer is not None:
             tracer.count("step.runs")
             tracer.count("step.messages_per_node", messages)
+            if sample.degraded is not None:
+                tracer.count("step.degraded")
             tracer.span(
                 "first-message",
                 track="step",

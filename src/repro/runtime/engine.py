@@ -27,10 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from ..core.errors import CompositionError
+from ..core.errors import CalibrationError, CompositionError
 from ..core.operations import DepositSupport, OperationStyle
 from ..core.patterns import CONTIGUOUS, AccessPattern
 from ..core.transfers import TransferKind
+from ..faults.degrade import DegradedResult
+from ..faults.policy import recovery_charge
+from ..faults.spec import FaultPlan, current_fault_plan
 from ..machines.base import Machine
 from ..memsim.config import WORD_BYTES
 from ..trace.tracer import current_tracer
@@ -62,6 +65,11 @@ class MeasuredTransfer:
         diagnostics: Static-analyzer findings for the executed
             composition, populated when the transfer was requested with
             ``analyze=True``.
+        degraded: The graceful-degradation record when an injected
+            fault forced a fallback (chained -> buffer-packing);
+            ``None`` on the nominal path.
+        retries: Fragment/message retransmissions charged by the
+            fault plan's retry policy.
     """
 
     mbps: float
@@ -74,6 +82,8 @@ class MeasuredTransfer:
     resource_busy_ns: Tuple[Tuple[str, float], ...] = ()
     memory_capped: bool = False
     diagnostics: Tuple["Diagnostic", ...] = ()
+    degraded: Optional[DegradedResult] = None
+    retries: int = 0
 
     def bottleneck_busy_ns(self) -> float:
         """Busy time of the most-loaded resource for this message.
@@ -116,6 +126,10 @@ class CommRuntime:
         congestion: Default network congestion for transfers that
             don't specify one (defaults to the machine's typical
             value, the paper's bold Table 4 column).
+        faults: A standing :class:`~repro.faults.spec.FaultPlan` for
+            every transfer this runtime executes.  When ``None``, the
+            context-installed plan (:func:`repro.faults.injecting`)
+            applies, if any.
     """
 
     def __init__(
@@ -124,9 +138,11 @@ class CommRuntime:
         library: Optional[LibraryProfile] = None,
         rates: str = "simulated",
         congestion: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.machine = machine
         self.library = library or lowlevel_profile()
+        self.faults = faults
         if rates == "simulated":
             self.table = machine.simulated_table()
         elif rates == "paper":
@@ -160,8 +176,14 @@ class CommRuntime:
 
     # -- phase construction ---------------------------------------------------
 
-    def _middle_stages(self, congestion: float) -> List[Stage]:
-        """The contiguous-block hardware path of a packing transfer."""
+    def _middle_stages(
+        self, congestion: float, deposit_ok: bool = True
+    ) -> List[Stage]:
+        """The contiguous-block hardware path of a packing transfer.
+
+        ``deposit_ok=False`` (an injected deposit-engine fault) lands
+        the receive on the processor instead of the deposit engine.
+        """
         caps = self.machine.capabilities
         if caps.dma_send:
             send = Stage(
@@ -175,7 +197,7 @@ class CommRuntime:
         network = Stage(
             "network", self._network_rate(adp=False, congestion=congestion), "network"
         )
-        if caps.deposit is not DepositSupport.NONE:
+        if caps.deposit is not DepositSupport.NONE and deposit_ok:
             receive = Stage(
                 "receive-deposit",
                 self._rate(TransferKind.RECEIVE_DEPOSIT, _FIXED, CONTIGUOUS),
@@ -183,14 +205,30 @@ class CommRuntime:
             )
         else:
             receive = self._cpu_stage(
-                "receive",
-                self._rate(TransferKind.RECEIVE_STORE, _FIXED, CONTIGUOUS),
-                "receiver_cpu",
+                "receive", self._receive_store_rate(), "receiver_cpu"
             )
         return [send, network, receive]
 
+    def _receive_store_rate(self) -> float:
+        """Processor receive rate, even where the machine never uses one.
+
+        Machines whose receives always ride the deposit engine (the
+        T3D) have no calibrated ``R`` entry; a processor receive-store
+        is a load-from-network/store loop, so the contiguous copy rate
+        is the honest stand-in when a fault forces one.
+        """
+        try:
+            return self._rate(TransferKind.RECEIVE_STORE, _FIXED, CONTIGUOUS)
+        except CalibrationError:
+            return self._rate(TransferKind.COPY, CONTIGUOUS, CONTIGUOUS)
+
     def _packing_phases(
-        self, x: AccessPattern, y: AccessPattern, nbytes: int, congestion: float
+        self,
+        x: AccessPattern,
+        y: AccessPattern,
+        nbytes: int,
+        congestion: float,
+        deposit_ok: bool = True,
     ) -> List[_Phase]:
         lib = self.library
         fragment = min(nbytes, lib.fragment_bytes)
@@ -220,7 +258,11 @@ class CommRuntime:
             phases.append(_Phase("pack", tuple(pack), fragment))
 
         phases.append(
-            _Phase("transfer", tuple(self._middle_stages(congestion)), stream_chunk)
+            _Phase(
+                "transfer",
+                tuple(self._middle_stages(congestion, deposit_ok=deposit_ok)),
+                stream_chunk,
+            )
         )
 
         unpack: List[Stage] = []
@@ -244,8 +286,20 @@ class CommRuntime:
             phases.append(_Phase("unpack", tuple(unpack), fragment))
         return phases
 
+    def _chained_uses_deposit(self, y: AccessPattern) -> bool:
+        """Whether the nominal chained receiver is the deposit engine."""
+        caps = self.machine.capabilities
+        return caps.deposit is DepositSupport.ANY or (
+            caps.deposit is DepositSupport.CONTIGUOUS and y.is_contiguous
+        )
+
     def _chained_phases(
-        self, x: AccessPattern, y: AccessPattern, nbytes: int, congestion: float
+        self,
+        x: AccessPattern,
+        y: AccessPattern,
+        nbytes: int,
+        congestion: float,
+        deposit_ok: bool = True,
     ) -> List[_Phase]:
         caps = self.machine.capabilities
         if not self.library.supports_chained:
@@ -257,9 +311,7 @@ class CommRuntime:
             self._cpu_stage("send", self._send_rate(x), "sender_cpu"),
             Stage("network", self._network_rate(adp, congestion), "network"),
         ]
-        if caps.deposit is DepositSupport.ANY or (
-            caps.deposit is DepositSupport.CONTIGUOUS and y.is_contiguous
-        ):
+        if deposit_ok and self._chained_uses_deposit(y):
             stages.append(
                 Stage(
                     "deposit",
@@ -298,6 +350,8 @@ class CommRuntime:
         congestion: Optional[float] = None,
         duplex: bool = False,
         analyze: bool = False,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
     ) -> MeasuredTransfer:
         """Measure one point-to-point ``xQy`` transfer of ``nbytes``.
 
@@ -314,6 +368,18 @@ class CommRuntime:
             analyze: Run the static linter over the model-level
                 composition this transfer executes and attach its
                 diagnostics to the result.
+            src / dst: Node ids of the endpoints.  Only consulted by an
+                active fault plan (per-node slowdowns, per-link
+                derates, per-node deposit faults); anonymous transfers
+                see only the plan's global faults.
+
+        When a fault plan is active (runtime ``faults=`` argument or
+        :func:`repro.faults.injecting`) and it marks the deposit engine
+        unavailable, a chained transfer degrades to buffer-packing
+        instead of raising; the result's ``degraded`` field names the
+        fault, the fallback and the throughput delta.  Fragment faults
+        charge ``retry``/``backoff`` phases per the plan's
+        :class:`~repro.faults.policy.RetryPolicy`.
         """
         if nbytes <= 0:
             raise ValueError(f"need a positive transfer size, got {nbytes}")
@@ -324,13 +390,66 @@ class CommRuntime:
             if isinstance(style, OperationStyle)
             else OperationStyle(style)
         )
+        plan = self.faults if self.faults is not None else current_fault_plan()
+        if plan is not None and plan.is_empty():
+            plan = None
+        return self._execute(
+            x, y, nbytes, style, congestion, duplex, analyze, plan, src, dst
+        )
+
+    def _execute(
+        self,
+        x: AccessPattern,
+        y: AccessPattern,
+        nbytes: int,
+        style: OperationStyle,
+        congestion: float,
+        duplex: bool,
+        analyze: bool,
+        plan: Optional[FaultPlan],
+        src: Optional[int],
+        dst: Optional[int],
+    ) -> MeasuredTransfer:
+        requested = style
+        caps = self.machine.capabilities
+        deposit_ok = plan.deposit_available(dst) if plan is not None else True
+        fallen_back: Optional[Tuple[str, str]] = None  # (fault, fallback)
         if style is OperationStyle.BUFFER_PACKING:
-            phases = self._packing_phases(x, y, nbytes, congestion)
+            phases = self._packing_phases(
+                x, y, nbytes, congestion, deposit_ok=deposit_ok
+            )
+            if not deposit_ok and caps.deposit is not DepositSupport.NONE:
+                fallen_back = ("deposit-engine-unavailable", "receive-store")
         else:
-            phases = self._chained_phases(x, y, nbytes, congestion)
+            try:
+                phases = self._chained_phases(
+                    x, y, nbytes, congestion, deposit_ok=deposit_ok
+                )
+                if not deposit_ok and self._chained_uses_deposit(y):
+                    fallen_back = (
+                        "deposit-engine-unavailable",
+                        "coprocessor-receive",
+                    )
+            except CompositionError:
+                if (
+                    deposit_ok
+                    or not caps.chained_receiver_available
+                ):
+                    raise
+                # Graceful degradation, the centrepiece: the fault took
+                # the only background receiver, so re-plan the transfer
+                # as buffer-packing instead of crashing.
+                style = OperationStyle.BUFFER_PACKING
+                phases = self._packing_phases(
+                    x, y, nbytes, congestion, deposit_ok=deposit_ok
+                )
+                fallen_back = ("deposit-engine-unavailable", "buffer-packing")
 
         if duplex:
             phases = [self._derate_for_duplex(phase) for phase in phases]
+
+        if plan is not None:
+            phases = self._apply_fault_derates(phases, plan, src, dst)
 
         tracer = current_tracer()
         total_ns = 0.0
@@ -391,11 +510,60 @@ class CommRuntime:
                 library=self.library.name,
             )
         total_ns += library_ns
-        raw_ns = total_ns
         # Protocol costs keep the sender's processor busy.
         resource_busy["sender_cpu"] = (
             resource_busy.get("sender_cpu", 0.0) + library_ns
         )
+
+        retries = 0
+        if plan is not None and plan.has_wire_faults():
+            hardware_ns = sum(
+                ns for name, ns in phase_times
+                if name in ("transfer", "chained")
+            ) or sum(ns for __, ns in phase_times)
+            recovery = recovery_charge(
+                plan,
+                fragments=fragments,
+                fragment_ns=hardware_ns / max(1, fragments),
+                message_ns=hardware_ns,
+                key=(str(x), str(y), nbytes, style.value, src, dst),
+            )
+            if recovery:
+                retries = recovery.retries
+                for name, ns in (
+                    ("retry", recovery.retry_ns),
+                    ("backoff", recovery.backoff_ns),
+                ):
+                    if ns <= 0.0:
+                        continue
+                    if tracer is not None:
+                        tracer.span(
+                            name,
+                            track="phase",
+                            start_ns=total_ns,
+                            duration_ns=ns,
+                            category="phase",
+                            retries=recovery.retries,
+                            losses=recovery.losses,
+                            corruptions=recovery.corruptions,
+                        )
+                    phase_times.append((name, ns))
+                    total_ns += ns
+                # Retransmissions re-occupy the sender; backoff is idle.
+                resource_busy["sender_cpu"] = (
+                    resource_busy.get("sender_cpu", 0.0) + recovery.retry_ns
+                )
+                if tracer is not None:
+                    tracer.count("faults.retries", recovery.retries)
+                    tracer.count("faults.fragment_losses", recovery.losses)
+                    tracer.count(
+                        "faults.fragment_corruptions", recovery.corruptions
+                    )
+                    tracer.observe(
+                        "faults.recovery_ns", recovery.total_ns
+                    )
+
+        raw_ns = total_ns
         mbps = nbytes / total_ns * 1000.0
         mbps *= self.machine.quirks.runtime_efficiency
 
@@ -431,6 +599,34 @@ class CommRuntime:
                     memory_capped=capped,
                 )
 
+        degraded: Optional[DegradedResult] = None
+        if fallen_back is not None:
+            fault_name, fallback_name = fallen_back
+            nominal = self._nominal_mbps(
+                x, y, nbytes, requested, congestion, duplex
+            )
+            degraded = DegradedResult(
+                fault=fault_name,
+                requested=requested.value,
+                fallback=fallback_name,
+                nominal_mbps=nominal,
+                degraded_mbps=mbps,
+            )
+            if tracer is not None:
+                tracer.count("faults.degraded")
+                tracer.span(
+                    f"degraded:{fallback_name}",
+                    track="faults",
+                    start_ns=0.0,
+                    duration_ns=total_ns,
+                    category="fault",
+                    fault=fault_name,
+                    requested=requested.value,
+                    fallback=fallback_name,
+                )
+        if tracer is not None and plan is not None:
+            tracer.count("faults.transfers_under_plan")
+
         return MeasuredTransfer(
             mbps=mbps,
             ns=total_ns,
@@ -442,7 +638,103 @@ class CommRuntime:
             resource_busy_ns=tuple(sorted(resource_busy.items())),
             memory_capped=capped,
             diagnostics=self._analyze(x, y, style, duplex) if analyze else (),
+            degraded=degraded,
+            retries=retries,
         )
+
+    def _nominal_mbps(
+        self,
+        x: AccessPattern,
+        y: AccessPattern,
+        nbytes: int,
+        style: OperationStyle,
+        congestion: float,
+        duplex: bool,
+    ) -> float:
+        """Fault-free throughput of the requested path, for the record.
+
+        Runs under a throwaway tracer so the comparison never pollutes
+        the active trace's phase accounting.
+        """
+        from ..trace.tracer import Tracer, tracing
+
+        with tracing(Tracer()):
+            try:
+                nominal = self._execute(
+                    x, y, nbytes, style, congestion, duplex,
+                    False, None, None, None,
+                )
+            except CompositionError:
+                return 0.0
+        return nominal.mbps
+
+    def _apply_fault_derates(
+        self,
+        phases: List[_Phase],
+        plan: FaultPlan,
+        src: Optional[int],
+        dst: Optional[int],
+    ) -> List[_Phase]:
+        """Scale stage rates by the plan's node and link faults.
+
+        Sender-side resources slow by the sender node's slowdown,
+        receiver-side by the receiver's; the network stage slows by the
+        worst link derate along the route (the global derate when the
+        transfer is anonymous or the machine's default partition does
+        not contain the endpoints).
+        """
+        sender_scale = plan.node_slowdown(src)
+        receiver_scale = plan.node_slowdown(dst)
+        network_derate = self._route_derate(plan, src, dst)
+        if (
+            sender_scale == 1.0
+            and receiver_scale == 1.0
+            and network_derate == 1.0
+        ):
+            return phases
+        tracer = current_tracer()
+        if tracer is not None:
+            if sender_scale != 1.0 or receiver_scale != 1.0:
+                tracer.count("faults.node_slowdowns")
+            if network_derate != 1.0:
+                tracer.count("faults.link_derates")
+
+        def scale(stage: Stage) -> Stage:
+            if stage.resource == "network":
+                factor = network_derate
+            elif stage.resource.startswith("sender"):
+                factor = 1.0 / sender_scale
+            else:
+                factor = 1.0 / receiver_scale
+            if factor == 1.0:
+                return stage
+            return Stage(
+                stage.name,
+                stage.rate_mbps * factor,
+                stage.resource,
+                stage.chunk_overhead_ns,
+                stage.startup_ns,
+            )
+
+        return [
+            _Phase(phase.name, tuple(scale(s) for s in phase.stages),
+                   phase.chunk_bytes)
+            for phase in phases
+        ]
+
+    def _route_derate(
+        self, plan: FaultPlan, src: Optional[int], dst: Optional[int]
+    ) -> float:
+        """Worst link derate this transfer's route crosses."""
+        if src is None or dst is None or src == dst:
+            return plan.global_link_derate()
+        if not any(fault.src is not None for fault in plan.links):
+            return plan.global_link_derate()
+        topology = self.machine.topology()
+        if src >= topology.n_nodes or dst >= topology.n_nodes:
+            return plan.global_link_derate()
+        route = plan.wrap_topology(topology).route(src, dst)
+        return plan.route_derate(route)
 
     def _analyze(
         self,

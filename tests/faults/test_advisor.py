@@ -1,0 +1,60 @@
+"""Tests for fault-aware compiler advice."""
+
+import pytest
+
+from repro.compiler.advisor import advise_plan
+from repro.compiler.commgen import transpose_2d
+from repro.core.operations import OperationStyle
+from repro.faults import DepositFault, FaultPlan, injecting
+from repro.machines import t3d
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return transpose_2d(256, 256, 16)
+
+
+class TestFaultAwareAdvice:
+    def test_healthy_advice_has_no_degraded_ops(self, plan):
+        advice = advise_plan(t3d(), plan)
+        assert advice.degraded == ()
+
+    def test_deposit_fault_moves_chained_ops_to_packing(self, plan):
+        healthy = advise_plan(t3d(), plan)
+        assert healthy.dominant_style() is OperationStyle.CHAINED
+        faults = FaultPlan(seed=1, deposits=(DepositFault(),))
+        advice = advise_plan(t3d(), plan, faults=faults)
+        assert advice.dominant_style() is OperationStyle.BUFFER_PACKING
+        assert len(advice.degraded) == len(advice.per_op)
+        record = advice.degraded[0].degraded
+        assert record.fault == "deposit-engine-unavailable"
+        assert record.nominal_mbps > record.degraded_mbps
+
+    def test_context_plan_applies(self, plan):
+        with injecting(FaultPlan(seed=1, deposits=(DepositFault(),))):
+            advice = advise_plan(t3d(), plan)
+        assert advice.degraded
+
+    def test_empty_plan_identical_to_healthy(self, plan):
+        healthy = advise_plan(t3d(), plan)
+        with injecting(FaultPlan(seed=1)):
+            under = advise_plan(t3d(), plan)
+        assert under == healthy
+
+    def test_per_node_fault_only_degrades_matching_destinations(self, plan):
+        target = plan.ops[0].dst
+        faults = FaultPlan(seed=1, deposits=(DepositFault(node=target),))
+        advice = advise_plan(t3d(), plan, faults=faults)
+        assert advice.degraded
+        assert all(a.op.dst == target for a in advice.degraded)
+
+    def test_render_marks_degraded_ops(self, plan):
+        faults = FaultPlan(seed=1, deposits=(DepositFault(),))
+        text = advise_plan(t3d(), plan, faults=faults).render()
+        assert "degraded" in text
+
+    def test_degraded_step_estimate_is_slower(self, plan):
+        healthy = advise_plan(t3d(), plan)
+        faults = FaultPlan(seed=1, deposits=(DepositFault(),))
+        degraded = advise_plan(t3d(), plan, faults=faults)
+        assert degraded.predicted_step_us > healthy.predicted_step_us

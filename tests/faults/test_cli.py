@@ -1,0 +1,110 @@
+"""Tests for the ``python -m repro faults`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.__main__ import EXIT_FAILURE, EXIT_OK, main
+from repro.faults import FaultPlan, validate_faults_report
+
+
+def _report(capsys, argv):
+    code = main(argv)
+    assert code == EXIT_OK
+    return json.loads(capsys.readouterr().out)
+
+
+class TestFaultsCommand:
+    def test_text_report(self, capsys):
+        assert main(["faults", "--seed", "7"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "nominal:" in out
+        assert "degraded:" in out
+        assert "fallback:" in out
+
+    def test_json_report_validates(self, capsys):
+        payload = _report(capsys, ["faults", "--seed", "7", "--json"])
+        assert validate_faults_report(payload) == []
+        assert payload["seed"] == 7
+        assert payload["degraded"]["mbps"] < payload["nominal"]["mbps"]
+        assert payload["delta"]["throughput_pct"] > 0
+
+    def test_default_chaos_plan_forces_fallback(self, capsys):
+        payload = _report(capsys, ["faults", "--json"])
+        fallback = payload["degraded"]["fallback"]
+        assert fallback is not None
+        assert fallback["fallback"] == "buffer-packing"
+
+    def test_report_is_replayable_via_plan_file(self, capsys, tmp_path):
+        first = _report(capsys, ["faults", "--seed", "11", "--json"])
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(first["plan"]))
+        second = _report(
+            capsys, ["faults", "--plan", str(plan_path), "--json"]
+        )
+        assert second["degraded"] == first["degraded"]
+        assert second["nominal"] == first["nominal"]
+
+    def test_seed_reseeds_a_loaded_plan(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(FaultPlan.chaos(seed=1).to_dict()))
+        payload = _report(
+            capsys,
+            ["faults", "--plan", str(plan_path), "--seed", "23", "--json"],
+        )
+        assert payload["seed"] == 23
+
+    def test_step_mode(self, capsys):
+        payload = _report(
+            capsys,
+            ["faults", "--step", "shift", "--nodes", "8", "--json"],
+        )
+        assert payload["step"] == "shift"
+        assert validate_faults_report(payload) == []
+
+    def test_missing_plan_file_fails_cleanly(self, capsys):
+        assert main(["faults", "--plan", "/no/such/plan.json"]) == EXIT_FAILURE
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_corrupt_plan_file_fails_cleanly(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text("{broken")
+        assert main(["faults", "--plan", str(plan_path)]) == EXIT_FAILURE
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+
+    def test_unknown_plan_fields_fail_cleanly(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({"seed": 1, "gremlins": True}))
+        assert main(["faults", "--plan", str(plan_path)]) == EXIT_FAILURE
+        assert "unknown fault plan fields" in capsys.readouterr().err
+
+
+class TestCliRobustness:
+    """Nonexistent or unreadable inputs: one-line error, documented code."""
+
+    def test_trace_unwritable_output(self, capsys):
+        code = main(
+            ["trace", "--rates", "paper", "--out", "/no/such/dir/t.json"]
+        )
+        assert code == EXIT_FAILURE
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_calibrate_unwritable_json(self, capsys):
+        code = main(
+            ["calibrate", "--machine", "t3d", "--words", "256",
+             "--json", "/no/such/dir/c.json"]
+        )
+        assert code == EXIT_FAILURE
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_lint_bad_notation(self, capsys):
+        code = main(["lint", "notavalidexpr o (("])
+        assert code == EXIT_FAILURE
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err

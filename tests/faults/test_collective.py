@@ -1,0 +1,90 @@
+"""Tests for fault propagation into collective steps."""
+
+import pytest
+
+from repro.core.operations import OperationStyle
+from repro.core.patterns import CONTIGUOUS
+from repro.faults import (
+    DepositFault,
+    FaultPlan,
+    LinkFault,
+    NodeFault,
+    injecting,
+)
+from repro.machines import t3d
+from repro.runtime.collective import CommunicationStep
+from repro.runtime.engine import CommRuntime
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    return CommRuntime(t3d(), rates="paper")
+
+
+def _shift_step(runtime, n=8, nbytes=1 << 16, **kwargs):
+    flows = [(i, (i + 1) % n) for i in range(n)]
+    return CommunicationStep(runtime, flows, CONTIGUOUS, CONTIGUOUS, nbytes, **kwargs)
+
+
+class TestEmptyPlan:
+    def test_bit_identical_to_healthy(self, runtime):
+        step = _shift_step(runtime)
+        healthy = step.run()
+        with injecting(FaultPlan(seed=13)):
+            under = step.run()
+        assert under.per_node_mbps == healthy.per_node_mbps
+        assert under.step_ns == healthy.step_ns
+        assert under.congestion == healthy.congestion
+        assert under.degraded is None
+        assert under.retries == 0
+
+
+class TestDegradation:
+    def test_slow_node_paces_the_step(self, runtime):
+        step = _shift_step(runtime)
+        healthy = step.run()
+        with injecting(FaultPlan(seed=1, nodes=(NodeFault(node=3, slowdown=3.0),))):
+            hurt = step.run()
+        assert hurt.per_node_mbps < healthy.per_node_mbps
+        assert hurt.step_ns > healthy.step_ns
+
+    def test_sample_flow_targets_worst_endpoints(self, runtime):
+        step = _shift_step(runtime)
+        plan = FaultPlan(seed=1, nodes=(NodeFault(node=3, slowdown=3.0),))
+        src, dst = step._sample_flow(plan)
+        assert 3 in (src, dst)
+
+    def test_deposit_fault_surfaces_on_step_result(self, runtime):
+        step = _shift_step(runtime)
+        with injecting(FaultPlan(seed=1, deposits=(DepositFault(),))):
+            result = step.run(OperationStyle.CHAINED)
+        assert result.degraded is not None
+        assert result.degraded.fallback == "buffer-packing"
+        assert result.per_node_mbps > 0
+
+    def test_derated_links_raise_unscheduled_congestion(self, runtime):
+        step = _shift_step(runtime, scheduled=False)
+        healthy = step.run()
+        plan = FaultPlan(
+            seed=1, links=(LinkFault(src=0, dst=1, derate=0.25),)
+        )
+        with injecting(plan):
+            hurt = step.run()
+        assert hurt.congestion > healthy.congestion
+
+    def test_failed_link_step_still_completes(self, runtime):
+        step = _shift_step(runtime)
+        plan = FaultPlan(seed=1, links=(LinkFault(src=0, dst=1, failed=True),))
+        with injecting(plan):
+            result = step.run()
+        assert result.per_node_mbps > 0
+
+    def test_deterministic_replay(self, runtime):
+        step = _shift_step(runtime)
+        plan = FaultPlan.chaos(seed=5)
+        with injecting(plan):
+            first = step.run()
+        with injecting(plan):
+            second = step.run()
+        assert first.per_node_mbps == second.per_node_mbps
+        assert first.step_ns == second.step_ns

@@ -1,0 +1,83 @@
+"""Tests for fault-degraded routing and congestion."""
+
+import pytest
+
+from repro.core.errors import FaultError
+from repro.faults import (
+    FaultPlan,
+    FaultyTopology,
+    LinkFault,
+    degraded_congestion,
+    reroute_report,
+)
+from repro.netsim.topology import Torus
+
+
+def _torus():
+    return Torus(4, 4)
+
+
+class TestReroute:
+    def test_detour_avoids_failed_link(self):
+        plan = FaultPlan(links=(LinkFault(src=0, dst=1, failed=True),))
+        faulty = FaultyTopology(_torus(), plan)
+        route = faulty.route(0, 1)
+        assert (0, 1) not in {(link.src, link.dst) for link in route}
+        assert route[0].src == 0
+        assert route[-1].dst == 1
+
+    def test_healthy_routes_unchanged(self):
+        plan = FaultPlan(links=(LinkFault(src=0, dst=1, failed=True),))
+        faulty = FaultyTopology(_torus(), plan)
+        base = _torus()
+        assert [
+            (l.src, l.dst) for l in faulty.route(2, 3)
+        ] == [(l.src, l.dst) for l in base.route(2, 3)]
+
+    def test_fully_cut_destination_raises(self):
+        base = _torus()
+        # neighbour_links lists outbound links; failing each reverse
+        # direction leaves node 5 with no inbound path at all.
+        cut = tuple(
+            LinkFault(src=link.dst, dst=5, failed=True)
+            for link in base.neighbour_links(5)
+        )
+        plan = FaultPlan(links=cut)
+        faulty = FaultyTopology(base, plan)
+        with pytest.raises(FaultError):
+            faulty.route(0, 5)
+
+    def test_reroute_report_counts_detour_hops(self):
+        plan = FaultPlan(links=(LinkFault(src=0, dst=1, failed=True),))
+        report = reroute_report(_torus(), plan, [(0, 1), (2, 3)])
+        assert report["degraded_hops"] > report["healthy_hops"]
+        assert report["detour_hops"] == (
+            report["degraded_hops"] - report["healthy_hops"]
+        )
+
+
+class TestDegradedCongestion:
+    def test_derated_link_weighs_heavier(self):
+        flows = [(0, 1), (4, 5)]
+        healthy = degraded_congestion(_torus(), None, flows)
+        plan = FaultPlan(links=(LinkFault(src=0, dst=1, derate=0.5),))
+        degraded = degraded_congestion(_torus(), plan, flows)
+        assert degraded > healthy
+
+    def test_failed_link_redirects_load(self):
+        flows = [(0, 1)] * 3
+        plan = FaultPlan(links=(LinkFault(src=0, dst=1, failed=True),))
+        faulty = FaultyTopology(_torus(), plan)
+        loads = faulty.link_loads(flows)
+        assert all(
+            (link.src, link.dst) != (0, 1) for link in loads
+        )
+
+    def test_empty_plan_does_not_wrap(self):
+        topology = _torus()
+        assert FaultPlan(seed=1).wrap_topology(topology) is topology
+
+    def test_wrapped_topology_changes_routing_key(self):
+        topology = _torus()
+        plan = FaultPlan(links=(LinkFault(src=0, dst=1, failed=True),))
+        assert plan.wrap_topology(topology).routing_key() != topology.routing_key()

@@ -1,0 +1,118 @@
+"""Tests for the retry policy and recovery pricing."""
+
+import pytest
+
+from repro.core.errors import FaultError, TransferAbortedError
+from repro.faults import FaultPlan, FragmentFault, RetryPolicy, recovery_charge
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts >= 1
+        assert policy.granularity == "fragment"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout_ns": -1.0},
+            {"backoff_base_ns": -5.0},
+            {"backoff_factor": 0.5},
+            {"backoff_cap_ns": 1.0, "backoff_base_ns": 2.0},
+            {"max_attempts": 0},
+            {"granularity": "packet"},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(FaultError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_grows_exponentially_to_the_cap(self):
+        policy = RetryPolicy(
+            backoff_base_ns=100.0, backoff_factor=2.0, backoff_cap_ns=350.0
+        )
+        assert policy.backoff_ns(0) == 100.0
+        assert policy.backoff_ns(1) == 200.0
+        assert policy.backoff_ns(2) == 350.0  # capped, not 400
+        assert policy.backoff_ns(10) == 350.0
+
+    def test_round_trip(self):
+        policy = RetryPolicy(timeout_ns=123.0, max_attempts=4)
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultError):
+            RetryPolicy.from_dict({"timeout": 1})
+
+
+def _lossy_plan(seed, loss, **policy_kwargs):
+    return FaultPlan(
+        seed=seed,
+        fragments=(FragmentFault(loss=loss),),
+        retry=RetryPolicy(**policy_kwargs) if policy_kwargs else RetryPolicy(),
+    )
+
+
+class TestRecoveryCharge:
+    def test_no_wire_faults_is_free(self):
+        plan = FaultPlan(seed=1)
+        charge = recovery_charge(
+            plan, fragments=4, fragment_ns=100.0, message_ns=400.0, key=("k",)
+        )
+        assert not charge
+        assert charge.total_ns == 0.0
+
+    def test_deterministic_replay(self):
+        plan = _lossy_plan(3, 0.4)
+        kwargs = dict(fragments=16, fragment_ns=50.0, message_ns=800.0, key=("m",))
+        assert recovery_charge(plan, **kwargs) == recovery_charge(plan, **kwargs)
+
+    def test_losses_pay_timeout_corruptions_do_not(self):
+        # Seed 0 loses the first attempt of this key, then succeeds.
+        loss_plan = FaultPlan(
+            seed=0, fragments=(FragmentFault(loss=0.6),),
+            retry=RetryPolicy(max_attempts=10),
+        )
+        charge = recovery_charge(
+            loss_plan, fragments=1, fragment_ns=10.0, message_ns=10.0, key=("k",)
+        )
+        assert charge.losses >= 1
+        assert charge.retry_ns >= loss_plan.retry.timeout_ns
+
+    def test_message_granularity_retries_once_per_message(self):
+        plan = FaultPlan(
+            seed=0,
+            fragments=(FragmentFault(loss=0.6),),
+            retry=RetryPolicy(max_attempts=10, granularity="message"),
+        )
+        charge = recovery_charge(
+            plan, fragments=64, fragment_ns=10.0, message_ns=640.0, key=("k",)
+        )
+        # Whole-message retransmits charge message_ns per retry.
+        assert charge.retries >= 1
+        assert charge.retry_ns >= 640.0
+
+    def test_exhausted_budget_aborts(self):
+        plan = FaultPlan(
+            seed=0,
+            fragments=(FragmentFault(loss=0.999999999),),
+            retry=RetryPolicy(max_attempts=2),
+        )
+        with pytest.raises(TransferAbortedError):
+            recovery_charge(
+                plan, fragments=1, fragment_ns=10.0, message_ns=10.0, key=("k",)
+            )
+
+    def test_distinct_keys_draw_independently(self):
+        plan = FaultPlan(
+            seed=0,
+            fragments=(FragmentFault(loss=0.3),),
+            retry=RetryPolicy(max_attempts=20),
+        )
+        charges = {
+            recovery_charge(
+                plan, fragments=8, fragment_ns=10.0, message_ns=80.0, key=(i,)
+            ).retries
+            for i in range(20)
+        }
+        assert len(charges) > 1

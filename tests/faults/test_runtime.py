@@ -1,0 +1,203 @@
+"""Tests for fault injection through the communication runtime."""
+
+import pytest
+
+from repro.core.operations import OperationStyle
+from repro.core.patterns import CONTIGUOUS, strided
+from repro.faults import (
+    DepositFault,
+    FaultPlan,
+    FragmentFault,
+    LinkFault,
+    NodeFault,
+    RetryPolicy,
+    injecting,
+)
+from repro.machines import paragon, t3d
+from repro.runtime.engine import CommRuntime
+from repro.trace.tracer import Tracer, tracing
+
+MB = 1 << 20
+
+#: Seed chosen so the chaos fragment draw for this suite's transfer key
+#: actually loses a fragment (draws are deterministic per key).
+LOSSY_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    return CommRuntime(t3d(), rates="paper")
+
+
+def _lossy_plan():
+    return FaultPlan(
+        seed=LOSSY_SEED,
+        fragments=(FragmentFault(loss=0.3),),
+        retry=RetryPolicy(max_attempts=20),
+    )
+
+
+class TestZeroOverheadWhenOff:
+    def test_empty_plan_bit_identical(self, runtime):
+        x = strided(64, 8)
+        base = runtime.transfer(x, CONTIGUOUS, MB, style=OperationStyle.CHAINED)
+        with injecting(FaultPlan(seed=99)):
+            under = runtime.transfer(
+                x, CONTIGUOUS, MB, style=OperationStyle.CHAINED
+            )
+        assert under.ns == base.ns
+        assert under.mbps == base.mbps
+        assert under.phase_ns == base.phase_ns
+        assert under.degraded is None
+        assert under.retries == 0
+
+    def test_no_plan_reports_no_degradation(self, runtime):
+        result = runtime.transfer(CONTIGUOUS, strided(64), MB)
+        assert result.degraded is None
+        assert result.retries == 0
+
+
+class TestDepositFallback:
+    def test_chained_degrades_to_packing(self, runtime):
+        x = strided(64, 8)
+        with injecting(FaultPlan(seed=1, deposits=(DepositFault(),))):
+            result = runtime.transfer(
+                x, CONTIGUOUS, MB, style=OperationStyle.CHAINED
+            )
+        assert result.style is OperationStyle.BUFFER_PACKING
+        assert result.mbps > 0
+        record = result.degraded
+        assert record is not None
+        assert record.fault == "deposit-engine-unavailable"
+        assert record.requested == "chained"
+        assert record.fallback == "buffer-packing"
+        assert record.nominal_mbps > record.degraded_mbps
+        assert 0.0 < record.throughput_delta < 1.0
+
+    def test_per_node_deposit_fault_needs_matching_dst(self, runtime):
+        x = strided(64, 8)
+        plan = FaultPlan(seed=1, deposits=(DepositFault(node=3),))
+        with injecting(plan):
+            elsewhere = runtime.transfer(
+                x, CONTIGUOUS, MB, style=OperationStyle.CHAINED, src=0, dst=4
+            )
+            hit = runtime.transfer(
+                x, CONTIGUOUS, MB, style=OperationStyle.CHAINED, src=0, dst=3
+            )
+        assert elsewhere.degraded is None
+        assert hit.degraded is not None
+
+    def test_packing_with_deposit_machine_degrades_gracefully(self, runtime):
+        with injecting(FaultPlan(seed=1, deposits=(DepositFault(),))):
+            result = runtime.transfer(
+                CONTIGUOUS, CONTIGUOUS, MB, style=OperationStyle.BUFFER_PACKING
+            )
+        assert result.mbps > 0
+        assert result.degraded is not None
+        assert result.degraded.fallback == "receive-store"
+
+    def test_explicit_runtime_plan_wins_over_context(self):
+        rt = CommRuntime(
+            t3d(),
+            rates="paper",
+            faults=FaultPlan(seed=1, deposits=(DepositFault(),)),
+        )
+        x = strided(64, 8)
+        # Context installs a harmless plan; the runtime's own must rule.
+        with injecting(FaultPlan(seed=2)):
+            result = rt.transfer(x, CONTIGUOUS, MB, style=OperationStyle.CHAINED)
+        assert result.degraded is not None
+
+
+class TestDerates:
+    def test_node_slowdown_slows_transfer(self, runtime):
+        plan = FaultPlan(seed=1, nodes=(NodeFault(node=1, slowdown=4.0),))
+        base = runtime.transfer(CONTIGUOUS, strided(64), MB)
+        with injecting(plan):
+            slow = runtime.transfer(CONTIGUOUS, strided(64), MB, src=0, dst=1)
+            unaffected = runtime.transfer(
+                CONTIGUOUS, strided(64), MB, src=2, dst=3
+            )
+        assert slow.mbps < base.mbps
+        assert unaffected.mbps == base.mbps
+
+    def test_global_link_derate_slows_anonymous_transfers(self, runtime):
+        plan = FaultPlan(seed=1, links=(LinkFault(derate=0.25),))
+        base = runtime.transfer(CONTIGUOUS, CONTIGUOUS, MB)
+        with injecting(plan):
+            slow = runtime.transfer(CONTIGUOUS, CONTIGUOUS, MB)
+        assert slow.mbps < base.mbps
+
+    def test_endpoint_link_fault_needs_route_through_it(self, runtime):
+        plan = FaultPlan(seed=1, links=(LinkFault(src=0, dst=1, derate=0.2),))
+        base = runtime.transfer(CONTIGUOUS, CONTIGUOUS, MB)
+        with injecting(plan):
+            through = runtime.transfer(CONTIGUOUS, CONTIGUOUS, MB, src=0, dst=1)
+            around = runtime.transfer(CONTIGUOUS, CONTIGUOUS, MB, src=2, dst=3)
+        assert through.mbps < base.mbps
+        assert around.mbps == base.mbps
+
+
+class TestRecoveryPhases:
+    def test_retry_and_backoff_become_phases(self, runtime):
+        with injecting(_lossy_plan()):
+            result = runtime.transfer(
+                strided(64, 8), CONTIGUOUS, MB,
+                style=OperationStyle.CHAINED, src=0, dst=1,
+            )
+        names = [name for name, __ in result.phase_ns]
+        assert result.retries > 0
+        assert "retry" in names
+        assert "backoff" in names
+        # Phase nanoseconds still account for the full transfer.
+        assert sum(ns for __, ns in result.phase_ns) <= result.ns + 1e-6
+
+    def test_phase_spans_sum_to_transfer_ns(self, runtime):
+        tracer = Tracer()
+        with tracing(tracer), injecting(_lossy_plan()):
+            result = runtime.transfer(
+                strided(64, 8), CONTIGUOUS, MB,
+                style=OperationStyle.CHAINED, src=0, dst=1,
+            )
+        phase_sum = sum(
+            span.duration_ns
+            for span in tracer.spans("phase")
+            if span.track == "phase"
+        )
+        assert phase_sum == pytest.approx(result.ns, rel=1e-9)
+
+    def test_fault_counters_traced(self, runtime):
+        tracer = Tracer()
+        with tracing(tracer), injecting(_lossy_plan()):
+            runtime.transfer(
+                strided(64, 8), CONTIGUOUS, MB,
+                style=OperationStyle.CHAINED, src=0, dst=1,
+            )
+        counters = tracer.metrics.counters()
+        assert counters.get("faults.retries", 0) > 0
+        assert counters.get("faults.transfers_under_plan", 0) == 1
+
+    def test_deterministic_replay(self, runtime):
+        def run():
+            with injecting(_lossy_plan()):
+                return runtime.transfer(
+                    strided(64, 8), CONTIGUOUS, MB,
+                    style=OperationStyle.CHAINED, src=0, dst=1,
+                )
+
+        first, second = run(), run()
+        assert first.ns == second.ns
+        assert first.mbps == second.mbps
+        assert first.retries == second.retries
+        assert first.phase_ns == second.phase_ns
+
+
+class TestParagon:
+    def test_deposit_fault_on_paragon_falls_back(self):
+        rt = CommRuntime(paragon(), rates="paper")
+        with injecting(FaultPlan(seed=1, deposits=(DepositFault(),))):
+            result = rt.transfer(
+                CONTIGUOUS, CONTIGUOUS, MB, style=OperationStyle.CHAINED
+            )
+        assert result.mbps > 0
+        assert result.degraded is not None

@@ -51,6 +51,55 @@ class TestEngineSelection:
         node.measure_copy(CONTIGUOUS, CONTIGUOUS)
         assert node.last_engine == "scalar"
 
+    def test_auto_fallback_is_counted(self):
+        config = NodeConfig(cache=CacheConfig(write_policy="back"))
+        node = _small(config)
+        assert node.fastpath_fallbacks == 0
+        node.measure_copy(CONTIGUOUS, CONTIGUOUS)
+        assert node.fastpath_fallbacks == 1
+        # A memoized repeat must not recount.
+        node.measure_copy(CONTIGUOUS, CONTIGUOUS)
+        assert node.fastpath_fallbacks == 1
+        node.measure_copy(CONTIGUOUS, strided(8))
+        assert node.fastpath_fallbacks == 2
+
+    def test_auto_fallback_emits_trace_counter(self):
+        from repro.trace import tracing
+
+        config = NodeConfig(cache=CacheConfig(write_policy="back"))
+        node = _small(config)
+        with tracing() as tracer:
+            node.measure_copy(CONTIGUOUS, CONTIGUOUS)
+        counters = tracer.metrics.counters()
+        assert counters.get("memsim.fastpath_unsupported") == 1
+        assert counters.get("memsim.engine.scalar") == 1
+
+    def test_auto_fallback_matches_scalar_engine_exactly(self):
+        config = NodeConfig(cache=CacheConfig(write_policy="back"))
+        auto = _small(config)
+        scalar = _small(config, engine="scalar")
+        for read, write in (
+            (CONTIGUOUS, CONTIGUOUS),
+            (CONTIGUOUS, strided(8)),
+            (strided(16), CONTIGUOUS),
+        ):
+            assert auto.measure_copy(read, write) == scalar.measure_copy(
+                read, write
+            )
+            assert auto.last_engine == "scalar"
+        assert auto.measure_load_send(strided(8)) == scalar.measure_load_send(
+            strided(8)
+        )
+        assert auto.measure_receive_store(
+            strided(8)
+        ) == scalar.measure_receive_store(strided(8))
+
+    def test_supported_config_never_counts_fallbacks(self, node_config):
+        node = _small(node_config)
+        node.measure_copy(CONTIGUOUS, strided(8))
+        assert node.last_engine == "fast"
+        assert node.fastpath_fallbacks == 0
+
     def test_fast_mode_raises_outside_the_envelope(self):
         config = NodeConfig(cache=CacheConfig(write_policy="back"))
         node = _small(config, engine="fast")

@@ -92,6 +92,83 @@ class TestDiskLayer:
         path.parent.mkdir(parents=True)
         path.write_text("{ not json")
         assert cache.lookup("bad") is None
+        assert cache.corrupt == 1
+
+    @pytest.mark.parametrize(
+        "content", ['{"truncat', "", '{"schema": "wrong-format"}', "[1,2,3]"]
+    )
+    def test_damaged_entries_never_raise(self, tmp_path, content):
+        directory = tmp_path / "disk"
+        cache = CalibrationCache(directory=str(directory))
+        path = directory / "tables" / "k.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(content)
+        assert cache.lookup("k") is None
+        assert cache.corrupt == 1
+        assert cache.misses == 1
+
+    def test_corrupt_entry_emits_trace_counter(self, tmp_path):
+        from repro.trace import tracing
+
+        directory = tmp_path / "disk"
+        cache = CalibrationCache(directory=str(directory))
+        path = directory / "tables" / "bad.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("garbage")
+        with tracing() as tracer:
+            cache.lookup("bad")
+        assert tracer.metrics.counters().get("cache.corrupt") == 1
+
+    def test_missing_entry_is_a_plain_miss_not_corruption(self, tmp_path):
+        cache = CalibrationCache(directory=str(tmp_path / "disk"))
+        assert cache.lookup("absent") is None
+        assert cache.corrupt == 0
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_rewritten_on_store(self, tmp_path):
+        directory = tmp_path / "disk"
+        cache = CalibrationCache(directory=str(directory))
+        path = directory / "tables" / "k.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{ not json")
+        assert cache.lookup("k") is None
+        cache.store("k", _table(55.0))
+        fresh = CalibrationCache(directory=str(directory))
+        table = fresh.lookup("k")
+        assert table is not None
+        assert table.get(TransferKind.COPY, "1", "1") == 55.0
+
+    def test_unreadable_entry_is_a_counted_miss(self, tmp_path):
+        import os
+
+        directory = tmp_path / "disk"
+        cache = CalibrationCache(directory=str(directory))
+        cache.store("k", _table())
+        path = cache._path("k")
+        os.chmod(path, 0o000)
+        try:
+            fresh = CalibrationCache(directory=str(directory))
+            if os.access(path, os.R_OK):  # running as root: chmod is moot
+                pytest.skip("permissions not enforced for this user")
+            assert fresh.lookup("k") is None
+            assert fresh.corrupt == 1
+        finally:
+            os.chmod(path, 0o644)
+
+    def test_unwritable_directory_degrades_to_memory(self, tmp_path):
+        import os
+
+        directory = tmp_path / "disk"
+        directory.mkdir()
+        os.chmod(directory, 0o555)
+        try:
+            cache = CalibrationCache(directory=str(directory))
+            cache.store("k", _table(77.0))  # must not raise
+            table = cache.lookup("k")
+            assert table is not None
+            assert table.get(TransferKind.COPY, "1", "1") == 77.0
+        finally:
+            os.chmod(directory, 0o755)
 
     def test_store_writes_valid_json(self, tmp_path):
         directory = tmp_path / "disk"
