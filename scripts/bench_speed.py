@@ -33,6 +33,14 @@ from repro.memsim.node import ENGINE_ENV  # noqa: E402
 #: The acceptance bar: figure-4 regeneration at least this much faster.
 FIG4_TARGET_SPEEDUP = 5.0
 
+#: The sweep acceptance bar: the sharded engine regenerates the
+#: figure-7 grid at least this much faster than the serial per-cell
+#: loop it replaced (worker batching + process parallelism).
+SWEEP_TARGET_SPEEDUP = 2.0
+
+#: Worker processes for the sweep benchmark.
+SWEEP_WORKERS = 4
+
 #: Tracing the figure-4 regeneration may cost at most this fraction of
 #: the untraced run (reported as a warning, not a failure: single-run
 #: wall-clock ratios on shared CI hardware are noisy).
@@ -174,6 +182,41 @@ def main() -> int:
         faulted_s / untraced_s - 1.0 if untraced_s > 0 else 0.0
     )
 
+    # Sweep engine: the figure-7 grid, serial per-cell loop (the exact
+    # code shape the consumers used before repro.sweep existed: every
+    # cell rebuilds its runtime and table from scratch) vs the sharded
+    # engine on SWEEP_WORKERS processes.  The cache stays off so this
+    # measures execution strategy, not cache hits; the two results must
+    # be bit-identical.
+    from repro.sweep import figure7_spec, run_serial, run_sweep
+
+    os.environ[ENGINE_ENV] = "auto"
+    sweep_spec = figure7_spec()
+    serial_sweep_s = float("inf")
+    parallel_sweep_s = float("inf")
+    serial_digest = parallel_digest = None
+    for __ in range(args.repeat):
+        default_cache().clear()
+        started = time.perf_counter()
+        serial_result = run_serial(sweep_spec, batched=False)
+        serial_sweep_s = min(
+            serial_sweep_s, time.perf_counter() - started
+        )
+        serial_digest = serial_result.digest()
+        default_cache().clear()
+        started = time.perf_counter()
+        parallel_result = run_sweep(sweep_spec, workers=SWEEP_WORKERS)
+        parallel_sweep_s = min(
+            parallel_sweep_s, time.perf_counter() - started
+        )
+        parallel_digest = parallel_result.digest()
+    sweep_identical = serial_digest == parallel_digest
+    sweep_speedup = (
+        serial_sweep_s / parallel_sweep_s
+        if parallel_sweep_s > 0
+        else float("inf")
+    )
+
     # Cache effect: cold vs warm table regeneration with caching on.
     del os.environ[CACHE_ENV]
     os.environ[ENGINE_ENV] = "auto"
@@ -217,6 +260,16 @@ def main() -> int:
             "figure4_empty_plan_s": round(faulted_s, 4),
             "overhead_pct": round(faults_overhead * 100.0, 2),
         },
+        "sweep": {
+            "grid": "figure7",
+            "cells": len(serial_result),
+            "workers": SWEEP_WORKERS,
+            "serial_s": round(serial_sweep_s, 4),
+            "parallel_s": round(parallel_sweep_s, 4),
+            "speedup": round(sweep_speedup, 2),
+            "bit_identical": sweep_identical,
+            "digest": parallel_digest,
+        },
         "parity_mismatches": len(mismatches),
         "meets_target": {
             "figure4_speedup_gte_5x":
@@ -225,6 +278,9 @@ def main() -> int:
                 trace_overhead < TRACE_OVERHEAD_LIMIT,
             "figure4_faults_off_overhead_lt_2pct":
                 faults_overhead < FAULTS_OVERHEAD_LIMIT,
+            "figure7_sweep_speedup_gte_2x":
+                sweep_speedup >= SWEEP_TARGET_SPEEDUP,
+            "figure7_sweep_bit_identical": sweep_identical,
         },
     }
     with open(args.output, "w") as handle:
@@ -248,6 +304,12 @@ def main() -> int:
         f"figure4 with empty fault plan: {faulted_s:.2f}s "
         f"({faults_overhead * 100.0:+.1f}% vs no plan)"
     )
+    print(
+        f"figure7 sweep: serial {serial_sweep_s:.2f}s -> "
+        f"{SWEEP_WORKERS} workers {parallel_sweep_s:.2f}s "
+        f"({sweep_speedup:.2f}x, "
+        f"{'bit-identical' if sweep_identical else 'RESULTS DIFFER'})"
+    )
     print(f"wrote {args.output}")
 
     if trace_overhead >= TRACE_OVERHEAD_LIMIT:
@@ -266,6 +328,21 @@ def main() -> int:
     if mismatches:
         print(f"FAIL: {len(mismatches)} scalar/fast figure-4 mismatches",
               file=sys.stderr)
+        return 1
+    if not sweep_identical:
+        print(
+            f"FAIL: figure-7 sweep results differ between serial and "
+            f"{SWEEP_WORKERS}-worker execution "
+            f"({serial_digest} vs {parallel_digest})",
+            file=sys.stderr,
+        )
+        return 1
+    if not payload["meets_target"]["figure7_sweep_speedup_gte_2x"]:
+        print(
+            f"FAIL: figure-7 sweep speedup {sweep_speedup:.2f}x < "
+            f"{SWEEP_TARGET_SPEEDUP:.0f}x target",
+            file=sys.stderr,
+        )
         return 1
     if not payload["meets_target"]["figure4_speedup_gte_5x"]:
         print(

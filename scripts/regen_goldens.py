@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden values under ``tests/golden/data/``.
+
+Run after an *intentional* behavior change and commit the resulting
+diff — it documents exactly which numbers moved::
+
+    PYTHONPATH=src python scripts/regen_goldens.py [--only NAME] [--check]
+
+``--check`` regenerates nothing: it exits 1 if any committed golden
+disagrees with freshly computed values (the same comparison the golden
+tests run, usable as a pre-commit sanity pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.goldens import (  # noqa: E402
+    GOLDEN_TARGETS,
+    compare_values,
+    generate_golden,
+    golden_dir,
+    golden_path,
+    load_golden,
+    render_mismatches,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--only", default=None, choices=sorted(GOLDEN_TARGETS),
+                        help="regenerate a single golden")
+    parser.add_argument("--check", action="store_true",
+                        help="compare instead of writing; exit 1 on drift")
+    args = parser.parse_args()
+
+    names = [args.only] if args.only else sorted(GOLDEN_TARGETS)
+    os.makedirs(golden_dir(), exist_ok=True)
+    failed = False
+    for name in names:
+        if args.check:
+            problems = compare_values(
+                load_golden(name), GOLDEN_TARGETS[name]()
+            )
+            if problems:
+                print(render_mismatches(name, problems), file=sys.stderr)
+                failed = True
+            else:
+                print(f"ok     {name}")
+            continue
+        payload = generate_golden(name)
+        path = golden_path(name)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote  {path} ({len(payload['values'])} cells)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

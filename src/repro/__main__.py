@@ -17,6 +17,12 @@ Commands:
 * ``faults`` — run one transfer (or collective step) twice, healthy and
   under a seeded fault plan, and report the degradation (JSON via
   ``--json``, validated against the ``repro-faults-report/1`` schema);
+  with ``--seeds`` the same operation runs once nominal plus once per
+  seed through the sharded sweep engine and the report covers the
+  whole seed population;
+* ``sweep`` — execute a parameter grid (a preset like ``figure7`` or a
+  spec file) on worker processes via :mod:`repro.sweep`; the merged
+  JSON is bit-identical for any ``--workers``/``--shard-size``;
 * ``report`` — regenerate every paper comparison (slow).
 
 Exit codes, uniform across subcommands:
@@ -288,6 +294,143 @@ def cmd_advise(args: argparse.Namespace) -> None:
     print(advice.render())
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import (
+        SweepError,
+        SweepSpec,
+        calibration_spec,
+        figure7_spec,
+        figure8_spec,
+        run_sweep,
+    )
+
+    if args.spec is not None:
+        with open(args.spec) as handle:
+            spec = SweepSpec.from_dict(json_module.load(handle))
+    elif args.grid == "figure7":
+        spec = figure7_spec()
+    elif args.grid == "figure8":
+        spec = figure8_spec()
+    elif args.grid == "calibration":
+        spec = calibration_spec(args.machine)
+    else:
+        raise SweepError(f"unknown grid {args.grid!r}")
+    if args.seeds:
+        if spec.kind != "transfer":
+            raise SweepError("--seeds only applies to transfer sweeps")
+        import dataclasses as dataclasses_module
+
+        from .sweep import NOMINAL_SEED
+
+        spec = dataclasses_module.replace(
+            spec, seeds=(NOMINAL_SEED, *args.seeds)
+        )
+
+    result = run_sweep(
+        spec,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        shuffle_seed=args.shuffle_seed,
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(result.canonical_json())
+        print(f"wrote {args.out} ({len(result)} cells, "
+              f"digest {result.digest()[:16]})")
+        return EXIT_OK
+    if args.json:
+        # The canonical payload only: identical bytes for any worker
+        # count, shard size or completion order.  Run facts (workers,
+        # wall seconds) are nondeterministic and go to stderr instead.
+        payload = dict(result.to_dict())
+        payload["digest"] = result.digest()
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        print(
+            f"sweep: {result.stats.get('strategy')} "
+            f"workers={result.stats.get('workers')} "
+            f"shards={result.stats.get('shards')} "
+            f"{result.stats.get('elapsed_s', 0.0):.2f}s",
+            file=sys.stderr,
+        )
+        return EXIT_OK
+
+    stats = result.stats
+    print(
+        f"swept {len(result)} cells in {stats.get('elapsed_s', 0.0):.2f}s "
+        f"({stats.get('strategy')}, workers={stats.get('workers')}, "
+        f"shards={stats.get('shards')})"
+    )
+    print(f"digest {result.digest()}")
+    for cell, row in zip(result.cells, result.rows):
+        if "model_mbps" in row:
+            print(f"  {row['id']:40} model {row['model_mbps']:7.1f}  "
+                  f"measured {row['mbps']:7.1f} MB/s")
+        else:
+            print(f"  {row['id']:40} {row['mbps']:7.1f} MB/s")
+    return EXIT_OK
+
+
+def _cmd_faults_sweep(args, machine, x, y, style) -> int:
+    """The ``faults --seeds`` path: nominal + one cell per seed, via
+    the sweep engine (workers/shard-size apply)."""
+    from .sweep import NOMINAL_SEED, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        kind="transfer",
+        machines=(args.machine,),
+        pairs=((args.x, args.y),),
+        styles=(style.value,),
+        sizes=(args.bytes,),
+        seeds=(NOMINAL_SEED, *dict.fromkeys(args.seeds)),
+        rates=args.rates,
+        duplex="off",
+    )
+    result = run_sweep(
+        spec, workers=args.workers, shard_size=args.shard_size
+    )
+    nominal = result.rows[0]
+    seeded = list(zip(spec.seeds[1:], result.rows[1:]))
+    rows = []
+    for seed, row in seeded:
+        delta_pct = (
+            (1.0 - row["mbps"] / nominal["mbps"]) * 100.0
+            if nominal["mbps"]
+            else 0.0
+        )
+        rows.append(
+            {
+                "seed": seed,
+                "mbps": row["mbps"],
+                "ns": row["ns"],
+                "retries": row["retries"],
+                "fallback": row.get("degraded"),
+                "delta": {"throughput_pct": delta_pct},
+            }
+        )
+    payload = {
+        "schema": "repro-faults-sweep/1",
+        "machine": machine.name,
+        "operation": f"{args.x}Q{args.y}",
+        "style": style.value,
+        "nbytes": args.bytes,
+        "nominal": {"mbps": nominal["mbps"], "ns": nominal["ns"]},
+        "seeds": rows,
+    }
+    if args.json:
+        print(json_module.dumps(payload, indent=2))
+        return EXIT_OK
+    print(f"{machine.name} {args.x}Q{args.y} {style.value} "
+          f"{args.bytes} B — {len(rows)} seed(s)")
+    print(f"  nominal:  {nominal['mbps']:8.1f} MB/s")
+    for row in rows:
+        extra = f"  retries {row['retries']}" if row["retries"] else ""
+        fallback = "  fallback" if row["fallback"] else ""
+        print(f"  seed {row['seed']:>5}: {row['mbps']:8.1f} MB/s "
+              f"({row['delta']['throughput_pct']:+.1f}% throughput lost)"
+              f"{extra}{fallback}")
+    return EXIT_OK
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     from .core.operations import OperationStyle as Style
     from .faults import FaultPlan, injecting, validate_faults_report
@@ -298,6 +441,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
     x = AccessPattern.parse(args.x)
     y = AccessPattern.parse(args.y)
     style = Style(args.style)
+    if args.seeds:
+        if args.step is not None:
+            raise ModelError(
+                "--seeds sweeps point-to-point transfers; it does not "
+                "combine with --step"
+            )
+        return _cmd_faults_sweep(args, machine, x, y, style)
     if args.plan is not None:
         plan = FaultPlan.from_json(args.plan)
         if args.seed is not None:
@@ -604,6 +754,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="partition size for --step")
     faults.add_argument("--json", action="store_true",
                         help="emit the machine-readable report")
+    faults.add_argument("--seeds", type=int, nargs="+", default=None,
+                        help="run a whole seed population through the "
+                             "sweep engine (one row per seed, plus the "
+                             "nominal baseline)")
+    faults.add_argument("--workers", type=int, default=1,
+                        help="worker processes for --seeds")
+    faults.add_argument("--shard-size", type=int, default=None,
+                        help="cells per shard for --seeds")
 
     table = commands.add_parser("table", help="print a calibration table")
     table.add_argument("--machine", default="t3d", choices=sorted(MACHINES))
@@ -633,6 +791,39 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--json", default=None,
                            help="write the table(s) as JSON to this path")
 
+    sweep = commands.add_parser(
+        "sweep",
+        help="execute a parameter grid on worker processes",
+        description=(
+            "Run a declarative parameter sweep through the sharded "
+            "engine (repro.sweep): plan the grid into shards, execute "
+            "them on --workers processes, and merge deterministically. "
+            "The emitted canonical JSON (and its digest) is "
+            "bit-identical for any --workers / --shard-size / "
+            "--shuffle-seed combination."
+        ),
+    )
+    sweep.add_argument("--grid", default="figure7",
+                       choices=("figure7", "figure8", "calibration"),
+                       help="preset grid to sweep (ignored with --spec)")
+    sweep.add_argument("--machine", default="t3d", choices=sorted(MACHINES),
+                       help="machine for the calibration grid")
+    sweep.add_argument("--spec", default=None,
+                       help="JSON SweepSpec file instead of a preset")
+    sweep.add_argument("--seeds", type=int, nargs="+", default=None,
+                       help="add a fault-seed axis to a transfer grid")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1: in-process)")
+    sweep.add_argument("--shard-size", type=int, default=None,
+                       help="cells per shard (default: a few per worker)")
+    sweep.add_argument("--shuffle-seed", type=int, default=None,
+                       help="permute shard submission order (results "
+                            "must not change)")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the canonical result payload")
+    sweep.add_argument("--out", default=None,
+                       help="write the canonical JSON to this path")
+
     commands.add_parser("report", help="regenerate all paper comparisons")
     return parser
 
@@ -648,6 +839,7 @@ def main(argv=None) -> int:
         "faults": cmd_faults,
         "lint": cmd_lint,
         "measure": cmd_measure,
+        "sweep": cmd_sweep,
         "table": cmd_table,
         "trace": cmd_trace,
         "report": cmd_report,

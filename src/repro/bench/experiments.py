@@ -207,13 +207,49 @@ def _packing_vs_chained(
     return results
 
 
-def figure7() -> Dict[str, Dict[str, float]]:
-    """Buffer-packing vs chained on the T3D (Figure 7)."""
+def _packing_vs_chained_swept(
+    spec, workers: int, shard_size=None
+) -> Dict[str, Dict[str, float]]:
+    """The Figure 7/8 grid executed through :mod:`repro.sweep`.
+
+    Returns the same mapping (same keys, same insertion order, same
+    values) as :func:`_packing_vs_chained` — only wall-clock differs.
+    """
+    from ..sweep import run_sweep
+
+    result = run_sweep(spec, workers=workers, shard_size=shard_size)
+    results: Dict[str, Dict[str, float]] = {}
+    for cell, row in zip(result.cells, result.rows):
+        name = f"{cell.x}Q{cell.y}"
+        entry = results.setdefault(name, {})
+        entry[f"{cell.style} model"] = row["model_mbps"]
+        entry[f"{cell.style} measured"] = row["mbps"]
+    return results
+
+
+def figure7(workers: int = 1, shard_size=None) -> Dict[str, Dict[str, float]]:
+    """Buffer-packing vs chained on the T3D (Figure 7).
+
+    ``workers`` > 1 executes the grid through the sharded sweep engine
+    (:mod:`repro.sweep`); the returned mapping is identical.
+    """
+    if workers and workers > 1:
+        from ..sweep import figure7_spec
+
+        return _packing_vs_chained_swept(figure7_spec(), workers, shard_size)
     return _packing_vs_chained(t3d())
 
 
-def figure8() -> Dict[str, Dict[str, float]]:
-    """Buffer-packing vs chained on the Paragon (Figure 8)."""
+def figure8(workers: int = 1, shard_size=None) -> Dict[str, Dict[str, float]]:
+    """Buffer-packing vs chained on the Paragon (Figure 8).
+
+    ``workers`` > 1 executes the grid through the sharded sweep engine
+    (:mod:`repro.sweep`); the returned mapping is identical.
+    """
+    if workers and workers > 1:
+        from ..sweep import figure8_spec
+
+        return _packing_vs_chained_swept(figure8_spec(), workers, shard_size)
     return _packing_vs_chained(paragon())
 
 

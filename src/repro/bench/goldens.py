@@ -1,0 +1,202 @@
+"""Golden-value regression harness for the paper experiments.
+
+The accuracy suite (:mod:`repro.bench.accuracy`, ``benchmarks/``)
+checks our numbers against the *paper's* within loose ratios — it
+answers "is the reproduction faithful?".  This module answers a
+different question: "did our own numbers move?".  Every target
+experiment has a committed JSON golden (``tests/golden/data/``) of the
+values the library currently produces; the golden tests regenerate
+each experiment and demand agreement cell by cell, so an accidental
+behavioral change — a timing-rule edit, an engine divergence, a cache
+mixing stale entries — fails loudly with a readable per-cell report
+even when it stays inside the paper-accuracy envelope.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python scripts/regen_goldens.py
+
+and commit the diff — the diff itself then documents exactly which
+published numbers the change moved.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Callable, Dict, List, Tuple
+
+__all__ = [
+    "GOLDEN_SCHEMA",
+    "GOLDEN_TARGETS",
+    "DEFAULT_REL_TOL",
+    "golden_dir",
+    "golden_path",
+    "generate_golden",
+    "load_golden",
+    "compare_values",
+    "render_mismatches",
+]
+
+#: Schema tag embedded in every golden file.
+GOLDEN_SCHEMA = "repro-golden/1"
+
+#: Default per-cell relative tolerance.  The simulation is pure
+#: deterministic float arithmetic, so goldens reproduce exactly on the
+#: platform that wrote them; the slack only absorbs cross-platform
+#: libm/vectorization differences in the last ulps.
+DEFAULT_REL_TOL = 1e-6
+
+
+def golden_dir() -> str:
+    """The committed golden directory (``tests/golden/data``)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "tests", "golden", "data")
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(golden_dir(), f"{name}.json")
+
+
+# -- value generators ---------------------------------------------------------
+#
+# Each returns a flat {cell_key: value} mapping.  Keys are chosen to be
+# stable and self-describing ("1C64", "strided stores (1Cs)@16",
+# "1Q64/chained measured") so a failure names the exact number that
+# moved.
+
+
+def _comparison_values(rows) -> Dict[str, float]:
+    return {row.label: row.ours for row in rows}
+
+
+def _table_values(table_fn, machine_key: str) -> Dict[str, float]:
+    from ..machines import paragon, t3d
+
+    machine = {"t3d": t3d, "paragon": paragon}[machine_key]()
+    return _comparison_values(table_fn(machine))
+
+
+def _figure4_values(machine_key: str) -> Dict[str, float]:
+    from ..machines import paragon, t3d
+
+    from .experiments import figure4
+
+    machine = {"t3d": t3d, "paragon": paragon}[machine_key]()
+    values: Dict[str, float] = {}
+    for series, points in figure4(machine).items():
+        for stride, rate in points:
+            values[f"{series}@{stride}"] = rate
+    return values
+
+
+def _grid_values(figure_fn) -> Dict[str, float]:
+    values: Dict[str, float] = {}
+    for pattern, entries in figure_fn().items():
+        for entry, rate in entries.items():
+            values[f"{pattern}/{entry}"] = rate
+    return values
+
+
+def _make_targets() -> Dict[str, Callable[[], Dict[str, float]]]:
+    from .experiments import figure7, figure8, table1, table2, table3
+
+    targets: Dict[str, Callable[[], Dict[str, float]]] = {}
+    for machine_key in ("t3d", "paragon"):
+        for table_name, table_fn in (
+            ("table1", table1),
+            ("table2", table2),
+            ("table3", table3),
+        ):
+            targets[f"{table_name}_{machine_key}"] = (
+                lambda fn=table_fn, key=machine_key: _table_values(fn, key)
+            )
+        targets[f"figure4_{machine_key}"] = (
+            lambda key=machine_key: _figure4_values(key)
+        )
+    targets["figure7"] = lambda: _grid_values(figure7)
+    targets["figure8"] = lambda: _grid_values(figure8)
+    return targets
+
+
+#: Golden target registry: name -> zero-arg generator of cell values.
+GOLDEN_TARGETS: Dict[str, Callable[[], Dict[str, float]]] = _make_targets()
+
+
+# -- payloads -----------------------------------------------------------------
+
+
+def generate_golden(name: str) -> Dict:
+    """Regenerate the golden payload for one target."""
+    values = GOLDEN_TARGETS[name]()
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "name": name,
+        "rel_tol": DEFAULT_REL_TOL,
+        "tolerances": {},  # per-cell overrides, edited by hand if needed
+        "values": {key: values[key] for key in sorted(values)},
+    }
+
+
+def load_golden(name: str) -> Dict:
+    with open(golden_path(name)) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != GOLDEN_SCHEMA:
+        raise ValueError(
+            f"{golden_path(name)}: expected schema {GOLDEN_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    return payload
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+def compare_values(
+    golden: Dict, fresh: Dict[str, float]
+) -> List[Tuple[str, str]]:
+    """Diff fresh values against a golden payload.
+
+    Returns ``(cell_key, problem)`` pairs — empty when everything
+    agrees within tolerance.  Missing and unexpected cells are
+    problems too: a silently grown or shrunk grid is a behavior
+    change.
+    """
+    rel_tol = float(golden.get("rel_tol", DEFAULT_REL_TOL))
+    overrides = golden.get("tolerances", {})
+    expected = golden["values"]
+    problems: List[Tuple[str, str]] = []
+    for key in sorted(set(expected) - set(fresh)):
+        problems.append((key, "missing from regenerated values"))
+    for key in sorted(set(fresh) - set(expected)):
+        problems.append(
+            (key, f"unexpected new cell (value {fresh[key]:.6g})")
+        )
+    for key in sorted(set(expected) & set(fresh)):
+        want = float(expected[key])
+        got = float(fresh[key])
+        tol = float(overrides.get(key, rel_tol))
+        if not math.isclose(got, want, rel_tol=tol, abs_tol=tol):
+            drift = (got / want - 1.0) * 100.0 if want else float("inf")
+            problems.append(
+                (
+                    key,
+                    f"expected {want:.9g}, got {got:.9g} "
+                    f"({drift:+.4f}%, tol {tol:g})",
+                )
+            )
+    return problems
+
+
+def render_mismatches(name: str, problems: List[Tuple[str, str]]) -> str:
+    """A readable failure report for one golden target."""
+    lines = [
+        f"golden {name!r}: {len(problems)} cell(s) drifted",
+        "(intentional change? regenerate with "
+        "`PYTHONPATH=src python scripts/regen_goldens.py` and commit "
+        "the diff)",
+    ]
+    for key, problem in problems:
+        lines.append(f"  {key:40} {problem}")
+    return "\n".join(lines)

@@ -148,11 +148,15 @@ class Machine:
         nwords: int = DEFAULT_MEASURE_WORDS,
         strides: Tuple[int, ...] = (2, 4, 8, 16, 32, 64),
         use_cache: bool = True,
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
     ) -> ThroughputTable:
         """Calibration derived by running the simulators (Section 4).
 
         Repeat calls are served from the calibration cache
         (:mod:`repro.caching`); ``use_cache=False`` remeasures.
+        ``workers`` > 1 shards the measurement grid across processes
+        via :mod:`repro.sweep`; the table is identical either way.
         """
         from .measure import measure_table
 
@@ -162,6 +166,8 @@ class Machine:
             nwords=nwords,
             strides=strides,
             use_cache=use_cache,
+            workers=workers,
+            shard_size=shard_size,
         )
 
     # -- models -------------------------------------------------------------------

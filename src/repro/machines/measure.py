@@ -6,6 +6,13 @@ runs every basic transfer the machine supports on the memory-system
 simulator, takes the network rates from the network model, and returns
 a ready-to-use :class:`~repro.core.calibration.ThroughputTable`.
 
+The measurement grid is exposed as data: :func:`calibration_entries`
+enumerates the ``(letter, read, write)`` entries a machine supports and
+:func:`measure_entry` evaluates one of them, so the sweep engine
+(:mod:`repro.sweep`) can shard a calibration across worker processes.
+``measure_table(workers=4)`` routes through that path for built-in
+machines; the assembled table is identical to the serial one.
+
 Tables are cached through :mod:`repro.caching` — an in-process LRU
 plus an on-disk layer — keyed by a content hash of everything the
 measurement depends on, because simulating the full grid of long
@@ -16,94 +23,143 @@ run ``python -m repro calibrate --no-cache``) to force remeasurement.
 from __future__ import annotations
 
 import os
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from ..caching import default_cache
 from ..core.calibration import ThroughputTable
+from ..core.errors import CalibrationError
 from ..core.operations import DepositSupport
-from ..core.patterns import CONTIGUOUS, INDEXED, strided
+from ..core.patterns import CONTIGUOUS, INDEXED, AccessPattern, strided
 from ..core.transfers import TransferKind
 from ..memsim.engine import ENGINE_VERSION
 from ..memsim.fastpath import FASTPATH_VERSION
-from ..memsim.node import DEFAULT_MEASURE_WORDS, ENGINE_ENV, NodeMemorySystem
+from ..memsim.node import (
+    DEFAULT_MEASURE_WORDS,
+    ENGINE_ENV,
+    NodeMemorySystem,
+)
 from ..netsim.network import FramingMode
 from .base import Machine
 
-__all__ = ["measure_table", "measurement_cache_key", "DEFAULT_STRIDES"]
+__all__ = [
+    "measure_table",
+    "measurement_cache_key",
+    "calibration_entries",
+    "measure_entry",
+    "CalEntry",
+    "DEFAULT_STRIDES",
+    "MEASURE_VERSION",
+]
 
 #: Stride anchors measured by default; enough for log-interpolation to
 #: track the Figure 4 curves.
 DEFAULT_STRIDES: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)
 
+#: Semantic version of the measurement procedure itself.  Bump when
+#: the entry grid or per-entry evaluation changes meaning, so sweep
+#: workers sharing the disk cache can never mix tables produced by a
+#: different measurement schema into one merged result.
+MEASURE_VERSION = "2"
 
-def _measure_copies(
-    table: ThroughputTable,
-    node: NodeMemorySystem,
-    strides: Tuple[int, ...],
-) -> None:
-    copy = TransferKind.COPY
-    table.set(copy, "1", "1", node.measure_copy(CONTIGUOUS, CONTIGUOUS))
-    table.set(copy, "1", "w", node.measure_copy(CONTIGUOUS, INDEXED))
-    table.set(copy, "w", "1", node.measure_copy(INDEXED, CONTIGUOUS))
+#: One calibration entry: (kind letter, read key, write key) in table
+#: notation — e.g. ``("C", "1", 64)`` is the strided-store copy 1C64,
+#: ``("Nd", "0", "0")`` the data-framed network rate.
+CalEntry = Tuple[str, Union[str, int], Union[str, int]]
+
+_KIND_BY_LETTER = {
+    "C": TransferKind.COPY,
+    "S": TransferKind.LOAD_SEND,
+    "F": TransferKind.FETCH_SEND,
+    "R": TransferKind.RECEIVE_STORE,
+    "D": TransferKind.RECEIVE_DEPOSIT,
+    "Nd": TransferKind.NETWORK_DATA,
+    "Nadp": TransferKind.NETWORK_ADP,
+}
+
+
+def _pattern(key: Union[str, int]) -> AccessPattern:
+    """Table key ("1"/"w"/stride) -> the access pattern it measures."""
+    if key == "1":
+        return CONTIGUOUS
+    if key == "w":
+        return INDEXED
+    return strided(int(key))
+
+
+def calibration_entries(
+    machine: Machine, strides: Tuple[int, ...] = DEFAULT_STRIDES
+) -> Tuple[CalEntry, ...]:
+    """Every entry :func:`measure_table` measures for this machine.
+
+    The list is a pure function of the machine's capabilities and the
+    stride anchors — the sharded and serial paths measure exactly the
+    same grid.
+    """
+    entries: list = [("C", "1", "1"), ("C", "1", "w"), ("C", "w", "1")]
     for s in strides:
-        pattern = strided(s)
-        table.set(copy, "1", s, node.measure_copy(CONTIGUOUS, pattern))
-        table.set(copy, s, "1", node.measure_copy(pattern, CONTIGUOUS))
+        entries.append(("C", "1", s))
+        entries.append(("C", s, "1"))
 
-
-def _measure_sends(
-    table: ThroughputTable,
-    node: NodeMemorySystem,
-    machine: Machine,
-    strides: Tuple[int, ...],
-) -> None:
-    send = TransferKind.LOAD_SEND
-    table.set(send, "1", "0", node.measure_load_send(CONTIGUOUS))
-    table.set(send, "w", "0", node.measure_load_send(INDEXED))
+    entries.append(("S", "1", "0"))
+    entries.append(("S", "w", "0"))
     for s in strides:
-        table.set(send, s, "0", node.measure_load_send(strided(s)))
-    if node.has_dma:
-        table.set(TransferKind.FETCH_SEND, "1", "0", node.measure_fetch_send())
+        entries.append(("S", s, "0"))
+    if machine.node.dma.present:
+        entries.append(("F", "1", "0"))
 
-
-def _measure_receives(
-    table: ThroughputTable,
-    node: NodeMemorySystem,
-    machine: Machine,
-    strides: Tuple[int, ...],
-) -> None:
     deposit_support = machine.capabilities.deposit
     if deposit_support is not DepositSupport.NONE:
-        kind = TransferKind.RECEIVE_DEPOSIT
-        table.set(kind, "0", "1", node.measure_deposit(CONTIGUOUS))
+        entries.append(("D", "0", "1"))
         if deposit_support is DepositSupport.ANY:
-            table.set(kind, "0", "w", node.measure_deposit(INDEXED))
+            entries.append(("D", "0", "w"))
             for s in strides:
-                table.set(kind, "0", s, node.measure_deposit(strided(s)))
+                entries.append(("D", "0", s))
     if machine.capabilities.coprocessor_receive:
-        kind = TransferKind.RECEIVE_STORE
-        table.set(kind, "0", "1", node.measure_receive_store(CONTIGUOUS))
-        table.set(kind, "0", "w", node.measure_receive_store(INDEXED))
+        entries.append(("R", "0", "1"))
+        entries.append(("R", "0", "w"))
         for s in strides:
-            table.set(kind, "0", s, node.measure_receive_store(strided(s)))
+            entries.append(("R", "0", s))
+
+    entries.append(("Nd", "0", "0"))
+    entries.append(("Nadp", "0", "0"))
+    return tuple(entries)
 
 
-def _measure_network(
-    table: ThroughputTable, machine: Machine, congestion: int
-) -> None:
-    model = machine.network_model()
-    table.set(
-        TransferKind.NETWORK_DATA,
-        "0",
-        "0",
-        model.rate(FramingMode.DATA_ONLY, congestion=congestion),
-    )
-    table.set(
-        TransferKind.NETWORK_ADP,
-        "0",
-        "0",
-        model.rate(FramingMode.ADDRESS_DATA_PAIRS, congestion=congestion),
-    )
+def measure_entry(
+    machine: Machine,
+    node: NodeMemorySystem,
+    entry: CalEntry,
+    congestion: Optional[int] = None,
+) -> float:
+    """Measure one calibration entry (MB/s)."""
+    letter, read, write = entry
+    if letter == "C":
+        return node.measure_copy(_pattern(read), _pattern(write))
+    if letter == "S":
+        return node.measure_load_send(_pattern(read))
+    if letter == "F":
+        return node.measure_fetch_send()
+    if letter == "R":
+        return node.measure_receive_store(_pattern(write))
+    if letter == "D":
+        return node.measure_deposit(_pattern(write))
+    if letter in ("Nd", "Nadp"):
+        if congestion is None:
+            congestion = machine.network.default_congestion
+        mode = (
+            FramingMode.DATA_ONLY
+            if letter == "Nd"
+            else FramingMode.ADDRESS_DATA_PAIRS
+        )
+        return machine.network_model().rate(mode, congestion=congestion)
+    raise CalibrationError(f"unknown calibration entry kind {letter!r}")
+
+
+def _table_key(key: Union[str, int]) -> Union[str, int]:
+    """Normalize a (possibly stringified) entry key for table storage."""
+    if isinstance(key, str) and key not in ("0", "1", "w"):
+        return int(key)
+    return key
 
 
 def measurement_cache_key(
@@ -120,17 +176,26 @@ def measurement_cache_key(
     parameters, the engine selection (a forced scalar oracle may differ
     from the fast path in the last float ulp) and the engines' semantic
     versions, so editing timing rules orphans stale disk entries.
+
+    Two inputs exist specifically so concurrent sweep workers sharing
+    the disk cache can never mix stale entries: the machine's
+    *capabilities* (they choose which receives get measured — two
+    machine variants differing only there must not collide) and
+    :data:`MEASURE_VERSION` (bumped whenever the measurement procedure
+    itself changes meaning).
     """
     from ..caching import content_key
 
     return content_key(
         "calibration-table",
+        MEASURE_VERSION,
         ENGINE_VERSION,
         FASTPATH_VERSION,
         os.environ.get(ENGINE_ENV) or "auto",
         machine.name,
         machine.node,
         machine.network,
+        machine.capabilities,
         machine.index_run,
         congestion,
         nwords,
@@ -139,12 +204,76 @@ def measurement_cache_key(
     )
 
 
+def _measure_serial(
+    table: ThroughputTable,
+    machine: Machine,
+    congestion: int,
+    nwords: int,
+    strides: Tuple[int, ...],
+) -> None:
+    node = machine.node_memory(nwords=nwords)
+    for entry in calibration_entries(machine, strides):
+        letter, read, write = entry
+        table.set(
+            _KIND_BY_LETTER[letter],
+            _table_key(read),
+            _table_key(write),
+            measure_entry(machine, node, entry, congestion=congestion),
+        )
+
+
+def _measure_sharded(
+    table: ThroughputTable,
+    machine: Machine,
+    congestion: int,
+    nwords: int,
+    strides: Tuple[int, ...],
+    workers: int,
+    shard_size: Optional[int],
+) -> bool:
+    """Measure via the sweep engine; False if the machine isn't
+    a registry built-in (sweep cells name machines by key)."""
+    from ..sweep import MACHINE_KEYS, calibration_spec, run_sweep
+    from ..sweep.worker import machine_by_key
+
+    # Workers rebuild machines from registry keys, so the sharded path
+    # only applies when `machine` is equivalent to a registry built-in.
+    # "Equivalent" is judged by the measurement cache key — the exact
+    # set of inputs the resulting table depends on — so renamed or
+    # ablated variants fall back to the serial path.
+    want = measurement_cache_key(machine, congestion, nwords, strides)
+    key = None
+    for candidate in MACHINE_KEYS:
+        have = measurement_cache_key(
+            machine_by_key(candidate), congestion, nwords, strides
+        )
+        if have == want:
+            key = candidate
+            break
+    if key is None:
+        return False
+    spec = calibration_spec(
+        key, nwords=nwords, strides=strides, congestion=congestion
+    )
+    result = run_sweep(spec, workers=workers, shard_size=shard_size)
+    for cell, row in zip(result.cells, result.rows):
+        table.set(
+            _KIND_BY_LETTER[cell.style],
+            _table_key(cell.x),
+            _table_key(cell.y),
+            row["mbps"],
+        )
+    return True
+
+
 def measure_table(
     machine: Machine,
     congestion: Optional[int] = None,
     nwords: int = DEFAULT_MEASURE_WORDS,
     strides: Tuple[int, ...] = DEFAULT_STRIDES,
     use_cache: bool = True,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
 ) -> ThroughputTable:
     """Measure a full calibration table on the simulators.
 
@@ -158,6 +287,11 @@ def measure_table(
         use_cache: Consult/populate the calibration cache
             (:mod:`repro.caching`).  ``False`` always remeasures and
             leaves the cache untouched.
+        workers: With a value > 1, shard the measurement grid across
+            worker processes via :mod:`repro.sweep` (built-in machines
+            only; variants fall back to the serial path).  The table is
+            identical to the serial one either way.
+        shard_size: Cells per shard for the parallel path.
     """
     if congestion is None:
         congestion = machine.network.default_congestion
@@ -170,11 +304,13 @@ def measure_table(
     table = ThroughputTable(
         f"{machine.name} (simulated, congestion {congestion})"
     )
-    node = machine.node_memory(nwords=nwords)
-    _measure_copies(table, node, strides)
-    _measure_sends(table, node, machine, strides)
-    _measure_receives(table, node, machine, strides)
-    _measure_network(table, machine, congestion)
+    sharded = False
+    if workers is not None and workers > 1:
+        sharded = _measure_sharded(
+            table, machine, congestion, nwords, strides, workers, shard_size
+        )
+    if not sharded:
+        _measure_serial(table, machine, congestion, nwords, strides)
     if use_cache:
         default_cache().store(key, table)
     return table

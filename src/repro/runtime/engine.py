@@ -42,6 +42,7 @@ from .stages import Stage, StagePipeline
 
 if TYPE_CHECKING:
     from ..analysis.diagnostics import Diagnostic
+    from ..core.calibration import ThroughputTable
 
 __all__ = ["MeasuredTransfer", "CommRuntime", "CPU_CHUNK_OVERHEAD_NS", "measure_q"]
 
@@ -123,6 +124,11 @@ class CommRuntime:
         rates: ``"simulated"`` (default) takes stage rates from the
             memory-system simulator — the full bottom-up path — while
             ``"paper"`` uses the published calibration.
+        table: An explicit calibration table overriding ``rates``.
+            Batch executors (the sweep engine) derive one table per
+            machine and hand it to every runtime they build instead of
+            re-deriving it per construction; passing the table the
+            ``rates`` source would have produced changes nothing else.
         congestion: Default network congestion for transfers that
             don't specify one (defaults to the machine's typical
             value, the paper's bold Table 4 column).
@@ -139,11 +145,14 @@ class CommRuntime:
         rates: str = "simulated",
         congestion: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
+        table: Optional["ThroughputTable"] = None,
     ) -> None:
         self.machine = machine
         self.library = library or lowlevel_profile()
         self.faults = faults
-        if rates == "simulated":
+        if table is not None:
+            self.table = table
+        elif rates == "simulated":
             self.table = machine.simulated_table()
         elif rates == "paper":
             self.table = machine.paper_table()

@@ -1,0 +1,44 @@
+"""Sharded parallel sweep engine with deterministic merge.
+
+Declare a parameter grid as a :class:`SweepSpec`, execute it with
+:func:`run_sweep` on any number of worker processes, and get a
+:class:`SweepResult` that is bit-identical regardless of worker count,
+shard size or completion order.  See ``docs/SWEEPS.md``.
+"""
+
+from .merge import RESULT_SCHEMA, SweepResult, merge_rows
+from .plan import Shard, default_shard_size, plan_shards
+from .runner import run_serial, run_sweep
+from .spec import (
+    GRID_BYTES,
+    GRID_PAIRS,
+    MACHINE_KEYS,
+    NOMINAL_SEED,
+    SweepCell,
+    SweepError,
+    SweepSpec,
+    calibration_spec,
+    figure7_spec,
+    figure8_spec,
+)
+
+__all__ = [
+    "GRID_BYTES",
+    "GRID_PAIRS",
+    "MACHINE_KEYS",
+    "NOMINAL_SEED",
+    "RESULT_SCHEMA",
+    "Shard",
+    "SweepCell",
+    "SweepError",
+    "SweepResult",
+    "SweepSpec",
+    "calibration_spec",
+    "default_shard_size",
+    "figure7_spec",
+    "figure8_spec",
+    "merge_rows",
+    "plan_shards",
+    "run_serial",
+    "run_sweep",
+]

@@ -1,0 +1,98 @@
+"""Shard planning: split a cell grid into work units.
+
+The planner optimizes for the worker-side memos
+(:mod:`repro.sweep.worker`): cells are grouped by the expensive shared
+state they need — machine and calibration source — before being cut
+into shards, so a worker that executes one shard start-to-finish
+derives at most one calibration table.  Shard contents and order are a
+pure function of the cell list and the two knobs (``shard_size``,
+``workers``); nothing about planning may influence merged *values*,
+only wall-clock time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .spec import SweepCell, SweepError
+
+__all__ = ["Shard", "plan_shards", "default_shard_size"]
+
+#: Target shards per worker: enough slack for load balancing without
+#: drowning the pool in tiny round trips.
+_SHARDS_PER_WORKER = 3
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One work unit: a slice of the grid with its canonical indices.
+
+    ``cells`` pair each :class:`~repro.sweep.spec.SweepCell` with its
+    index in the spec's expansion — the merge key that makes results
+    independent of completion order.
+    """
+
+    index: int
+    cells: Tuple[Tuple[int, SweepCell], ...]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def machines(self) -> Tuple[str, ...]:
+        seen = {}
+        for __, cell in self.cells:
+            seen.setdefault(cell.machine, None)
+        return tuple(seen)
+
+
+def default_shard_size(n_cells: int, workers: int) -> int:
+    """Shard size giving every worker a few shards to load-balance."""
+    if n_cells <= 0:
+        return 1
+    return max(1, -(-n_cells // (max(1, workers) * _SHARDS_PER_WORKER)))
+
+
+def plan_shards(
+    cells: Sequence[SweepCell],
+    shard_size: Optional[int] = None,
+    workers: int = 1,
+    shuffle_seed: Optional[int] = None,
+) -> Tuple[Shard, ...]:
+    """Cut ``cells`` into shards, grouped for worker-memo affinity.
+
+    Args:
+        cells: The grid in canonical (spec-expansion) order.
+        shard_size: Cells per shard; defaults to
+            :func:`default_shard_size`.
+        workers: Intended worker count (sizes the default shard).
+        shuffle_seed: When given, deterministically permute shard
+            *submission order*.  Results must not change — the
+            determinism property tests sweep this knob.
+    """
+    if shard_size is not None and shard_size <= 0:
+        raise SweepError(f"shard size must be positive, got {shard_size}")
+    size = shard_size or default_shard_size(len(cells), workers)
+
+    # Stable grouping: cells that share a machine and calibration
+    # source land in contiguous shards (one table per worker instead
+    # of one per cell).  sorted() is stable, so within a group the
+    # canonical order survives.
+    indexed = list(enumerate(cells))
+    indexed.sort(key=lambda pair: (pair[1].machine, pair[1].rates))
+
+    shards: List[Shard] = []
+    for start in range(0, len(indexed), size):
+        shards.append(
+            Shard(
+                index=len(shards),
+                cells=tuple(indexed[start:start + size]),
+            )
+        )
+    if shuffle_seed is not None:
+        order = list(range(len(shards)))
+        random.Random(shuffle_seed).shuffle(order)
+        shards = [shards[i] for i in order]
+    return tuple(shards)

@@ -1,0 +1,241 @@
+"""Sweep execution: serial reference, in-process batched, and pooled.
+
+Three execution strategies, all producing bit-identical
+:class:`~repro.sweep.merge.SweepResult` payloads for the same spec:
+
+* :func:`run_serial` — the *reference implementation*: a plain loop
+  over the grid in canonical order, one fresh runtime per cell,
+  exactly what the pre-sweep consumers did.  Slowest, simplest,
+  obviously correct; the determinism tests compare everything else
+  against it.
+* :func:`run_sweep` with ``workers <= 1`` — in-process execution of
+  the planned shards through the worker module's batched memos.
+* :func:`run_sweep` with ``workers > 1`` — a
+  :class:`~concurrent.futures.ProcessPoolExecutor` executing shards,
+  each worker batching its own shards and all workers sharing the
+  on-disk calibration cache; results are merged by canonical cell
+  index, never by completion order.
+
+Shard lifecycle is observable through the trace layer: with a tracer
+installed (:func:`repro.trace.tracing`) the runner emits
+``sweep.cells`` / ``sweep.shards`` / ``sweep.workers`` counters and
+one span per shard on the ``"sweep"`` track.  Sweep spans record
+**wall-clock** nanoseconds (the sweep engine runs in real time), not
+the simulated nanoseconds the runtime's phase spans use; they share an
+export format, not a clock domain.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..trace.tracer import current_tracer
+from . import worker as worker_module
+from .merge import SweepResult, merge_rows
+from .plan import Shard, plan_shards
+from .spec import SweepError, SweepSpec
+from .worker import init_worker, pinned_environment, run_shard
+
+__all__ = ["run_serial", "run_sweep"]
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits imports); fall back gracefully."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+
+
+def _shard_payload(shard: Shard):
+    return (
+        shard.index,
+        tuple(
+            (cell_index, cell.to_dict())
+            for cell_index, cell in shard.cells
+        ),
+    )
+
+
+def run_serial(spec: SweepSpec, batched: bool = False) -> SweepResult:
+    """Execute the grid with a plain in-order loop (no shards, no pool).
+
+    With ``batched=False`` every cell rebuilds its state from scratch
+    (a fresh memo universe per cell) — the honest pre-sweep baseline
+    the speed benchmark compares against, and the reference the
+    determinism properties hold every other strategy to.  With
+    ``batched=True`` the worker memos persist across cells, which must
+    not change a single bit of the result.
+    """
+    cells = spec.expand()
+    started = time.perf_counter()
+    rows: List[Dict[str, Any]] = []
+    for cell in cells:
+        if not batched:
+            worker_module.reset_memos()
+        rows.append(worker_module.run_cell(cell))
+    if not batched:
+        worker_module.reset_memos()
+    elapsed = time.perf_counter() - started
+    return SweepResult(
+        spec=spec,
+        rows=tuple(rows),
+        stats={
+            "strategy": "serial" if not batched else "serial-batched",
+            "workers": 1,
+            "shards": 0,
+            "cells": len(cells),
+            "elapsed_s": elapsed,
+        },
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    shuffle_seed: Optional[int] = None,
+) -> SweepResult:
+    """Plan, execute and deterministically merge one sweep.
+
+    Args:
+        spec: The grid to sweep.
+        workers: Process count; ``None``, 0 or 1 run the shards
+            in-process (no pool) through the same batched worker code.
+        shard_size: Cells per shard (default: a few shards per worker).
+        shuffle_seed: Deterministically permute shard submission order
+            — a test knob proving completion order cannot leak into
+            results.
+
+    Returns:
+        A :class:`~repro.sweep.merge.SweepResult` whose canonical
+        payload is bit-identical for any ``workers``/``shard_size``/
+        ``shuffle_seed`` combination.
+    """
+    cells = spec.expand()
+    n_workers = max(1, workers or 1)
+    shards = plan_shards(
+        cells,
+        shard_size=shard_size,
+        workers=n_workers,
+        shuffle_seed=shuffle_seed,
+    )
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.count("sweep.cells", len(cells))
+        tracer.count("sweep.shards", len(shards))
+        tracer.count("sweep.workers", n_workers)
+
+    started = time.perf_counter()
+    if n_workers == 1:
+        indexed_rows = _run_shards_inline(shards, tracer, started)
+    else:
+        indexed_rows = _run_shards_pooled(
+            shards, n_workers, tracer, started
+        )
+    rows = merge_rows(cells, indexed_rows)
+    elapsed = time.perf_counter() - started
+
+    if tracer is not None:
+        tracer.span(
+            "sweep",
+            track="sweep",
+            start_ns=0.0,
+            duration_ns=elapsed * 1e9,
+            category="sweep",
+            cells=len(cells),
+            shards=len(shards),
+            workers=n_workers,
+        )
+    return SweepResult(
+        spec=spec,
+        rows=rows,
+        stats={
+            "strategy": "pool" if n_workers > 1 else "inline",
+            "workers": n_workers,
+            "shards": len(shards),
+            "shard_size": max((len(s) for s in shards), default=0),
+            "cells": len(cells),
+            "elapsed_s": elapsed,
+        },
+    )
+
+
+def _trace_shard(
+    tracer, shard: Shard, t0: float, started: float, finished: float
+) -> None:
+    tracer.span(
+        f"shard:{shard.index}",
+        track="sweep",
+        start_ns=(started - t0) * 1e9,
+        duration_ns=(finished - started) * 1e9,
+        category="shard",
+        cells=len(shard),
+        machines=list(shard.machines),
+    )
+
+
+def _run_shards_inline(
+    shards: Tuple[Shard, ...], tracer, t0: float
+) -> List[Tuple[int, Dict[str, Any]]]:
+    indexed_rows: List[Tuple[int, Dict[str, Any]]] = []
+    for shard in shards:
+        shard_started = time.perf_counter()
+        __, rows = run_shard(_shard_payload(shard))
+        indexed_rows.extend(rows)
+        if tracer is not None:
+            _trace_shard(
+                tracer, shard, t0, shard_started, time.perf_counter()
+            )
+    return indexed_rows
+
+
+def _run_shards_pooled(
+    shards: Tuple[Shard, ...],
+    n_workers: int,
+    tracer,
+    t0: float,
+) -> List[Tuple[int, Dict[str, Any]]]:
+    indexed_rows: List[Tuple[int, Dict[str, Any]]] = []
+    by_shard_index = {shard.index: shard for shard in shards}
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, max(1, len(shards))),
+            mp_context=_pool_context(),
+            initializer=init_worker,
+            initargs=(pinned_environment(),),
+        ) as pool:
+            pending = {}
+            for shard in shards:
+                future = pool.submit(run_shard, _shard_payload(shard))
+                pending[future] = (shard, time.perf_counter())
+            while pending:
+                done, __ = wait(
+                    list(pending), return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    shard, submitted = pending.pop(future)
+                    shard_index, rows = future.result()
+                    if shard_index != shard.index:
+                        raise SweepError(
+                            f"shard {shard.index} returned as "
+                            f"{shard_index}; executor mixed results"
+                        )
+                    indexed_rows.extend(rows)
+                    if tracer is not None:
+                        _trace_shard(
+                            tracer,
+                            by_shard_index[shard_index],
+                            t0,
+                            submitted,
+                            time.perf_counter(),
+                        )
+                        tracer.count("sweep.shards_completed")
+    except SweepError:
+        raise
+    except Exception as exc:  # pool/pickling/worker-crash failures
+        raise SweepError(f"sweep worker pool failed: {exc}") from exc
+    return indexed_rows

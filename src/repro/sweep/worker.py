@@ -1,0 +1,236 @@
+"""Per-process sweep execution: batched, memoized, deterministic.
+
+Each worker process executes whole shards.  The win over the naive
+per-cell loop is **batching**: cells of one shard (and of later shards
+the same process picks up) share a worker-local memo of machines,
+calibration tables, runtimes and node harnesses, so the expensive
+shared work — deriving a machine's simulated calibration table — is
+paid once per process instead of once per cell.  On top of that the
+workers share the on-disk calibration cache (:mod:`repro.caching`),
+so across processes each distinct table is simulated at most once per
+cache-cold run.
+
+Nothing here may affect *values*: every memoized object is a pure
+function of its key, so batched, unbatched, in-process and pooled
+execution produce bit-identical rows (asserted by
+``tests/properties/test_sweep_properties.py``).
+
+The module is import-safe for both ``fork`` and ``spawn`` start
+methods: all state lives in module-level dictionaries rebuilt lazily,
+and :func:`init_worker` (the pool initializer) clears them and pins
+the relevant environment so a spawned worker matches its parent.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..caching import CACHE_DIR_ENV, CACHE_ENV
+from ..core.operations import OperationStyle
+from ..core.patterns import AccessPattern
+from ..memsim.node import ENGINE_ENV
+from .spec import NOMINAL_SEED, SweepCell, SweepError
+
+__all__ = [
+    "init_worker",
+    "machine_by_key",
+    "pinned_environment",
+    "reset_memos",
+    "run_shard",
+]
+
+#: Environment variables a worker must share with its parent for the
+#: run to be reproducible (engine selection and cache configuration).
+_PINNED_ENV = (ENGINE_ENV, CACHE_ENV, CACHE_DIR_ENV)
+
+# Worker-local memos (pure caches; see module docstring).
+_machines: Dict[str, Any] = {}
+_models: Dict[Tuple[str, str], Any] = {}
+_runtimes: Dict[Tuple[str, str, str], Any] = {}
+_tables: Dict[Tuple[str, str], Any] = {}
+_nodes: Dict[Tuple[str, int], Any] = {}
+
+
+def machine_by_key(name: str):
+    """Resolve a registry key ("t3d") to a memoized Machine."""
+    if name not in _machines:
+        from ..machines import paragon, t3d
+
+        factories = {"t3d": t3d, "paragon": paragon}
+        if name not in factories:
+            raise SweepError(f"unknown machine {name!r}")
+        _machines[name] = factories[name]()
+    return _machines[name]
+
+
+def reset_memos() -> None:
+    """Drop every worker-local memo (benchmarks call this for honesty:
+    a forked worker must not inherit tables its parent already built)."""
+    _machines.clear()
+    _models.clear()
+    _runtimes.clear()
+    _tables.clear()
+    _nodes.clear()
+
+
+def pinned_environment() -> Dict[str, str]:
+    """The parent-side environment snapshot shipped to workers."""
+    return {
+        name: os.environ[name] for name in _PINNED_ENV if name in os.environ
+    }
+
+
+def init_worker(environment: Dict[str, str]) -> None:
+    """Pool initializer: pin the environment, start from cold memos."""
+    for name in _PINNED_ENV:
+        os.environ.pop(name, None)
+    os.environ.update(environment)
+    reset_memos()
+
+
+# -- shared building blocks ---------------------------------------------------
+
+
+def _pattern(key: str) -> AccessPattern:
+    return AccessPattern.parse(key)
+
+
+def _table(machine_name: str, rates: str):
+    key = (machine_name, rates)
+    if key not in _tables:
+        machine = machine_by_key(machine_name)
+        if rates == "paper":
+            _tables[key] = machine.paper_table()
+        else:
+            _tables[key] = machine.simulated_table()
+    return _tables[key]
+
+
+def _runtime(machine_name: str, style: str, rates: str):
+    """A memoized CommRuntime under measure_q's library conventions."""
+    key = (machine_name, style, rates)
+    if key not in _runtimes:
+        from ..runtime.engine import CommRuntime
+        from ..runtime.libraries import lowlevel_profile, packing_profile
+
+        machine = machine_by_key(machine_name)
+        library = (
+            packing_profile()
+            if OperationStyle(style) is OperationStyle.BUFFER_PACKING
+            else lowlevel_profile()
+        )
+        _runtimes[key] = CommRuntime(
+            machine,
+            library=library,
+            rates=rates,
+            table=_table(machine_name, rates),
+        )
+    return _runtimes[key]
+
+
+def _model(machine_name: str, source: str):
+    key = (machine_name, source)
+    if key not in _models:
+        _models[key] = machine_by_key(machine_name).model(source=source)
+    return _models[key]
+
+
+def _node(machine_name: str, nwords: int):
+    key = (machine_name, nwords)
+    if key not in _nodes:
+        _nodes[key] = machine_by_key(machine_name).node_memory(nwords=nwords)
+    return _nodes[key]
+
+
+# -- cell execution -----------------------------------------------------------
+
+
+def run_cell(cell: SweepCell) -> Dict[str, Any]:
+    """Execute one cell and return its JSON-plain result row."""
+    if cell.kind == "calibrate":
+        return _run_calibrate_cell(cell)
+    if cell.kind == "transfer":
+        return _run_transfer_cell(cell)
+    raise SweepError(f"unknown cell kind {cell.kind!r}")
+
+
+def _run_transfer_cell(cell: SweepCell) -> Dict[str, Any]:
+    machine = machine_by_key(cell.machine)
+    x = _pattern(cell.x)
+    y = _pattern(cell.y)
+    style = OperationStyle(cell.style)
+    model_mbps = _model(cell.machine, cell.model_source).estimate(
+        x, y, style
+    ).mbps
+    runtime = _runtime(cell.machine, cell.style, cell.rates)
+    congestion = None if cell.congestion < 0 else cell.congestion
+    if cell.duplex == "auto":
+        duplex = not machine.quirks.measures_simplex
+    else:
+        duplex = cell.duplex == "on"
+
+    if cell.seed == NOMINAL_SEED:
+        sample = runtime.transfer(
+            x, y, cell.size, style=style, congestion=congestion,
+            duplex=duplex,
+        )
+    else:
+        from ..faults import FaultPlan, injecting
+
+        with injecting(FaultPlan.chaos(cell.seed)):
+            sample = runtime.transfer(
+                x, y, cell.size, style=style, congestion=congestion,
+                duplex=duplex,
+            )
+    row: Dict[str, Any] = {
+        "id": cell.cell_id,
+        "model_mbps": model_mbps,
+        "mbps": sample.mbps,
+        "ns": sample.ns,
+        "style": sample.style.value,
+        "retries": sample.retries,
+    }
+    if sample.degraded is not None:
+        row["degraded"] = sample.degraded.to_dict()
+    return row
+
+
+def _run_calibrate_cell(cell: SweepCell) -> Dict[str, Any]:
+    from ..machines.measure import measure_entry
+
+    machine = machine_by_key(cell.machine)
+    congestion = None if cell.congestion < 0 else cell.congestion
+    rate = measure_entry(
+        machine,
+        _node(cell.machine, cell.size),
+        (cell.style, cell.x, cell.y),
+        congestion=congestion,
+    )
+    return {"id": cell.cell_id, "mbps": rate}
+
+
+def run_shard(
+    payload: Tuple[int, Tuple[Tuple[int, Dict[str, Any]], ...]],
+) -> Tuple[int, List[Tuple[int, Dict[str, Any]]]]:
+    """Execute one shard: ``(shard_index, ((cell_index, cell_dict), ...))``.
+
+    Returns ``(shard_index, [(cell_index, row), ...])``.  Cell dicts
+    (not :class:`SweepCell` objects) cross the process boundary so a
+    spawned worker never depends on pickling implementation details.
+    A failing cell aborts the whole shard with a :class:`SweepError`
+    naming it — a silently absent cell must never reach the merge.
+    """
+    shard_index, indexed_cells = payload
+    rows: List[Tuple[int, Dict[str, Any]]] = []
+    for cell_index, cell_dict in indexed_cells:
+        cell = SweepCell.from_dict(cell_dict)
+        try:
+            rows.append((cell_index, run_cell(cell)))
+        except SweepError:
+            raise
+        except Exception as exc:
+            raise SweepError(
+                f"cell {cell.cell_id!r} failed: {exc}"
+            ) from exc
+    return shard_index, rows

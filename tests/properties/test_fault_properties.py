@@ -143,6 +143,7 @@ class TestEngineIndependence:
                     os.environ[ENGINE_ENV] = previous
         assert _fingerprint(results["scalar"]) == _fingerprint(results["fast"])
 
+    @pytest.mark.slow
     @given(plan=_PLANS)
     @settings(max_examples=5, deadline=None)
     def test_simulated_rates_agree_to_engine_parity(self, plan):

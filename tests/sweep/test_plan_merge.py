@@ -1,0 +1,135 @@
+"""Planner and deterministic merge: shapes, affinity, loud failures."""
+
+import pytest
+
+from repro.sweep import (
+    SweepError,
+    SweepResult,
+    default_shard_size,
+    figure7_spec,
+    merge_rows,
+    plan_shards,
+)
+from repro.sweep.spec import SweepSpec
+
+
+def _cells():
+    return SweepSpec(
+        machines=("t3d", "paragon"), pairs=(("1", "1"), ("1", "64"))
+    ).expand()
+
+
+class TestPlanner:
+    def test_every_cell_planned_exactly_once(self):
+        cells = _cells()
+        shards = plan_shards(cells, shard_size=3)
+        planned = sorted(
+            index for shard in shards for index, __ in shard.cells
+        )
+        assert planned == list(range(len(cells)))
+
+    def test_shard_size_respected(self):
+        shards = plan_shards(_cells(), shard_size=3)
+        assert all(len(shard) <= 3 for shard in shards)
+
+    def test_machine_affinity_grouping(self):
+        # With shard_size spanning one machine's cells exactly, no
+        # shard should mix machines (one calibration table per shard).
+        cells = _cells()
+        per_machine = len(cells) // 2
+        shards = plan_shards(cells, shard_size=per_machine)
+        assert all(len(shard.machines) == 1 for shard in shards)
+
+    def test_shuffle_permutes_submission_order_only(self):
+        cells = _cells()
+        plain = plan_shards(cells, shard_size=2)
+        shuffled = plan_shards(cells, shard_size=2, shuffle_seed=99)
+        assert sorted(s.index for s in plain) == sorted(
+            s.index for s in shuffled
+        )
+        by_index = {s.index: s for s in plain}
+        assert all(by_index[s.index] == s for s in shuffled)
+
+    def test_shuffle_is_deterministic(self):
+        cells = _cells()
+        a = plan_shards(cells, shard_size=2, shuffle_seed=5)
+        b = plan_shards(cells, shard_size=2, shuffle_seed=5)
+        assert a == b
+
+    def test_nonpositive_shard_size_rejected(self):
+        with pytest.raises(SweepError, match="shard size"):
+            plan_shards(_cells(), shard_size=0)
+
+    def test_default_shard_size_scales_with_workers(self):
+        assert default_shard_size(0, 4) == 1
+        assert default_shard_size(100, 1) > default_shard_size(100, 8)
+        # Enough shards for every worker to get a few.
+        assert 100 // default_shard_size(100, 4) >= 4
+
+
+class TestMerge:
+    def test_rows_land_at_canonical_indices(self):
+        cells = _cells()
+        rows = [{"id": cell.cell_id} for cell in cells]
+        shuffled = list(enumerate(rows))
+        shuffled.reverse()
+        assert merge_rows(cells, shuffled) == tuple(rows)
+
+    def test_missing_cell_fails_loudly(self):
+        cells = _cells()
+        with pytest.raises(SweepError, match="never reported"):
+            merge_rows(cells, [(0, {"id": "only-one"})])
+
+    def test_duplicate_cell_fails_loudly(self):
+        cells = _cells()
+        rows = [(i, {"id": c.cell_id}) for i, c in enumerate(cells)]
+        with pytest.raises(SweepError, match="reported twice"):
+            merge_rows(cells, rows + [rows[0]])
+
+    def test_out_of_range_index_fails_loudly(self):
+        with pytest.raises(SweepError, match="outside"):
+            merge_rows(_cells(), [(999, {"id": "ghost"})])
+
+
+class TestResultPayload:
+    def test_round_trip(self):
+        spec = figure7_spec()
+        rows = tuple({"id": c.cell_id, "mbps": 1.0} for c in spec.expand())
+        result = SweepResult(spec=spec, rows=rows, stats={"workers": 4})
+        reloaded = SweepResult.from_dict(result.to_dict())
+        assert reloaded == result
+        assert reloaded.digest() == result.digest()
+
+    def test_stats_never_reach_the_canonical_payload(self):
+        spec = figure7_spec()
+        rows = tuple({"id": c.cell_id} for c in spec.expand())
+        a = SweepResult(spec=spec, rows=rows, stats={"elapsed_s": 1.0})
+        b = SweepResult(spec=spec, rows=rows, stats={"elapsed_s": 9.9})
+        assert a.canonical_json() == b.canonical_json()
+        assert "elapsed_s" not in a.canonical_json()
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(SweepError, match="schema"):
+            SweepResult.from_dict({"schema": "repro-sweep-result/0"})
+
+    def test_row_count_mismatch_rejected(self):
+        payload = SweepResult(
+            spec=figure7_spec(),
+            rows=tuple(
+                {"id": c.cell_id} for c in figure7_spec().expand()
+            ),
+        ).to_dict()
+        payload["results"] = payload["results"][:-1]
+        with pytest.raises(SweepError, match="rows"):
+            SweepResult.from_dict(payload)
+
+    def test_row_lookup_by_cell_id(self):
+        spec = figure7_spec()
+        rows = tuple(
+            {"id": c.cell_id, "mbps": float(i)}
+            for i, c in enumerate(spec.expand())
+        )
+        result = SweepResult(spec=spec, rows=rows)
+        assert result.row("t3d:1Q64:chained:131072")["mbps"] == 3.0
+        with pytest.raises(KeyError):
+            result.row("t3d:9Q9:chained:131072")

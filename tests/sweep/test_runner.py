@@ -1,0 +1,120 @@
+"""Runner strategies and worker batching: equality and bookkeeping.
+
+These use ``rates="paper"`` grids — no simulator calibration — so the
+whole file stays fast; the simulated-rates equalities live in the
+property suite and the speed benchmark.
+"""
+
+import pytest
+
+from repro.sweep import (
+    NOMINAL_SEED,
+    SweepError,
+    SweepSpec,
+    run_serial,
+    run_sweep,
+)
+from repro.sweep import worker as worker_module
+from repro.trace import tracing
+
+FAST_SPEC = SweepSpec(
+    machines=("t3d", "paragon"),
+    pairs=(("1", "1"), ("1", "64"), ("w", "1")),
+    sizes=(8192,),
+    rates="paper",
+)
+
+
+class TestStrategies:
+    def test_serial_batched_and_unbatched_agree(self):
+        a = run_serial(FAST_SPEC, batched=False)
+        b = run_serial(FAST_SPEC, batched=True)
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_inline_matches_serial(self):
+        assert (
+            run_sweep(FAST_SPEC, workers=1).digest()
+            == run_serial(FAST_SPEC).digest()
+        )
+
+    def test_pool_matches_serial(self):
+        assert (
+            run_sweep(FAST_SPEC, workers=2).digest()
+            == run_serial(FAST_SPEC).digest()
+        )
+
+    def test_rows_align_with_cells(self):
+        result = run_sweep(FAST_SPEC, workers=1)
+        assert len(result.rows) == len(result.cells)
+        for cell, row in zip(result.cells, result.rows):
+            assert row["id"] == cell.cell_id
+
+    def test_stats_record_strategy(self):
+        assert run_sweep(FAST_SPEC, workers=1).stats["strategy"] == "inline"
+        assert run_sweep(FAST_SPEC, workers=2).stats["strategy"] == "pool"
+        assert run_serial(FAST_SPEC).stats["strategy"] == "serial"
+
+    def test_seeded_cells_execute_under_fault_plans(self):
+        spec = SweepSpec(
+            machines=("t3d",),
+            pairs=(("1", "64"),),
+            styles=("chained",),
+            sizes=(8192,),
+            seeds=(NOMINAL_SEED, 7),
+            rates="paper",
+            duplex="off",
+        )
+        result = run_sweep(spec, workers=1)
+        nominal, seeded = result.rows
+        assert nominal["mbps"] > seeded["mbps"]
+        assert "degraded" in seeded or seeded["retries"] >= 0
+
+    def test_failing_cell_aborts_with_cell_name(self):
+        bad = SweepSpec(machines=("t3d",)).expand()[0].to_dict()
+        bad["x"] = "not-a-pattern"
+        with pytest.raises(SweepError, match="failed"):
+            worker_module.run_shard((0, ((0, bad),)))
+
+
+class TestTracing:
+    def test_sweep_emits_shard_spans_and_counters(self):
+        with tracing() as tracer:
+            run_sweep(FAST_SPEC, workers=1, shard_size=4)
+        counters = tracer.metrics.counters()
+        assert counters["sweep.cells"] == 12
+        assert counters["sweep.shards"] == 3
+        spans = tracer.spans("shard")
+        assert len(spans) == 3
+        assert {span.track for span in spans} == {"sweep"}
+        (sweep_span,) = tracer.spans("sweep")
+        assert sweep_span.args["cells"] == 12
+
+
+class TestWorkerHygiene:
+    def test_reset_memos_clears_everything(self):
+        worker_module.machine_by_key("t3d")
+        assert worker_module._machines
+        worker_module.reset_memos()
+        assert not worker_module._machines
+        assert not worker_module._tables
+        assert not worker_module._runtimes
+
+    def test_unknown_machine_key_raises(self):
+        with pytest.raises(SweepError, match="unknown machine"):
+            worker_module.machine_by_key("cm5")
+
+    def test_init_worker_pins_environment(self, monkeypatch):
+        from repro.memsim.node import ENGINE_ENV
+
+        monkeypatch.setenv(ENGINE_ENV, "scalar")
+        worker_module.init_worker({})
+        assert ENGINE_ENV not in __import__("os").environ
+        worker_module.init_worker({ENGINE_ENV: "auto"})
+        assert __import__("os").environ[ENGINE_ENV] == "auto"
+
+    def test_pinned_environment_round_trips(self, monkeypatch):
+        from repro.caching import CACHE_ENV
+
+        monkeypatch.setenv(CACHE_ENV, "off")
+        snapshot = worker_module.pinned_environment()
+        assert snapshot[CACHE_ENV] == "off"
