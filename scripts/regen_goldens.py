@@ -22,28 +22,52 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench.goldens import (  # noqa: E402
+    GOLDEN_JSON_TARGETS,
     GOLDEN_TARGETS,
     compare_values,
     generate_golden,
     golden_dir,
     golden_path,
+    json_diff,
     load_golden,
+    load_json_golden,
     render_mismatches,
 )
+
+ALL_NAMES = sorted(set(GOLDEN_TARGETS) | set(GOLDEN_JSON_TARGETS))
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--only", default=None, choices=sorted(GOLDEN_TARGETS),
+    parser.add_argument("--only", default=None, choices=ALL_NAMES,
                         help="regenerate a single golden")
     parser.add_argument("--check", action="store_true",
                         help="compare instead of writing; exit 1 on drift")
     args = parser.parse_args()
 
-    names = [args.only] if args.only else sorted(GOLDEN_TARGETS)
+    names = [args.only] if args.only else ALL_NAMES
     os.makedirs(golden_dir(), exist_ok=True)
     failed = False
     for name in names:
+        if name in GOLDEN_JSON_TARGETS:
+            # Exact-JSON goldens: the committed file is the payload.
+            payload = GOLDEN_JSON_TARGETS[name]()
+            if args.check:
+                problems = json_diff(load_json_golden(name), payload)
+                if problems:
+                    print(f"golden {name!r} drifted:", file=sys.stderr)
+                    for problem in problems:
+                        print(f"  {problem}", file=sys.stderr)
+                    failed = True
+                else:
+                    print(f"ok     {name}")
+                continue
+            path = golden_path(name)
+            with open(path, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote  {path} (exact JSON)")
+            continue
         if args.check:
             problems = compare_values(
                 load_golden(name), GOLDEN_TARGETS[name]()

@@ -14,6 +14,11 @@ under ``src/repro/``:
 * **SC003** — ``__all__`` consistency: every name a module exports must
   be bound at module top level (def / class / assignment / import),
   and ``__all__`` must not contain duplicates.
+* **SC004** — the semantic verifier agrees with its own example plans:
+  the clean example verifies ok, the racy and deadlocking examples
+  produce their seeded CT21x findings, every payload passes the
+  ``repro-verify-report/1`` validator, and fault coverage is complete
+  on both machines.
 
 Exit status: 0 when clean, 1 when any violation is found.
 """
@@ -172,6 +177,47 @@ def check_all_consistency(path: Path, tree: ast.Module) -> Iterator[str]:
             )
 
 
+def check_verifier_examples() -> Iterator[str]:
+    """SC004: run the verify passes over the repo's own example plans."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis.verify import validate_verify_report
+    from repro.analysis.verify.examples import (
+        EXAMPLES,
+        example_payload,
+        example_result,
+    )
+
+    for machine_key in ("t3d", "paragon"):
+        expected_rules = {"clean": set(), "racy": {"CT211"},
+                          "deadlock": {"CT212"}}
+        for example in sorted(EXAMPLES):
+            where = f"verify[{machine_key}:{example}]"
+            result = example_result(machine_key, example)
+            rules = {d.rule for d in result.diagnostics}
+            want = expected_rules[example]
+            if example == "clean" and not result.ok:
+                yield (
+                    f"SC004 {where}: clean example reported findings "
+                    f"{sorted(rules)}"
+                )
+            if want - rules:
+                yield (
+                    f"SC004 {where}: expected {sorted(want)} among "
+                    f"diagnostics, got {sorted(rules)}"
+                )
+            uncovered = [
+                entry.fault_class for entry in result.coverage
+                if not entry.covered
+            ]
+            if uncovered:
+                yield f"SC004 {where}: uncovered fault classes {uncovered}"
+            problems = validate_verify_report(
+                example_payload(machine_key, example)
+            )
+            for problem in problems:
+                yield f"SC004 {where}: payload invalid: {problem}"
+
+
 def main() -> int:
     modules = list(iter_modules())
     violations: List[str] = []
@@ -179,6 +225,7 @@ def main() -> int:
         violations.extend(check_mutable_dataclass_defaults(path, tree))
         violations.extend(check_all_consistency(path, tree))
     violations.extend(check_error_docstrings(modules))
+    violations.extend(check_verifier_examples())
     for violation in violations:
         print(violation)
     if violations:

@@ -5,7 +5,14 @@ Commands:
 * ``machines`` — list the built-in machines and their headline rates;
 * ``estimate`` — model throughput of ``xQy`` for both strategies;
 * ``lint`` — statically analyze a composition expression or ``xQy``
-  operation and report structured diagnostics;
+  operation and report structured diagnostics (``--deep`` adds the
+  semantic verifier's CT21x passes; ``--json`` emits the
+  ``repro-lint-report/1`` schema);
+* ``verify`` — run the semantic plan verifier (race, deadlock,
+  interval-bounds and fault-coverage passes) over an expression, a
+  step pattern (``--step shift|all-to-all|fan-in``) or a plan file;
+  exits 1 on any CT21x finding (``--json`` emits the
+  ``repro-verify-report/1`` schema);
 * ``measure`` — end-to-end runtime measurement of one transfer;
 * ``table`` — print (or export as JSON) a calibration table;
 * ``calibrate`` — run the Section-4 calibration measurements against
@@ -27,10 +34,12 @@ Commands:
 
 Exit codes, uniform across subcommands:
 
-* ``0`` — success (for ``lint``: no error-severity diagnostics);
+* ``0`` — success (for ``lint``: no error-severity diagnostics; for
+  ``verify``: additionally no CT21x finding);
 * ``1`` — operational failure (a :class:`ModelError`, including fault
   aborts, or an unreadable/unwritable input or output file, or ``lint``
-  found at least one error-severity diagnostic);
+  found at least one error-severity diagnostic, or ``verify`` found a
+  CT21x diagnostic);
 * ``2`` — usage error (argparse: unknown flags, bad choices).
 """
 
@@ -95,7 +104,15 @@ def cmd_estimate(args: argparse.Namespace) -> None:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis import analyze, has_errors, parse_expr, render_report
+    from .analysis import (
+        LINT_SCHEMA,
+        analyze,
+        has_errors,
+        parse_expr,
+        render_report,
+        validate_lint_report,
+        verify_expr,
+    )
 
     model = None
     if args.machine != "none":
@@ -128,11 +145,17 @@ def cmd_lint(args: argparse.Namespace) -> int:
             constraints=model.constraints if model else (),
             rules=rules,
         )
+        if args.deep:
+            deep = verify_expr(
+                expr, model=model, only=rules, name=expr.notation()
+            )
+            diagnostics = tuple(diagnostics) + deep.diagnostics
         results.append((expr, diagnostics))
 
     all_diagnostics = [d for __, diagnostics in results for d in diagnostics]
     if args.json:
         payload = {
+            "schema": LINT_SCHEMA,
             "results": [
                 {
                     "notation": expr.notation(),
@@ -148,12 +171,92 @@ def cmd_lint(args: argparse.Namespace) -> int:
             },
             "ok": not has_errors(all_diagnostics),
         }
+        errors = validate_lint_report(payload)
+        if errors:
+            raise ModelError(
+                "lint report fails its own schema: " + "; ".join(errors)
+            )
         print(json_module.dumps(payload, indent=2))
     else:
         for expr, diagnostics in results:
             print(f"lint {expr.notation()}")
             print(render_report(diagnostics))
     return EXIT_FAILURE if has_errors(all_diagnostics) else EXIT_OK
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .analysis import (
+        parse_expr,
+        results_payload,
+        validate_verify_report,
+        verify_expr,
+        verify_plan,
+    )
+    from .analysis.verify.examples import step_plan
+
+    model = None
+    if args.machine != "none":
+        machine = _machine(args.machine)
+        model = machine.model(source=args.source, congestion=args.congestion)
+    rules = args.rules.split(",") if args.rules else None
+    style = args.style
+
+    if args.expr is not None:
+        expr = parse_expr(args.expr)
+        results = [
+            verify_expr(
+                expr,
+                model=model,
+                nbytes=args.bytes,
+                style=style,
+                only=rules,
+                name=expr.notation(),
+            )
+        ]
+    elif args.plan is not None:
+        from .compiler.commgen import CommPlan, transpose_2d
+
+        if args.plan == "transpose":
+            plan = transpose_2d(256, 256, args.nodes)
+        else:
+            plan = CommPlan.from_json(args.plan)
+        results = [
+            verify_plan(
+                plan,
+                model=model,
+                style=style,
+                schedule=args.schedule,
+                discipline=args.discipline,
+                only=rules,
+            )
+        ]
+    else:
+        plan = step_plan(
+            args.step, args.nodes, x=args.x, y=args.y, nbytes=args.bytes
+        )
+        results = [
+            verify_plan(
+                plan,
+                model=model,
+                style=style,
+                schedule=args.schedule,
+                discipline=args.discipline,
+                only=rules,
+            )
+        ]
+
+    payload = results_payload(results)
+    errors = validate_verify_report(payload)
+    if errors:
+        raise ModelError(
+            "verify report fails its own schema: " + "; ".join(errors)
+        )
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for result in results:
+            print(result.render())
+    return EXIT_OK if payload["ok"] else EXIT_FAILURE
 
 
 def cmd_measure(args: argparse.Namespace) -> None:
@@ -331,6 +434,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         shard_size=args.shard_size,
         shuffle_seed=args.shuffle_seed,
+        preflight_verify=args.verify,
     )
     if args.out:
         with open(args.out, "w") as handle:
@@ -345,20 +449,28 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         payload = dict(result.to_dict())
         payload["digest"] = result.digest()
         print(json_module.dumps(payload, indent=2, sort_keys=True))
+        verified = result.stats.get("preflight_verified")
+        preflight = (
+            f" preflight-verified={verified}" if verified is not None else ""
+        )
         print(
             f"sweep: {result.stats.get('strategy')} "
             f"workers={result.stats.get('workers')} "
             f"shards={result.stats.get('shards')} "
-            f"{result.stats.get('elapsed_s', 0.0):.2f}s",
+            f"{result.stats.get('elapsed_s', 0.0):.2f}s{preflight}",
             file=sys.stderr,
         )
         return EXIT_OK
 
     stats = result.stats
+    verified = stats.get("preflight_verified")
+    preflight = (
+        f", preflight-verified={verified}" if verified is not None else ""
+    )
     print(
         f"swept {len(result)} cells in {stats.get('elapsed_s', 0.0):.2f}s "
         f"({stats.get('strategy')}, workers={stats.get('workers')}, "
-        f"shards={stats.get('shards')})"
+        f"shards={stats.get('shards')}{preflight})"
     )
     print(f"digest {result.digest()}")
     for cell, row in zip(result.cells, result.rows):
@@ -656,8 +768,67 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--congestion", type=int, default=None)
     lint.add_argument("--rules", default=None,
                       help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the semantic verifier's CT21x passes "
+                           "and append their diagnostics")
     lint.add_argument("--json", action="store_true",
-                      help="emit machine-readable diagnostics")
+                      help="emit machine-readable diagnostics "
+                           "(repro-lint-report/1)")
+
+    verify = commands.add_parser(
+        "verify",
+        help="semantic plan verification: races, deadlocks, bounds, coverage",
+        description=(
+            "Lower a composition expression, a step pattern or a "
+            "communication plan into the verifier's plan IR and run the "
+            "CT21x dataflow passes: resource races (CT211), rendezvous "
+            "deadlocks (CT212/CT213), interval bounds vs the model "
+            "estimate (CT214) and fault-class coverage (CT215).  Exits "
+            "1 when any CT21x finding (or error) is reported."
+        ),
+    )
+    verify.add_argument("expr", nargs="?", default=None,
+                        help="composition in paper notation (default: "
+                             "verify the --step pattern instead)")
+    verify.add_argument("--machine", default="t3d",
+                        choices=sorted(MACHINES) + ["none"],
+                        help="machine context for bounds/coverage passes "
+                             "('none' for structural passes only)")
+    verify.add_argument("--x", default="1", help="read pattern (0/1/s/w)")
+    verify.add_argument("--y", default="64", help="write pattern (0/1/s/w)")
+    verify.add_argument(
+        "--style",
+        default=None,
+        choices=[style.value for style in OperationStyle],
+        help="operation style the claims/coverage model (default: "
+             "the model's own choice)",
+    )
+    verify.add_argument("--bytes", type=int, default=131072,
+                        help="payload per operation")
+    verify.add_argument("--source", default="paper",
+                        choices=("paper", "simulated"))
+    verify.add_argument("--congestion", type=int, default=None)
+    verify.add_argument("--step", default="shift",
+                        choices=("all-to-all", "shift", "fan-in"),
+                        help="step pattern to verify when no expression "
+                             "or plan is given")
+    verify.add_argument("--nodes", type=int, default=8,
+                        help="partition size for --step / --plan transpose")
+    verify.add_argument("--schedule", default="phased",
+                        choices=("phased", "eager"),
+                        help="concurrency structure: conflict-free phases "
+                             "or every operation at once")
+    verify.add_argument("--discipline", default="interleaved",
+                        choices=("interleaved", "blocking-sends"),
+                        help="per-node rendezvous ordering")
+    verify.add_argument("--plan", default=None,
+                        help="JSON CommPlan file, or 'transpose' for the "
+                             "built-in Figure 9 plan")
+    verify.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run (default: all)")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report "
+                             "(repro-verify-report/1)")
 
     measure = commands.add_parser("measure", help="end-to-end measurement")
     measure.add_argument("--machine", default="t3d", choices=sorted(MACHINES))
@@ -823,6 +994,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the canonical result payload")
     sweep.add_argument("--out", default=None,
                        help="write the canonical JSON to this path")
+    sweep.add_argument("--verify", action="store_true",
+                       help="statically verify every distinct transfer "
+                            "shape before executing the grid (fails fast "
+                            "on blocking findings)")
 
     commands.add_parser("report", help="regenerate all paper comparisons")
     return parser
@@ -843,6 +1018,7 @@ def main(argv=None) -> int:
         "table": cmd_table,
         "trace": cmd_trace,
         "report": cmd_report,
+        "verify": cmd_verify,
     }[args.command]
     try:
         code: Optional[int] = handler(args)

@@ -14,7 +14,11 @@ Public surface:
   findings with source spans over the paper notation;
 * :data:`RULES` — the rule registry (see ``docs/ANALYSIS.md`` for the
   catalog);
-* :func:`parse_expr` — parse paper notation back into ``Expr`` trees.
+* :func:`parse_expr` — parse paper notation back into ``Expr`` trees;
+* :func:`verify_expr` / :func:`verify_plan` / :func:`verify_step` —
+  the semantic verification tier (:mod:`repro.analysis.verify`): plan
+  IR lowering plus race, deadlock, interval-bounds and fault-coverage
+  passes.
 
 Quickstart::
 
@@ -35,24 +39,43 @@ from .diagnostics import (
 )
 from .linter import analyze, analyze_plan, select_rules
 from .parser import NotationError, parse_expr
+from .report import LINT_SCHEMA, validate_lint_report
 from .rules import RULES, AnalysisContext, Finding, PlanContext, Rule, rule
+from .verify import (
+    PlanIR,
+    VerifyResult,
+    results_payload,
+    validate_verify_report,
+    verify_expr,
+    verify_plan,
+    verify_step,
+)
 
 __all__ = [
     "AnalysisContext",
     "Diagnostic",
     "Finding",
+    "LINT_SCHEMA",
     "NotationError",
     "PlanContext",
+    "PlanIR",
     "RULES",
     "Rule",
     "Severity",
     "Span",
+    "VerifyResult",
     "analyze",
     "analyze_plan",
     "has_errors",
     "max_severity",
     "parse_expr",
     "render_report",
+    "results_payload",
     "rule",
     "select_rules",
+    "validate_lint_report",
+    "validate_verify_report",
+    "verify_expr",
+    "verify_plan",
+    "verify_step",
 ]

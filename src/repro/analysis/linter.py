@@ -133,7 +133,13 @@ def analyze_plan(
     inherits calibration and strategy findings for the operations it
     would actually execute.
     """
-    ctx = PlanContext(plan=plan, model=model, style=style)
+    ctx = PlanContext(
+        plan=plan,
+        model=model,
+        style=style,
+        machine=model.name if model is not None else None,
+        capabilities=model.capabilities if model is not None else None,
+    )
     diagnostics: List[Diagnostic] = []
     for rule in select_rules(rules, scope="plan"):
         for finding in rule.check(ctx):

@@ -1,0 +1,103 @@
+"""Schema validation for ``repro-lint-report/1`` payloads.
+
+The CLI's ``lint --json`` output is consumed by CI jobs and external
+tooling; this validator (mirroring :mod:`repro.faults.report`) pins
+its shape so producers fail loudly when the schema drifts.
+
+The payload shape::
+
+    {
+      "schema": "repro-lint-report/1",
+      "results": [{"notation": "...", "diagnostics": [...]}, ...],
+      "counts": {"error": 0, "warning": 1, "advice": 2},
+      "ok": true
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = ["LINT_SCHEMA", "validate_lint_report"]
+
+LINT_SCHEMA = "repro-lint-report/1"
+
+_SEVERITIES = ("error", "warning", "advice")
+
+
+def _check_diagnostics(
+    diagnostics: Any, where: str, errors: List[str]
+) -> List[Any]:
+    if not isinstance(diagnostics, list):
+        errors.append(f"{where} is not a list")
+        return []
+    for index, entry in enumerate(diagnostics):
+        label = f"{where}[{index}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{label} is not an object")
+            continue
+        for key in ("rule", "severity", "message"):
+            if not isinstance(entry.get(key), str):
+                errors.append(f"{label}.{key} is not a string")
+        if entry.get("severity") not in _SEVERITIES:
+            errors.append(f"{label}.severity is {entry.get('severity')!r}")
+        span = entry.get("span")
+        if span is not None and not (
+            isinstance(span, list)
+            and len(span) == 2
+            and all(isinstance(v, int) for v in span)
+        ):
+            errors.append(f"{label}.span is not a [start, end] pair")
+    return diagnostics
+
+
+def validate_lint_report(payload: Any) -> List[str]:
+    """Structurally check one lint-report payload.
+
+    Returns a list of problems; an empty list means the payload
+    conforms to ``repro-lint-report/1``.
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != LINT_SCHEMA:
+        errors.append(
+            f"schema is {payload.get('schema')!r}, expected {LINT_SCHEMA!r}"
+        )
+    if not isinstance(payload.get("ok"), bool):
+        errors.append("ok is not a boolean")
+    results = payload.get("results")
+    all_diagnostics: List[Any] = []
+    if not isinstance(results, list):
+        errors.append("results is not a list")
+    else:
+        for index, result in enumerate(results):
+            where = f"results[{index}]"
+            if not isinstance(result, dict):
+                errors.append(f"{where} is not an object")
+                continue
+            if not isinstance(result.get("notation"), str):
+                errors.append(f"{where}.notation is not a string")
+            all_diagnostics.extend(
+                _check_diagnostics(
+                    result.get("diagnostics"), f"{where}.diagnostics", errors
+                )
+            )
+    counts = payload.get("counts")
+    if not isinstance(counts, dict):
+        errors.append("counts is not an object")
+    else:
+        unknown = sorted(set(counts) - set(_SEVERITIES))
+        if unknown:
+            errors.append(f"counts has unknown severities {unknown}")
+        for severity in _SEVERITIES:
+            if not isinstance(counts.get(severity), int):
+                errors.append(f"counts[{severity!r}] is not an integer")
+        if not errors:
+            tallied = {severity: 0 for severity in _SEVERITIES}
+            for entry in all_diagnostics:
+                if isinstance(entry, dict) and entry.get("severity") in tallied:
+                    tallied[entry["severity"]] += 1
+            if any(counts[s] != tallied[s] for s in _SEVERITIES):
+                errors.append("counts do not match the diagnostics lists")
+    return errors

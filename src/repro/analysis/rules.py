@@ -40,7 +40,7 @@ from ..core.operations import CommCapabilities, chained
 from ..core.patterns import CONTIGUOUS, FIXED, AccessPattern
 from ..core.resources import Resource, ResourceUnit
 from ..core.transfers import BasicTransfer, TransferKind
-from .diagnostics import Severity
+from .diagnostics import Severity, Span
 from .tree import Path, walk
 
 if TYPE_CHECKING:
@@ -55,6 +55,7 @@ __all__ = [
     "rule",
     "expression_rules",
     "plan_rules",
+    "verify_rules",
 ]
 
 
@@ -64,12 +65,15 @@ class Finding:
 
     ``path`` addresses the offending node of the expression tree
     (``None`` for findings with no single anchor, e.g. plan-scope
-    rules); the linter resolves it to a notation span.
+    rules); the linter resolves it to a notation span.  Verify-scope
+    rules, which work on the lowered plan IR rather than the tree,
+    attach a ready-made ``span`` directly instead.
     """
 
     message: str
     path: Optional[Path] = None
     hint: Optional[str] = None
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -83,7 +87,7 @@ class AnalysisContext:
 
     expr: Expr
     notation: str
-    spans: Mapping[Path, "object"]
+    spans: Mapping[Path, Span]
     table: Optional[ThroughputTable] = None
     capabilities: Optional[CommCapabilities] = None
     constraints: Tuple[ResourceConstraint, ...] = ()
@@ -101,12 +105,17 @@ class PlanContext:
 
     ``model`` (a :class:`~repro.core.model.CopyTransferModel`, untyped
     here to avoid an import cycle) and ``style`` are optional, like the
-    optional fields of :class:`AnalysisContext`.
+    optional fields of :class:`AnalysisContext`.  ``machine`` and
+    ``capabilities`` carry the target machine's identity so rule
+    messages can name the implicated engine; the linter fills them in
+    from the model when available.
     """
 
     plan: "CommPlan"
     model: Optional[object] = None
     style: Optional[str] = None
+    machine: Optional[str] = None
+    capabilities: Optional[CommCapabilities] = None
 
 
 CheckFn = Callable[..., Iterator[Finding]]
@@ -119,7 +128,7 @@ class Rule:
     rule_id: str
     severity: Severity
     title: str
-    scope: str  # "expr" or "plan"
+    scope: str  # "expr", "plan" or "verify"
     check: CheckFn = field(compare=False)
 
 
@@ -135,7 +144,7 @@ def rule(
     def decorator(check: CheckFn) -> CheckFn:
         if rule_id in RULES:
             raise ValueError(f"duplicate rule id {rule_id}")
-        if scope not in ("expr", "plan"):
+        if scope not in ("expr", "plan", "verify"):
             raise ValueError(f"unknown rule scope {scope!r}")
         RULES[rule_id] = Rule(rule_id, severity, title, scope, check)
         return check
@@ -149,6 +158,10 @@ def expression_rules() -> List[Rule]:
 
 def plan_rules() -> List[Rule]:
     return [r for r in RULES.values() if r.scope == "plan"]
+
+
+def verify_rules() -> List[Rule]:
+    return [r for r in RULES.values() if r.scope == "verify"]
 
 
 # ---------------------------------------------------------------------------
@@ -654,13 +667,32 @@ def ct403_infeasible_style(ctx: PlanContext) -> Iterator[Finding]:
             except CompositionError as exc:
                 errors.append(str(exc))
         if len(errors) == len(styles):
+            on_machine = (
+                f" on machine {ctx.machine!r}" if ctx.machine else ""
+            )
+            hint = (
+                "choose a feasible style, or target a machine with a "
+                "general deposit engine / co-processor receiver"
+            )
+            caps = ctx.capabilities
+            if caps is not None:
+                missing = []
+                if caps.deposit.value != "any":
+                    missing.append(
+                        f"deposit support is {caps.deposit.value!r}"
+                    )
+                if not caps.coprocessor_receive:
+                    missing.append("no co-processor receiver")
+                if missing:
+                    hint = (
+                        f"{'; '.join(missing)} — choose a feasible style, "
+                        "or target a machine with a general deposit "
+                        "engine / co-processor receiver"
+                    )
             yield Finding(
                 message=(
-                    f"plan {ctx.plan.name!r} needs {op.notation} but no "
-                    f"requested style is feasible: {'; '.join(errors)}"
+                    f"plan {ctx.plan.name!r} needs {op.notation}{on_machine} "
+                    f"but no requested style is feasible: {'; '.join(errors)}"
                 ),
-                hint=(
-                    "choose a feasible style, or target a machine with a "
-                    "general deposit engine / co-processor receiver"
-                ),
+                hint=hint,
             )

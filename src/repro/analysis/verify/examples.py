@@ -1,0 +1,136 @@
+"""Canonical example plans the verifier's consumers share.
+
+The CLI demos (``python -m repro verify --step ...``), the golden
+diagnostics files, ``scripts/selfcheck.py`` and the CI smoke job all
+need the same seeded plans: one that is *clean*, one with a seeded
+resource race (an eager N-to-1 fan-in hammering the root's receive
+engines), and one with a seeded rendezvous deadlock (a cyclic shift
+under PVM-style blocking sends).  Defining them once keeps every
+consumer bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from ...compiler.commgen import CommOp, CommPlan
+from ...core.errors import ModelError
+from ...core.patterns import AccessPattern
+from ...machines import paragon, t3d
+from ...machines.base import Machine
+from ...memsim.config import WORD_BYTES
+from ...netsim.patterns import all_to_all, cyclic_shift, fan_in
+from .api import DEFAULT_NBYTES, VerifyResult, results_payload, verify_plan
+
+__all__ = [
+    "EXAMPLES",
+    "STEP_BUILDERS",
+    "ExampleSpec",
+    "example_machine",
+    "example_result",
+    "example_payload",
+    "step_plan",
+]
+
+#: Flow-pattern builders keyed by the CLI's ``--step`` choices.
+STEP_BUILDERS: Dict[str, Callable[[int], List[Tuple[int, int]]]] = {
+    "all-to-all": all_to_all,
+    "shift": cyclic_shift,
+    "fan-in": fan_in,
+}
+
+
+@dataclass(frozen=True)
+class ExampleSpec:
+    """One named example plan configuration."""
+
+    step: str
+    nodes: int = 8
+    x: str = "1"
+    y: str = "64"
+    nbytes: int = DEFAULT_NBYTES
+    schedule: str = "phased"
+    discipline: str = "interleaved"
+
+
+#: The three canonical examples, by verdict they demonstrate.
+EXAMPLES: Dict[str, ExampleSpec] = {
+    # A phased cyclic shift: conflict-free phases, interleaved
+    # rendezvous — verifies clean.
+    "clean": ExampleSpec(step="shift"),
+    # An *eager* fan-in races every sender against the root node's
+    # processor and deposit engine — CT211.
+    "racy": ExampleSpec(step="fan-in", schedule="eager"),
+    # A cyclic shift where every node posts its send before its
+    # receive — the full wait-for cycle, CT212.
+    "deadlock": ExampleSpec(step="shift", discipline="blocking-sends"),
+}
+
+
+def step_plan(
+    step: str,
+    nodes: int,
+    x: str = "1",
+    y: str = "64",
+    nbytes: int = DEFAULT_NBYTES,
+) -> CommPlan:
+    """Build a plan for one named step pattern."""
+    try:
+        builder = STEP_BUILDERS[step]
+    except KeyError:
+        raise ModelError(
+            f"unknown step pattern {step!r}; choose from "
+            f"{sorted(STEP_BUILDERS)}"
+        ) from None
+    if nodes < 2:
+        raise ModelError(f"a step pattern needs >= 2 nodes, got {nodes}")
+    read = AccessPattern.parse(x)
+    write = AccessPattern.parse(y)
+    nwords = max(1, nbytes // WORD_BYTES)
+    return CommPlan(
+        ops=[
+            CommOp(src=src, dst=dst, x=read, y=write, nwords=nwords)
+            for src, dst in builder(nodes)
+        ],
+        name=f"{step}[{nodes}]",
+    )
+
+
+def example_machine(machine_key: str) -> Machine:
+    factories: Dict[str, Callable[[], Machine]] = {
+        "t3d": t3d,
+        "paragon": paragon,
+    }
+    try:
+        return factories[machine_key]()
+    except KeyError:
+        raise ModelError(
+            f"unknown machine {machine_key!r}; choose from "
+            f"{sorted(factories)}"
+        ) from None
+
+
+def example_result(machine_key: str, example: str) -> VerifyResult:
+    """Verify one named example on one machine."""
+    try:
+        spec = EXAMPLES[example]
+    except KeyError:
+        raise ModelError(
+            f"unknown example {example!r}; choose from {sorted(EXAMPLES)}"
+        ) from None
+    plan = step_plan(
+        spec.step, spec.nodes, x=spec.x, y=spec.y, nbytes=spec.nbytes
+    )
+    model = example_machine(machine_key).model()
+    return verify_plan(
+        plan,
+        model=model,
+        schedule=spec.schedule,
+        discipline=spec.discipline,
+    )
+
+
+def example_payload(machine_key: str, example: str) -> Dict[str, Any]:
+    """The full ``repro-verify-report/1`` payload for one example."""
+    return results_payload([example_result(machine_key, example)])

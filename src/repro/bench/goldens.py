@@ -29,12 +29,15 @@ from typing import Callable, Dict, List, Tuple
 __all__ = [
     "GOLDEN_SCHEMA",
     "GOLDEN_TARGETS",
+    "GOLDEN_JSON_TARGETS",
     "DEFAULT_REL_TOL",
     "golden_dir",
     "golden_path",
     "generate_golden",
     "load_golden",
+    "load_json_golden",
     "compare_values",
+    "json_diff",
     "render_mismatches",
 ]
 
@@ -122,6 +125,76 @@ def _make_targets() -> Dict[str, Callable[[], Dict[str, float]]]:
 
 #: Golden target registry: name -> zero-arg generator of cell values.
 GOLDEN_TARGETS: Dict[str, Callable[[], Dict[str, float]]] = _make_targets()
+
+
+# -- exact-JSON targets (verifier diagnostics) --------------------------------
+#
+# Unlike the numeric targets above (compared within a relative
+# tolerance), these goldens pin an entire JSON payload bit for bit:
+# the verifier's diagnostics — rule ids, messages, spans, bounds,
+# coverage verdicts — are discrete artifacts where any drift is a
+# behavior change worth reviewing.
+
+
+def _verify_payload(machine_key: str, example: str) -> Dict:
+    from ..analysis.verify.examples import example_payload
+
+    return example_payload(machine_key, example)
+
+
+def _make_json_targets() -> Dict[str, Callable[[], Dict]]:
+    targets: Dict[str, Callable[[], Dict]] = {}
+    for machine_key in ("t3d", "paragon"):
+        for example in ("clean", "racy"):
+            targets[f"verify_{example}_{machine_key}"] = (
+                lambda key=machine_key, ex=example: _verify_payload(key, ex)
+            )
+    return targets
+
+
+#: Exact-equality golden registry: name -> zero-arg payload generator.
+#: The committed file *is* the payload (no golden envelope); it carries
+#: its own schema tag (``repro-verify-report/1``).
+GOLDEN_JSON_TARGETS: Dict[str, Callable[[], Dict]] = _make_json_targets()
+
+
+def load_json_golden(name: str) -> Dict:
+    with open(golden_path(name)) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise ValueError(f"{golden_path(name)}: not a schema-tagged payload")
+    return payload
+
+
+def json_diff(expected, got, path: str = "$") -> List[str]:
+    """Recursive exact diff of two JSON-plain values.
+
+    Returns human-readable ``path: problem`` lines; empty means the
+    values are identical.
+    """
+    problems: List[str] = []
+    if type(expected) is not type(got):
+        problems.append(
+            f"{path}: type {type(got).__name__}, "
+            f"expected {type(expected).__name__}"
+        )
+    elif isinstance(expected, dict):
+        for key in sorted(set(expected) - set(got)):
+            problems.append(f"{path}.{key}: missing")
+        for key in sorted(set(got) - set(expected)):
+            problems.append(f"{path}.{key}: unexpected")
+        for key in sorted(set(expected) & set(got)):
+            problems.extend(json_diff(expected[key], got[key], f"{path}.{key}"))
+    elif isinstance(expected, list):
+        if len(expected) != len(got):
+            problems.append(
+                f"{path}: length {len(got)}, expected {len(expected)}"
+            )
+        for index, (want, have) in enumerate(zip(expected, got)):
+            problems.extend(json_diff(want, have, f"{path}[{index}]"))
+    elif expected != got:
+        problems.append(f"{path}: {got!r}, expected {expected!r}")
+    return problems
 
 
 # -- payloads -----------------------------------------------------------------

@@ -18,8 +18,10 @@ Two generators cover the paper's workloads:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -66,6 +68,29 @@ class CommOp:
     @property
     def notation(self) -> str:
         return f"{self.x.subscript}Q{self.y.subscript}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; concrete offsets are not serialized."""
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "x": self.x.subscript,
+            "y": self.y.subscript,
+            "nwords": self.nwords,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CommOp":
+        try:
+            return cls(
+                src=int(payload["src"]),
+                dst=int(payload["dst"]),
+                x=AccessPattern.parse(str(payload["x"])),
+                y=AccessPattern.parse(str(payload["y"])),
+                nwords=int(payload["nwords"]),
+            )
+        except KeyError as exc:
+            raise ValueError(f"CommOp payload missing key {exc}") from exc
 
 
 @dataclass
@@ -115,6 +140,33 @@ class CommPlan:
 
     def __len__(self) -> int:
         return len(self.ops)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (``repro-comm-plan/1``)."""
+        return {
+            "schema": "repro-comm-plan/1",
+            "name": self.name,
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CommPlan":
+        schema = payload.get("schema", "repro-comm-plan/1")
+        if schema != "repro-comm-plan/1":
+            raise ValueError(f"unsupported plan schema {schema!r}")
+        ops_payload = payload.get("ops")
+        if not isinstance(ops_payload, list):
+            raise ValueError("plan payload 'ops' is not a list")
+        ops = [CommOp.from_dict(entry) for entry in ops_payload]
+        return cls(ops, name=str(payload.get("name", "plan")))
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "CommPlan":
+        """Load a plan serialized by :meth:`to_dict` from a JSON file."""
+        raw = json.loads(Path(path).read_text())
+        if not isinstance(raw, dict):
+            raise ValueError(f"{path}: plan payload is not an object")
+        return cls.from_dict(raw)
 
 
 def redistribute_1d(

@@ -97,7 +97,7 @@ class CopyTransferModel:
         expr: Expr,
         extra_constraints: Sequence[ResourceConstraint] = (),
         validate: bool = True,
-        analyze: bool = False,
+        analyze: Union[bool, str] = False,
     ) -> ThroughputEstimate:
         """Evaluate an arbitrary composition under this machine's table.
 
@@ -109,7 +109,16 @@ class CopyTransferModel:
         ``Expr.validate`` exactly), so evaluation proceeds even for
         illegal compositions and the caller can inspect the diagnostics
         instead of catching ``CompositionError``.
+
+        With ``analyze="deep"`` the semantic verifier
+        (:func:`repro.analysis.verify_expr`) additionally runs its
+        CT21x passes — races, rendezvous deadlocks, interval bounds,
+        fault coverage — and appends those diagnostics too.
         """
+        if analyze not in (False, True, "deep"):
+            raise ValueError(
+                f"analyze must be False, True or 'deep', got {analyze!r}"
+            )
         constraints = tuple(self.constraints) + tuple(extra_constraints)
         if not analyze:
             return evaluate(expr, self.table, constraints=constraints,
@@ -124,6 +133,11 @@ class CopyTransferModel:
                 constraints=constraints,
             )
         )
+        if analyze == "deep":
+            from ..analysis import verify_expr
+
+            deep = verify_expr(expr, model=self)
+            diagnostics = diagnostics + tuple(deep.diagnostics)
         estimate = evaluate(
             expr, self.table, constraints=constraints, validate=False
         )
@@ -135,7 +149,7 @@ class CopyTransferModel:
         y: AccessPattern,
         style: StyleLike,
         extra_constraints: Sequence[ResourceConstraint] = (),
-        analyze: bool = False,
+        analyze: Union[bool, str] = False,
     ) -> ThroughputEstimate:
         """Predict the throughput of ``xQy`` implemented in ``style``."""
         return self.estimate_expr(

@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-__all__ = ["all_to_all", "cyclic_shift", "transpose_exchange", "neighbor_exchange"]
+__all__ = [
+    "all_to_all",
+    "cyclic_shift",
+    "fan_in",
+    "transpose_exchange",
+    "neighbor_exchange",
+]
 
 Flow = Tuple[int, int]
 
@@ -32,6 +38,16 @@ def all_to_all(n_nodes: int, include_self: bool = False) -> List[Flow]:
 def cyclic_shift(n_nodes: int, offset: int = 1) -> List[Flow]:
     """Every node sends to its ``offset``-th successor (SOR exchange)."""
     return [(src, (src + offset) % n_nodes) for src in range(n_nodes)]
+
+
+def fan_in(n_nodes: int, root: int = 0) -> List[Flow]:
+    """N-to-1 fan-in: every node sends to ``root`` (gather/reduction).
+
+    The serialization stress case: the root's receive engine serves
+    every flow, so an unphased schedule races all senders against one
+    deposit engine and one processor.
+    """
+    return [(src, root) for src in range(n_nodes) if src != root]
 
 
 def transpose_exchange(n_nodes: int) -> List[Flow]:

@@ -93,11 +93,70 @@ def run_serial(spec: SweepSpec, batched: bool = False) -> SweepResult:
     )
 
 
+def _preflight_verify(cells) -> int:
+    """Statically verify every distinct transfer shape in the grid.
+
+    Each distinct ``(machine, model source, x, y, style, size)`` among
+    the transfer cells is lowered through the semantic verifier
+    (:func:`repro.analysis.verify_expr`) before any cell executes.
+    A shape whose requested style the model cannot build is skipped —
+    that is the linter's CT403 domain and the worker will raise its
+    own error.  Any blocking finding (CT21x or an error diagnostic)
+    aborts the sweep with a :class:`SweepError`.
+
+    Returns the number of shapes verified.
+    """
+    from ..analysis.verify import verify_expr
+    from ..core.errors import CompositionError
+    from ..core.patterns import AccessPattern
+    from ..memsim.config import WORD_BYTES
+    from .worker import machine_by_key
+
+    shapes = sorted(
+        {
+            (c.machine, c.model_source, c.x, c.y, c.style, c.size)
+            for c in cells
+            if c.kind == "transfer"
+        }
+    )
+    models: Dict[Tuple[str, str], Any] = {}
+    verified = 0
+    for machine, source, x, y, style, size in shapes:
+        key = (machine, source)
+        if key not in models:
+            models[key] = machine_by_key(machine).model(source=source)
+        model = models[key]
+        try:
+            expr = model.build(
+                AccessPattern.parse(x), AccessPattern.parse(y), style
+            )
+        except CompositionError:
+            continue
+        result = verify_expr(
+            expr,
+            model=model,
+            nbytes=size * WORD_BYTES,
+            style=style,
+            name=f"{machine}:{x}Q{y}:{style}",
+        )
+        if not result.ok:
+            findings = "; ".join(
+                f"{d.rule}: {d.message}" for d in result.diagnostics
+            )
+            raise SweepError(
+                f"preflight verify failed for {machine}:{x}Q{y}:{style}"
+                f"@{size}w: {findings}"
+            )
+        verified += 1
+    return verified
+
+
 def run_sweep(
     spec: SweepSpec,
     workers: Optional[int] = None,
     shard_size: Optional[int] = None,
     shuffle_seed: Optional[int] = None,
+    preflight_verify: bool = False,
 ) -> SweepResult:
     """Plan, execute and deterministically merge one sweep.
 
@@ -109,6 +168,9 @@ def run_sweep(
         shuffle_seed: Deterministically permute shard submission order
             — a test knob proving completion order cannot leak into
             results.
+        preflight_verify: Run the semantic verifier over every distinct
+            transfer shape before executing the grid; blocking findings
+            raise :class:`SweepError` and nothing executes.
 
     Returns:
         A :class:`~repro.sweep.merge.SweepResult` whose canonical
@@ -116,6 +178,7 @@ def run_sweep(
         ``shuffle_seed`` combination.
     """
     cells = spec.expand()
+    n_verified = _preflight_verify(cells) if preflight_verify else None
     n_workers = max(1, workers or 1)
     shards = plan_shards(
         cells,
@@ -150,18 +213,17 @@ def run_sweep(
             shards=len(shards),
             workers=n_workers,
         )
-    return SweepResult(
-        spec=spec,
-        rows=rows,
-        stats={
-            "strategy": "pool" if n_workers > 1 else "inline",
-            "workers": n_workers,
-            "shards": len(shards),
-            "shard_size": max((len(s) for s in shards), default=0),
-            "cells": len(cells),
-            "elapsed_s": elapsed,
-        },
-    )
+    stats: Dict[str, Any] = {
+        "strategy": "pool" if n_workers > 1 else "inline",
+        "workers": n_workers,
+        "shards": len(shards),
+        "shard_size": max((len(s) for s in shards), default=0),
+        "cells": len(cells),
+        "elapsed_s": elapsed,
+    }
+    if n_verified is not None:
+        stats["preflight_verified"] = n_verified
+    return SweepResult(spec=spec, rows=rows, stats=stats)
 
 
 def _trace_shard(

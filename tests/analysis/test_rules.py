@@ -37,6 +37,7 @@ class TestRegistry:
         assert set(RULES) == {
             "CT101", "CT102", "CT103",
             "CT201", "CT202", "CT203", "CT204",
+            "CT211", "CT212", "CT213", "CT214", "CT215",
             "CT301", "CT302",
             "CT401", "CT402", "CT403",
         }
@@ -315,6 +316,22 @@ class TestCT403InfeasibleStyle:
         assert len(hits) == 1
         assert hits[0].severity is Severity.ERROR
         assert "1Q64" in hits[0].message
+
+    def test_message_names_the_machine_and_missing_capability(self):
+        # Regression: plan diagnostics must say *which* engine cannot
+        # implement the shape, not just that something cannot.
+        model = CopyTransferModel(
+            table=ThroughputTable("gimped"),
+            capabilities=CommCapabilities(),
+            name="gimped",
+        )
+        diagnostics = analyze_plan(
+            plan(op(y=strided(64))), model=model, style="chained"
+        )
+        (hit,) = [d for d in diagnostics if d.rule == "CT403"]
+        assert "on machine 'gimped'" in hit.message
+        assert "deposit support is 'none'" in hit.hint
+        assert "no co-processor receiver" in hit.hint
 
     def test_silent_when_any_style_works(self):
         diagnostics = analyze_plan(

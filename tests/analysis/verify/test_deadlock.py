@@ -1,0 +1,131 @@
+"""CT212/CT213 rendezvous pass tests."""
+
+from repro.analysis.verify import verify_plan
+from repro.analysis.verify.examples import step_plan
+from repro.analysis.verify.ir import (
+    CommAction,
+    NodeSchedule,
+    PlanIR,
+    lower_plan,
+)
+from repro.analysis.verify.passes import (
+    VerifyContext,
+    run_verify,
+    simulate_rendezvous,
+)
+from repro.compiler.commgen import CommOp, CommPlan
+from repro.core.patterns import AccessPattern
+from repro.machines import t3d
+
+
+def _rules(diagnostics):
+    return [d.rule for d in diagnostics]
+
+
+class TestDeadlockCycle:
+    def test_blocking_sends_shift_deadlocks_the_whole_ring(self):
+        model = t3d().model()
+        result = verify_plan(
+            step_plan("shift", 8), model=model,
+            discipline="blocking-sends",
+        )
+        cycles = [d for d in result.diagnostics if d.rule == "CT212"]
+        assert len(cycles) == 1
+        # The full eight-node ring appears in the message.
+        for node in range(8):
+            assert f"node {node}" in cycles[0].message
+        assert "rendezvous deadlock" in cycles[0].message
+        assert not result.ok
+
+    def test_interleaved_shift_does_not_deadlock(self):
+        model = t3d().model()
+        result = verify_plan(
+            step_plan("shift", 8), model=model,
+            discipline="interleaved",
+        )
+        assert "CT212" not in _rules(result.diagnostics)
+        assert "CT213" not in _rules(result.diagnostics)
+
+    def test_self_message_is_a_self_cycle(self):
+        plan = CommPlan(
+            name="selfie",
+            ops=[
+                CommOp(
+                    src=0, dst=0,
+                    x=AccessPattern.parse("1"),
+                    y=AccessPattern.parse("64"),
+                    nwords=64,
+                ),
+            ],
+        )
+        ir = lower_plan(plan, discipline="blocking-sends")
+        diagnostics = run_verify(VerifyContext(ir=ir))
+        assert _rules(diagnostics).count("CT212") == 1
+        (cycle,) = [d for d in diagnostics if d.rule == "CT212"]
+        assert "node 0 -> node 0" in cycle.message
+
+
+class TestUnmatchedRendezvous:
+    def test_send_with_a_finished_peer_is_ct213(self):
+        ir = PlanIR(
+            name="lost-message",
+            schedules=(
+                NodeSchedule(0, (CommAction("send", 1, 0),)),
+                NodeSchedule(1, ()),
+            ),
+        )
+        diagnostics = run_verify(VerifyContext(ir=ir))
+        assert _rules(diagnostics) == ["CT213"]
+        assert "no matching receive" in diagnostics[0].message
+
+    def test_receive_nobody_sends_is_ct213(self):
+        ir = PlanIR(
+            name="ghost-receive",
+            schedules=(
+                NodeSchedule(0, (CommAction("recv", 1, 3),)),
+                NodeSchedule(1, ()),
+            ),
+        )
+        diagnostics = run_verify(VerifyContext(ir=ir))
+        assert _rules(diagnostics) == ["CT213"]
+        assert "no matching send" in diagnostics[0].message
+
+
+class TestSimulation:
+    def test_matched_pair_drains_completely(self):
+        ir = PlanIR(
+            name="pair",
+            schedules=(
+                NodeSchedule(0, (CommAction("send", 1, 0),)),
+                NodeSchedule(1, (CommAction("recv", 0, 0),)),
+            ),
+        )
+        heads, blocked = simulate_rendezvous(ir)
+        assert blocked == []
+        assert heads == {0: 1, 1: 1}
+
+    def test_tag_mismatch_blocks_both_sides(self):
+        ir = PlanIR(
+            name="tag-skew",
+            schedules=(
+                NodeSchedule(0, (CommAction("send", 1, 0),)),
+                NodeSchedule(1, (CommAction("recv", 0, 7),)),
+            ),
+        )
+        heads, blocked = simulate_rendezvous(ir)
+        assert blocked == [0, 1]
+        assert heads == {0: 0, 1: 0}
+
+    def test_run_verify_only_filter_ignores_unknown_ids(self):
+        ir = PlanIR(
+            name="filtered",
+            schedules=(
+                NodeSchedule(0, (CommAction("send", 1, 0),)),
+                NodeSchedule(1, ()),
+            ),
+        )
+        assert run_verify(VerifyContext(ir=ir), only=["CT212"]) == ()
+        assert run_verify(VerifyContext(ir=ir), only=["CT999"]) == ()
+        assert _rules(
+            run_verify(VerifyContext(ir=ir), only=["CT213", "CT999"])
+        ) == ["CT213"]

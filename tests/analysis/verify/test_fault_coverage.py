@@ -1,0 +1,115 @@
+"""CT215 fault-class coverage tests."""
+
+from repro.analysis.verify import verify_plan
+from repro.analysis.verify.coverage import (
+    FAULT_COVERAGE,
+    CoverageContext,
+    fault_class_names,
+    fault_coverage,
+)
+from repro.analysis.verify.examples import step_plan
+from repro.core.operations import CommCapabilities, DepositSupport
+from repro.faults.policy import RetryPolicy
+from repro.machines import paragon, t3d
+
+
+def _by_class(entries):
+    return {entry.fault_class: entry for entry in entries}
+
+
+class TestRegistry:
+    def test_every_spec_class_has_a_predicate(self):
+        assert set(fault_class_names()) == set(FAULT_COVERAGE)
+
+    def test_spec_exports_the_four_paper_classes(self):
+        assert set(fault_class_names()) == {
+            "LinkFault", "NodeFault", "DepositFault", "FragmentFault",
+        }
+
+    def test_unregistered_class_reports_the_gap(self):
+        removed = FAULT_COVERAGE.pop("DepositFault")
+        try:
+            entry = _by_class(fault_coverage(CoverageContext()))[
+                "DepositFault"
+            ]
+            assert not entry.covered
+            assert entry.reason == "no registered coverage check"
+        finally:
+            FAULT_COVERAGE["DepositFault"] = removed
+
+
+class TestPredicates:
+    def test_default_context_covers_everything(self):
+        entries = fault_coverage(CoverageContext())
+        assert all(entry.covered for entry in entries)
+
+    def test_chained_contiguous_deposit_without_coprocessor_is_gap(self):
+        context = CoverageContext(
+            capabilities=CommCapabilities(
+                deposit=DepositSupport.CONTIGUOUS,
+                coprocessor_receive=False,
+            ),
+            style="chained",
+            machine="gimped",
+        )
+        entry = _by_class(fault_coverage(context))["DepositFault"]
+        assert not entry.covered
+        assert "no co-processor" in entry.reason
+
+    def test_t3d_any_deposit_is_covered_even_chained(self):
+        context = CoverageContext(
+            capabilities=t3d().capabilities, style="chained",
+        )
+        assert _by_class(fault_coverage(context))["DepositFault"].covered
+
+    def test_paragon_chained_falls_back_to_the_coprocessor(self):
+        context = CoverageContext(
+            capabilities=paragon().capabilities, style="chained",
+        )
+        assert _by_class(fault_coverage(context))["DepositFault"].covered
+
+    def test_packing_style_never_needs_the_deposit_engine(self):
+        context = CoverageContext(
+            capabilities=CommCapabilities(
+                deposit=DepositSupport.CONTIGUOUS,
+                coprocessor_receive=False,
+            ),
+            style="buffer-packing",
+        )
+        assert _by_class(fault_coverage(context))["DepositFault"].covered
+
+    def test_single_attempt_retry_policy_is_a_fragment_gap(self):
+        context = CoverageContext(
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        entry = _by_class(fault_coverage(context))["FragmentFault"]
+        assert not entry.covered
+        assert "single attempt" in entry.reason
+
+    def test_link_and_node_faults_are_always_survivable(self):
+        context = CoverageContext(
+            capabilities=CommCapabilities(),
+            style="chained",
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        entries = _by_class(fault_coverage(context))
+        assert entries["LinkFault"].covered
+        assert entries["NodeFault"].covered
+
+
+class TestVerifyIntegration:
+    def test_uncovered_class_yields_ct215(self):
+        result = verify_plan(
+            step_plan("shift", 4),
+            model=t3d().model(),
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        gaps = [d for d in result.diagnostics if d.rule == "CT215"]
+        assert len(gaps) == 1
+        assert "FragmentFault" in gaps[0].message
+        assert not result.ok
+
+    def test_default_policy_covers_all_classes(self):
+        result = verify_plan(step_plan("shift", 4), model=t3d().model())
+        assert all(entry.covered for entry in result.coverage)
+        assert "CT215" not in [d.rule for d in result.diagnostics]

@@ -1,0 +1,63 @@
+"""CT211 resource-race pass tests."""
+
+from repro.analysis import parse_expr
+from repro.analysis.verify import verify_expr, verify_plan
+from repro.analysis.verify.examples import step_plan
+from repro.machines import t3d
+
+
+def _rules(result):
+    return [d.rule for d in result.diagnostics]
+
+
+class TestExpressionRaces:
+    def test_duplicated_send_claims_one_cpu(self):
+        result = verify_expr(parse_expr("1S0 || 1S0"))
+        races = [d for d in result.diagnostics if d.rule == "CT211"]
+        assert len(races) == 1
+        assert "'sender:cpu'" in races[0].message
+        assert "2 concurrent units" in races[0].message
+        assert not result.ok
+
+    def test_race_diagnostic_carries_source_span(self):
+        result = verify_expr(parse_expr("1S0 || 1S0"))
+        (race,) = [d for d in result.diagnostics if d.rule == "CT211"]
+        assert race.span is not None
+        assert (race.span.start, race.span.end) in {(0, 3), (7, 10)}
+
+    def test_disjoint_roles_do_not_race(self):
+        result = verify_expr(parse_expr("1S0 || Nd || 0D1"))
+        assert "CT211" not in _rules(result)
+
+    def test_sequenced_claims_do_not_race(self):
+        result = verify_expr(parse_expr("64C1 o 1C64"))
+        assert "CT211" not in _rules(result)
+
+
+class TestPlanRaces:
+    def test_eager_fan_in_races_on_the_root(self):
+        model = t3d().model()
+        result = verify_plan(
+            step_plan("fan-in", 8), model=model, schedule="eager",
+        )
+        races = sorted(
+            d.message for d in result.diagnostics if d.rule == "CT211"
+        )
+        assert len(races) == 2
+        assert "'node0:cpu[recv]'" in races[0]
+        assert "'node0:deposit'" in races[1]
+        assert all("7 concurrent units" in message for message in races)
+        assert not result.ok
+
+    def test_phased_fan_in_is_clean(self):
+        model = t3d().model()
+        result = verify_plan(
+            step_plan("fan-in", 8), model=model, schedule="phased",
+        )
+        assert "CT211" not in _rules(result)
+
+    def test_clean_shift_is_ok(self):
+        model = t3d().model()
+        result = verify_plan(step_plan("shift", 8), model=model)
+        assert "CT211" not in _rules(result)
+        assert result.ok

@@ -1,0 +1,138 @@
+"""Property-based tests for the verifier's scheduling passes.
+
+Two invariants carry the deadlock analysis:
+
+* a **phased + interleaved** plan can never block — the phase
+  partition serializes conflicting endpoints and the interleaved
+  discipline posts matching sends/receives in one global order;
+* the rendezvous simulation is **confluent** — every action has
+  exactly one partner (peer *and* tag), so any maximal matching
+  strategy reaches the same blocked set as the sorted-node scan.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.verify import phase_partition, verify_plan
+from repro.analysis.verify.examples import EXAMPLES, example_result
+from repro.analysis.verify.ir import lower_plan
+from repro.analysis.verify.passes import simulate_rendezvous
+from repro.compiler.commgen import CommOp, CommPlan
+from repro.core.patterns import AccessPattern
+
+# -- strategies ---------------------------------------------------------------
+
+_endpoints = st.integers(min_value=0, max_value=5)
+
+#: Off-node flows only: a self-message is a seeded defect (its own
+#: CT212 self-cycle test), not part of the no-deadlock invariant.
+flows = st.lists(
+    st.tuples(_endpoints, _endpoints).filter(lambda f: f[0] != f[1]),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _plan(flow_list):
+    ops = [
+        CommOp(
+            src=src,
+            dst=dst,
+            x=AccessPattern.parse("1"),
+            y=AccessPattern.parse("64"),
+            nwords=64,
+        )
+        for src, dst in flow_list
+    ]
+    return CommPlan(name="prop", ops=ops)
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@given(flows)
+@settings(max_examples=80, deadline=None)
+def test_phased_interleaved_plans_never_block(flow_list):
+    ir = lower_plan(
+        _plan(flow_list), schedule="phased", discipline="interleaved"
+    )
+    heads, blocked = simulate_rendezvous(ir)
+    assert blocked == []
+    result = verify_plan(
+        _plan(flow_list), schedule="phased", discipline="interleaved"
+    )
+    rules = {d.rule for d in result.diagnostics}
+    assert "CT212" not in rules and "CT213" not in rules
+
+
+@given(flows, st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_rendezvous_simulation_is_confluent(flow_list, rng):
+    ir = lower_plan(
+        _plan(flow_list), schedule="phased", discipline="blocking-sends"
+    )
+    __, blocked = simulate_rendezvous(ir)
+
+    # Oracle: match head sends to head receives in random order until
+    # no pair matches.  Confluence says the blocked set is the same.
+    actions = {s.node: list(s.actions) for s in ir.schedules}
+    heads = {node: 0 for node in actions}
+
+    def head(node):
+        index = heads[node]
+        return (
+            actions[node][index] if index < len(actions[node]) else None
+        )
+
+    while True:
+        matchable = []
+        for node in actions:
+            action = head(node)
+            if action is None or action.kind != "send":
+                continue
+            partner = head(action.peer) if action.peer in actions else None
+            if (
+                partner is not None
+                and partner.kind == "recv"
+                and partner.peer == node
+                and partner.tag == action.tag
+            ):
+                matchable.append(node)
+        if not matchable:
+            break
+        node = rng.choice(matchable)
+        peer = actions[node][heads[node]].peer
+        heads[node] += 1
+        heads[peer] += 1
+
+    oracle_blocked = sorted(
+        node for node in actions if heads[node] < len(actions[node])
+    )
+    assert oracle_blocked == blocked
+
+
+@given(flows)
+@settings(max_examples=100, deadline=None)
+def test_phase_partition_is_a_partition_of_partial_permutations(flow_list):
+    phases = phase_partition(flow_list)
+    flat = sorted(index for members in phases for index in members)
+    assert flat == list(range(len(flow_list)))
+    for members in phases:
+        sources = [flow_list[i][0] for i in members]
+        destinations = [flow_list[i][1] for i in members]
+        assert len(set(sources)) == len(sources)
+        assert len(set(destinations)) == len(destinations)
+
+
+@given(st.sampled_from(["t3d", "paragon"]))
+@settings(max_examples=6, deadline=None)
+def test_clean_example_is_verifier_silent(machine_key):
+    result = example_result(machine_key, "clean")
+    assert result.ok
+    assert not [
+        d for d in result.diagnostics if d.rule.startswith("CT21")
+    ]
+
+
+def test_examples_registry_names_are_stable():
+    assert sorted(EXAMPLES) == ["clean", "deadlock", "racy"]

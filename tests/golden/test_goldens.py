@@ -12,21 +12,27 @@ import os
 import pytest
 
 from repro.bench.goldens import (
+    GOLDEN_JSON_TARGETS,
     GOLDEN_SCHEMA,
     GOLDEN_TARGETS,
     compare_values,
     golden_dir,
     golden_path,
+    json_diff,
     load_golden,
+    load_json_golden,
     render_mismatches,
 )
 
 ALL_TARGETS = sorted(GOLDEN_TARGETS)
+ALL_JSON_TARGETS = sorted(GOLDEN_JSON_TARGETS)
 
 
 def test_every_target_has_a_committed_golden():
     missing = [
-        name for name in ALL_TARGETS if not os.path.exists(golden_path(name))
+        name
+        for name in ALL_TARGETS + ALL_JSON_TARGETS
+        if not os.path.exists(golden_path(name))
     ]
     assert not missing, (
         f"no committed golden for {missing}; run "
@@ -41,11 +47,15 @@ def test_no_orphan_golden_files():
         for entry in os.listdir(golden_dir())
         if entry.endswith(".json")
     }
-    orphans = sorted(committed - set(ALL_TARGETS))
+    orphans = sorted(committed - set(ALL_TARGETS) - set(ALL_JSON_TARGETS))
     assert not orphans, (
         f"golden files {orphans} have no generator in "
-        "repro.bench.goldens.GOLDEN_TARGETS"
+        "repro.bench.goldens.GOLDEN_TARGETS or GOLDEN_JSON_TARGETS"
     )
+
+
+def test_registries_do_not_collide():
+    assert not set(GOLDEN_TARGETS) & set(GOLDEN_JSON_TARGETS)
 
 
 @pytest.mark.parametrize("name", ALL_TARGETS)
@@ -57,6 +67,29 @@ def test_golden_values_unchanged(name):
     fresh = GOLDEN_TARGETS[name]()
     problems = compare_values(golden, fresh)
     assert not problems, render_mismatches(name, problems)
+
+
+@pytest.mark.parametrize("name", ALL_JSON_TARGETS)
+def test_json_golden_payload_unchanged(name):
+    golden = load_json_golden(name)
+    assert golden["schema"] == "repro-verify-report/1"
+    fresh = GOLDEN_JSON_TARGETS[name]()
+    problems = json_diff(golden, fresh)
+    assert not problems, (
+        f"golden {name!r} drifted (regenerate with scripts/regen_goldens.py "
+        f"if intentional):\n" + "\n".join(problems)
+    )
+
+
+def test_json_diff_reports_shape_and_value_changes():
+    expected = {"a": [1, 2.5], "b": {"c": "x"}, "ok": True}
+    assert json_diff(expected, {"a": [1, 2.5], "b": {"c": "x"}, "ok": True}) == []
+    problems = json_diff(expected, {"a": [1], "b": {"c": "y", "d": 0}, "ok": 1})
+    text = "\n".join(problems)
+    assert "$.a: length 1" in text
+    assert "$.b.c" in text and "expected 'x'" in text
+    assert "$.b.d: unexpected" in text
+    assert "$.ok" in text  # bool vs int is a type change
 
 
 def test_compare_reports_drift_missing_and_unexpected():

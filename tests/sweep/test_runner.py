@@ -52,6 +52,19 @@ class TestStrategies:
     def test_stats_record_strategy(self):
         assert run_sweep(FAST_SPEC, workers=1).stats["strategy"] == "inline"
         assert run_sweep(FAST_SPEC, workers=2).stats["strategy"] == "pool"
+
+    def test_preflight_verify_counts_distinct_shapes(self):
+        result = run_sweep(FAST_SPEC, workers=1, preflight_verify=True)
+        # Every (machine, source, x, y, style, size) combination of the
+        # spec is distinct here, so each cell is one verified shape.
+        assert result.stats["preflight_verified"] == len(result.cells)
+        # Verification must not perturb the results themselves.
+        assert result.digest() == run_sweep(FAST_SPEC, workers=1).digest()
+
+    def test_preflight_stat_absent_when_disabled(self):
+        assert "preflight_verified" not in run_sweep(
+            FAST_SPEC, workers=1
+        ).stats
         assert run_serial(FAST_SPEC).stats["strategy"] == "serial"
 
     def test_seeded_cells_execute_under_fault_plans(self):

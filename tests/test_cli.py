@@ -185,3 +185,92 @@ class TestCalibrate:
         ) == 0
         data = json.loads(path.read_text())
         assert data["entries"]
+
+
+class TestVerify:
+    def test_clean_shift_passes(self, capsys):
+        assert main(["verify", "--step", "shift"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "fault coverage: 4/4" in out
+
+    def test_eager_fan_in_is_flagged(self, capsys):
+        code = main(
+            ["verify", "--step", "fan-in", "--schedule", "eager"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "CT211" in out
+        assert "node0" in out
+
+    def test_blocking_sends_shift_deadlocks(self, capsys):
+        code = main(
+            ["verify", "--step", "shift",
+             "--discipline", "blocking-sends"]
+        )
+        assert code == 1
+        assert "CT212" in capsys.readouterr().out
+
+    def test_expression_race_is_flagged(self, capsys):
+        assert main(["verify", "1S0 || 1S0"]) == 1
+        assert "CT211" in capsys.readouterr().out
+
+    def test_json_payload_validates(self, capsys):
+        from repro.analysis import validate_verify_report
+
+        code = main(
+            ["verify", "--step", "fan-in", "--schedule", "eager",
+             "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-verify-report/1"
+        assert validate_verify_report(payload) == []
+        assert payload["ok"] is False
+
+    def test_transpose_plan_target(self, capsys):
+        assert main(["verify", "--plan", "transpose"]) == 0
+        assert "transpose" in capsys.readouterr().out
+
+    def test_plan_file_round_trip(self, tmp_path, capsys):
+        from repro.analysis.verify.examples import step_plan
+
+        plan = step_plan("shift", 4)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        assert main(["verify", "--plan", str(path)]) == 0
+        assert plan.from_dict(plan.to_dict()).ops == plan.ops
+
+    def test_rules_filter_restricts_the_run(self, capsys):
+        code = main(
+            ["verify", "--step", "fan-in", "--schedule", "eager",
+             "--rules", "CT212"]
+        )
+        assert code == 0  # the race rule was filtered out
+
+    def test_machine_none_runs_structural_passes_only(self, capsys):
+        assert main(["verify", "1S0 || 1S0", "--machine", "none"]) == 1
+        out = capsys.readouterr().out
+        assert "CT211" in out
+        assert "estimate" not in out
+
+
+class TestLintDeep:
+    def test_deep_appends_verifier_findings(self, capsys):
+        # The duplicated send is a CT102 lint error *and* a CT211
+        # verifier race; --deep reports both in one run.
+        assert main(["lint", "1S0 || 1S0", "--deep"]) == 1
+        out = capsys.readouterr().out
+        assert "CT102" in out
+        assert "CT211" in out
+
+    def test_deep_json_carries_the_lint_schema(self, capsys):
+        from repro.analysis import validate_lint_report
+
+        assert main(
+            ["lint", "--machine", "t3d", "--x", "1", "--y", "64",
+             "--style", "both", "--deep", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-lint-report/1"
+        assert validate_lint_report(payload) == []
