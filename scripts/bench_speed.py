@@ -26,6 +26,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.caching import CACHE_ENV, default_cache  # noqa: E402
+from repro.core.batch import BATCH_VERSION  # noqa: E402
 from repro.memsim.engine import ENGINE_VERSION  # noqa: E402
 from repro.memsim.fastpath import FASTPATH_VERSION  # noqa: E402
 from repro.memsim.node import ENGINE_ENV  # noqa: E402
@@ -40,6 +41,15 @@ SWEEP_TARGET_SPEEDUP = 2.0
 
 #: Worker processes for the sweep benchmark.
 SWEEP_WORKERS = 4
+
+#: The batched engine target: vectorized figure-7 regeneration at
+#: least this much faster than the honest serial per-cell loop.
+BATCH_TARGET_SPEEDUP = 10.0
+
+#: Hard regression floor for CI: below this the bench fails (between
+#: floor and target it warns — single-run wall clocks on shared CI
+#: hardware are noisy).
+BATCH_FLOOR_SPEEDUP = 8.0
 
 #: Tracing the figure-4 regeneration may cost at most this fraction of
 #: the untraced run (reported as a warning, not a failure: single-run
@@ -217,6 +227,25 @@ def main() -> int:
         else float("inf")
     )
 
+    # Batched engine: the same figure-7 grid evaluated as vectorized
+    # numpy passes in one process (run_sweep(engine="batch")), against
+    # the same honest serial baseline.  Cache stays off; the payload
+    # must be bit-identical, cell for cell.
+    batch_sweep_s = float("inf")
+    batch_digest = None
+    batch_stats = {}
+    for __ in range(args.repeat):
+        default_cache().clear()
+        started = time.perf_counter()
+        batch_result = run_sweep(sweep_spec, workers=1, engine="batch")
+        batch_sweep_s = min(batch_sweep_s, time.perf_counter() - started)
+        batch_digest = batch_result.digest()
+        batch_stats = batch_result.stats
+    batch_identical = serial_digest == batch_digest
+    batch_speedup = (
+        serial_sweep_s / batch_sweep_s if batch_sweep_s > 0 else float("inf")
+    )
+
     # Cache effect: cold vs warm table regeneration with caching on.
     del os.environ[CACHE_ENV]
     os.environ[ENGINE_ENV] = "auto"
@@ -270,6 +299,18 @@ def main() -> int:
             "bit_identical": sweep_identical,
             "digest": parallel_digest,
         },
+        "batch": {
+            "grid": "figure7",
+            "cells": len(batch_result),
+            "batch_version": BATCH_VERSION,
+            "serial_s": round(serial_sweep_s, 4),
+            "batch_s": round(batch_sweep_s, 4),
+            "speedup": round(batch_speedup, 2),
+            "groups": batch_stats.get("batch_groups"),
+            "fallbacks": batch_stats.get("batch_fallbacks"),
+            "bit_identical": batch_identical,
+            "digest": batch_digest,
+        },
         "parity_mismatches": len(mismatches),
         "meets_target": {
             "figure4_speedup_gte_5x":
@@ -281,6 +322,9 @@ def main() -> int:
             "figure7_sweep_speedup_gte_2x":
                 sweep_speedup >= SWEEP_TARGET_SPEEDUP,
             "figure7_sweep_bit_identical": sweep_identical,
+            "figure7_batch_speedup_gte_10x":
+                batch_speedup >= BATCH_TARGET_SPEEDUP,
+            "figure7_batch_bit_identical": batch_identical,
         },
     }
     with open(args.output, "w") as handle:
@@ -309,6 +353,14 @@ def main() -> int:
         f"{SWEEP_WORKERS} workers {parallel_sweep_s:.2f}s "
         f"({sweep_speedup:.2f}x, "
         f"{'bit-identical' if sweep_identical else 'RESULTS DIFFER'})"
+    )
+    print(
+        f"figure7 batch engine: serial {serial_sweep_s:.2f}s -> "
+        f"batched {batch_sweep_s:.2f}s "
+        f"({batch_speedup:.2f}x, "
+        f"{batch_stats.get('batch_groups')} groups, "
+        f"{batch_stats.get('batch_fallbacks')} fallbacks, "
+        f"{'bit-identical' if batch_identical else 'RESULTS DIFFER'})"
     )
     print(f"wrote {args.output}")
 
@@ -344,6 +396,26 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+    if not batch_identical:
+        print(
+            f"FAIL: figure-7 batch results differ from the serial loop "
+            f"({serial_digest} vs {batch_digest})",
+            file=sys.stderr,
+        )
+        return 1
+    if batch_speedup < BATCH_FLOOR_SPEEDUP:
+        print(
+            f"FAIL: figure-7 batch speedup {batch_speedup:.2f}x < "
+            f"{BATCH_FLOOR_SPEEDUP:.0f}x regression floor",
+            file=sys.stderr,
+        )
+        return 1
+    if batch_speedup < BATCH_TARGET_SPEEDUP:
+        print(
+            f"WARN: figure-7 batch speedup {batch_speedup:.2f}x < "
+            f"{BATCH_TARGET_SPEEDUP:.0f}x target",
+            file=sys.stderr,
+        )
     if not payload["meets_target"]["figure4_speedup_gte_5x"]:
         print(
             f"FAIL: figure-4 speedup "

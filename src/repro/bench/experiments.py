@@ -208,7 +208,7 @@ def _packing_vs_chained(
 
 
 def _packing_vs_chained_swept(
-    spec, workers: int, shard_size=None
+    spec, workers: int, shard_size=None, engine: str = "cell"
 ) -> Dict[str, Dict[str, float]]:
     """The Figure 7/8 grid executed through :mod:`repro.sweep`.
 
@@ -217,7 +217,9 @@ def _packing_vs_chained_swept(
     """
     from ..sweep import run_sweep
 
-    result = run_sweep(spec, workers=workers, shard_size=shard_size)
+    result = run_sweep(
+        spec, workers=workers, shard_size=shard_size, engine=engine
+    )
     results: Dict[str, Dict[str, float]] = {}
     for cell, row in zip(result.cells, result.rows):
         name = f"{cell.x}Q{cell.y}"
@@ -227,29 +229,39 @@ def _packing_vs_chained_swept(
     return results
 
 
-def figure7(workers: int = 1, shard_size=None) -> Dict[str, Dict[str, float]]:
+def figure7(
+    workers: int = 1, shard_size=None, engine: str = "cell"
+) -> Dict[str, Dict[str, float]]:
     """Buffer-packing vs chained on the T3D (Figure 7).
 
     ``workers`` > 1 executes the grid through the sharded sweep engine
-    (:mod:`repro.sweep`); the returned mapping is identical.
+    (:mod:`repro.sweep`), and ``engine="batch"`` evaluates it through
+    the vectorized batch engine; the returned mapping is identical.
     """
-    if workers and workers > 1:
+    if (workers and workers > 1) or engine != "cell":
         from ..sweep import figure7_spec
 
-        return _packing_vs_chained_swept(figure7_spec(), workers, shard_size)
+        return _packing_vs_chained_swept(
+            figure7_spec(), workers, shard_size, engine
+        )
     return _packing_vs_chained(t3d())
 
 
-def figure8(workers: int = 1, shard_size=None) -> Dict[str, Dict[str, float]]:
+def figure8(
+    workers: int = 1, shard_size=None, engine: str = "cell"
+) -> Dict[str, Dict[str, float]]:
     """Buffer-packing vs chained on the Paragon (Figure 8).
 
     ``workers`` > 1 executes the grid through the sharded sweep engine
-    (:mod:`repro.sweep`); the returned mapping is identical.
+    (:mod:`repro.sweep`), and ``engine="batch"`` evaluates it through
+    the vectorized batch engine; the returned mapping is identical.
     """
-    if workers and workers > 1:
+    if (workers and workers > 1) or engine != "cell":
         from ..sweep import figure8_spec
 
-        return _packing_vs_chained_swept(figure8_spec(), workers, shard_size)
+        return _packing_vs_chained_swept(
+            figure8_spec(), workers, shard_size, engine
+        )
     return _packing_vs_chained(paragon())
 
 

@@ -26,6 +26,7 @@ import os
 from typing import Optional, Tuple, Union
 
 from ..caching import default_cache
+from ..core.batch import BATCH_VERSION
 from ..core.calibration import ThroughputTable
 from ..core.errors import CalibrationError
 from ..core.operations import DepositSupport
@@ -46,6 +47,7 @@ __all__ = [
     "measurement_cache_key",
     "calibration_entries",
     "measure_entry",
+    "measure_entries",
     "CalEntry",
     "DEFAULT_STRIDES",
     "MEASURE_VERSION",
@@ -155,6 +157,26 @@ def measure_entry(
     raise CalibrationError(f"unknown calibration entry kind {letter!r}")
 
 
+def measure_entries(
+    machine: Machine,
+    node: NodeMemorySystem,
+    entries: Tuple[CalEntry, ...],
+    congestion: Optional[int] = None,
+) -> list:
+    """Measure a batch of calibration entries against one node harness.
+
+    This is the batched-query form of :func:`measure_entry`: all
+    entries share the harness (and therefore its engine-keyed kernel
+    memo — see :class:`~repro.memsim.node.NodeMemorySystem`), so
+    duplicate entries simulate once.  Values are bit-identical to
+    calling :func:`measure_entry` per entry.
+    """
+    return [
+        measure_entry(machine, node, entry, congestion=congestion)
+        for entry in entries
+    ]
+
+
 def _table_key(key: Union[str, int]) -> Union[str, int]:
     """Normalize a (possibly stringified) entry key for table storage."""
     if isinstance(key, str) and key not in ("0", "1", "w"):
@@ -183,6 +205,13 @@ def measurement_cache_key(
     machine variants differing only there must not collide) and
     :data:`MEASURE_VERSION` (bumped whenever the measurement procedure
     itself changes meaning).
+
+    :data:`~repro.core.batch.BATCH_VERSION` participates for the same
+    reason: the batched engine and the scalar oracle share this cache
+    (their tables are bit-identical by construction), so a change to
+    the batching semantics must orphan every entry either of them
+    wrote rather than let results produced under different batching
+    rules collide.
     """
     from ..caching import content_key
 
@@ -191,6 +220,7 @@ def measurement_cache_key(
         MEASURE_VERSION,
         ENGINE_VERSION,
         FASTPATH_VERSION,
+        BATCH_VERSION,
         os.environ.get(ENGINE_ENV) or "auto",
         machine.name,
         machine.node,
@@ -230,6 +260,7 @@ def _measure_sharded(
     strides: Tuple[int, ...],
     workers: int,
     shard_size: Optional[int],
+    engine: str = "cell",
 ) -> bool:
     """Measure via the sweep engine; False if the machine isn't
     a registry built-in (sweep cells name machines by key)."""
@@ -255,7 +286,9 @@ def _measure_sharded(
     spec = calibration_spec(
         key, nwords=nwords, strides=strides, congestion=congestion
     )
-    result = run_sweep(spec, workers=workers, shard_size=shard_size)
+    result = run_sweep(
+        spec, workers=workers, shard_size=shard_size, engine=engine
+    )
     for cell, row in zip(result.cells, result.rows):
         table.set(
             _KIND_BY_LETTER[cell.style],
@@ -274,6 +307,7 @@ def measure_table(
     use_cache: bool = True,
     workers: Optional[int] = None,
     shard_size: Optional[int] = None,
+    engine: str = "cell",
 ) -> ThroughputTable:
     """Measure a full calibration table on the simulators.
 
@@ -292,6 +326,12 @@ def measure_table(
             only; variants fall back to the serial path).  The table is
             identical to the serial one either way.
         shard_size: Cells per shard for the parallel path.
+        engine: ``"batch"`` routes the grid through the sweep engine's
+            batched strategy (:mod:`repro.sweep.batch`) — built-in
+            machines only, like ``workers`` — instead of the scalar
+            per-entry loop.  The table is bit-identical either way,
+            which is why the cache key does not depend on the engine
+            (only on :data:`~repro.core.batch.BATCH_VERSION`).
     """
     if congestion is None:
         congestion = machine.network.default_congestion
@@ -305,9 +345,16 @@ def measure_table(
         f"{machine.name} (simulated, congestion {congestion})"
     )
     sharded = False
-    if workers is not None and workers > 1:
+    if (workers is not None and workers > 1) or engine == "batch":
         sharded = _measure_sharded(
-            table, machine, congestion, nwords, strides, workers, shard_size
+            table,
+            machine,
+            congestion,
+            nwords,
+            strides,
+            workers or 1,
+            shard_size,
+            engine,
         )
     if not sharded:
         _measure_serial(table, machine, congestion, nwords, strides)

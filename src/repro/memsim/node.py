@@ -89,6 +89,9 @@ class NodeMemorySystem:
         self.last_engine: Optional[str] = None
         self.fastpath_fallbacks = 0
         self._results: Dict[Tuple, KernelResult] = {}
+        # Kernel keys the fast path has already rejected, so ``auto``
+        # mode neither re-attempts them nor re-counts the fallback.
+        self._fast_unsupported: Dict[Tuple, bool] = {}
 
     def _engine(self) -> MemoryEngine:
         return MemoryEngine(self.config, occupancy_scale=self.occupancy_scale)
@@ -104,6 +107,30 @@ class NodeMemorySystem:
     def clear_cache(self) -> None:
         """Drop memoized kernel results."""
         self._results.clear()
+        self._fast_unsupported.clear()
+
+    def _memo_hit(self, result: KernelResult) -> KernelResult:
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.inc("memsim.memo_hits")
+        return result
+
+    def _run_with(
+        self, key: Tuple, run: Callable[[object], KernelResult], used: str
+    ) -> KernelResult:
+        """Execute ``run`` on the named engine and memoize under it."""
+        if used == "fast":
+            result = run(
+                FastEngine(self.config, occupancy_scale=self.occupancy_scale)
+            )
+        else:
+            result = run(self._engine())
+        self.last_engine = used
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.inc(f"memsim.engine.{used}")
+        self._results[key + (used,)] = result
+        return result
 
     def _kernel(
         self, key: Tuple, run: Callable[[object], KernelResult]
@@ -112,42 +139,49 @@ class NodeMemorySystem:
 
         ``run`` receives either engine — :class:`FastEngine` mirrors
         the ``run_*`` interface of the scalar oracle exactly.
+
+        Results are memoized under the engine that *actually produced*
+        them, not the mode that was requested: an ``auto`` query that
+        ran on the fast path shares its memo entry with ``fast`` mode,
+        and an ``auto`` fallback shares with ``scalar`` mode.  The two
+        engines may differ in the last float ulp, so keying on the
+        requested mode would let a toggled ``REPRO_MEMSIM_ENGINE``
+        serve a value the named engine never computed — and re-simulate
+        queries whose result already exists under the other name.
         """
         mode = self._resolve_engine_mode()
-        cache_key = key + (mode,)
-        tracer = current_tracer()
-        cached = self._results.get(cache_key)
-        if cached is not None:
-            if tracer is not None:
-                tracer.metrics.inc("memsim.memo_hits")
-            return cached
         if mode == "scalar":
-            result = run(self._engine())
-            used = "scalar"
-        else:
+            cached = self._results.get(key + ("scalar",))
+            if cached is not None:
+                return self._memo_hit(cached)
+            return self._run_with(key, run, "scalar")
+        if mode == "fast":
+            # Always attempt: a repeat of an unsupported kernel must
+            # raise FastpathUnsupported again, identically.
+            cached = self._results.get(key + ("fast",))
+            if cached is not None:
+                return self._memo_hit(cached)
+            return self._run_with(key, run, "fast")
+        # ``auto``: fast path when the kernel qualifies, scalar oracle
+        # otherwise, remembering which side each key landed on.
+        if key not in self._fast_unsupported:
+            cached = self._results.get(key + ("fast",))
+            if cached is not None:
+                return self._memo_hit(cached)
             try:
-                result = run(
-                    FastEngine(
-                        self.config, occupancy_scale=self.occupancy_scale
-                    )
-                )
-                used = "fast"
+                return self._run_with(key, run, "fast")
             except FastpathUnsupported:
-                if mode == "fast":
-                    raise
-                # ``auto`` degrades to the scalar oracle; count every
-                # such fallback so a configuration that silently never
-                # uses the fast path shows up in metrics.
+                # Count every fallback so a configuration that silently
+                # never uses the fast path shows up in metrics.
+                self._fast_unsupported[key] = True
                 self.fastpath_fallbacks += 1
+                tracer = current_tracer()
                 if tracer is not None:
                     tracer.metrics.inc("memsim.fastpath_unsupported")
-                result = run(self._engine())
-                used = "scalar"
-        self.last_engine = used
-        if tracer is not None:
-            tracer.metrics.inc(f"memsim.engine.{used}")
-        self._results[cache_key] = result
-        return result
+        cached = self._results.get(key + ("scalar",))
+        if cached is not None:
+            return self._memo_hit(cached)
+        return self._run_with(key, run, "scalar")
 
     def _stream(
         self, pattern: AccessPattern, base: int = 0, seed: int = 12345

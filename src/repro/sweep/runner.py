@@ -50,14 +50,22 @@ def _pool_context():
     )
 
 
-def _shard_payload(shard: Shard):
-    return (
+#: Execution engines ``run_sweep`` accepts: the scalar per-cell loop
+#: and the vectorized batch engine (:mod:`repro.sweep.batch`).
+ENGINES = ("cell", "batch")
+
+
+def _shard_payload(shard: Shard, engine: str = "cell"):
+    payload = (
         shard.index,
         tuple(
             (cell_index, cell.to_dict())
             for cell_index, cell in shard.cells
         ),
     )
+    # The two-element form stays the wire format for the default
+    # engine, so payloads round-trip to older consumers unchanged.
+    return payload if engine == "cell" else payload + (engine,)
 
 
 def run_serial(spec: SweepSpec, batched: bool = False) -> SweepResult:
@@ -157,6 +165,7 @@ def run_sweep(
     shard_size: Optional[int] = None,
     shuffle_seed: Optional[int] = None,
     preflight_verify: bool = False,
+    engine: str = "cell",
 ) -> SweepResult:
     """Plan, execute and deterministically merge one sweep.
 
@@ -171,12 +180,22 @@ def run_sweep(
         preflight_verify: Run the semantic verifier over every distinct
             transfer shape before executing the grid; blocking findings
             raise :class:`SweepError` and nothing executes.
+        engine: ``"cell"`` (default) executes one cell at a time
+            through the scalar oracle; ``"batch"`` evaluates the grid
+            as vectorized numpy passes (:mod:`repro.sweep.batch`) —
+            in-process over the whole grid when ``workers <= 1``, per
+            shard inside each pool worker otherwise.  The merged
+            payload and digest are bit-identical either way.
 
     Returns:
         A :class:`~repro.sweep.merge.SweepResult` whose canonical
         payload is bit-identical for any ``workers``/``shard_size``/
-        ``shuffle_seed`` combination.
+        ``shuffle_seed``/``engine`` combination.
     """
+    if engine not in ENGINES:
+        raise SweepError(
+            f"unknown sweep engine {engine!r}; choose from {ENGINES}"
+        )
     cells = spec.expand()
     n_verified = _preflight_verify(cells) if preflight_verify else None
     n_workers = max(1, workers or 1)
@@ -193,11 +212,22 @@ def run_sweep(
         tracer.count("sweep.workers", n_workers)
 
     started = time.perf_counter()
-    if n_workers == 1:
+    batch_stats: Dict[str, Any] = {}
+    if engine == "batch" and n_workers == 1:
+        # Whole grid through one batched pass: maximal group sizes.
+        from .batch import run_cells_batched
+
+        report = run_cells_batched(cells)
+        indexed_rows = list(enumerate(report.rows))
+        batch_stats = {
+            "batch_groups": report.groups,
+            "batch_fallbacks": report.fallbacks,
+        }
+    elif n_workers == 1:
         indexed_rows = _run_shards_inline(shards, tracer, started)
     else:
         indexed_rows = _run_shards_pooled(
-            shards, n_workers, tracer, started
+            shards, n_workers, tracer, started, engine
         )
     rows = merge_rows(cells, indexed_rows)
     elapsed = time.perf_counter() - started
@@ -215,12 +245,14 @@ def run_sweep(
         )
     stats: Dict[str, Any] = {
         "strategy": "pool" if n_workers > 1 else "inline",
+        "engine": engine,
         "workers": n_workers,
         "shards": len(shards),
         "shard_size": max((len(s) for s in shards), default=0),
         "cells": len(cells),
         "elapsed_s": elapsed,
     }
+    stats.update(batch_stats)
     if n_verified is not None:
         stats["preflight_verified"] = n_verified
     return SweepResult(spec=spec, rows=rows, stats=stats)
@@ -260,6 +292,7 @@ def _run_shards_pooled(
     n_workers: int,
     tracer,
     t0: float,
+    engine: str = "cell",
 ) -> List[Tuple[int, Dict[str, Any]]]:
     indexed_rows: List[Tuple[int, Dict[str, Any]]] = []
     by_shard_index = {shard.index: shard for shard in shards}
@@ -272,7 +305,9 @@ def _run_shards_pooled(
         ) as pool:
             pending = {}
             for shard in shards:
-                future = pool.submit(run_shard, _shard_payload(shard))
+                future = pool.submit(
+                    run_shard, _shard_payload(shard, engine)
+                )
                 pending[future] = (shard, time.perf_counter())
             while pending:
                 done, __ = wait(

@@ -44,6 +44,14 @@ __all__ = [
 #: run to be reproducible (engine selection and cache configuration).
 _PINNED_ENV = (ENGINE_ENV, CACHE_ENV, CACHE_DIR_ENV)
 
+#: Set when :func:`init_worker` failed in this process.  The
+#: initializer itself must never raise: ``concurrent.futures`` would
+#: mark the pool broken and every child would dump a raw traceback to
+#: the parent's stderr.  Instead the failure is recorded here and
+#: :func:`run_shard` surfaces it as a picklable :class:`SweepError`,
+#: which the runner and CLI report as the standard one-line error.
+_INIT_ERROR: Optional[str] = None
+
 # Worker-local memos (pure caches; see module docstring).
 _machines: Dict[str, Any] = {}
 _models: Dict[Tuple[str, str], Any] = {}
@@ -82,11 +90,22 @@ def pinned_environment() -> Dict[str, str]:
 
 
 def init_worker(environment: Dict[str, str]) -> None:
-    """Pool initializer: pin the environment, start from cold memos."""
-    for name in _PINNED_ENV:
-        os.environ.pop(name, None)
-    os.environ.update(environment)
-    reset_memos()
+    """Pool initializer: pin the environment, start from cold memos.
+
+    Never raises — a raising pool initializer breaks the whole pool
+    and spews per-child tracebacks.  A failure is recorded in
+    :data:`_INIT_ERROR` and reported by the first :func:`run_shard`
+    call as a one-line :class:`SweepError` instead.
+    """
+    global _INIT_ERROR
+    _INIT_ERROR = None
+    try:
+        for name in _PINNED_ENV:
+            os.environ.pop(name, None)
+        os.environ.update(environment)
+        reset_memos()
+    except Exception as exc:
+        _INIT_ERROR = f"{type(exc).__name__}: {exc}"
 
 
 # -- shared building blocks ---------------------------------------------------
@@ -211,9 +230,15 @@ def _run_calibrate_cell(cell: SweepCell) -> Dict[str, Any]:
 
 
 def run_shard(
-    payload: Tuple[int, Tuple[Tuple[int, Dict[str, Any]], ...]],
+    payload: Tuple[Any, ...],
 ) -> Tuple[int, List[Tuple[int, Dict[str, Any]]]]:
     """Execute one shard: ``(shard_index, ((cell_index, cell_dict), ...))``.
+
+    An optional third payload element selects the execution engine:
+    ``"cell"`` (default) runs the scalar per-cell loop, ``"batch"``
+    routes the shard through the vectorized engine
+    (:func:`repro.sweep.batch.run_cells_batched`) — bit-identical rows
+    either way.
 
     Returns ``(shard_index, [(cell_index, row), ...])``.  Cell dicts
     (not :class:`SweepCell` objects) cross the process boundary so a
@@ -221,7 +246,26 @@ def run_shard(
     A failing cell aborts the whole shard with a :class:`SweepError`
     naming it — a silently absent cell must never reach the merge.
     """
-    shard_index, indexed_cells = payload
+    shard_index, indexed_cells = payload[0], payload[1]
+    engine = payload[2] if len(payload) > 2 else "cell"
+    if _INIT_ERROR is not None:
+        raise SweepError(
+            f"sweep worker initialization failed: {_INIT_ERROR}"
+        )
+    if engine == "batch":
+        from .batch import run_cells_batched
+
+        cells = [
+            SweepCell.from_dict(cell_dict)
+            for __, cell_dict in indexed_cells
+        ]
+        report = run_cells_batched(cells)
+        return shard_index, [
+            (cell_index, row)
+            for (cell_index, __), row in zip(indexed_cells, report.rows)
+        ]
+    if engine != "cell":
+        raise SweepError(f"unknown sweep engine {engine!r}")
     rows: List[Tuple[int, Dict[str, Any]]] = []
     for cell_index, cell_dict in indexed_cells:
         cell = SweepCell.from_dict(cell_dict)

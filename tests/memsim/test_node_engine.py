@@ -145,3 +145,51 @@ class TestMemoization:
         scalar = node.copy_result(CONTIGUOUS, strided(8))
         assert scalar is not fast
         assert node.last_engine == "scalar"
+
+    def test_memo_keys_on_engine_actually_used(
+        self, node_config, monkeypatch
+    ):
+        """Toggling REPRO_MEMSIM_ENGINE must serve the memo of the
+        engine that produced the value, never re-simulate it under a
+        different requested mode (regression: the memo used to key on
+        the requested mode, so auto-produced results were invisible to
+        fast/scalar mode and vice versa)."""
+        node = _small(node_config)
+        auto = node.copy_result(CONTIGUOUS, strided(8))  # auto -> fast
+        assert node.last_engine == "fast"
+        node.last_engine = None
+        monkeypatch.setenv(ENGINE_ENV, "fast")
+        forced = node.copy_result(CONTIGUOUS, strided(8))
+        assert forced is auto  # shared entry: no re-simulation
+        assert node.last_engine is None  # served from the memo
+        monkeypatch.setenv(ENGINE_ENV, "scalar")
+        scalar = node.copy_result(CONTIGUOUS, strided(8))
+        assert scalar is not auto  # scalar never computed this value
+        assert node.last_engine == "scalar"
+        node.last_engine = None
+        monkeypatch.delenv(ENGINE_ENV)
+        again = node.copy_result(CONTIGUOUS, strided(8))  # auto again
+        assert again is auto
+        assert node.last_engine is None
+
+    def test_auto_fallback_shares_scalar_memo(self, monkeypatch):
+        """On a fast-unsupported config, auto's fallback result and a
+        forced-scalar query are one memo entry in both directions."""
+        config = NodeConfig(cache=CacheConfig(write_policy="back"))
+        node = _small(config)
+        fallback = node.copy_result(CONTIGUOUS, CONTIGUOUS)
+        assert node.last_engine == "scalar"
+        node.last_engine = None
+        monkeypatch.setenv(ENGINE_ENV, "scalar")
+        forced = node.copy_result(CONTIGUOUS, CONTIGUOUS)
+        assert forced is fallback
+        assert node.last_engine is None
+
+    def test_clear_cache_forgets_fast_rejections(self):
+        config = NodeConfig(cache=CacheConfig(write_policy="back"))
+        node = _small(config)
+        node.copy_result(CONTIGUOUS, CONTIGUOUS)
+        assert node.fastpath_fallbacks == 1
+        node.clear_cache()
+        node.copy_result(CONTIGUOUS, CONTIGUOUS)
+        assert node.fastpath_fallbacks == 2  # re-attempted, re-counted

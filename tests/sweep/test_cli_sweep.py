@@ -102,6 +102,42 @@ class TestSweepCommand:
         assert excinfo.value.code == EXIT_USAGE
         capsys.readouterr()
 
+    def test_worker_crash_is_one_line_error(self, tmp_path, monkeypatch, capfd):
+        """A crashing worker initializer must exit 1 with the standard
+        ``error:`` line — no raw multiprocessing traceback on stderr."""
+        from repro.sweep import worker as worker_module
+
+        def boom():
+            raise RuntimeError("deliberate init crash")
+
+        monkeypatch.setattr(worker_module, "reset_memos", boom)
+        code = main(["sweep", "--spec", _spec_file(tmp_path), "--workers", "2"])
+        out, err = capfd.readouterr()
+        assert code == EXIT_FAILURE
+        error_lines = [
+            line for line in err.splitlines() if line.startswith("error: ")
+        ]
+        assert len(error_lines) == 1
+        assert "deliberate init crash" in error_lines[0]
+        assert "Traceback" not in err
+        assert "Traceback" not in out
+
+    def test_engine_batch_bit_identical_to_cell(self, tmp_path, capsys):
+        spec = _spec_file(tmp_path)
+        cell = _run_json(capsys, "--spec", spec)
+        batch = _run_json(capsys, "--spec", spec, "--engine", "batch")
+        assert cell == batch
+        assert cell["digest"] == batch["digest"]
+
+    def test_unknown_engine_is_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["sweep", "--spec", _spec_file(tmp_path),
+                 "--engine", "turbo"]
+            )
+        assert excinfo.value.code == EXIT_USAGE
+        capsys.readouterr()
+
 
 class TestFaultsSeedsCommand:
     def test_seed_population_report(self, capsys):

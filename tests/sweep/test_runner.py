@@ -89,6 +89,52 @@ class TestStrategies:
             worker_module.run_shard((0, ((0, bad),)))
 
 
+class TestWorkerCrash:
+    """A worker process that dies during initialization must surface
+    as one :class:`SweepError`, never a raw multiprocessing traceback
+    or a silently broken pool."""
+
+    def test_crashing_initializer_raises_sweep_error(self, monkeypatch):
+        def boom():
+            raise RuntimeError("deliberate init crash")
+
+        # init_worker calls reset_memos; with the fork start method the
+        # children inherit the patched module, so every worker's
+        # initializer fails.
+        monkeypatch.setattr(worker_module, "reset_memos", boom)
+        with pytest.raises(
+            SweepError, match="initialization failed.*deliberate init crash"
+        ):
+            run_sweep(FAST_SPEC, workers=2)
+
+    def test_init_worker_records_instead_of_raising(self, monkeypatch):
+        def boom():
+            raise RuntimeError("deliberate init crash")
+
+        monkeypatch.setattr(worker_module, "reset_memos", boom)
+        worker_module.init_worker({})  # must not raise (pool contract)
+        assert "deliberate init crash" in worker_module._INIT_ERROR
+        with pytest.raises(SweepError, match="initialization failed"):
+            worker_module.run_shard((0, ()))
+        monkeypatch.undo()
+        worker_module.init_worker({})
+        assert worker_module._INIT_ERROR is None
+
+    def test_unpicklable_worker_failure_wrapped(self, monkeypatch):
+        # Failures the pool itself raises (pickling, lost processes)
+        # are wrapped in SweepError by the runner.
+        from repro.sweep import runner as runner_module
+
+        def explode(*args, **kwargs):
+            raise BrokenPipeError("worker died")
+
+        monkeypatch.setattr(
+            runner_module.ProcessPoolExecutor, "submit", explode
+        )
+        with pytest.raises(SweepError, match="worker pool failed"):
+            run_sweep(FAST_SPEC, workers=2)
+
+
 class TestTracing:
     def test_sweep_emits_shard_spans_and_counters(self):
         with tracing() as tracer:
