@@ -52,13 +52,27 @@ BATCH_TARGET_SPEEDUP = 10.0
 BATCH_FLOOR_SPEEDUP = 8.0
 
 #: Tracing the figure-4 regeneration may cost at most this fraction of
-#: the untraced run (reported as a warning, not a failure: single-run
-#: wall-clock ratios on shared CI hardware are noisy).
+#: the untraced run.  This is a hard gate: the overhead estimate is
+#: the *median of per-round ratios* over rotated-order rounds (see
+#: below), which is stable on shared hardware where single-shot ratios
+#: swing by double digits.
 TRACE_OVERHEAD_LIMIT = 0.02
 
 #: An installed-but-empty fault plan must stay within the same bound:
 #: the faults-off path is one context-var read per transfer.
 FAULTS_OVERHEAD_LIMIT = 0.02
+
+#: Rounds for the overhead measurement (each round times every mode
+#: once, in rotated order).
+OVERHEAD_ROUNDS = 7
+
+#: The traffic engine must sustain at least this many discrete events
+#: per wall-clock second (warn below target, fail below floor).
+LOAD_TARGET_EVENTS_PER_S = 25_000.0
+LOAD_FLOOR_EVENTS_PER_S = 8_000.0
+
+#: Simulated horizon for the load benchmark.
+LOAD_HORIZON_NS = 5e8
 
 FIG4_STRIDES = (2, 4, 8, 16, 32, 64)
 
@@ -168,29 +182,44 @@ def main() -> int:
         with injecting(FaultPlan(seed=0)):
             return _regen_figure4()
 
-    # Interleaved best-of-N: the modes are timed round-robin rather
-    # than in sequential blocks, so clock drift on shared hardware
-    # penalizes every mode equally instead of whichever ran last.
+    # Interleaved, rotated rounds with a median-of-ratios estimate.
+    # Each round times every mode back to back, so clock drift hits all
+    # modes equally; the order rotates each round, so systematic
+    # first/last effects (cache warmth, frequency scaling) cancel; and
+    # the reported overhead is the *median of per-round ratios* — a
+    # single slow round (cron wakeup, GC) shifts one sample, not the
+    # estimate, where best-of-N comparisons were at the mercy of which
+    # mode caught the quiet moment.
     os.environ[ENGINE_ENV] = "auto"
-    overhead_repeat = max(args.repeat, 5)
-    modes = {
-        "untraced": _regen_figure4,
-        "traced": _fig4_traced,
-        "empty_plan": _fig4_empty_plan,
-    }
-    best = {name: float("inf") for name in modes}
-    for __ in range(overhead_repeat):
-        for name, fn in modes.items():
+    overhead_rounds = max(args.repeat, OVERHEAD_ROUNDS)
+    modes = [
+        ("untraced", _regen_figure4),
+        ("traced", _fig4_traced),
+        ("empty_plan", _fig4_empty_plan),
+    ]
+    round_times = {name: [] for name, __ in modes}
+    for round_index in range(overhead_rounds):
+        pivot = round_index % len(modes)
+        for name, fn in modes[pivot:] + modes[:pivot]:
             default_cache().clear()
             started = time.perf_counter()
             fn()
-            best[name] = min(best[name], time.perf_counter() - started)
-    untraced_s, traced_s = best["untraced"], best["traced"]
-    faulted_s = best["empty_plan"]
-    trace_overhead = traced_s / untraced_s - 1.0 if untraced_s > 0 else 0.0
-    faults_overhead = (
-        faulted_s / untraced_s - 1.0 if untraced_s > 0 else 0.0
-    )
+            round_times[name].append(time.perf_counter() - started)
+
+    def _median_ratio(name: str) -> float:
+        ratios = sorted(
+            mode_s / base_s
+            for mode_s, base_s in zip(
+                round_times[name], round_times["untraced"]
+            )
+        )
+        return ratios[len(ratios) // 2] - 1.0
+
+    untraced_s = min(round_times["untraced"])
+    traced_s = min(round_times["traced"])
+    faulted_s = min(round_times["empty_plan"])
+    trace_overhead = _median_ratio("traced")
+    faults_overhead = _median_ratio("empty_plan")
 
     # Sweep engine: the figure-7 grid, serial per-cell loop (the exact
     # code shape the consumers used before repro.sweep existed: every
@@ -245,6 +274,38 @@ def main() -> int:
     batch_speedup = (
         serial_sweep_s / batch_sweep_s if batch_sweep_s > 0 else float("inf")
     )
+
+    # Traffic engine throughput: drive a sustained open-loop workload
+    # through the discrete-event engine and report events processed per
+    # wall-clock second, plus a replay for the bit-identity guarantee.
+    from repro.load import (
+        LoadEngine,
+        LoadProfile,
+        OpenLoopSpec,
+        RequestTemplate,
+    )
+
+    load_profile = LoadProfile(
+        name="bench",
+        nodes=16,
+        open_loops=(
+            OpenLoopSpec(
+                name="bench",
+                rate_per_s=50_000.0,
+                templates=(
+                    RequestTemplate("small", nbytes=4096),
+                    RequestTemplate("large", y="64", nbytes=65536),
+                ),
+            ),
+        ),
+    )
+    started = time.perf_counter()
+    load_result = LoadEngine(load_profile, seed=7).run(LOAD_HORIZON_NS)
+    load_s = time.perf_counter() - started
+    load_events = load_result.stats["events"]
+    load_eps = load_events / load_s if load_s > 0 else float("inf")
+    load_replay = LoadEngine(load_profile, seed=7).run(LOAD_HORIZON_NS)
+    load_identical = load_result.digest() == load_replay.digest()
 
     # Cache effect: cold vs warm table regeneration with caching on.
     del os.environ[CACHE_ENV]
@@ -311,6 +372,16 @@ def main() -> int:
             "bit_identical": batch_identical,
             "digest": batch_digest,
         },
+        "load": {
+            "profile": load_profile.name,
+            "horizon_ns": LOAD_HORIZON_NS,
+            "requests": load_result.completed,
+            "events": load_events,
+            "wall_s": round(load_s, 4),
+            "events_per_s": round(load_eps, 1),
+            "bit_identical": load_identical,
+            "digest": load_result.digest(),
+        },
         "parity_mismatches": len(mismatches),
         "meets_target": {
             "figure4_speedup_gte_5x":
@@ -325,6 +396,9 @@ def main() -> int:
             "figure7_batch_speedup_gte_10x":
                 batch_speedup >= BATCH_TARGET_SPEEDUP,
             "figure7_batch_bit_identical": batch_identical,
+            "load_engine_gte_25k_events_per_s":
+                load_eps >= LOAD_TARGET_EVENTS_PER_S,
+            "load_replay_bit_identical": load_identical,
         },
     }
     with open(args.output, "w") as handle:
@@ -342,11 +416,13 @@ def main() -> int:
     )
     print(
         f"figure4 with tracer installed: {traced_s:.2f}s "
-        f"({trace_overhead * 100.0:+.1f}% vs untraced)"
+        f"({trace_overhead * 100.0:+.1f}% vs untraced, median of "
+        f"{overhead_rounds} rounds)"
     )
     print(
         f"figure4 with empty fault plan: {faulted_s:.2f}s "
-        f"({faults_overhead * 100.0:+.1f}% vs no plan)"
+        f"({faults_overhead * 100.0:+.1f}% vs no plan, median of "
+        f"{overhead_rounds} rounds)"
     )
     print(
         f"figure7 sweep: serial {serial_sweep_s:.2f}s -> "
@@ -362,18 +438,48 @@ def main() -> int:
         f"{batch_stats.get('batch_fallbacks')} fallbacks, "
         f"{'bit-identical' if batch_identical else 'RESULTS DIFFER'})"
     )
+    print(
+        f"load engine: {load_result.completed} requests / "
+        f"{load_events} events in {load_s:.2f}s "
+        f"({load_eps:,.0f} events/s, "
+        f"{'bit-identical replay' if load_identical else 'REPLAY DIFFERS'})"
+    )
     print(f"wrote {args.output}")
 
     if trace_overhead >= TRACE_OVERHEAD_LIMIT:
         print(
-            f"WARN: tracer overhead {trace_overhead * 100.0:.1f}% >= "
-            f"{TRACE_OVERHEAD_LIMIT * 100.0:.0f}% target",
+            f"FAIL: tracer overhead {trace_overhead * 100.0:.1f}% >= "
+            f"{TRACE_OVERHEAD_LIMIT * 100.0:.0f}% target "
+            f"(median of {overhead_rounds} rotated rounds)",
             file=sys.stderr,
         )
+        return 1
     if faults_overhead >= FAULTS_OVERHEAD_LIMIT:
         print(
-            f"WARN: faults-off overhead {faults_overhead * 100.0:.1f}% >= "
-            f"{FAULTS_OVERHEAD_LIMIT * 100.0:.0f}% target",
+            f"FAIL: faults-off overhead {faults_overhead * 100.0:.1f}% >= "
+            f"{FAULTS_OVERHEAD_LIMIT * 100.0:.0f}% target "
+            f"(median of {overhead_rounds} rotated rounds)",
+            file=sys.stderr,
+        )
+        return 1
+    if not load_identical:
+        print(
+            f"FAIL: load-engine replay differs "
+            f"({load_result.digest()} vs {load_replay.digest()})",
+            file=sys.stderr,
+        )
+        return 1
+    if load_eps < LOAD_FLOOR_EVENTS_PER_S:
+        print(
+            f"FAIL: load engine {load_eps:,.0f} events/s < "
+            f"{LOAD_FLOOR_EVENTS_PER_S:,.0f} regression floor",
+            file=sys.stderr,
+        )
+        return 1
+    if load_eps < LOAD_TARGET_EVENTS_PER_S:
+        print(
+            f"WARN: load engine {load_eps:,.0f} events/s < "
+            f"{LOAD_TARGET_EVENTS_PER_S:,.0f} target",
             file=sys.stderr,
         )
 

@@ -30,6 +30,11 @@ Commands:
 * ``sweep`` — execute a parameter grid (a preset like ``figure7`` or a
   spec file) on worker processes via :mod:`repro.sweep`; the merged
   JSON is bit-identical for any ``--workers``/``--shard-size``;
+* ``load`` — drive sustained open/closed-loop traffic through a
+  machine with the discrete-event engine (:mod:`repro.load`) and
+  report p50/p99/p999 latency plus per-station utilization; the
+  ``--json`` payload (``repro-load-report/1``) replays bit-identically
+  for a given ``--profile``/``--seed``/``--duration``;
 * ``report`` — regenerate every paper comparison (slow).
 
 Exit codes, uniform across subcommands:
@@ -62,6 +67,28 @@ MACHINES = {"t3d": t3d, "paragon": paragon}
 EXIT_OK = 0
 EXIT_FAILURE = 1
 EXIT_USAGE = 2
+
+
+def _validated_seeds(seeds) -> list:
+    """Validate a ``--seeds`` population before it reaches the sweep.
+
+    Negative seeds collide with the engine's reserved nominal sentinel
+    and duplicates would silently produce duplicate rows in the merged
+    report, so both are hard errors (one-line ``error: ...``, exit 1).
+    """
+    negatives = sorted({seed for seed in seeds if seed < 0})
+    if negatives:
+        raise ModelError(
+            "--seeds must be non-negative, got "
+            + ", ".join(str(seed) for seed in negatives)
+        )
+    duplicates = sorted({seed for seed in seeds if seeds.count(seed) > 1})
+    if duplicates:
+        raise ModelError(
+            "--seeds must be unique, got duplicate "
+            + ", ".join(str(seed) for seed in duplicates)
+        )
+    return list(seeds)
 
 
 def _machine(name: str):
@@ -397,6 +424,67 @@ def cmd_advise(args: argparse.Namespace) -> None:
     print(advice.render())
 
 
+def cmd_load(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from .faults import FaultPlan
+    from .load import LoadEngine, profile_by_name
+
+    profile = profile_by_name(args.profile)
+    if args.machine is not None:
+        import dataclasses as dataclasses_module
+
+        profile = dataclasses_module.replace(profile, machine=args.machine)
+    if args.nodes is not None:
+        import dataclasses as dataclasses_module
+
+        profile = dataclasses_module.replace(profile, nodes=args.nodes)
+    faults = None
+    if args.chaos_seed is not None:
+        faults = FaultPlan.chaos(args.chaos_seed)
+    engine = LoadEngine(profile, seed=args.seed, faults=faults)
+    horizon_ns = args.duration * 1e9
+    started = time_module.perf_counter()
+    result = engine.run(horizon_ns, workers=args.workers)
+    elapsed = time_module.perf_counter() - started
+    events = result.stats.get("events", 0)
+    if args.json:
+        # Canonical payload only: identical bytes for any --workers
+        # value or replay.  Wall-clock facts are nondeterministic and
+        # go to stderr instead (the sweep convention).
+        payload = dict(result.to_dict())
+        payload["digest"] = result.digest()
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        print(
+            f"load: {events} events in {elapsed:.2f}s "
+            f"({events / elapsed if elapsed > 0 else 0.0:,.0f} events/s)",
+            file=sys.stderr,
+        )
+        return EXIT_OK
+    latency = result.latency
+    print(f"{profile.name} on {profile.machine} x{profile.nodes} nodes, "
+          f"seed {args.seed}, {args.duration:g}s simulated"
+          + (f", chaos seed {args.chaos_seed}" if faults else ""))
+    print(f"  requests: {result.completed} completed "
+          f"/ {result.offered} offered")
+    print(f"  latency:  p50 {latency['p50'] / 1e3:10.1f} us   "
+          f"p99 {latency['p99'] / 1e3:10.1f} us   "
+          f"p999 {latency['p999'] / 1e3:10.1f} us")
+    print(f"  engine:   {events} events in {elapsed:.2f}s "
+          f"({events / elapsed if elapsed > 0 else 0.0:,.0f} events/s)")
+    busiest = sorted(
+        result.stations.items(),
+        key=lambda item: item[1]["utilization"],
+        reverse=True,
+    )[:3]
+    for name, summary in busiest:
+        print(f"  {name:14} util {summary['utilization']:6.1%}  "
+              f"depth mean {summary['mean_depth']:6.2f} "
+              f"max {summary['max_depth']}")
+    print(f"  digest    {result.digest()[:16]}")
+    return EXIT_OK
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from .sweep import (
         SweepError,
@@ -426,7 +514,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         from .sweep import NOMINAL_SEED
 
         spec = dataclasses_module.replace(
-            spec, seeds=(NOMINAL_SEED, *args.seeds)
+            spec, seeds=(NOMINAL_SEED, *_validated_seeds(args.seeds))
         )
 
     result = run_sweep(
@@ -494,7 +582,7 @@ def _cmd_faults_sweep(args, machine, x, y, style) -> int:
         pairs=((args.x, args.y),),
         styles=(style.value,),
         sizes=(args.bytes,),
-        seeds=(NOMINAL_SEED, *dict.fromkeys(args.seeds)),
+        seeds=(NOMINAL_SEED, *_validated_seeds(args.seeds)),
         rates=args.rates,
         duplex="off",
     )
@@ -1007,6 +1095,47 @@ def build_parser() -> argparse.ArgumentParser:
                             "shape before executing the grid (fails fast "
                             "on blocking findings)")
 
+    load = commands.add_parser(
+        "load",
+        help="drive sustained traffic through a machine and report "
+             "latency percentiles",
+        description=(
+            "Run the discrete-event traffic engine (repro.load): seeded "
+            "open-loop (Poisson/bursty) and closed-loop (think-time) "
+            "request generators push transfers through per-node NIC / "
+            "deposit-engine / co-processor queueing stations whose "
+            "service times come from the calibrated runtime.  The run "
+            "is replay-deterministic: the same --profile/--seed/"
+            "--duration always produces bit-identical canonical JSON, "
+            "for any --workers value.  --chaos-seed composes a fault "
+            "plan with the traffic, showing tail latency under link "
+            "derates and node slowdowns.  Reports p50/p99/p999 latency, "
+            "per-station utilization and queue depth."
+        ),
+    )
+    load.add_argument("--profile", default="steady",
+                      help="workload profile: steady (Poisson open loop), "
+                           "bursty (8-request bursts, priority queues), "
+                           "closed (think-time clients)")
+    load.add_argument("--machine", default=None, choices=sorted(MACHINES),
+                      help="override the profile's machine")
+    load.add_argument("--nodes", type=int, default=None,
+                      help="override the profile's partition size")
+    load.add_argument("--seed", type=int, default=7,
+                      help="replay seed for every arrival / think / "
+                           "template draw (default 7)")
+    load.add_argument("--duration", type=float, default=0.05,
+                      help="simulated seconds of traffic (default 0.05); "
+                           "in-flight requests drain past the horizon")
+    load.add_argument("--workers", type=int, default=1,
+                      help="threads for arrival pre-generation (results "
+                           "are bit-identical for any value)")
+    load.add_argument("--chaos-seed", type=int, default=None,
+                      help="compose the built-in chaos fault plan with "
+                           "this seed")
+    load.add_argument("--json", action="store_true",
+                      help="emit the repro-load-report/1 payload")
+
     commands.add_parser("report", help="regenerate all paper comparisons")
     return parser
 
@@ -1021,6 +1150,7 @@ def main(argv=None) -> int:
         "estimate": cmd_estimate,
         "faults": cmd_faults,
         "lint": cmd_lint,
+        "load": cmd_load,
         "measure": cmd_measure,
         "sweep": cmd_sweep,
         "table": cmd_table,

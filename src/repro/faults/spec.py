@@ -160,11 +160,21 @@ class FaultPlan:
     fragments: Tuple[FragmentFault, ...] = ()
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
+    def __post_init__(self) -> None:
+        # Emptiness is queried on every runtime transfer (the faults-off
+        # fast exit), so it is computed once here instead of re-walking
+        # four tuples per call.
+        object.__setattr__(
+            self,
+            "_empty",
+            not (self.links or self.nodes or self.deposits or self.fragments),
+        )
+
     # -- queries ------------------------------------------------------------
 
     def is_empty(self) -> bool:
         """True when the plan injects nothing (behaviour must be nominal)."""
-        return not (self.links or self.nodes or self.deposits or self.fragments)
+        return self._empty  # type: ignore[attr-defined, no-any-return]
 
     def deposit_available(self, node: Optional[int]) -> bool:
         """Whether ``node``'s deposit engine is usable under this plan.

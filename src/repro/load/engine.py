@@ -1,0 +1,469 @@
+"""The discrete-event traffic engine.
+
+:class:`LoadEngine` drives a :class:`~repro.load.workload.LoadProfile`
+— thousands to millions of simulated requests — through an existing
+machine model.  Per-request service times are not re-modelled: each
+distinct request shape is priced once through
+:meth:`repro.runtime.engine.CommRuntime.transfer` and its measured
+``resource_busy_ns`` decomposition becomes the station service times:
+
+* sender CPU + DMA busy  -> the source node's ``nic`` station;
+* receiver deposit busy  -> the destination's ``deposit`` station;
+* receiver CPU + coproc  -> the destination's ``coproc`` station;
+* whatever end-to-end time remains -> pure network transit (a delay
+  between the sender-side and receiver-side stations, not a queueing
+  resource — the wire is pipelined).
+
+Determinism is structural, not incidental:
+
+* all randomness is the pure-hash :func:`repro.load.workload.uniform`
+  of ``(seed, stream key)`` — no RNG state anywhere;
+* every event's heap key is content-derived —
+  ``(time, kind, request identity, leg)`` where identity is the
+  ``(generator, sequence)`` pair — so push order (and therefore
+  generator interleaving or pre-generation sharding) cannot change
+  the service order;
+* ``workers`` only shards open-loop *pre-generation*; the per-
+  generator streams are independent of the sharding, and the merged
+  event list is heapified from a canonical sort.
+
+The result: ``run()`` is bit-identical for a given ``(profile, seed,
+horizon)`` across worker counts — the property suite holds this as an
+invariant.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import ModelError
+from ..core.operations import OperationStyle
+from ..core.patterns import AccessPattern
+from ..faults.spec import FaultPlan
+from ..machines import paragon, t3d
+from ..runtime.engine import CommRuntime
+from ..trace.tracer import current_tracer
+from .dispatch import policy_by_name
+from .latency import LatencyStore
+from .queues import Station
+from .workload import ClosedLoopSpec, LoadProfile, RequestTemplate
+
+__all__ = ["LoadEngine", "LoadResult"]
+
+_MACHINES = {"t3d": t3d, "paragon": paragon}
+
+#: Event kinds, in same-timestamp processing order: completions free
+#: servers before new arrivals claim them; transit landings last.
+_DONE, _ARRIVE, _ENQUEUE = 0, 1, 2
+
+#: Station legs a request walks, in order.
+_NIC, _DEPOSIT, _COPROC = "nic", "deposit", "coproc"
+
+
+class _Request:
+    """One in-flight request (identity + route)."""
+
+    __slots__ = (
+        "identity", "generator", "client", "issue", "template",
+        "arrival_ns", "legs", "transit_ns", "wire_at", "leg",
+    )
+
+    def __init__(
+        self,
+        identity: Tuple[Any, ...],
+        generator: str,
+        client: int,
+        issue: int,
+        template: RequestTemplate,
+        arrival_ns: float,
+    ) -> None:
+        self.identity = identity
+        self.generator = generator
+        self.client = client
+        self.issue = issue
+        self.template = template
+        self.arrival_ns = arrival_ns
+        self.legs: Tuple[Tuple[Tuple[int, str], float], ...] = ()
+        self.transit_ns = 0.0
+        self.wire_at = 0
+        self.leg = 0
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one traffic run.
+
+    ``to_dict()`` is the canonical (replay-comparable) payload;
+    ``stats`` carries nondeterministic run facts — wall seconds,
+    events/sec — and is deliberately *excluded* from it, mirroring the
+    sweep engine's canonical/stats split.
+    """
+
+    profile: LoadProfile
+    seed: int
+    horizon_ns: float
+    end_ns: float
+    offered: int
+    completed: int
+    latency: Dict[str, Any]
+    stations: Dict[str, Dict[str, Any]]
+    faults: Optional[FaultPlan] = None
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        throughput = (
+            self.completed / self.end_ns * 1e9 if self.end_ns > 0.0 else 0.0
+        )
+        return {
+            "schema": "repro-load-report/1",
+            "machine": self.profile.machine,
+            "profile": self.profile.to_dict(),
+            "seed": self.seed,
+            "duration_ns": self.horizon_ns,
+            "end_ns": self.end_ns,
+            "offered": self.offered,
+            "completed": self.completed,
+            "latency_ns": self.latency,
+            "throughput": {
+                "completed": self.completed,
+                "requests_per_s": throughput,
+            },
+            "stations": self.stations,
+            "faults": self.faults.to_dict() if self.faults else None,
+        }
+
+    def canonical_json(self) -> str:
+        from .report import canonical_json
+
+        return canonical_json(self.to_dict())
+
+    def digest(self) -> str:
+        from .report import digest
+
+        return digest(self.to_dict())
+
+
+class LoadEngine:
+    """Drive one load profile through the model.
+
+    Args:
+        profile: The traffic description.
+        seed: Replay seed; every random stream hangs off it.
+        faults: Optional fault plan — service times are then priced
+            per (src, dst) pair through the degraded runtime, so link
+            derates and node slowdowns show up in the tail.
+        rates: Pricing source for the runtime (``simulated`` is the
+            cheap deterministic default).
+    """
+
+    def __init__(
+        self,
+        profile: LoadProfile,
+        seed: int = 7,
+        faults: Optional[FaultPlan] = None,
+        rates: str = "simulated",
+    ) -> None:
+        if seed < 0:
+            raise ModelError("load seed must be non-negative")
+        try:
+            machine = _MACHINES[profile.machine]()
+        except KeyError:
+            raise ModelError(
+                f"unknown machine {profile.machine!r}; "
+                f"choose from {sorted(_MACHINES)}"
+            )
+        self.profile = profile
+        self.seed = seed
+        self.faults = (
+            faults if faults is not None and not faults.is_empty() else None
+        )
+        self.runtime = CommRuntime(machine, rates=rates, faults=self.faults)
+        self._patterns: Dict[str, AccessPattern] = {}
+        self._prices: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
+        self._homes: Dict[str, int] = {}
+
+    def _home(self, generator: str) -> int:
+        """The source node a generator's requests depart from.
+
+        A pure hash of ``(seed, name)`` — like every other stream key —
+        so a profile's generator *listing order* cannot change where
+        traffic originates (the interleaving-invariance property).
+        """
+        node = self._homes.get(generator)
+        if node is None:
+            from .workload import uniform
+
+            node = int(
+                uniform(self.seed, "home", generator) * self.profile.nodes
+            ) % self.profile.nodes
+            self._homes[generator] = node
+        return node
+
+    # -- pricing -------------------------------------------------------------
+
+    def _pattern(self, text: str) -> AccessPattern:
+        pattern = self._patterns.get(text)
+        if pattern is None:
+            pattern = self._patterns[text] = AccessPattern.parse(text)
+        return pattern
+
+    def _price(
+        self, template: RequestTemplate, src: int, dst: int
+    ) -> Tuple[Tuple[Tuple[str, float], ...], float, int]:
+        """``(station legs, transit delay, wire index)`` for one shape.
+
+        Healthy runs price each shape once (every (src, dst) pair sees
+        the same machine); under a fault plan the pair matters (link
+        derates, per-node slowdowns), so it joins the memo key.  The
+        wire index is the leg before which the transit delay is paid —
+        the first receiver-side station (or one past the last leg when
+        the route is sender-only).
+        """
+        key: Tuple[Any, ...] = (
+            template.x, template.y, template.nbytes, template.style,
+        )
+        if self.faults is not None:
+            key = key + (src, dst)
+        cached = self._prices.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        sample = self.runtime.transfer(
+            self._pattern(template.x),
+            self._pattern(template.y),
+            template.nbytes,
+            style=OperationStyle(template.style),
+            congestion=self.profile.congestion,
+            src=src if self.faults is not None else None,
+            dst=dst if self.faults is not None else None,
+        )
+        busy = dict(sample.resource_busy_ns)
+        nic_ns = busy.get("sender_cpu", 0.0) + busy.get("sender_dma", 0.0)
+        deposit_ns = busy.get("receiver_deposit", 0.0)
+        coproc_ns = (
+            busy.get("receiver_cpu", 0.0) + busy.get("receiver_coproc", 0.0)
+        )
+        transit_ns = max(sample.ns - nic_ns - deposit_ns - coproc_ns, 0.0)
+        legs = tuple(
+            (kind, service_ns)
+            for kind, service_ns in (
+                (_NIC, nic_ns), (_DEPOSIT, deposit_ns), (_COPROC, coproc_ns),
+            )
+            if service_ns > 0.0
+        )
+        wire_at = len(legs)
+        for index, (kind, __) in enumerate(legs):
+            if kind != _NIC:
+                wire_at = index
+                break
+        priced = (legs, transit_ns, wire_at)
+        self._prices[key] = priced
+        return priced
+
+    # -- arrival pre-generation ----------------------------------------------
+
+    def _open_arrivals(self, horizon_ns: float, workers: int) -> List[Any]:
+        """Every open-loop arrival event, canonically ordered.
+
+        ``workers`` shards the generators; each generator's stream is a
+        pure function of ``(seed, name)``, so the shard assignment (and
+        thread scheduling, when threaded) cannot change the result.
+        """
+        specs = list(enumerate(self.profile.open_loops))
+
+        def generate(shard: List[Any]) -> List[Any]:
+            events = []
+            for __, spec in shard:
+                for seq, (time_ns, template) in enumerate(
+                    spec.arrivals(self.seed, horizon_ns)
+                ):
+                    events.append((
+                        time_ns, _ARRIVE, (spec.name, seq), 0,
+                        (spec.name, -1, seq, template),
+                    ))
+            return events
+
+        if workers <= 1 or len(specs) <= 1:
+            shards = [generate(specs)]
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                shards = list(pool.map(
+                    generate, [specs[i::workers] for i in range(workers)]
+                ))
+        events = [event for shard in shards for event in shard]
+        events.sort(key=lambda event: event[:4])
+        return events
+
+    # -- the event loop ------------------------------------------------------
+
+    def run(self, horizon_ns: float, workers: int = 1) -> LoadResult:
+        """Simulate ``horizon_ns`` of traffic (draining in-flight work).
+
+        New arrivals stop at the horizon; queued and in-service
+        requests complete, so the latency distribution is never
+        censored by the cut-off.
+        """
+        if horizon_ns <= 0.0:
+            raise ModelError("load duration must be positive")
+        profile = self.profile
+        policy = policy_by_name(profile.dispatch, profile.nodes, self.seed)
+        stations: Dict[Tuple[int, str], Station] = {}
+        for node in range(profile.nodes):
+            for kind in (_NIC, _DEPOSIT, _COPROC):
+                stations[(node, kind)] = Station(
+                    f"node{node}/{kind}", profile.discipline
+                )
+        node_backlog = [0] * profile.nodes
+
+        heap: List[Any] = self._open_arrivals(horizon_ns, workers)
+        heapq.heapify(heap)
+
+        for spec in profile.closed_loops:
+            for client in range(spec.clients):
+                heapq.heappush(heap, (
+                    0.0, _ARRIVE, (spec.name, client, 0), 0,
+                    (spec.name, client, 0, spec.pick(self.seed, client, 0)),
+                ))
+        spec_by_name = {spec.name: spec for spec in profile.generators}
+
+        tracer = current_tracer()
+        latencies = LatencyStore()
+        offered = 0
+        completed = 0
+        events = 0
+        end_ns = 0.0
+
+        def enter_leg(now_ns: float, request: _Request) -> None:
+            """Request reaches leg ``request.leg`` (transit already paid)."""
+            if request.leg >= len(request.legs):
+                complete(now_ns, request)
+                return
+            (node, kind), service_ns = request.legs[request.leg]
+            station = stations[(node, kind)]
+            node_backlog[node] += 1
+            if station.idle:
+                done_ns = station.start(now_ns, service_ns)
+                heapq.heappush(heap, (
+                    done_ns, _DONE, request.identity, request.leg, request,
+                ))
+            else:
+                station.enqueue(
+                    now_ns, request.template.priority,
+                    request.identity, request,
+                )
+                if tracer is not None:
+                    tracer.observe(
+                        f"load.depth/{station.name}", float(station.depth())
+                    )
+
+        def advance(now_ns: float, request: _Request) -> None:
+            """Move to leg ``request.leg``, paying transit at the wire."""
+            if request.leg == request.wire_at and request.transit_ns > 0.0:
+                heapq.heappush(heap, (
+                    now_ns + request.transit_ns, _ENQUEUE,
+                    request.identity, request.leg, request,
+                ))
+            else:
+                enter_leg(now_ns, request)
+
+        def complete(now_ns: float, request: _Request) -> None:
+            nonlocal completed
+            completed += 1
+            latency_ns = now_ns - request.arrival_ns
+            latencies.record(latency_ns)
+            if tracer is not None:
+                tracer.count("load.completed")
+                tracer.observe("load.latency_ns", latency_ns)
+            spec = spec_by_name[request.generator]
+            if isinstance(spec, ClosedLoopSpec):
+                issue = request.issue + 1
+                next_ns = now_ns + spec.think(
+                    self.seed, request.client, issue
+                )
+                if next_ns < horizon_ns:
+                    heapq.heappush(heap, (
+                        next_ns, _ARRIVE,
+                        (request.generator, request.client, issue), 0,
+                        (
+                            request.generator, request.client, issue,
+                            spec.pick(self.seed, request.client, issue),
+                        ),
+                    ))
+
+        while heap:
+            time_ns, kind, identity, leg, payload = heapq.heappop(heap)
+            events += 1
+            end_ns = time_ns
+
+            if kind == _ARRIVE:
+                generator, client, issue, template = payload
+                offered += 1
+                src = self._home(generator)
+                dst = policy.pick(
+                    src, generator, client, template.name, node_backlog,
+                )
+                request = _Request(
+                    identity, generator, client, issue, template, time_ns
+                )
+                request.legs, request.transit_ns, wire_at = (
+                    self._fill_route(template, src, dst)
+                )
+                request.wire_at = wire_at
+                advance(time_ns, request)
+                continue
+
+            if kind == _ENQUEUE:
+                enter_leg(time_ns, payload)
+                continue
+
+            # _DONE: free the station, pull the next waiter, advance.
+            request = payload
+            (node, station_kind), __ = request.legs[request.leg]
+            station = stations[(node, station_kind)]
+            station.release()
+            node_backlog[node] -= 1
+            waiter = station.pop(time_ns)
+            if waiter is not None:
+                enqueued_ns, next_request = waiter
+                wait_service = next_request.legs[next_request.leg][1]
+                done_ns = station.start(time_ns, wait_service)
+                heapq.heappush(heap, (
+                    done_ns, _DONE, next_request.identity,
+                    next_request.leg, next_request,
+                ))
+                if tracer is not None:
+                    tracer.observe(
+                        "load.queue_wait_ns", time_ns - enqueued_ns
+                    )
+            request.leg += 1
+            advance(time_ns, request)
+
+        return LoadResult(
+            profile=profile,
+            seed=self.seed,
+            horizon_ns=horizon_ns,
+            end_ns=end_ns,
+            offered=offered,
+            completed=completed,
+            latency=latencies.summary(),
+            stations={
+                station.name: station.summary(end_ns)
+                for station in stations.values()
+            },
+            faults=self.faults,
+            stats={"events": events},
+        )
+
+    def _fill_route(
+        self, template: RequestTemplate, src: int, dst: int
+    ) -> Tuple[Tuple[Tuple[Tuple[int, str], float], ...], float, int]:
+        """The priced route with station keys bound to (src, dst)."""
+        station_legs, transit_ns, wire_at = self._price(template, src, dst)
+        legs = tuple(
+            ((src if kind == _NIC else dst, kind), service_ns)
+            for kind, service_ns in station_legs
+        )
+        return legs, transit_ns, wire_at

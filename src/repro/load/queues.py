@@ -1,0 +1,121 @@
+"""Single-server queueing stations at each node's message hardware.
+
+Each simulated node exposes three stations matching the runtime's
+resource decomposition (:attr:`MeasuredTransfer.resource_busy_ns`):
+
+* ``nic`` — the sender-side processor + DMA engines;
+* ``deposit`` — the receiver's deposit engine;
+* ``coproc`` — the receiver's processor / communication co-processor.
+
+A :class:`Station` serves one request at a time.  Waiting requests
+queue under a discipline — ``fifo`` (arrival order) or ``priority``
+(lower :attr:`RequestTemplate.priority` first, arrival order within a
+priority) — with fully deterministic ordering: ties break on the
+request's content-derived identity, never on insertion order.
+
+Accounting is exact, not sampled: busy time integrates utilization and
+the queue-depth integral yields the time-averaged depth.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Station"]
+
+#: Queue entry: (priority, enqueue_ns, request identity, payload).
+_Entry = Tuple[int, float, Tuple[int, int], Any]
+
+
+class Station:
+    """One single-server queueing station.
+
+    Args:
+        name: Reporting label, e.g. ``"node3/nic"``.
+        discipline: ``"fifo"`` or ``"priority"``.
+    """
+
+    def __init__(self, name: str, discipline: str = "fifo") -> None:
+        self.name = name
+        self.discipline = discipline
+        self._queue: List[_Entry] = []
+        self._busy_until: float = 0.0
+        self._idle = True
+        # Exact accounting.
+        self.busy_ns = 0.0
+        self.served = 0
+        self.max_depth = 0
+        self._depth_integral = 0.0
+        self._depth_clock = 0.0
+
+    # -- queue ---------------------------------------------------------------
+
+    def _account_depth(self, now_ns: float) -> None:
+        self._depth_integral += len(self._queue) * (now_ns - self._depth_clock)
+        self._depth_clock = now_ns
+
+    def enqueue(
+        self,
+        now_ns: float,
+        priority: int,
+        identity: Tuple[int, int],
+        payload: Any,
+    ) -> None:
+        """Add a request to the waiting line.
+
+        ``identity`` is the request's ``(generator, sequence)`` pair —
+        a content-derived key, so two stations fed the same requests in
+        different orders still serve them identically.
+        """
+        self._account_depth(now_ns)
+        rank = priority if self.discipline == "priority" else 0
+        heapq.heappush(self._queue, (rank, now_ns, identity, payload))
+        if len(self._queue) > self.max_depth:
+            self.max_depth = len(self._queue)
+
+    def pop(self, now_ns: float) -> Optional[Tuple[float, Any]]:
+        """``(enqueue time, request)`` next in line, ``None`` when empty."""
+        if not self._queue:
+            return None
+        self._account_depth(now_ns)
+        entry = heapq.heappop(self._queue)
+        return entry[1], entry[3]
+
+    def depth(self) -> int:
+        return len(self._queue)
+
+    # -- server --------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        return self._idle
+
+    def start(self, now_ns: float, service_ns: float) -> float:
+        """Occupy the server; returns the completion time."""
+        self._idle = False
+        self._busy_until = now_ns + service_ns
+        self.busy_ns += service_ns
+        self.served += 1
+        return self._busy_until
+
+    def release(self) -> None:
+        self._idle = True
+
+    def backlog(self) -> int:
+        """Requests at the station: queued plus any one in service."""
+        return len(self._queue) + (0 if self._idle else 1)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self, duration_ns: float) -> Dict[str, Any]:
+        """Exact utilization / depth statistics over ``duration_ns``."""
+        self._account_depth(duration_ns)
+        span = duration_ns if duration_ns > 0.0 else 1.0
+        return {
+            "served": self.served,
+            "busy_ns": self.busy_ns,
+            "utilization": self.busy_ns / span,
+            "mean_depth": self._depth_integral / span,
+            "max_depth": self.max_depth,
+        }

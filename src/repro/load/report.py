@@ -1,0 +1,130 @@
+"""The ``python -m repro load`` report format and its validator.
+
+The load CLI emits one JSON object per run.  The CI load job replays
+``--seed 7`` and validates the payload with
+:func:`validate_load_report`, so the schema is load-bearing:
+
+* ``schema`` — format tag, currently ``"repro-load-report/1"``;
+* ``machine`` / ``profile`` / ``seed`` / ``duration_ns`` — what ran;
+  ``profile`` is the full workload description, replayable verbatim;
+* ``end_ns`` — when the last drained request finished;
+* ``offered`` / ``completed`` — request counts;
+* ``latency_ns`` — ``{count, mean, min, max, p50, p99, p999}``
+  (nearest-rank percentiles over completed requests);
+* ``throughput`` — ``{completed, requests_per_s}``;
+* ``stations`` — per-station ``{served, busy_ns, utilization,
+  mean_depth, max_depth}``;
+* ``faults`` — the composed fault plan, or ``null`` when healthy.
+
+Wall-clock facts (events/sec, elapsed seconds) are *not* part of the
+payload: the canonical JSON below must be bit-identical across
+replays, worker counts and host machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, List
+
+__all__ = [
+    "SCHEMA",
+    "canonical_json",
+    "digest",
+    "validate_load_report",
+]
+
+SCHEMA = "repro-load-report/1"
+
+_LATENCY_KEYS = ("count", "mean", "min", "max", "p50", "p99", "p999")
+
+_STATION_KEYS = ("served", "busy_ns", "utilization", "mean_depth", "max_depth")
+
+
+def canonical_json(payload: Any) -> str:
+    """Key-sorted, separator-pinned JSON — the replay-equality witness."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def digest(payload: Any) -> str:
+    """SHA-256 of :func:`canonical_json` (cheap bit-identity check)."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def validate_load_report(payload: Any) -> List[str]:
+    """Structural errors in a load report (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != SCHEMA:
+        errors.append(
+            f"schema: expected {SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    if not isinstance(payload.get("machine"), str) or not payload.get("machine"):
+        errors.append("machine: missing or not a string")
+    if not isinstance(payload.get("seed"), int) or payload.get("seed", -1) < 0:
+        errors.append("seed: must be a non-negative integer")
+    for key in ("duration_ns", "end_ns"):
+        value = payload.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            errors.append(f"{key}: must be a non-negative number")
+    for key in ("offered", "completed"):
+        value = payload.get(key)
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"{key}: must be a non-negative integer")
+    profile = payload.get("profile")
+    if not isinstance(profile, dict):
+        errors.append("profile: not an object")
+    else:
+        from .workload import LoadProfile
+
+        try:
+            LoadProfile.from_dict(profile)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            errors.append(f"profile: not replayable ({exc})")
+    latency = payload.get("latency_ns")
+    if not isinstance(latency, dict):
+        errors.append("latency_ns: not an object")
+    else:
+        for key in _LATENCY_KEYS:
+            value = latency.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(f"latency_ns.{key}: must be a non-negative number")
+        if not errors and latency["count"] > 0:
+            if not (
+                latency["min"] <= latency["p50"]
+                <= latency["p99"] <= latency["p999"] <= latency["max"]
+            ):
+                errors.append("latency_ns: percentiles out of order")
+    throughput = payload.get("throughput")
+    if not isinstance(throughput, dict):
+        errors.append("throughput: not an object")
+    elif "requests_per_s" not in throughput:
+        errors.append("throughput.requests_per_s: missing")
+    stations = payload.get("stations")
+    if not isinstance(stations, dict):
+        errors.append("stations: not an object")
+    else:
+        for name, summary in stations.items():
+            if not isinstance(summary, dict):
+                errors.append(f"stations[{name!r}]: not an object")
+                continue
+            for key in _STATION_KEYS:
+                value = summary.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    errors.append(
+                        f"stations[{name!r}].{key}: "
+                        "must be a non-negative number"
+                    )
+    faults = payload.get("faults")
+    if faults is not None:
+        if not isinstance(faults, dict):
+            errors.append("faults: not an object or null")
+        else:
+            from ..faults.spec import FaultPlan
+
+            try:
+                FaultPlan.from_dict(faults)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                errors.append(f"faults: not replayable ({exc})")
+    return errors

@@ -101,12 +101,16 @@ class CommunicationStep:
         self.sync_per_message_ns = sync_per_message_ns
 
     def _fault_plan(self) -> Optional[FaultPlan]:
-        """The fault plan governing this step, ``None`` when healthy."""
-        plan = (
-            self.runtime.faults
-            if self.runtime.faults is not None
-            else current_fault_plan()
-        )
+        """The fault plan governing this step, ``None`` when healthy.
+
+        Mirrors :meth:`CommRuntime.transfer`'s fast exit: an explicit
+        runtime plan (even an empty one) shadows the context plan, and
+        emptiness — precomputed on the plan — resolves to ``None`` here
+        so no per-flow fault bookkeeping runs under a no-op plan.
+        """
+        if self.runtime.faults is not None:
+            return self.runtime._standing_plan
+        plan = current_fault_plan()
         if plan is not None and plan.is_empty():
             return None
         return plan

@@ -150,6 +150,12 @@ class CommRuntime:
         self.machine = machine
         self.library = library or lowlevel_profile()
         self.faults = faults
+        # Faults-off fast exit: an explicit-but-empty plan behaves
+        # nominally, so the emptiness test is paid once here, not on
+        # every transfer.  ``None`` means "consult the context plan".
+        self._standing_plan: Optional[FaultPlan] = (
+            faults if faults is not None and not faults.is_empty() else None
+        )
         if table is not None:
             self.table = table
         elif rates == "simulated":
@@ -432,9 +438,16 @@ class CommRuntime:
             if isinstance(style, OperationStyle)
             else OperationStyle(style)
         )
-        plan = self.faults if self.faults is not None else current_fault_plan()
-        if plan is not None and plan.is_empty():
-            plan = None
+        # Fast exit before any per-phase fault bookkeeping: an explicit
+        # plan (even an empty one) shadows the context plan, and an
+        # empty plan in either position resolves to "no faults" here,
+        # once, so _execute never consults a plan that injects nothing.
+        if self.faults is not None:
+            plan = self._standing_plan
+        else:
+            plan = current_fault_plan()
+            if plan is not None and plan.is_empty():
+                plan = None
         return self._execute(
             x, y, nbytes, style, congestion, duplex, analyze, plan, src, dst
         )

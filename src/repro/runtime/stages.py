@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from ..trace.tracer import current_tracer
+from ..trace.tracer import Tracer, current_tracer
 
 __all__ = ["Stage", "PipelineResult", "StagePipeline"]
 
@@ -124,14 +124,58 @@ class StagePipeline:
         full_chunks, tail = divmod(nbytes, chunk_bytes)
         sizes = [chunk_bytes] * full_chunks + ([tail] if tail else [])
 
+        busy: List[float] = [0.0] * len(self.stages)
+        # The tracer check is hoisted out of the (chunk x stage) loop:
+        # with tracing off, the hot path pays a single attribute test
+        # here and then runs a tight loop with no per-chunk branching.
+        # Both loops perform identical arithmetic, so results match
+        # bit for bit traced vs untraced.
         tracer = current_tracer()
+        if tracer is None:
+            finish = self._run_untraced(sizes, busy)
+        else:
+            finish = self._run_traced(sizes, busy, tracer, trace_phase)
+
+        return PipelineResult(
+            ns=finish,
+            nbytes=nbytes,
+            stage_busy_ns=dict(zip(self.labels, busy)),
+        )
+
+    def _run_untraced(self, sizes: Sequence[int], busy: List[float]) -> float:
         resource_free: Dict[str, float] = {}
         started: List[bool] = [False] * len(self.stages)
-        busy: List[float] = [0.0] * len(self.stages)
         finish = 0.0
-
         # Chunk-major order: stages sharing a resource alternate between
         # consecutive chunks instead of hogging it for the whole message.
+        for size in sizes:
+            chunk_ready = 0.0
+            for position, stage in enumerate(self.stages):
+                start = max(chunk_ready, resource_free.get(stage.resource, 0.0))
+                duration = stage.chunk_ns(size)
+                if not started[position]:
+                    duration += stage.startup_ns
+                    started[position] = True
+                chunk_ready = start + duration
+                resource_free[stage.resource] = chunk_ready
+                busy[position] += duration
+            finish = chunk_ready
+        return finish
+
+    def _run_traced(
+        self,
+        sizes: Sequence[int],
+        busy: List[float],
+        tracer: Tracer,
+        trace_phase: str,
+    ) -> float:
+        span_names = [
+            f"{trace_phase}:{label}" if trace_phase else label
+            for label in self.labels
+        ]
+        resource_free: Dict[str, float] = {}
+        started: List[bool] = [False] * len(self.stages)
+        finish = 0.0
         for chunk_index, size in enumerate(sizes):
             chunk_ready = 0.0
             for position, stage in enumerate(self.stages):
@@ -140,31 +184,21 @@ class StagePipeline:
                 if not started[position]:
                     duration += stage.startup_ns
                     started[position] = True
-                if tracer is not None:
-                    wait_ns = start - chunk_ready
-                    tracer.span(
-                        (
-                            f"{trace_phase}:{self.labels[position]}"
-                            if trace_phase
-                            else self.labels[position]
-                        ),
-                        track=stage.resource,
-                        start_ns=start,
-                        duration_ns=duration,
-                        category="stage",
-                        chunk=chunk_index,
-                        bytes=size,
-                        wait_ns=wait_ns,
-                    )
-                    if wait_ns > 0.0:
-                        tracer.observe("pipeline.resource_wait_ns", wait_ns)
+                wait_ns = start - chunk_ready
+                tracer.span(
+                    span_names[position],
+                    track=stage.resource,
+                    start_ns=start,
+                    duration_ns=duration,
+                    category="stage",
+                    chunk=chunk_index,
+                    bytes=size,
+                    wait_ns=wait_ns,
+                )
+                if wait_ns > 0.0:
+                    tracer.observe("pipeline.resource_wait_ns", wait_ns)
                 chunk_ready = start + duration
                 resource_free[stage.resource] = chunk_ready
                 busy[position] += duration
             finish = chunk_ready
-
-        return PipelineResult(
-            ns=finish,
-            nbytes=nbytes,
-            stage_busy_ns=dict(zip(self.labels, busy)),
-        )
+        return finish

@@ -1,0 +1,96 @@
+"""The ``python -m repro load`` subcommand and seeds validation."""
+
+import json
+
+from repro.__main__ import main
+from repro.load import validate_load_report
+
+
+class TestLoadCommand:
+    def test_human_output(self, capsys):
+        assert main(["load", "--seed", "7", "--duration", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p99" in out and "p999" in out
+        assert "events/s" in out
+        assert "digest" in out
+
+    def test_json_payload_validates(self, capsys):
+        assert main([
+            "load", "--seed", "7", "--duration", "0.005", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        digest = payload.pop("digest")
+        assert len(digest) == 64
+        assert validate_load_report(payload) == []
+
+    def test_json_replays_bit_identically(self, capsys):
+        argv = ["load", "--seed", "7", "--duration", "0.005", "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--workers", "4"]) == 0
+        again = capsys.readouterr().out
+        assert first == again
+
+    def test_chaos_seed_composes_faults(self, capsys):
+        argv = ["load", "--seed", "7", "--duration", "0.005", "--json"]
+        assert main(argv) == 0
+        healthy = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--chaos-seed", "7"]) == 0
+        chaotic = json.loads(capsys.readouterr().out)
+        assert healthy["faults"] is None
+        assert chaotic["faults"]["seed"] == 7
+        assert (
+            chaotic["latency_ns"]["p99"] > healthy["latency_ns"]["p99"]
+        )
+
+    def test_profile_and_machine_overrides(self, capsys):
+        assert main([
+            "load", "--profile", "closed", "--machine", "paragon",
+            "--nodes", "4", "--duration", "0.005", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["machine"] == "paragon"
+        assert payload["profile"]["nodes"] == 4
+
+    def test_unknown_profile_is_one_line_error(self, capsys):
+        assert main(["load", "--profile", "nope"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestSeedsValidation:
+    def test_faults_rejects_duplicate_seeds(self, capsys):
+        assert main(["faults", "--seeds", "3", "4", "3"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "duplicate" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_faults_rejects_negative_seeds(self, capsys):
+        assert main(["faults", "--seeds", "-2", "4"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "-2" in err
+
+    def test_sweep_rejects_duplicate_seeds(self, capsys):
+        assert main([
+            "sweep", "--grid", "figure7", "--seeds", "5", "5",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "duplicate" in err
+
+    def test_sweep_rejects_negative_seeds(self, capsys):
+        assert main([
+            "sweep", "--grid", "figure7", "--seeds", "-1",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+
+    def test_valid_seed_population_still_runs(self, capsys):
+        assert main([
+            "faults", "--seeds", "3", "4", "--bytes", "8192", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["seed"] for row in payload["seeds"]] == [3, 4]

@@ -1,0 +1,61 @@
+"""Dispatch policies: routing rules and determinism."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.load import policy_by_name
+
+
+class TestRoundRobin:
+    def test_cycles_and_skips_source(self):
+        policy = policy_by_name("round-robin", nodes=4, seed=7)
+        picks = [
+            policy.pick(0, 0, -1, "t", [0, 0, 0, 0]) for __ in range(4)
+        ]
+        # Cycle 0,1,2,3 with 0 (the source) bumped to 1.
+        assert picks == [1, 1, 2, 3]
+
+    def test_never_picks_source(self):
+        policy = policy_by_name("round-robin", nodes=2, seed=7)
+        assert all(
+            policy.pick(1, 0, -1, "t", [0, 0]) == 0 for __ in range(6)
+        )
+
+
+class TestLeastLoaded:
+    def test_picks_smallest_backlog_excluding_source(self):
+        policy = policy_by_name("least-loaded", nodes=4, seed=7)
+        assert policy.pick(0, 0, -1, "t", [0, 5, 2, 9]) == 2
+
+    def test_ties_break_on_lowest_node(self):
+        policy = policy_by_name("least-loaded", nodes=4, seed=7)
+        assert policy.pick(3, 0, -1, "t", [4, 4, 4, 0]) == 0
+
+
+class TestAffinity:
+    def test_sticky_per_client(self):
+        policy = policy_by_name("affinity", nodes=8, seed=7)
+        first = policy.pick(0, 1, 12, "rpc", [0] * 8)
+        assert all(
+            policy.pick(0, 1, 12, "rpc", [0] * 8) == first
+            for __ in range(5)
+        )
+
+    def test_independent_of_backlog(self):
+        policy = policy_by_name("affinity", nodes=8, seed=7)
+        idle = policy.pick(0, 1, 12, "rpc", [0] * 8)
+        slammed = policy.pick(0, 1, 12, "rpc", [99] * 8)
+        assert idle == slammed
+
+    def test_clients_spread_across_nodes(self):
+        policy = policy_by_name("affinity", nodes=8, seed=7)
+        homes = {
+            policy.pick(0, 1, client, "rpc", [0] * 8)
+            for client in range(64)
+        }
+        assert len(homes) > 3
+
+
+def test_unknown_policy_is_model_error():
+    with pytest.raises(ModelError):
+        policy_by_name("random", nodes=4, seed=7)

@@ -1,0 +1,54 @@
+"""LatencyStore: nearest-rank percentiles, tail ordering."""
+
+import pytest
+
+from repro.load import LatencyStore
+
+
+class TestPercentiles:
+    def test_empty_store_reports_zeros(self):
+        summary = LatencyStore().summary()
+        assert summary["count"] == 0
+        assert summary["p50"] == summary["p99"] == summary["p999"] == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        store = LatencyStore()
+        store.record(42.0)
+        summary = store.summary()
+        assert summary["p50"] == summary["p99"] == summary["p999"] == 42.0
+        assert summary["min"] == summary["max"] == 42.0
+
+    def test_nearest_rank_matches_metrics_registry(self):
+        from repro.trace.metrics import MetricsRegistry
+
+        values = [float(value) for value in range(1, 101)]
+        store = LatencyStore()
+        registry = MetricsRegistry()
+        for value in values:
+            store.record(value)
+            registry.observe("h", value)
+        for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert store.percentile(q) == registry.percentile("h", q)
+
+    def test_percentiles_are_observed_values_and_ordered(self):
+        store = LatencyStore()
+        for value in (5.0, 1.0, 9.0, 3.0, 7.0):
+            store.record(value)
+        summary = store.summary()
+        assert summary["p50"] in (1.0, 3.0, 5.0, 7.0, 9.0)
+        assert (
+            summary["min"] <= summary["p50"] <= summary["p99"]
+            <= summary["p999"] <= summary["max"]
+        )
+
+    def test_out_of_range_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStore().percentile(101.0)
+
+    def test_records_after_summary_are_included(self):
+        store = LatencyStore()
+        store.record(1.0)
+        assert store.percentile(100.0) == 1.0
+        store.record(2.0)
+        assert store.percentile(100.0) == 2.0
+        assert len(store) == 2

@@ -1,0 +1,65 @@
+"""Station semantics: disciplines, accounting, exact integrals."""
+
+from repro.load import Station
+
+
+class TestDisciplines:
+    def test_fifo_serves_in_arrival_order(self):
+        station = Station("s", "fifo")
+        station.enqueue(0.0, priority=5, identity=(0, 0), payload="first")
+        station.enqueue(1.0, priority=0, identity=(0, 1), payload="second")
+        assert station.pop(2.0)[1] == "first"
+        assert station.pop(2.0)[1] == "second"
+
+    def test_priority_orders_by_priority_then_arrival(self):
+        station = Station("s", "priority")
+        station.enqueue(0.0, priority=1, identity=(0, 0), payload="bulk")
+        station.enqueue(1.0, priority=0, identity=(0, 1), payload="urgent")
+        station.enqueue(2.0, priority=0, identity=(0, 2), payload="urgent2")
+        assert station.pop(3.0)[1] == "urgent"
+        assert station.pop(3.0)[1] == "urgent2"
+        assert station.pop(3.0)[1] == "bulk"
+
+    def test_equal_keys_break_on_identity(self):
+        station = Station("s", "priority")
+        station.enqueue(0.0, priority=0, identity=(1, 9), payload="b")
+        station.enqueue(0.0, priority=0, identity=(0, 3), payload="a")
+        assert station.pop(1.0)[1] == "a"
+
+    def test_pop_empty_returns_none(self):
+        assert Station("s").pop(0.0) is None
+
+
+class TestAccounting:
+    def test_busy_and_served(self):
+        station = Station("s")
+        assert station.idle
+        done = station.start(10.0, 5.0)
+        assert done == 15.0
+        assert not station.idle
+        station.release()
+        station.start(20.0, 5.0)
+        station.release()
+        summary = station.summary(100.0)
+        assert summary["served"] == 2
+        assert summary["busy_ns"] == 10.0
+        assert summary["utilization"] == 0.1
+
+    def test_depth_integral_is_exact(self):
+        station = Station("s")
+        # One waiter for [0, 10), two for [10, 20), none after.
+        station.enqueue(0.0, 0, (0, 0), "a")
+        station.enqueue(10.0, 0, (0, 1), "b")
+        station.pop(20.0)
+        station.pop(20.0)
+        summary = station.summary(40.0)
+        # Integral: 1*10 + 2*10 = 30 over 40 ns.
+        assert summary["mean_depth"] == 30.0 / 40.0
+        assert summary["max_depth"] == 2
+
+    def test_backlog_counts_queue_plus_server(self):
+        station = Station("s")
+        assert station.backlog() == 0
+        station.start(0.0, 1.0)
+        station.enqueue(0.0, 0, (0, 0), "a")
+        assert station.backlog() == 2

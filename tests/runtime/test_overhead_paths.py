@@ -1,0 +1,188 @@
+"""The faults-off / trace-off fast exits (BENCH_speed.json targets).
+
+Two hot-path guarantees, checked structurally (call counting) rather
+than by wall clock — the timing gate lives in ``scripts/bench_speed.py``
+where repeated interleaved rounds can average the noise out:
+
+* **Faults off** — with no plan in scope (or an *empty* plan, which
+  must behave nominally) a transfer performs zero per-phase fault
+  bookkeeping: no derate pass, no recovery charge, no per-flow
+  slowdown lookups.
+* **Trace off** — with no tracer installed the per-chunk pipeline loop
+  never consults one; with a tracer the results are bit-identical.
+"""
+
+import time
+
+import pytest
+
+from repro.core.patterns import CONTIGUOUS, strided
+from repro.faults import FaultPlan, injecting
+from repro.runtime.collective import CommunicationStep
+from repro.runtime.engine import CommRuntime
+from repro.runtime.stages import Stage, StagePipeline
+from repro.trace import tracing
+
+_Y = strided(64)
+_BYTES = 65536
+
+
+def _forbid(monkeypatch, obj, name):
+    calls = []
+
+    def trap(*args, **kwargs):
+        calls.append(name)
+        raise AssertionError(f"{name} must not run on the fast path")
+
+    monkeypatch.setattr(obj, name, trap)
+    return calls
+
+
+class TestFaultsOffFastExit:
+    def test_empty_plan_precomputes_emptiness(self):
+        assert FaultPlan(seed=0).is_empty()
+        assert not FaultPlan.chaos(7).is_empty()
+
+    def test_standing_plan_is_none_for_absent_or_empty_plans(self, machine):
+        assert CommRuntime(machine)._standing_plan is None
+        assert CommRuntime(machine, faults=FaultPlan(seed=3))._standing_plan is None
+        chaotic = CommRuntime(machine, faults=FaultPlan.chaos(7))
+        assert chaotic._standing_plan is chaotic.faults
+
+    def test_no_fault_bookkeeping_without_a_plan(self, machine, monkeypatch):
+        runtime = CommRuntime(machine)
+        _forbid(monkeypatch, CommRuntime, "_apply_fault_derates")
+        _forbid(monkeypatch, FaultPlan, "node_slowdown")
+        _forbid(monkeypatch, FaultPlan, "has_wire_faults")
+        runtime.transfer(CONTIGUOUS, _Y, _BYTES)
+
+    def test_no_fault_bookkeeping_under_an_empty_plan(
+        self, machine, monkeypatch
+    ):
+        runtime = CommRuntime(machine, faults=FaultPlan(seed=9))
+        _forbid(monkeypatch, CommRuntime, "_apply_fault_derates")
+        _forbid(monkeypatch, FaultPlan, "node_slowdown")
+        _forbid(monkeypatch, FaultPlan, "has_wire_faults")
+        runtime.transfer(CONTIGUOUS, _Y, _BYTES)
+
+    def test_no_fault_bookkeeping_under_empty_context_plan(
+        self, machine, monkeypatch
+    ):
+        runtime = CommRuntime(machine)
+        _forbid(monkeypatch, CommRuntime, "_apply_fault_derates")
+        _forbid(monkeypatch, FaultPlan, "node_slowdown")
+        with injecting(FaultPlan(seed=4)):
+            runtime.transfer(CONTIGUOUS, _Y, _BYTES)
+
+    def test_step_fast_exit_matches_transfer(self, machine, monkeypatch):
+        runtime = CommRuntime(machine, faults=FaultPlan(seed=2))
+        step = CommunicationStep(
+            runtime,
+            flows=[(0, 1), (1, 2), (2, 0)],
+            x=CONTIGUOUS,
+            y=_Y,
+            bytes_per_flow=_BYTES,
+        )
+        assert step._fault_plan() is None
+        _forbid(monkeypatch, FaultPlan, "node_slowdown")
+        _forbid(monkeypatch, FaultPlan, "wrap_topology")
+        step.run()
+
+    def test_empty_plan_result_bit_identical_to_no_plan(self, machine):
+        bare = CommRuntime(machine).transfer(CONTIGUOUS, _Y, _BYTES)
+        empty = CommRuntime(machine, faults=FaultPlan(seed=5)).transfer(
+            CONTIGUOUS, _Y, _BYTES
+        )
+        assert bare == empty
+
+
+class TestTraceOffFastExit:
+    def test_untraced_pipeline_never_consults_a_tracer(self, monkeypatch):
+        import repro.runtime.stages as stages_module
+
+        def trap():
+            raise AssertionError(
+                "current_tracer must be read once per run, and the "
+                "traced loop must not be entered without a tracer"
+            )
+
+        pipeline = StagePipeline(
+            [Stage("send", 100.0, "cpu"), Stage("net", 50.0, "net")]
+        )
+        # The single allowed read happens inside run(); forbidding the
+        # traced loop proves the disabled path is one attribute test.
+        monkeypatch.setattr(
+            StagePipeline,
+            "_run_traced",
+            lambda *args, **kwargs: trap(),
+        )
+        pipeline.run(1 << 20, chunk_bytes=8192)
+
+    def test_traced_and_untraced_results_bit_identical(self, machine):
+        runtime = CommRuntime(machine)
+        bare = runtime.transfer(CONTIGUOUS, _Y, _BYTES)
+        with tracing():
+            traced = runtime.transfer(CONTIGUOUS, _Y, _BYTES)
+        assert bare.ns == traced.ns
+        assert bare.mbps == traced.mbps
+        assert bare.phase_ns == traced.phase_ns
+        assert bare.resource_busy_ns == traced.resource_busy_ns
+
+    def test_traced_pipeline_emits_chunk_spans(self):
+        pipeline = StagePipeline(
+            [Stage("send", 100.0, "cpu"), Stage("net", 50.0, "net")]
+        )
+        bare = pipeline.run(1 << 16, chunk_bytes=8192)
+        with tracing() as tracer:
+            traced = pipeline.run(1 << 16, chunk_bytes=8192)
+        assert traced.ns == bare.ns
+        assert traced.stage_busy_ns == bare.stage_busy_ns
+        assert len(tracer.spans(category="stage")) == 16  # 8 chunks x 2
+
+
+@pytest.mark.slow
+class TestInterleavedOverhead:
+    """Interleaved-timing regression check for the two <2% targets.
+
+    Rounds alternate modes back to back and the *median of per-round
+    ratios* is compared — single-shot ratios on a noisy box swing by
+    double digits, medians of interleaved rounds do not.  The bound
+    here is looser than the bench gate (CI boxes are noisy); the
+    authoritative 2% number comes from ``scripts/bench_speed.py``.
+    """
+
+    ROUNDS = 15
+
+    def _median_ratio(self, baseline, candidate):
+        ratios = []
+        for __ in range(self.ROUNDS):
+            t0 = time.perf_counter()
+            baseline()
+            t1 = time.perf_counter()
+            candidate()
+            t2 = time.perf_counter()
+            ratios.append((t2 - t1) / (t1 - t0))
+        return sorted(ratios)[len(ratios) // 2]
+
+    def test_empty_plan_overhead_is_small(self, machine):
+        bare = CommRuntime(machine)
+        empty = CommRuntime(machine, faults=FaultPlan(seed=1))
+        ratio = self._median_ratio(
+            lambda: bare.transfer(CONTIGUOUS, _Y, _BYTES),
+            lambda: empty.transfer(CONTIGUOUS, _Y, _BYTES),
+        )
+        assert ratio < 1.10
+
+    def test_trace_off_overhead_is_small(self, machine):
+        # Both sides run *without* a tracer; the candidate additionally
+        # pays the (now hoisted, single) enabled check per pipeline run
+        # inside a context that installed and removed a tracer earlier,
+        # guarding against ContextVar residue making the off path slow.
+        runtime = CommRuntime(machine)
+        with tracing():
+            runtime.transfer(CONTIGUOUS, _Y, _BYTES)
+        ratio = self._median_ratio(
+            lambda: runtime.transfer(CONTIGUOUS, _Y, _BYTES),
+            lambda: runtime.transfer(CONTIGUOUS, _Y, _BYTES),
+        )
+        assert ratio < 1.10

@@ -154,14 +154,14 @@ class TestFaultsSeedsCommand:
             assert row["mbps"] <= payload["nominal"]["mbps"]
             assert "throughput_pct" in row["delta"]
 
-    def test_seeds_deduplicate_preserving_order(self, capsys):
+    def test_duplicate_seeds_rejected(self, capsys):
         code = main([
             "faults", "--seeds", "5", "5", "3", "--bytes", "8192", "--json",
         ])
         captured = capsys.readouterr()
-        assert code == EXIT_OK
-        payload = json.loads(captured.out)
-        assert [row["seed"] for row in payload["seeds"]] == [5, 3]
+        assert code == EXIT_FAILURE
+        assert captured.err.startswith("error: ")
+        assert "duplicate" in captured.err
 
     def test_seeds_with_step_rejected(self, capsys):
         code = main([
