@@ -74,6 +74,13 @@ LOAD_FLOOR_EVENTS_PER_S = 8_000.0
 #: Simulated horizon for the load benchmark.
 LOAD_HORIZON_NS = 5e8
 
+#: Pinned digest of the protection-off bench run.  The overload-
+#: protection layer must not move a single byte of the unprotected
+#: engine's canonical output — this is the regression tripwire.
+LOAD_PROTECTION_OFF_DIGEST = (
+    "2c3d33266f3778e6643a8f849dfb36f4a3afca45d1274b67512cc0ccc75fa3d0"
+)
+
 FIG4_STRIDES = (2, 4, 8, 16, 32, 64)
 
 
@@ -306,6 +313,9 @@ def main() -> int:
     load_eps = load_events / load_s if load_s > 0 else float("inf")
     load_replay = LoadEngine(load_profile, seed=7).run(LOAD_HORIZON_NS)
     load_identical = load_result.digest() == load_replay.digest()
+    load_digest_pinned = (
+        load_result.digest() == LOAD_PROTECTION_OFF_DIGEST
+    )
 
     # Cache effect: cold vs warm table regeneration with caching on.
     del os.environ[CACHE_ENV]
@@ -399,6 +409,7 @@ def main() -> int:
             "load_engine_gte_25k_events_per_s":
                 load_eps >= LOAD_TARGET_EVENTS_PER_S,
             "load_replay_bit_identical": load_identical,
+            "load_protection_off_digest_pinned": load_digest_pinned,
         },
     }
     with open(args.output, "w") as handle:
@@ -466,6 +477,15 @@ def main() -> int:
         print(
             f"FAIL: load-engine replay differs "
             f"({load_result.digest()} vs {load_replay.digest()})",
+            file=sys.stderr,
+        )
+        return 1
+    if not load_digest_pinned:
+        print(
+            f"FAIL: protection-off load digest moved "
+            f"({load_result.digest()} vs pinned "
+            f"{LOAD_PROTECTION_OFF_DIGEST}) — the overload layer "
+            f"must not perturb the unprotected engine",
             file=sys.stderr,
         )
         return 1

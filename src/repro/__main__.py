@@ -424,24 +424,134 @@ def cmd_advise(args: argparse.Namespace) -> None:
     print(advice.render())
 
 
+def _load_overload_spec(args: argparse.Namespace):
+    """The CLI's overload flags as an OverloadSpec (None = unprotected)."""
+    from .load import OverloadSpec
+
+    if (
+        args.admission == "none"
+        and args.station_capacity == 0
+        and args.breaker_threshold == 0
+    ):
+        return None
+    return OverloadSpec(
+        admission=args.admission,
+        queue_limit=args.queue_limit,
+        station_capacity=args.station_capacity,
+        token_rate_per_s=args.token_rate,
+        token_burst=args.token_burst,
+        target_p99_ns=args.target_p99_us * 1e3,
+        p99_ceiling_ns=args.p99_ceiling_us * 1e3,
+        reject_retry=args.reject_retry,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_ns=args.breaker_cooldown_us * 1e3,
+    )
+
+
+def _load_profile_for(args: argparse.Namespace):
+    """Resolve + adjust the load profile from the CLI flags."""
+    import dataclasses as dataclasses_module
+
+    from .load import profile_by_name
+
+    profile = profile_by_name(args.profile)
+    if args.machine is not None:
+        profile = dataclasses_module.replace(profile, machine=args.machine)
+    if args.nodes is not None:
+        profile = dataclasses_module.replace(profile, nodes=args.nodes)
+    if args.rate_x != 1.0:
+        profile = profile.scaled(args.rate_x)
+    if args.deadline_us != 0.0:
+        deadline_ns = args.deadline_us * 1e3
+
+        def with_deadline(spec):
+            return dataclasses_module.replace(spec, templates=tuple(
+                dataclasses_module.replace(t, deadline_ns=deadline_ns)
+                for t in spec.templates
+            ))
+
+        profile = dataclasses_module.replace(
+            profile,
+            open_loops=tuple(
+                with_deadline(spec) for spec in profile.open_loops
+            ),
+            closed_loops=tuple(
+                with_deadline(spec) for spec in profile.closed_loops
+            ),
+        )
+    overload = _load_overload_spec(args)
+    if overload is not None:
+        profile = dataclasses_module.replace(profile, overload=overload)
+    return profile
+
+
+def _load_curve(args, profile, faults, horizon_ns) -> int:
+    """`load --latency-curve`: sweep multipliers, report the knee."""
+    from .load import digest
+    from .sweep.loadcurve import run_load_curve
+
+    try:
+        multipliers = [
+            float(token)
+            for token in args.latency_curve.split(",")
+            if token.strip()
+        ]
+    except ValueError:
+        raise ModelError(
+            f"--latency-curve wants comma-separated numbers, "
+            f"got {args.latency_curve!r}"
+        )
+    payload = run_load_curve(
+        profile, args.seed, horizon_ns,
+        multipliers=multipliers, workers=args.workers, faults=faults,
+    )
+    payload_digest = digest(payload)
+    if args.json:
+        payload = dict(payload)
+        payload["digest"] = payload_digest
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return EXIT_OK
+    knee = payload["knee_multiplier"]
+    print(f"{profile.name} on {profile.machine} x{profile.nodes} nodes, "
+          f"seed {args.seed}, {args.duration:g}s per point")
+    print(f"  {'x':>5} {'offered':>8} {'done':>8} {'shed+rej':>8} "
+          f"{'p50 us':>10} {'p99 us':>10} {'p999 us':>10}")
+    for point in payload["points"]:
+        dropped = point.get("rejected", 0) + point.get("shed", 0)
+        print(f"  {point['multiplier']:>5g} {point['offered']:>8} "
+              f"{point['completed']:>8} {dropped:>8} "
+              f"{point['p50_ns'] / 1e3:>10.1f} "
+              f"{point['p99_ns'] / 1e3:>10.1f} "
+              f"{point['p999_ns'] / 1e3:>10.1f}")
+    if knee is not None:
+        print(f"  knee: p99 exceeds {payload['knee_factor']:g}x the "
+              f"low-load baseline at {knee:g}x offered load")
+    else:
+        print("  knee: none within the swept range")
+    print(f"  digest    {payload_digest[:16]}")
+    return EXIT_OK
+
+
 def cmd_load(args: argparse.Namespace) -> int:
     import time as time_module
 
     from .faults import FaultPlan
-    from .load import LoadEngine, profile_by_name
+    from .load import LoadEngine
 
-    profile = profile_by_name(args.profile)
-    if args.machine is not None:
-        import dataclasses as dataclasses_module
-
-        profile = dataclasses_module.replace(profile, machine=args.machine)
-    if args.nodes is not None:
-        import dataclasses as dataclasses_module
-
-        profile = dataclasses_module.replace(profile, nodes=args.nodes)
+    if args.duration <= 0.0:
+        raise ModelError("load duration must be positive")
+    if args.nodes is not None and args.nodes < 2:
+        raise ModelError("a load profile needs at least 2 nodes")
+    profile = _load_profile_for(args)
     faults = None
-    if args.chaos_seed is not None:
+    if args.plan is not None:
+        faults = FaultPlan.from_json(args.plan)
+        if args.chaos_seed is not None:
+            faults = faults.with_seed(args.chaos_seed)
+    elif args.chaos_seed is not None:
         faults = FaultPlan.chaos(args.chaos_seed)
+    if args.latency_curve is not None:
+        return _load_curve(args, profile, faults, args.duration * 1e9)
     engine = LoadEngine(profile, seed=args.seed, faults=faults)
     horizon_ns = args.duration * 1e9
     started = time_module.perf_counter()
@@ -481,6 +591,17 @@ def cmd_load(args: argparse.Namespace) -> int:
         print(f"  {name:14} util {summary['utilization']:6.1%}  "
               f"depth mean {summary['mean_depth']:6.2f} "
               f"max {summary['max_depth']}")
+    if result.overload is not None:
+        totals = result.overload["totals"]
+        opened = sum(
+            state["opened"]
+            for state in result.overload["breakers"].values()
+        )
+        print(f"  overload: {totals['rejected']} rejected, "
+              f"{totals['shed']} shed, {totals['broken']} broken, "
+              f"{totals['retried']} retried "
+              f"(admission {result.overload['admission']['policy']}"
+              + (f", {opened} breaker trips" if opened else "") + ")")
     print(f"  digest    {result.digest()[:16]}")
     return EXIT_OK
 
@@ -1132,9 +1253,58 @@ def build_parser() -> argparse.ArgumentParser:
                            "are bit-identical for any value)")
     load.add_argument("--chaos-seed", type=int, default=None,
                       help="compose the built-in chaos fault plan with "
-                           "this seed")
+                           "this seed (with --plan: re-seed the plan)")
+    load.add_argument("--plan", default=None,
+                      help="JSON fault-plan file to compose with the "
+                           "traffic (same format as the faults command)")
+    load.add_argument("--rate-x", type=float, default=1.0,
+                      help="scale offered load: open-loop rates x this, "
+                           "closed-loop client counts rounded up "
+                           "(default 1.0)")
+    load.add_argument("--admission", default="none",
+                      choices=["none", "bounded-queue", "token-bucket",
+                               "adaptive"],
+                      help="admission-control policy gating arrivals at "
+                           "the source NIC (default none; none keeps the "
+                           "report byte-identical to the unprotected "
+                           "engine)")
+    load.add_argument("--queue-limit", type=int, default=64,
+                      help="bounded-queue: max source-NIC backlog "
+                           "admitted (default 64)")
+    load.add_argument("--station-capacity", type=int, default=0,
+                      help="bound every station's waiting line "
+                           "(0 = unbounded)")
+    load.add_argument("--deadline-us", type=float, default=0.0,
+                      help="shed requests that wait longer than this at "
+                           "any one station (microseconds; 0 = off)")
+    load.add_argument("--reject-retry", default="drop",
+                      choices=["drop", "backoff"],
+                      help="rejected requests are dropped or re-arrive "
+                           "after seeded exponential backoff")
+    load.add_argument("--token-rate", type=float, default=0.0,
+                      help="token-bucket: sustained admitted requests/s")
+    load.add_argument("--token-burst", type=int, default=32,
+                      help="token-bucket: bucket depth (default 32)")
+    load.add_argument("--target-p99-us", type=float, default=0.0,
+                      help="adaptive: p99 target the AIMD controller "
+                           "steers toward (microseconds)")
+    load.add_argument("--p99-ceiling-us", type=float, default=0.0,
+                      help="declared p99 bound recorded in the report "
+                           "(asserted by CI, not enforced by the engine)")
+    load.add_argument("--breaker-threshold", type=int, default=0,
+                      help="consecutive per-link failures that open the "
+                           "circuit breaker (0 = breakers off)")
+    load.add_argument("--breaker-cooldown-us", type=float, default=5000.0,
+                      help="simulated microseconds an open breaker waits "
+                           "before half-open probes (default 5000)")
+    load.add_argument("--latency-curve", default=None, metavar="MULTS",
+                      help="sweep offered load across comma-separated "
+                           "rate multipliers (e.g. 0.5,1,2,4) and report "
+                           "the latency-vs-load curve with its knee; "
+                           "--workers then fans points over processes")
     load.add_argument("--json", action="store_true",
-                      help="emit the repro-load-report/1 payload")
+                      help="emit the repro-load-report/1 payload (or "
+                           "repro-load-curve/1 with --latency-curve)")
 
     commands.add_parser("report", help="regenerate all paper comparisons")
     return parser

@@ -45,4 +45,29 @@ class FaultError(ModelError):
 
 
 class TransferAbortedError(FaultError):
-    """A transfer exhausted its retry budget and gave up."""
+    """A transfer exhausted its retry budget and gave up.
+
+    Carries the endpoints of the aborted transfer (when known) so
+    higher layers — notably the load engine's circuit breakers — can
+    attribute the abort to a specific (src, dst) link without parsing
+    the message.  Anonymous transfers leave both as ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        src: "int | None" = None,
+        dst: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+
+
+class LoadError(ModelError):
+    """The traffic engine was asked something impossible.
+
+    Raised for malformed load profiles and overload-protection specs,
+    percentile queries on an empty latency store, and invalid
+    latency-curve sweeps.
+    """

@@ -51,6 +51,13 @@ class RetryPolicy:
         granularity: ``"fragment"`` retries individual fragments;
             ``"message"`` retransmits the whole message when any
             fragment fails (simple protocols without selective repeat).
+        retry_budget: Maximum fraction of in-flight work that may be
+            retries, in ``[0, 1]``.  The runtime's per-transfer
+            recovery ignores it (one transfer has no fleet view); the
+            load engine consults it before scheduling a rejected or
+            aborted request for another attempt, so retry storms
+            cannot amplify an overload or hammer an open circuit
+            breaker (see ``docs/LOAD.md``).
     """
 
     timeout_ns: float = 50_000.0
@@ -59,6 +66,7 @@ class RetryPolicy:
     backoff_cap_ns: float = 400_000.0
     max_attempts: int = 8
     granularity: str = "fragment"
+    retry_budget: float = 1.0
 
     def __post_init__(self) -> None:
         if self.timeout_ns < 0 or self.backoff_base_ns < 0:
@@ -78,6 +86,10 @@ class RetryPolicy:
                 f"granularity must be one of {_GRANULARITIES}, "
                 f"got {self.granularity!r}"
             )
+        if not 0.0 <= self.retry_budget <= 1.0:
+            raise FaultError(
+                f"retry budget must be in [0, 1], got {self.retry_budget}"
+            )
 
     def backoff_ns(self, retry_index: int) -> float:
         """Idle wait before retransmission number ``retry_index`` (0-based)."""
@@ -94,6 +106,7 @@ class RetryPolicy:
             "backoff_cap_ns": self.backoff_cap_ns,
             "max_attempts": self.max_attempts,
             "granularity": self.granularity,
+            "retry_budget": self.retry_budget,
         }
 
     @classmethod

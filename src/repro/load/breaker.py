@@ -1,0 +1,177 @@
+"""Per-link circuit breakers for the traffic engine.
+
+A transfer that keeps failing on one (src, dst) link — because the
+fault plan aborts it, or because the link is derated below a configured
+floor — should stop being attempted for a while instead of burning NIC
+time on work that cannot complete.  :class:`CircuitBreaker` is the
+classic three-state machine, run entirely on *simulated* time:
+
+::
+
+              failures >= threshold
+    CLOSED ──────────────────────────► OPEN
+      ▲                                  │
+      │ probes consecutive               │ cooldown_ns elapsed
+      │ successes                        ▼
+      └─────────────────────────── HALF-OPEN
+              (one probe failure reopens, restarting the cooldown)
+
+While OPEN, every arrival for the link is rejected without pricing.
+After ``cooldown_ns`` of simulated time the breaker turns HALF-OPEN
+and admits probe arrivals; probe selection is deterministic — the
+first arrivals to reach :meth:`allow` after the cooldown, an order
+fixed by the event heap's content-derived keys — so replays are
+bit-identical.  ``probes`` consecutive successes close the breaker;
+any failure reopens it.
+
+:class:`BreakerBoard` lazily keeps one breaker per (src, dst) pair and
+summarizes only the pairs that saw at least one failure or rejection,
+keeping reports small on large machines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["CircuitBreaker", "BreakerBoard"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Breaker for one directed link.
+
+    Args:
+        threshold: Consecutive failures that trip CLOSED → OPEN.
+        cooldown_ns: Simulated time OPEN waits before HALF-OPEN.
+        probes: Consecutive HALF-OPEN successes required to close.
+    """
+
+    __slots__ = (
+        "threshold",
+        "cooldown_ns",
+        "probes",
+        "state",
+        "failures",
+        "probe_successes",
+        "probe_inflight",
+        "opened_at_ns",
+        "opened",
+        "rejected",
+        "transitions",
+    )
+
+    def __init__(
+        self, threshold: int, cooldown_ns: float, probes: int
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown_ns = cooldown_ns
+        self.probes = probes
+        self.state = CLOSED
+        self.failures = 0
+        self.probe_successes = 0
+        self.probe_inflight = 0
+        self.opened_at_ns = 0.0
+        self.opened = 0
+        self.rejected = 0
+        self.transitions: List[Tuple[float, str]] = []
+
+    def _transition(self, now_ns: float, state: str) -> None:
+        self.state = state
+        self.transitions.append((now_ns, state))
+
+    def allow(self, now_ns: float) -> bool:
+        """May an arrival for this link proceed to pricing?
+
+        OPEN turns HALF-OPEN here once the cooldown has elapsed; in
+        HALF-OPEN only ``probes`` arrivals may be in flight at once —
+        the first to ask after the cooldown, which the event heap's
+        deterministic ordering fixes across replays.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now_ns - self.opened_at_ns < self.cooldown_ns:
+                self.rejected += 1
+                return False
+            self._transition(now_ns, HALF_OPEN)
+            self.probe_successes = 0
+            self.probe_inflight = 0
+        # HALF_OPEN: admit up to `probes` concurrent probe arrivals.
+        if self.probe_inflight >= self.probes:
+            self.rejected += 1
+            return False
+        self.probe_inflight += 1
+        return True
+
+    def record_success(self, now_ns: float) -> None:
+        if self.state == HALF_OPEN:
+            self.probe_inflight -= 1
+            self.probe_successes += 1
+            if self.probe_successes >= self.probes:
+                self._transition(now_ns, CLOSED)
+                self.failures = 0
+        else:
+            self.failures = 0
+
+    def record_failure(self, now_ns: float) -> None:
+        if self.state == HALF_OPEN:
+            self.probe_inflight -= 1
+            self._open(now_ns)
+            return
+        self.failures += 1
+        if self.state == CLOSED and self.failures >= self.threshold:
+            self._open(now_ns)
+
+    def _open(self, now_ns: float) -> None:
+        self._transition(now_ns, OPEN)
+        self.opened_at_ns = now_ns
+        self.opened += 1
+        self.failures = 0
+
+    def interesting(self) -> bool:
+        """Did this breaker ever see a failure or reject anything?"""
+        return bool(self.opened or self.rejected or self.failures)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "opened": self.opened,
+            "rejected": self.rejected,
+            "failures": self.failures,
+            "transitions": [
+                {"at_ns": at_ns, "state": state}
+                for at_ns, state in self.transitions
+            ],
+        }
+
+
+class BreakerBoard:
+    """All per-link breakers for one run, created on first use."""
+
+    def __init__(
+        self, threshold: int, cooldown_ns: float, probes: int
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown_ns = cooldown_ns
+        self.probes = probes
+        self._breakers: Dict[Tuple[int, int], CircuitBreaker] = {}
+
+    def get(self, src: int, dst: int) -> CircuitBreaker:
+        breaker = self._breakers.get((src, dst))
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.threshold, self.cooldown_ns, self.probes
+            )
+            self._breakers[(src, dst)] = breaker
+        return breaker
+
+    def summary(self) -> Dict[str, Any]:
+        """``{"src->dst": breaker summary}`` for links that saw trouble."""
+        return {
+            f"{src}->{dst}": breaker.summary()
+            for (src, dst), breaker in sorted(self._breakers.items())
+            if breaker.interesting()
+        }

@@ -38,17 +38,19 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..core.errors import ModelError
+from ..core.errors import ModelError, TransferAbortedError
 from ..core.operations import OperationStyle
 from ..core.patterns import AccessPattern
 from ..faults.spec import FaultPlan
 from ..machines import paragon, t3d
 from ..runtime.engine import CommRuntime
 from ..trace.tracer import current_tracer
+from .breaker import BreakerBoard
 from .dispatch import policy_by_name
 from .latency import LatencyStore
+from .overload import OverloadSpec, admission_by_name
 from .queues import Station
-from .workload import ClosedLoopSpec, LoadProfile, RequestTemplate
+from .workload import ClosedLoopSpec, LoadProfile, RequestTemplate, uniform
 
 __all__ = ["LoadEngine", "LoadResult"]
 
@@ -67,7 +69,7 @@ class _Request:
 
     __slots__ = (
         "identity", "generator", "client", "issue", "template",
-        "arrival_ns", "legs", "transit_ns", "wire_at", "leg",
+        "arrival_ns", "legs", "transit_ns", "wire_at", "leg", "attempt",
     )
 
     def __init__(
@@ -89,6 +91,7 @@ class _Request:
         self.transit_ns = 0.0
         self.wire_at = 0
         self.leg = 0
+        self.attempt = 0
 
 
 @dataclass
@@ -110,13 +113,14 @@ class LoadResult:
     latency: Dict[str, Any]
     stations: Dict[str, Dict[str, Any]]
     faults: Optional[FaultPlan] = None
+    overload: Optional[Dict[str, Any]] = None
     stats: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         throughput = (
             self.completed / self.end_ns * 1e9 if self.end_ns > 0.0 else 0.0
         )
-        return {
+        payload = {
             "schema": "repro-load-report/1",
             "machine": self.profile.machine,
             "profile": self.profile.to_dict(),
@@ -133,6 +137,11 @@ class LoadResult:
             "stations": self.stations,
             "faults": self.faults.to_dict() if self.faults else None,
         }
+        # Only protected runs carry the overload section; unprotected
+        # reports stay byte-identical to the pre-protection engine.
+        if self.overload is not None:
+            payload["overload"] = self.overload
+        return payload
 
     def canonical_json(self) -> str:
         from .report import canonical_json
@@ -305,16 +314,62 @@ class LoadEngine:
         New arrivals stop at the horizon; queued and in-service
         requests complete, so the latency distribution is never
         censored by the cut-off.
+
+        When the profile carries a non-noop
+        :class:`~repro.load.overload.OverloadSpec` (or any template
+        sets a deadline), the run switches to the *protected* event
+        path: admission control before pricing, bounded stations,
+        deadline shedding at pop time, and per-link circuit breakers.
+        The unprotected path executes exactly the pre-protection code —
+        same calls, same accounting — so protection-off reports are
+        byte-identical and pay no hot-path cost.
         """
         if horizon_ns <= 0.0:
             raise ModelError("load duration must be positive")
         profile = self.profile
         policy = policy_by_name(profile.dispatch, profile.nodes, self.seed)
+        heappush, heappop = heapq.heappush, heapq.heappop
+
+        ospec = profile.overload
+        protected = (ospec is not None and not ospec.is_noop()) or any(
+            template.deadline_ns > 0.0
+            for spec in profile.generators
+            for template in spec.templates
+        )
+        if protected and ospec is None:
+            ospec = OverloadSpec()
+        admission = admission_by_name(ospec, self.seed) if protected else None
+        board: Optional[BreakerBoard] = None
+        derate_trip = 0.0
+        retry_mode = False
+        retry_budget = 1.0
+        capacity: Optional[int] = None
+        if protected:
+            if ospec.breakers_enabled():
+                board = BreakerBoard(
+                    ospec.breaker_threshold,
+                    ospec.breaker_cooldown_ns,
+                    ospec.breaker_probes,
+                )
+                derate_trip = ospec.breaker_derate_trip
+            retry_mode = (
+                ospec.reject_retry == "backoff" and ospec.max_retries > 0
+            )
+            retry_budget = ospec.retry_budget
+            if self.faults is not None:
+                # The stricter of the load spec's and the fault plan's
+                # budgets wins: neither layer can retry-storm the other.
+                retry_budget = min(
+                    retry_budget, self.faults.retry.retry_budget
+                )
+            if ospec.station_capacity > 0:
+                capacity = ospec.station_capacity
+
         stations: Dict[Tuple[int, str], Station] = {}
         for node in range(profile.nodes):
             for kind in (_NIC, _DEPOSIT, _COPROC):
                 stations[(node, kind)] = Station(
-                    f"node{node}/{kind}", profile.discipline
+                    f"node{node}/{kind}", profile.discipline, capacity
                 )
         node_backlog = [0] * profile.nodes
 
@@ -323,7 +378,7 @@ class LoadEngine:
 
         for spec in profile.closed_loops:
             for client in range(spec.clients):
-                heapq.heappush(heap, (
+                heappush(heap, (
                     0.0, _ARRIVE, (spec.name, client, 0), 0,
                     (spec.name, client, 0, spec.pick(self.seed, client, 0)),
                 ))
@@ -335,6 +390,17 @@ class LoadEngine:
         completed = 0
         events = 0
         end_ns = 0.0
+        # Protected-path accounting (untouched on the unprotected path).
+        gen_counts: Dict[str, Dict[str, int]] = {
+            spec.name: {
+                "offered": 0, "accepted": 0, "completed": 0,
+                "rejected": 0, "evicted": 0, "shed": 0, "broken": 0,
+                "retried": 0,
+            }
+            for spec in profile.generators
+        } if protected else {}
+        inflight = 0
+        retries_pending = 0
 
         def enter_leg(now_ns: float, request: _Request) -> None:
             """Request reaches leg ``request.leg`` (transit already paid)."""
@@ -343,26 +409,52 @@ class LoadEngine:
                 return
             (node, kind), service_ns = request.legs[request.leg]
             station = stations[(node, kind)]
-            node_backlog[node] += 1
+            if not protected:
+                node_backlog[node] += 1
+                if station.idle:
+                    done_ns = station.start(now_ns, service_ns)
+                    heappush(heap, (
+                        done_ns, _DONE, request.identity, request.leg,
+                        request,
+                    ))
+                else:
+                    station.enqueue(
+                        now_ns, request.template.priority,
+                        request.identity, request,
+                    )
+                    if tracer is not None:
+                        tracer.observe(
+                            f"load.depth/{station.name}",
+                            float(station.depth()),
+                        )
+                return
             if station.idle:
+                node_backlog[node] += 1
                 done_ns = station.start(now_ns, service_ns)
-                heapq.heappush(heap, (
+                heappush(heap, (
                     done_ns, _DONE, request.identity, request.leg, request,
                 ))
-            else:
-                station.enqueue(
-                    now_ns, request.template.priority,
-                    request.identity, request,
-                )
+                return
+            accepted, evicted = station.offer(
+                now_ns, request.template.priority, request.identity,
+                request, request.template.deadline_ns,
+            )
+            if evicted is not None:
+                node_backlog[node] -= 1
+                drop_midroute(now_ns, evicted)
+            if accepted:
+                node_backlog[node] += 1
                 if tracer is not None:
                     tracer.observe(
                         f"load.depth/{station.name}", float(station.depth())
                     )
+            else:
+                drop_midroute(now_ns, request)
 
         def advance(now_ns: float, request: _Request) -> None:
             """Move to leg ``request.leg``, paying transit at the wire."""
             if request.leg == request.wire_at and request.transit_ns > 0.0:
-                heapq.heappush(heap, (
+                heappush(heap, (
                     now_ns + request.transit_ns, _ENQUEUE,
                     request.identity, request.leg, request,
                 ))
@@ -370,10 +462,14 @@ class LoadEngine:
                 enter_leg(now_ns, request)
 
         def complete(now_ns: float, request: _Request) -> None:
-            nonlocal completed
+            nonlocal completed, inflight
             completed += 1
             latency_ns = now_ns - request.arrival_ns
             latencies.record(latency_ns)
+            if protected:
+                inflight -= 1
+                gen_counts[request.generator]["completed"] += 1
+                admission.observe(now_ns, latency_ns)
             if tracer is not None:
                 tracer.count("load.completed")
                 tracer.observe("load.latency_ns", latency_ns)
@@ -384,7 +480,7 @@ class LoadEngine:
                     self.seed, request.client, issue
                 )
                 if next_ns < horizon_ns:
-                    heapq.heappush(heap, (
+                    heappush(heap, (
                         next_ns, _ARRIVE,
                         (request.generator, request.client, issue), 0,
                         (
@@ -393,26 +489,196 @@ class LoadEngine:
                         ),
                     ))
 
+        # -- protected-path helpers (never called unprotected) ----------
+
+        def continue_closed(
+            now_ns: float, generator: str, client: int, issue: int
+        ) -> None:
+            """Keep a closed-loop client alive past a dropped request.
+
+            A closed loop reissues on completion; a request that is
+            rejected or shed never completes, so without this the
+            client would silently die and the loop would starve.
+            """
+            spec = spec_by_name[generator]
+            if not isinstance(spec, ClosedLoopSpec):
+                return
+            nxt = issue + 1
+            next_ns = now_ns + spec.think(self.seed, client, nxt)
+            if next_ns < horizon_ns:
+                heappush(heap, (
+                    next_ns, _ARRIVE, (generator, client, nxt), 0,
+                    (
+                        generator, client, nxt,
+                        spec.pick(self.seed, client, nxt),
+                    ),
+                ))
+
+        def retry_or_drop(
+            now_ns: float,
+            base_identity: Tuple[Any, ...],
+            generator: str,
+            client: int,
+            issue: int,
+            template: RequestTemplate,
+            attempt: int,
+        ) -> None:
+            """Schedule a seeded backoff re-arrival, or drop terminally.
+
+            A retry re-enters as a fresh arrival (identity extended
+            with the attempt number, so heap keys stay unique) after an
+            exponential backoff with pure-hash jitter.  The retry
+            budget bounds retries as a fraction of in-flight work —
+            with the fault plan's budget composed in above — so a storm
+            of rejections cannot amplify the overload it reacts to.
+            """
+            nonlocal retries_pending
+            if (
+                retry_mode
+                and attempt < ospec.max_retries
+                and (
+                    retry_budget >= 1.0
+                    or retries_pending + 1
+                    <= retry_budget * (inflight + retries_pending + 1)
+                )
+            ):
+                gen_counts[generator]["retried"] += 1
+                retries_pending += 1
+                delay_ns = (
+                    ospec.retry_backoff_ns
+                    * (2.0 ** attempt)
+                    * (0.5 + uniform(
+                        self.seed, "reject-backoff", *base_identity, attempt
+                    ))
+                )
+                heappush(heap, (
+                    now_ns + delay_ns, _ARRIVE,
+                    base_identity + (attempt + 1,), 0,
+                    (generator, client, issue, template, attempt + 1),
+                ))
+                if tracer is not None:
+                    tracer.count("load.retried")
+            else:
+                continue_closed(now_ns, generator, client, issue)
+
+        def drop_midroute(now_ns: float, request: _Request) -> None:
+            """A queued request lost its slot (bounded-station reject).
+
+            Counted as ``evicted`` — distinct from arrival-level
+            ``rejected`` — so the conservation laws stay exact:
+            offered + retried == accepted + rejected + broken, and
+            accepted == completed + shed + evicted after the drain.
+            """
+            nonlocal inflight
+            inflight -= 1
+            gen_counts[request.generator]["evicted"] += 1
+            if tracer is not None:
+                tracer.count("load.evicted")
+            retry_or_drop(
+                now_ns, request.identity, request.generator,
+                request.client, request.issue, request.template,
+                request.attempt,
+            )
+
+        def shed_request(now_ns: float, request: _Request) -> None:
+            """A queued request outwaited its deadline: terminal drop."""
+            nonlocal inflight
+            inflight -= 1
+            gen_counts[request.generator]["shed"] += 1
+            if tracer is not None:
+                tracer.count("load.shed")
+            continue_closed(
+                now_ns, request.generator, request.client, request.issue
+            )
+
         while heap:
-            time_ns, kind, identity, leg, payload = heapq.heappop(heap)
+            time_ns, kind, identity, leg, payload = heappop(heap)
             events += 1
             end_ns = time_ns
 
             if kind == _ARRIVE:
-                generator, client, issue, template = payload
-                offered += 1
+                if not protected:
+                    generator, client, issue, template = payload
+                    offered += 1
+                    src = self._home(generator)
+                    dst = policy.pick(
+                        src, generator, client, template.name, node_backlog,
+                    )
+                    request = _Request(
+                        identity, generator, client, issue, template,
+                        time_ns,
+                    )
+                    request.legs, request.transit_ns, wire_at = (
+                        self._fill_route(template, src, dst)
+                    )
+                    request.wire_at = wire_at
+                    advance(time_ns, request)
+                    continue
+
+                generator, client, issue, template = payload[:4]
+                attempt = payload[4] if len(payload) > 4 else 0
+                counts = gen_counts[generator]
+                if attempt:
+                    retries_pending -= 1
+                    base_identity = identity[:-1]
+                else:
+                    offered += 1
+                    counts["offered"] += 1
+                    base_identity = identity
                 src = self._home(generator)
-                dst = policy.pick(
-                    src, generator, client, template.name, node_backlog,
-                )
-                request = _Request(
-                    identity, generator, client, issue, template, time_ns
-                )
-                request.legs, request.transit_ns, wire_at = (
-                    self._fill_route(template, src, dst)
-                )
-                request.wire_at = wire_at
-                advance(time_ns, request)
+                verdict = None
+                route = None
+                if not admission.admit(
+                    time_ns, stations[(src, _NIC)].backlog(), base_identity
+                ):
+                    verdict = "rejected"
+                else:
+                    dst = policy.pick(
+                        src, generator, client, template.name, node_backlog,
+                    )
+                    breaker = (
+                        board.get(src, dst) if board is not None else None
+                    )
+                    if breaker is not None and not breaker.allow(time_ns):
+                        verdict = "rejected"
+                    elif (
+                        breaker is not None
+                        and derate_trip > 0.0
+                        and self.faults is not None
+                        and self.faults.link_derate(src, dst) <= derate_trip
+                    ):
+                        breaker.record_failure(time_ns)
+                        verdict = "broken"
+                    else:
+                        try:
+                            route = self._fill_route(template, src, dst)
+                        except TransferAbortedError:
+                            verdict = "broken"
+                            if breaker is not None:
+                                breaker.record_failure(time_ns)
+                        else:
+                            if breaker is not None:
+                                breaker.record_success(time_ns)
+                if verdict is None:
+                    counts["accepted"] += 1
+                    inflight += 1
+                    request = _Request(
+                        base_identity, generator, client, issue, template,
+                        time_ns,
+                    )
+                    request.attempt = attempt
+                    request.legs, request.transit_ns, request.wire_at = (
+                        route
+                    )
+                    advance(time_ns, request)
+                else:
+                    counts[verdict] += 1
+                    if tracer is not None:
+                        tracer.count(f"load.{verdict}")
+                    retry_or_drop(
+                        time_ns, base_identity, generator, client, issue,
+                        template, attempt,
+                    )
                 continue
 
             if kind == _ENQUEUE:
@@ -425,12 +691,18 @@ class LoadEngine:
             station = stations[(node, station_kind)]
             station.release()
             node_backlog[node] -= 1
-            waiter = station.pop(time_ns)
+            if protected:
+                expired, waiter = station.pop_live(time_ns)
+                for dead in expired:
+                    node_backlog[node] -= 1
+                    shed_request(time_ns, dead)
+            else:
+                waiter = station.pop(time_ns)
             if waiter is not None:
                 enqueued_ns, next_request = waiter
                 wait_service = next_request.legs[next_request.leg][1]
                 done_ns = station.start(time_ns, wait_service)
-                heapq.heappush(heap, (
+                heappush(heap, (
                     done_ns, _DONE, next_request.identity,
                     next_request.leg, next_request,
                 ))
@@ -441,6 +713,33 @@ class LoadEngine:
             request.leg += 1
             advance(time_ns, request)
 
+        overload_summary: Optional[Dict[str, Any]] = None
+        if protected:
+            totals = {
+                key: sum(counts[key] for counts in gen_counts.values())
+                for key in (
+                    "accepted", "rejected", "evicted", "shed", "broken",
+                    "retried",
+                )
+            }
+            goodput = (
+                completed / end_ns * 1e9 if end_ns > 0.0 else 0.0
+            )
+            overload_summary = {
+                "schema": "repro-load-overload/1",
+                "spec": ospec.to_dict(),
+                "admission": admission.describe(),
+                "generators": gen_counts,
+                "totals": totals,
+                "goodput": {
+                    "offered": offered,
+                    "accepted": totals["accepted"],
+                    "completed": completed,
+                    "goodput_per_s": goodput,
+                },
+                "breakers": board.summary() if board is not None else {},
+            }
+
         return LoadResult(
             profile=profile,
             seed=self.seed,
@@ -450,10 +749,11 @@ class LoadEngine:
             completed=completed,
             latency=latencies.summary(),
             stations={
-                station.name: station.summary(end_ns)
+                station.name: station.summary(end_ns, overload=protected)
                 for station in stations.values()
             },
             faults=self.faults,
+            overload=overload_summary,
             stats={"events": events},
         )
 

@@ -6,11 +6,20 @@ convention as :meth:`repro.trace.metrics.MetricsRegistry.percentile`,
 so ``p50`` of a single sample is that sample, and percentiles are
 always actual observed values (no interpolation, no surprises in the
 tail).
+
+Percentile queries on an empty store raise
+:class:`~repro.core.errors.LoadError` — there is no honest answer, and
+silently returning a sentinel hid real bugs (an engine that recorded
+nothing looked like an engine with zero latency).  :meth:`summary`
+still reports an explicit all-zero distribution for the empty case,
+because the report schema needs a well-formed object either way.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List
+
+from ..core.errors import LoadError
 
 __all__ = ["LatencyStore"]
 
@@ -36,12 +45,22 @@ class LatencyStore:
         return self._values
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0..100, nearest-rank); 0 when empty."""
+        """The ``q``-th percentile (0..100, nearest-rank).
+
+        Raises:
+            ValueError: ``q`` outside [0, 100].
+            LoadError: The store is empty — an empty distribution has
+                no percentiles; check ``len(store)`` (or read
+                :meth:`summary`, which reports zeros) instead.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         values = self._ordered()
         if not values:
-            return 0.0
+            raise LoadError(
+                "percentile of an empty latency store is undefined "
+                "(no samples recorded)"
+            )
         rank = max(
             0, min(len(values) - 1, round(q / 100.0 * (len(values) - 1)))
         )

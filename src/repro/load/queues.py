@@ -13,8 +13,22 @@ queue under a discipline — ``fifo`` (arrival order) or ``priority``
 priority) — with fully deterministic ordering: ties break on the
 request's content-derived identity, never on insertion order.
 
+Stations are unbounded by default — exactly the PR-8 behavior, on
+exactly the PR-8 code path (:meth:`enqueue` / :meth:`pop`).  The
+overload-protection layer (``docs/LOAD.md``) instead drives the
+bounded API:
+
+* ``capacity`` bounds the *waiting line* (the request in service does
+  not count); :meth:`offer` makes the deterministic reject-vs-accept
+  decision at enqueue time, evicting the worst waiter on a full
+  ``priority`` station when the newcomer outranks it;
+* :meth:`pop_live` sheds expired waiters — queue wait beyond the
+  entry's deadline — at pop time, with exact accounting (``shed``,
+  ``shed_wait_ns``).
+
 Accounting is exact, not sampled: busy time integrates utilization and
-the queue-depth integral yields the time-averaged depth.
+the queue-depth integral yields the time-averaged depth; reject and
+shed counts are exact tallies of every bounded-path decision.
 """
 
 from __future__ import annotations
@@ -24,8 +38,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["Station"]
 
-#: Queue entry: (priority, enqueue_ns, request identity, payload).
-_Entry = Tuple[int, float, Tuple[int, int], Any]
+#: Queue entry: (priority, enqueue_ns, request identity, payload) on
+#: the unbounded path; the bounded path appends a fifth element, the
+#: entry's deadline_ns (0.0 = none).  Both shapes share indices 0-3.
+_Entry = Tuple[Any, ...]
 
 
 class Station:
@@ -34,11 +50,20 @@ class Station:
     Args:
         name: Reporting label, e.g. ``"node3/nic"``.
         discipline: ``"fifo"`` or ``"priority"``.
+        capacity: Waiting-line bound consulted by :meth:`offer`
+            (``None`` = unbounded; the plain :meth:`enqueue` path
+            never checks it).
     """
 
-    def __init__(self, name: str, discipline: str = "fifo") -> None:
+    def __init__(
+        self,
+        name: str,
+        discipline: str = "fifo",
+        capacity: Optional[int] = None,
+    ) -> None:
         self.name = name
         self.discipline = discipline
+        self.capacity = capacity
         self._queue: List[_Entry] = []
         self._busy_until: float = 0.0
         self._idle = True
@@ -46,6 +71,9 @@ class Station:
         self.busy_ns = 0.0
         self.served = 0
         self.max_depth = 0
+        self.rejected = 0
+        self.shed = 0
+        self.shed_wait_ns = 0.0
         self._depth_integral = 0.0
         self._depth_clock = 0.0
 
@@ -62,7 +90,7 @@ class Station:
         identity: Tuple[int, int],
         payload: Any,
     ) -> None:
-        """Add a request to the waiting line.
+        """Add a request to the waiting line (unbounded fast path).
 
         ``identity`` is the request's ``(generator, sequence)`` pair —
         a content-derived key, so two stations fed the same requests in
@@ -74,6 +102,46 @@ class Station:
         if len(self._queue) > self.max_depth:
             self.max_depth = len(self._queue)
 
+    def offer(
+        self,
+        now_ns: float,
+        priority: int,
+        identity: Tuple[Any, ...],
+        payload: Any,
+        deadline_ns: float = 0.0,
+    ) -> Tuple[bool, Optional[Any]]:
+        """Bounded enqueue: ``(accepted, evicted payload)``.
+
+        At capacity, a ``fifo`` station rejects the newcomer outright.
+        A ``priority`` station compares the newcomer against the worst
+        waiter — highest ``(rank, enqueue time, identity)``, the exact
+        inverse of service order — and evicts that waiter when the
+        newcomer strictly outranks it (sheds lowest-priority first),
+        rejecting the newcomer otherwise.  Both outcomes bump
+        ``rejected``; the decision depends only on queue content, so
+        replays are bit-identical.
+        """
+        self._account_depth(now_ns)
+        rank = priority if self.discipline == "priority" else 0
+        entry = (rank, now_ns, identity, payload, deadline_ns)
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            if self.discipline != "priority":
+                self.rejected += 1
+                return False, None
+            worst = max(self._queue, key=lambda e: e[:3])
+            if entry[:3] >= worst[:3]:
+                self.rejected += 1
+                return False, None
+            self._queue.remove(worst)
+            heapq.heapify(self._queue)
+            self.rejected += 1
+            heapq.heappush(self._queue, entry)
+            return True, worst[3]
+        heapq.heappush(self._queue, entry)
+        if len(self._queue) > self.max_depth:
+            self.max_depth = len(self._queue)
+        return True, None
+
     def pop(self, now_ns: float) -> Optional[Tuple[float, Any]]:
         """``(enqueue time, request)`` next in line, ``None`` when empty."""
         if not self._queue:
@@ -81,6 +149,33 @@ class Station:
         self._account_depth(now_ns)
         entry = heapq.heappop(self._queue)
         return entry[1], entry[3]
+
+    def pop_live(
+        self, now_ns: float
+    ) -> Tuple[List[Any], Optional[Tuple[float, Any]]]:
+        """Shed expired waiters, then pop: ``(shed payloads, next)``.
+
+        Entries whose queue wait exceeds their deadline are shed in
+        service order until a live entry (or an empty queue) is found;
+        each shed bumps ``shed`` and adds its wait to ``shed_wait_ns``.
+        ``next`` is the ``(enqueue time, request)`` pair of the first
+        live waiter, ``None`` when every waiter expired.
+        """
+        shed: List[Any] = []
+        if not self._queue:
+            return shed, None
+        self._account_depth(now_ns)
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            deadline_ns = entry[4] if len(entry) > 4 else 0.0
+            wait_ns = now_ns - entry[1]
+            if deadline_ns > 0.0 and wait_ns > deadline_ns:
+                self.shed += 1
+                self.shed_wait_ns += wait_ns
+                shed.append(entry[3])
+                continue
+            return shed, (entry[1], entry[3])
+        return shed, None
 
     def depth(self) -> int:
         return len(self._queue)
@@ -108,14 +203,26 @@ class Station:
 
     # -- reporting -----------------------------------------------------------
 
-    def summary(self, duration_ns: float) -> Dict[str, Any]:
-        """Exact utilization / depth statistics over ``duration_ns``."""
+    def summary(
+        self, duration_ns: float, overload: bool = False
+    ) -> Dict[str, Any]:
+        """Exact utilization / depth statistics over ``duration_ns``.
+
+        ``overload=True`` (the protected engine) adds the bounded-path
+        tallies — ``rejected`` / ``shed`` / ``shed_wait_ns`` — keeping
+        the unprotected report byte-identical to PR 8.
+        """
         self._account_depth(duration_ns)
         span = duration_ns if duration_ns > 0.0 else 1.0
-        return {
+        payload: Dict[str, Any] = {
             "served": self.served,
             "busy_ns": self.busy_ns,
             "utilization": self.busy_ns / span,
             "mean_depth": self._depth_integral / span,
             "max_depth": self.max_depth,
         }
+        if overload:
+            payload["rejected"] = self.rejected
+            payload["shed"] = self.shed
+            payload["shed_wait_ns"] = self.shed_wait_ns
+        return payload

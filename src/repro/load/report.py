@@ -13,8 +13,15 @@ The load CLI emits one JSON object per run.  The CI load job replays
   (nearest-rank percentiles over completed requests);
 * ``throughput`` — ``{completed, requests_per_s}``;
 * ``stations`` — per-station ``{served, busy_ns, utilization,
-  mean_depth, max_depth}``;
-* ``faults`` — the composed fault plan, or ``null`` when healthy.
+  mean_depth, max_depth}``; protected runs add ``rejected`` / ``shed``
+  / ``shed_wait_ns``;
+* ``faults`` — the composed fault plan, or ``null`` when healthy;
+* ``overload`` — *only* on protected runs: the versioned
+  ``repro-load-overload/1`` section with the protection spec, the
+  admission policy's self-description, per-generator accept / reject /
+  shed / broken / retry tallies, goodput, and per-link breaker states.
+  Unprotected reports omit the key entirely, keeping them
+  byte-identical to the pre-protection format.
 
 Wall-clock facts (events/sec, elapsed seconds) are *not* part of the
 payload: the canonical JSON below must be bit-identical across
@@ -28,6 +35,7 @@ import json
 from typing import Any, List
 
 __all__ = [
+    "OVERLOAD_SCHEMA",
     "SCHEMA",
     "canonical_json",
     "digest",
@@ -36,9 +44,18 @@ __all__ = [
 
 SCHEMA = "repro-load-report/1"
 
+OVERLOAD_SCHEMA = "repro-load-overload/1"
+
 _LATENCY_KEYS = ("count", "mean", "min", "max", "p50", "p99", "p999")
 
 _STATION_KEYS = ("served", "busy_ns", "utilization", "mean_depth", "max_depth")
+
+_GENERATOR_KEYS = (
+    "offered", "accepted", "completed", "rejected", "evicted", "shed",
+    "broken", "retried",
+)
+
+_BREAKER_STATES = ("closed", "open", "half-open")
 
 
 def canonical_json(payload: Any) -> str:
@@ -127,4 +144,65 @@ def validate_load_report(payload: Any) -> List[str]:
                 FaultPlan.from_dict(faults)
             except Exception as exc:  # noqa: BLE001 - report, don't crash
                 errors.append(f"faults: not replayable ({exc})")
+    if "overload" in payload:
+        errors.extend(_validate_overload(payload["overload"]))
+    return errors
+
+
+def _validate_overload(section: Any) -> List[str]:
+    """Structural errors in a report's ``overload`` section."""
+    errors: List[str] = []
+    if not isinstance(section, dict):
+        return ["overload: not an object"]
+    if section.get("schema") != OVERLOAD_SCHEMA:
+        errors.append(
+            f"overload.schema: expected {OVERLOAD_SCHEMA!r}, "
+            f"got {section.get('schema')!r}"
+        )
+    spec = section.get("spec")
+    if not isinstance(spec, dict):
+        errors.append("overload.spec: not an object")
+    else:
+        from .overload import OverloadSpec
+
+        try:
+            OverloadSpec.from_dict(spec)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            errors.append(f"overload.spec: not replayable ({exc})")
+    admission = section.get("admission")
+    if not isinstance(admission, dict) or "policy" not in admission:
+        errors.append("overload.admission: missing policy description")
+    generators = section.get("generators")
+    if not isinstance(generators, dict):
+        errors.append("overload.generators: not an object")
+    else:
+        for name, counts in generators.items():
+            if not isinstance(counts, dict):
+                errors.append(f"overload.generators[{name!r}]: not an object")
+                continue
+            for key in _GENERATOR_KEYS:
+                value = counts.get(key)
+                if not isinstance(value, int) or value < 0:
+                    errors.append(
+                        f"overload.generators[{name!r}].{key}: "
+                        "must be a non-negative integer"
+                    )
+    totals = section.get("totals")
+    if not isinstance(totals, dict):
+        errors.append("overload.totals: not an object")
+    goodput = section.get("goodput")
+    if not isinstance(goodput, dict) or "goodput_per_s" not in goodput:
+        errors.append("overload.goodput: missing goodput_per_s")
+    breakers = section.get("breakers")
+    if not isinstance(breakers, dict):
+        errors.append("overload.breakers: not an object")
+    else:
+        for link, state in breakers.items():
+            if (
+                not isinstance(state, dict)
+                or state.get("state") not in _BREAKER_STATES
+            ):
+                errors.append(
+                    f"overload.breakers[{link!r}]: missing or bad state"
+                )
     return errors

@@ -25,10 +25,11 @@ import hashlib
 import json
 import math
 import struct
-from dataclasses import dataclass, field
-from typing import Any, Dict, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..core.errors import ModelError
+from .overload import OverloadSpec
 
 __all__ = [
     "RequestTemplate",
@@ -74,6 +75,10 @@ class RequestTemplate:
         style: Operation style (``"chained"`` / ``"buffer-packing"``).
         priority: Queueing priority — lower runs first under the
             ``priority`` discipline; ties fall back to arrival order.
+        deadline_ns: Maximum *queue wait* a request of this shape will
+            tolerate at any one station before the protected engine
+            sheds it at pop time (0 = no deadline).  Ignored — at zero
+            cost — by the unprotected engine.
     """
 
     name: str
@@ -82,15 +87,20 @@ class RequestTemplate:
     nbytes: int = 8192
     style: str = "chained"
     priority: int = 0
+    deadline_ns: float = 0.0
 
     def __post_init__(self) -> None:
         if self.nbytes <= 0:
             raise ModelError(
                 f"template {self.name!r}: nbytes must be positive"
             )
+        if self.deadline_ns < 0.0:
+            raise ModelError(
+                f"template {self.name!r}: deadline cannot be negative"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "name": self.name,
             "x": self.x,
             "y": self.y,
@@ -98,6 +108,11 @@ class RequestTemplate:
             "style": self.style,
             "priority": self.priority,
         }
+        # Omitted at the default so PR-8 profile payloads (and their
+        # report digests) are byte-identical when no deadline is set.
+        if self.deadline_ns > 0.0:
+            payload["deadline_ns"] = self.deadline_ns
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RequestTemplate":
@@ -256,6 +271,10 @@ class LoadProfile:
         discipline: Station queue discipline, ``"fifo"`` or
             ``"priority"``.
         congestion: Network congestion the pricing transfers assume.
+        overload: Optional overload-protection configuration
+            (:class:`~repro.load.overload.OverloadSpec`).  ``None`` —
+            and a spec whose :meth:`~OverloadSpec.is_noop` is true —
+            leaves the engine on the exact unprotected code path.
     """
 
     name: str
@@ -266,6 +285,7 @@ class LoadProfile:
     dispatch: str = "round-robin"
     discipline: str = "fifo"
     congestion: float = 1.0
+    overload: Optional[OverloadSpec] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 2:
@@ -294,8 +314,37 @@ class LoadProfile:
         order every randomness stream and event tiebreak is keyed on."""
         return (*self.open_loops, *self.closed_loops)
 
+    def scaled(self, multiplier: float) -> "LoadProfile":
+        """This profile with offered load scaled by ``multiplier``.
+
+        Open loops scale their arrival rate; closed loops scale their
+        client population (rounded up, never below one client).  The
+        latency-curve sweep uses this to walk a profile through
+        arrival-rate multipliers without hand-editing generators.
+        """
+        if multiplier <= 0.0:
+            raise ModelError(
+                f"load multiplier must be positive, got {multiplier}"
+            )
+        if multiplier == 1.0:
+            return self
+        return replace(
+            self,
+            open_loops=tuple(
+                replace(spec, rate_per_s=spec.rate_per_s * multiplier)
+                for spec in self.open_loops
+            ),
+            closed_loops=tuple(
+                replace(
+                    spec,
+                    clients=max(1, math.ceil(spec.clients * multiplier)),
+                )
+                for spec in self.closed_loops
+            ),
+        )
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "name": self.name,
             "machine": self.machine,
             "nodes": self.nodes,
@@ -305,6 +354,12 @@ class LoadProfile:
             "discipline": self.discipline,
             "congestion": self.congestion,
         }
+        # Omitted when absent — or a no-op, which the engine treats
+        # identically — so unprotected payloads stay byte-identical to
+        # the pre-protection format.
+        if self.overload is not None and not self.overload.is_noop():
+            payload["overload"] = self.overload.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "LoadProfile":
@@ -317,6 +372,9 @@ class LoadProfile:
             ClosedLoopSpec.from_dict(spec)
             for spec in data.get("closed_loops", [])
         )
+        overload = data.get("overload")
+        if isinstance(overload, dict):
+            data["overload"] = OverloadSpec.from_dict(overload)
         return cls(**data)
 
 

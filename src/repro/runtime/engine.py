@@ -27,7 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from ..core.errors import CalibrationError, CompositionError
+from ..core.errors import (
+    CalibrationError,
+    CompositionError,
+    TransferAbortedError,
+)
 from ..core.operations import DepositSupport, OperationStyle
 from ..core.patterns import CONTIGUOUS, AccessPattern
 from ..core.transfers import TransferKind
@@ -576,13 +580,22 @@ class CommRuntime:
                 ns for name, ns in phase_times
                 if name in ("transfer", "chained")
             ) or sum(ns for __, ns in phase_times)
-            recovery = recovery_charge(
-                plan,
-                fragments=fragments,
-                fragment_ns=hardware_ns / max(1, fragments),
-                message_ns=hardware_ns,
-                key=(str(x), str(y), nbytes, style.value, src, dst),
-            )
+            try:
+                recovery = recovery_charge(
+                    plan,
+                    fragments=fragments,
+                    fragment_ns=hardware_ns / max(1, fragments),
+                    message_ns=hardware_ns,
+                    key=(str(x), str(y), nbytes, style.value, src, dst),
+                )
+            except TransferAbortedError as exc:
+                # Signal the abort with its endpoints so link-level
+                # consumers (the load engine's circuit breakers) can
+                # attribute it without parsing the message.
+                exc.src, exc.dst = src, dst
+                if tracer is not None:
+                    tracer.count("faults.aborts")
+                raise
             if recovery:
                 retries = recovery.retries
                 for name, ns in (

@@ -6,6 +6,7 @@ Declare a parameter grid as a :class:`SweepSpec`, execute it with
 shard size or completion order.  See ``docs/SWEEPS.md``.
 """
 
+from .loadcurve import CURVE_SCHEMA, run_load_curve
 from .merge import RESULT_SCHEMA, SweepResult, merge_rows
 from .plan import Shard, default_shard_size, plan_shards
 from .runner import run_serial, run_sweep
@@ -23,6 +24,7 @@ from .spec import (
 )
 
 __all__ = [
+    "CURVE_SCHEMA",
     "GRID_BYTES",
     "GRID_PAIRS",
     "MACHINE_KEYS",
@@ -39,6 +41,7 @@ __all__ = [
     "figure8_spec",
     "merge_rows",
     "plan_shards",
+    "run_load_curve",
     "run_serial",
     "run_sweep",
 ]

@@ -21,11 +21,19 @@ class TestRetryPolicy:
             {"backoff_cap_ns": 1.0, "backoff_base_ns": 2.0},
             {"max_attempts": 0},
             {"granularity": "packet"},
+            {"retry_budget": -0.1},
+            {"retry_budget": 1.5},
         ],
     )
     def test_invalid_policies_rejected(self, kwargs):
         with pytest.raises(FaultError):
             RetryPolicy(**kwargs)
+
+    def test_retry_budget_defaults_open_and_round_trips(self):
+        assert RetryPolicy().retry_budget == 1.0
+        policy = RetryPolicy(retry_budget=0.25)
+        assert policy.to_dict()["retry_budget"] == 0.25
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
 
     def test_backoff_grows_exponentially_to_the_cap(self):
         policy = RetryPolicy(

@@ -1,0 +1,118 @@
+"""Circuit breaker state machine and board, in isolation.
+
+The engine tests in ``test_overload.py`` exercise breakers end to end
+(under a lossy fault plan); here the three-state machine itself is
+pinned — trip threshold, cooldown, probe bookkeeping, and the board's
+interesting-links-only summary.
+"""
+
+from repro.load.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+
+
+def _tripped(threshold=3, cooldown_ns=1_000.0, probes=1):
+    """A breaker driven CLOSED -> OPEN at t=0."""
+    breaker = CircuitBreaker(threshold, cooldown_ns, probes)
+    for __ in range(threshold):
+        breaker.record_failure(0.0)
+    assert breaker.state == OPEN
+    return breaker
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_admits(self):
+        breaker = CircuitBreaker(3, 1_000.0, 1)
+        assert breaker.state == CLOSED
+        assert breaker.allow(0.0)
+        assert breaker.rejected == 0
+        assert not breaker.interesting()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = CircuitBreaker(3, 1_000.0, 1)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.state == CLOSED
+        assert breaker.failures == 2
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(3, 1_000.0, 1)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        breaker.record_success(2.0)
+        breaker.record_failure(3.0)
+        assert breaker.state == CLOSED       # streak restarted at 1
+
+    def test_threshold_trips_open_and_rejects(self):
+        breaker = _tripped()
+        assert breaker.opened == 1
+        assert not breaker.allow(500.0)      # still cooling down
+        assert breaker.rejected == 1
+
+    def test_cooldown_elapses_into_half_open_probe(self):
+        breaker = _tripped(cooldown_ns=1_000.0, probes=1)
+        assert breaker.allow(1_000.0)        # first post-cooldown probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow(1_001.0)    # probe slot taken
+        assert breaker.rejected == 1
+
+    def test_probe_successes_close(self):
+        breaker = _tripped(probes=2)
+        assert breaker.allow(1_000.0)
+        assert breaker.allow(1_001.0)
+        breaker.record_success(1_100.0)
+        assert breaker.state == HALF_OPEN    # one of two
+        breaker.record_success(1_101.0)
+        assert breaker.state == CLOSED
+        assert breaker.allow(1_200.0)
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker = _tripped(cooldown_ns=1_000.0)
+        assert breaker.allow(1_000.0)
+        breaker.record_failure(1_050.0)
+        assert breaker.state == OPEN
+        assert breaker.opened == 2
+        assert not breaker.allow(1_500.0)    # new cooldown from 1050
+        assert breaker.allow(2_050.0)        # elapsed again -> probe
+
+    def test_transitions_record_the_timeline(self):
+        breaker = _tripped(cooldown_ns=1_000.0)
+        breaker.allow(1_000.0)
+        breaker.record_success(1_100.0)
+        assert [state for __, state in breaker.transitions] == [
+            OPEN, HALF_OPEN, CLOSED,
+        ]
+        at = [at_ns for at_ns, __ in breaker.transitions]
+        assert at == sorted(at)
+
+    def test_summary_shape(self):
+        summary = _tripped().summary()
+        assert summary["state"] == OPEN
+        assert summary["opened"] == 1
+        assert summary["transitions"] == [{"at_ns": 0.0, "state": OPEN}]
+
+
+class TestBreakerBoard:
+    def test_get_is_lazy_and_per_link(self):
+        board = BreakerBoard(3, 1_000.0, 1)
+        first = board.get(0, 1)
+        assert board.get(0, 1) is first
+        assert board.get(1, 0) is not first
+
+    def test_summary_lists_only_interesting_links(self):
+        board = BreakerBoard(1, 1_000.0, 1)
+        board.get(0, 1)                      # touched, never failed
+        board.get(2, 3).record_failure(5.0)  # tripped
+        summary = board.summary()
+        assert list(summary) == ["2->3"]
+        assert summary["2->3"]["state"] == OPEN
+
+    def test_summary_is_sorted_by_link(self):
+        board = BreakerBoard(1, 1_000.0, 1)
+        for src, dst in ((3, 1), (0, 2), (3, 0)):
+            board.get(src, dst).record_failure(0.0)
+        assert list(board.summary()) == ["0->2", "3->0", "3->1"]

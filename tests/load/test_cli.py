@@ -58,6 +58,102 @@ class TestLoadCommand:
         assert err.startswith("error: ")
         assert len(err.strip().splitlines()) == 1
 
+    def test_nonpositive_duration_is_one_line_error(self, capsys):
+        assert main(["load", "--duration", "0"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_too_few_nodes_is_one_line_error(self, capsys):
+        assert main(["load", "--nodes", "1", "--duration", "0.005"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_malformed_plan_is_one_line_error(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text("{not json")
+        assert main([
+            "load", "--duration", "0.005", "--plan", str(plan),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_plan_file_is_one_line_error(self, capsys, tmp_path):
+        assert main([
+            "load", "--duration", "0.005",
+            "--plan", str(tmp_path / "absent.json"),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestOverloadFlags:
+    def test_protected_report_carries_overload_section(self, capsys):
+        assert main([
+            "load", "--seed", "7", "--duration", "0.005",
+            "--rate-x", "3.2", "--admission", "bounded-queue",
+            "--queue-limit", "16", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        payload.pop("digest")
+        assert validate_load_report(payload) == []
+        section = payload["overload"]
+        assert section["spec"]["admission"] == "bounded-queue"
+        assert section["totals"]["rejected"] > 0
+
+    def test_invalid_spec_combination_is_one_line_error(self, capsys):
+        # token-bucket admission without a rate is a spec error.
+        assert main([
+            "load", "--duration", "0.005", "--admission", "token-bucket",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_human_output_mentions_protection(self, capsys):
+        assert main([
+            "load", "--seed", "7", "--duration", "0.005",
+            "--rate-x", "3.2", "--admission", "bounded-queue",
+            "--queue-limit", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "overload" in out
+
+
+class TestLatencyCurve:
+    def test_curve_json_replays_across_workers(self, capsys):
+        argv = [
+            "load", "--seed", "7", "--duration", "0.005",
+            "--latency-curve", "0.5,1,2", "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--workers", "3"]) == 0
+        assert first == capsys.readouterr().out
+        payload = json.loads(first)
+        assert payload["schema"] == "repro-load-curve/1"
+        assert [p["multiplier"] for p in payload["points"]] == [0.5, 1.0, 2.0]
+
+    def test_curve_human_output_tabulates_points(self, capsys):
+        assert main([
+            "load", "--seed", "7", "--duration", "0.005",
+            "--latency-curve", "1,2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p99" in out and "digest" in out
+
+    def test_bad_curve_multipliers_are_one_line_errors(self, capsys):
+        for flags in (["--latency-curve", "abc"],
+                      ["--latency-curve", "2,1"],
+                      ["--latency-curve", "0"]):
+            assert main(["load", "--duration", "0.005"] + flags) == 1
+            err = capsys.readouterr().err
+            assert err.startswith("error: ")
+            assert len(err.strip().splitlines()) == 1
+
 
 class TestSeedsValidation:
     def test_faults_rejects_duplicate_seeds(self, capsys):

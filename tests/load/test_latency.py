@@ -45,6 +45,17 @@ class TestPercentiles:
         with pytest.raises(ValueError):
             LatencyStore().percentile(101.0)
 
+    def test_empty_percentile_raises_load_error(self):
+        from repro.core.errors import LoadError
+
+        with pytest.raises(LoadError):
+            LatencyStore().percentile(50.0)
+
+    def test_range_check_precedes_empty_check(self):
+        # A bad q is a caller bug (ValueError) even on an empty store.
+        with pytest.raises(ValueError):
+            LatencyStore().percentile(-1.0)
+
     def test_records_after_summary_are_included(self):
         store = LatencyStore()
         store.record(1.0)

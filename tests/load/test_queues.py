@@ -63,3 +63,115 @@ class TestAccounting:
         station.start(0.0, 1.0)
         station.enqueue(0.0, 0, (0, 0), "a")
         assert station.backlog() == 2
+
+
+class TestBoundedOffer:
+    def test_unbounded_offer_always_accepts(self):
+        station = Station("s")
+        for index in range(100):
+            accepted, evicted = station.offer(0.0, 0, (0, index), index)
+            assert accepted and evicted is None
+        assert station.rejected == 0
+
+    def test_fifo_rejects_newcomer_at_capacity(self):
+        station = Station("s", "fifo", capacity=2)
+        assert station.offer(0.0, 0, (0, 0), "a")[0]
+        assert station.offer(1.0, 0, (0, 1), "b")[0]
+        accepted, evicted = station.offer(2.0, 0, (0, 2), "c")
+        assert not accepted and evicted is None
+        assert station.rejected == 1
+        # The line is untouched: still a then b.
+        assert station.pop(3.0)[1] == "a"
+        assert station.pop(3.0)[1] == "b"
+
+    def test_priority_evicts_the_worst_waiter(self):
+        station = Station("s", "priority", capacity=2)
+        station.offer(0.0, 5, (0, 0), "bulk")
+        station.offer(1.0, 0, (0, 1), "urgent")
+        accepted, evicted = station.offer(2.0, 0, (0, 2), "urgent2")
+        assert accepted
+        assert evicted == "bulk"             # lowest priority shed first
+        assert station.rejected == 1
+        assert station.pop(3.0)[1] == "urgent"
+        assert station.pop(3.0)[1] == "urgent2"
+
+    def test_priority_rejects_newcomer_no_better_than_worst(self):
+        station = Station("s", "priority", capacity=1)
+        station.offer(0.0, 1, (0, 0), "earlier")
+        accepted, evicted = station.offer(1.0, 1, (0, 1), "later")
+        assert not accepted and evicted is None
+        assert station.pop(2.0)[1] == "earlier"
+
+    def test_capacity_bounds_the_waiting_line_not_the_server(self):
+        station = Station("s", "fifo", capacity=1)
+        station.start(0.0, 10.0)             # server busy
+        assert station.offer(0.0, 0, (0, 0), "a")[0]
+        assert not station.offer(1.0, 0, (0, 1), "b")[0]
+
+
+class TestDeadlineShedding:
+    def test_pop_live_sheds_expired_then_serves(self):
+        station = Station("s")
+        station.offer(0.0, 0, (0, 0), "stale", deadline_ns=5.0)
+        station.offer(0.0, 0, (0, 1), "fresh", deadline_ns=100.0)
+        shed, waiter = station.pop_live(10.0)
+        assert shed == ["stale"]
+        assert waiter[1] == "fresh"
+        assert station.shed == 1
+        assert station.shed_wait_ns == 10.0
+
+    def test_pop_live_without_deadline_never_sheds(self):
+        station = Station("s")
+        station.offer(0.0, 0, (0, 0), "a")   # deadline 0.0 = none
+        shed, waiter = station.pop_live(1e12)
+        assert shed == [] and waiter[1] == "a"
+
+    def test_pop_live_all_expired_returns_none(self):
+        station = Station("s")
+        station.offer(0.0, 0, (0, 0), "a", deadline_ns=1.0)
+        station.offer(0.0, 0, (0, 1), "b", deadline_ns=2.0)
+        shed, waiter = station.pop_live(10.0)
+        assert shed == ["a", "b"] and waiter is None
+        assert station.shed == 2
+        assert station.shed_wait_ns == 20.0
+
+    def test_pop_live_empty_queue(self):
+        assert Station("s").pop_live(5.0) == ([], None)
+
+    def test_exact_deadline_is_still_live(self):
+        station = Station("s")
+        station.offer(0.0, 0, (0, 0), "a", deadline_ns=10.0)
+        shed, waiter = station.pop_live(10.0)   # wait == deadline: live
+        assert shed == [] and waiter[1] == "a"
+
+
+class TestBoundedAccounting:
+    def test_depth_integral_spans_offer_evict_and_shed(self):
+        station = Station("s", "priority", capacity=2)
+        # Two waiters for [0, 10): depth integral 2*10.
+        station.offer(0.0, 5, (0, 0), "bulk", deadline_ns=12.0)
+        station.offer(0.0, 3, (0, 1), "mid", deadline_ns=100.0)
+        # Eviction at t=10 replaces bulk; depth stays 2 for [10, 20).
+        accepted, evicted = station.offer(10.0, 0, (0, 2), "hot")
+        assert accepted and evicted == "bulk"
+        # At t=20 nothing expires; pop hot, then mid.
+        shed, waiter = station.pop_live(20.0)
+        assert shed == [] and waiter[1] == "hot"
+        shed, waiter = station.pop_live(20.0)
+        assert shed == [] and waiter[1] == "mid"
+        summary = station.summary(40.0, overload=True)
+        # Integral: 2*10 + 2*10 + 1*0 = 40 over 40 ns.
+        assert summary["mean_depth"] == 40.0 / 40.0
+        assert summary["rejected"] == 1
+        assert summary["shed"] == 0
+
+    def test_summary_hides_bounded_tallies_unless_overload(self):
+        station = Station("s", "fifo", capacity=1)
+        station.offer(0.0, 0, (0, 0), "a")
+        station.offer(1.0, 0, (0, 1), "b")
+        plain = station.summary(10.0)
+        assert "rejected" not in plain and "shed" not in plain
+        full = Station("s", "fifo", capacity=1)
+        full.offer(0.0, 0, (0, 0), "a")
+        full.offer(1.0, 0, (0, 1), "b")
+        assert full.summary(10.0, overload=True)["rejected"] == 1

@@ -18,10 +18,12 @@ from hypothesis import given, settings
 
 from repro.load import (
     ClosedLoopSpec,
+    LatencyStore,
     LoadEngine,
     LoadProfile,
     OpenLoopSpec,
     RequestTemplate,
+    Station,
 )
 
 _TEMPLATES = (
@@ -160,3 +162,96 @@ def test_zero_think_closed_loop_is_back_to_back(seed, clients):
         # Completions are spaced by the full round-trip (all legs +
         # transit), each >= the NIC service time.
         assert result.latency["max"] >= per_request
+
+
+@given(
+    samples=st.lists(
+        st.floats(min_value=0.0, max_value=1e9),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_percentiles_are_monotone_observed_values(samples):
+    store = LatencyStore()
+    for sample in samples:
+        store.record(sample)
+    summary = store.summary()
+    assert (
+        summary["min"] <= summary["p50"] <= summary["p99"]
+        <= summary["p999"] <= summary["max"]
+    )
+    # Nearest-rank: every percentile is an actual sample, and the
+    # percentile function is monotone in q.
+    quantiles = [store.percentile(q) for q in (0.0, 10.0, 50.0, 90.0,
+                                               99.0, 99.9, 100.0)]
+    assert all(value in samples for value in quantiles)
+    assert quantiles == sorted(quantiles)
+
+
+_STATION_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["offer", "pop"]),
+        st.integers(min_value=0, max_value=3),        # priority
+        st.sampled_from([0.0, 5.0, 50.0]),            # deadline_ns
+        st.floats(min_value=1.0, max_value=20.0),     # time gap
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(
+    ops=_STATION_OPS,
+    discipline=st.sampled_from(["fifo", "priority"]),
+    capacity=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_station_accounting_is_exact_under_bounded_interleavings(
+    ops, discipline, capacity
+):
+    """Whatever the offer / reject / evict / shed interleaving, the
+    station's exact accounting holds: the waiting line never exceeds
+    capacity, every accepted request is eventually popped, shed, still
+    queued, or was evicted, and the depth integral equals the step
+    function an independent model integrates."""
+    station = Station("s", discipline, capacity=capacity)
+    now = 0.0
+    integral = 0.0
+    depth = 0
+    peak = 0
+    accepted = popped = evictions = newcomer_rejects = 0
+    for index, (kind, priority, deadline_ns, gap) in enumerate(ops):
+        integral += depth * gap
+        now += gap
+        if kind == "offer":
+            ok, evicted = station.offer(
+                now, priority, (0, index), index, deadline_ns=deadline_ns
+            )
+            if ok:
+                accepted += 1
+                if evicted is not None:
+                    evictions += 1       # net depth unchanged
+                else:
+                    depth += 1
+            else:
+                newcomer_rejects += 1
+        else:
+            shed, waiter = station.pop_live(now)
+            depth -= len(shed)
+            if waiter is not None:
+                depth -= 1
+                popped += 1
+        peak = max(peak, depth)
+        assert station.depth() == depth
+        assert depth <= capacity
+    # Conservation: nothing vanishes, nothing is double-counted.
+    assert accepted == popped + station.shed + station.depth() + evictions
+    assert station.rejected == newcomer_rejects + evictions
+    # The depth integral is exact, not sampled.
+    end = now + 10.0
+    integral += depth * 10.0
+    summary = station.summary(end, overload=True)
+    assert abs(summary["mean_depth"] - integral / end) < 1e-9
+    assert summary["max_depth"] == peak
+    assert summary["shed"] == station.shed
