@@ -59,9 +59,9 @@ from .core.errors import ModelError
 from .core.patterns import AccessPattern
 from .core.operations import OperationStyle
 from .core.serialization import dump_table
-from .machines import paragon, t3d
+from .machines.registry import MACHINE_FACTORIES
 
-MACHINES = {"t3d": t3d, "paragon": paragon}
+MACHINES = dict(MACHINE_FACTORIES)
 
 #: Uniform exit codes (see module docstring).
 EXIT_OK = 0
@@ -106,12 +106,20 @@ def cmd_machines(args: argparse.Namespace) -> None:
         model = machine.model()
         contiguous = AccessPattern.contiguous()
         strided64 = AccessPattern.strided(64)
-        packing = model.estimate(contiguous, strided64, "buffer-packing").mbps
-        chained = model.estimate(contiguous, strided64, "chained").mbps
+        rates = []
+        for style in ("buffer-packing", "chained"):
+            try:
+                estimate = model.estimate(contiguous, strided64, style)
+            except ModelError:
+                # A machine without a general deposit engine (or a
+                # co-processor) cannot chain into a strided destination.
+                rates.append(f"{style.split('-')[0]} n/a")
+            else:
+                rates.append(f"{style.split('-')[0]} {estimate.mbps:.1f}")
         print(
-            f"{machine.name:16} nodes: {machine.node.processor.clock_mhz:.0f} MHz, "
+            f"{machine.name:32} nodes: {machine.node.processor.clock_mhz:.0f} MHz, "
             f"net {machine.network.raw_link_mbps:.0f} MB/s raw | "
-            f"1Q64: packing {packing:.1f}, chained {chained:.1f} MB/s"
+            f"1Q64: {', '.join(rates)} MB/s"
         )
 
 
@@ -315,11 +323,51 @@ def cmd_trace(args: argparse.Namespace) -> int:
     y = AccessPattern.parse(args.y)
     style = Style(args.style)
 
+    import math as math_module
+
+    from .runtime.collectives import ALGORITHMS
+
     with tracing() as tracer:
         # Built inside the traced region so calibration-cache and
         # memory-simulator counters land in the trace too.
         runtime = CommRuntime(machine, rates=args.rates)
-        if args.step is not None:
+        if args.step is not None and args.step in ALGORITHMS:
+            from .runtime.collectives import run_collective
+
+            algorithm = ALGORITHMS[args.step][0]
+            collective = run_collective(
+                runtime, args.step, algorithm, args.nodes, args.bytes,
+                x=args.x, y=args.y, style=style,
+            )
+            # Phase spans cover every round's transfer.
+            expected_ns = math_module.fsum(
+                step.sample.ns for step in collective.rounds
+            )
+            reported_mbps = collective.per_node_mbps
+            reported_ns = collective.total_ns
+            layout = "hierarchical" if collective.hierarchical else "flat"
+            headline = (
+                f"{args.step}/{algorithm} over {args.nodes} nodes "
+                f"({layout}, {len(collective.rounds)} rounds): "
+                f"{collective.per_node_mbps:.1f} MB/s per node, "
+                f"{collective.total_ns / 1e3:.1f} us"
+            )
+            # The collective's own phase-sum invariant: intra-node
+            # gather + inter-node rounds + intra-node scatter is the
+            # whole story, exactly.
+            parts = (
+                collective.intra_gather_ns
+                + math_module.fsum(collective.round_ns)
+                + collective.intra_scatter_ns
+            )
+            if abs(parts - collective.total_ns) > 1e-6 * max(
+                collective.total_ns, 1.0
+            ):
+                raise ModelError(
+                    f"collective phases sum to {parts:.1f} ns but "
+                    f"total_ns is {collective.total_ns:.1f} ns"
+                )
+        elif args.step is not None:
             from .netsim.patterns import all_to_all, cyclic_shift
 
             flows = (
@@ -331,7 +379,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
             step = CommunicationStep(runtime, flows, x, y, args.bytes)
             outcome = step.run(style)
-            sample = outcome.sample
+            expected_ns = outcome.sample.ns
+            reported_mbps = outcome.sample.mbps
+            reported_ns = outcome.sample.ns
             headline = (
                 f"{args.step} step over {args.nodes} nodes: "
                 f"{outcome.per_node_mbps:.1f} MB/s per node, "
@@ -341,17 +391,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
             sample = runtime.transfer(
                 x, y, args.bytes, style=style, duplex=args.duplex
             )
-            outcome = None
+            expected_ns = sample.ns
+            reported_mbps = sample.mbps
+            reported_ns = sample.ns
             headline = str(sample)
 
     phase_spans = tracer.spans("phase")
     phase_sum = sum(span.duration_ns for span in phase_spans)
     # The tracing invariant the docs promise: phase spans partition the
-    # measured end-to-end time of the sampled transfer.
-    if abs(phase_sum - sample.ns) > 1e-6 * max(sample.ns, 1.0):
+    # measured end-to-end time of the sampled transfer(s).
+    if abs(phase_sum - expected_ns) > 1e-6 * max(expected_ns, 1.0):
         raise ModelError(
             f"phase spans sum to {phase_sum:.1f} ns but the transfer "
-            f"reported {sample.ns:.1f} ns"
+            f"reported {expected_ns:.1f} ns"
         )
 
     payload = chrome_trace(
@@ -361,8 +413,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
             "operation": f"{args.x}Q{args.y}",
             "style": style.value,
             "nbytes": args.bytes,
-            "transfer_mbps": sample.mbps,
-            "transfer_ns": sample.ns,
+            "transfer_mbps": reported_mbps,
+            "transfer_ns": reported_ns,
             "phase_sum_ns": phase_sum,
             "step": args.step,
         },
@@ -389,7 +441,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"  {span.name:20} {span.duration_ns / 1e3:10.1f} us "
               f"{share:5.1f}%")
     print(f"  {'total':20} {phase_sum / 1e3:10.1f} us  (= measured "
-          f"{sample.ns / 1e3:.1f} us)")
+          f"{expected_ns / 1e3:.1f} us)")
     busy = utilization(tracer)
     if busy:
         print()
@@ -611,6 +663,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         SweepError,
         SweepSpec,
         calibration_spec,
+        collectives_spec,
         figure7_spec,
         figure8_spec,
         run_sweep,
@@ -625,11 +678,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec = figure8_spec()
     elif args.grid == "calibration":
         spec = calibration_spec(args.machine)
+    elif args.grid == "collectives":
+        spec = collectives_spec()
     else:
         raise SweepError(f"unknown grid {args.grid!r}")
     if args.seeds:
-        if spec.kind != "transfer":
-            raise SweepError("--seeds only applies to transfer sweeps")
+        if spec.kind not in ("transfer", "collective"):
+            raise SweepError(
+                "--seeds only applies to transfer or collective sweeps"
+            )
         import dataclasses as dataclasses_module
 
         from .sweep import NOMINAL_SEED
@@ -687,6 +744,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if "model_mbps" in row:
             print(f"  {row['id']:40} model {row['model_mbps']:7.1f}  "
                   f"measured {row['mbps']:7.1f} MB/s")
+        elif "op" in row:
+            layout = "hier" if row.get("hierarchical") else "flat"
+            print(f"  {row['id']:46} {row['algorithm']:18} {layout:4} "
+                  f"{row['rounds']:3d} rounds "
+                  f"{row['ns'] / 1e3:10.1f} us {row['mbps']:8.1f} MB/s")
         else:
             print(f"  {row['id']:40} {row['mbps']:7.1f} MB/s")
     return EXIT_OK
@@ -782,6 +844,37 @@ def cmd_faults(args: argparse.Namespace) -> int:
         with tracing() as tracer:
             runtime = CommRuntime(machine, rates=args.rates, faults=active)
             if args.step is not None:
+                from .runtime.collectives import ALGORITHMS
+
+                if args.step in ALGORITHMS:
+                    from types import SimpleNamespace
+
+                    from .runtime.collectives import run_collective
+
+                    result = run_collective(
+                        runtime, args.step, ALGORITHMS[args.step][0],
+                        args.nodes, args.bytes, x=args.x, y=args.y,
+                        style=style,
+                    )
+                    samples = [step.sample for step in result.rounds]
+                    # One sample-shaped view over every round, so the
+                    # report's phase/retry/fallback fields cover the
+                    # whole collective rather than one round of it.
+                    combined = SimpleNamespace(
+                        phase_ns=tuple(
+                            pair for s in samples for pair in s.phase_ns
+                        ),
+                        retries=sum(s.retries for s in samples),
+                        degraded=next(
+                            (s.degraded for s in samples
+                             if s.degraded is not None),
+                            None,
+                        ),
+                    )
+                    return (
+                        result.per_node_mbps, result.total_ns, combined,
+                        tracer,
+                    )
                 from .netsim.patterns import all_to_all, cyclic_shift
                 from .runtime.collective import CommunicationStep
 
@@ -1019,9 +1112,12 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("paper", "simulated"))
     verify.add_argument("--congestion", type=int, default=None)
     verify.add_argument("--step", default="shift",
-                        choices=("all-to-all", "shift", "fan-in"),
-                        help="step pattern to verify when no expression "
-                             "or plan is given")
+                        choices=("all-to-all", "shift", "fan-in",
+                                 "broadcast", "allreduce", "alltoall"),
+                        help="step pattern or collective op to verify "
+                             "when no expression or plan is given "
+                             "(collectives lower their whole round "
+                             "sequence into the plan IR)")
     verify.add_argument("--nodes", type=int, default=8,
                         help="partition size for --step / --plan transpose")
     verify.add_argument("--schedule", default="phased",
@@ -1077,8 +1173,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--duplex", action="store_true",
                        help="node sends and receives simultaneously")
     trace.add_argument("--step", default=None,
-                       choices=("all-to-all", "shift"),
-                       help="trace a whole collective step instead")
+                       choices=("all-to-all", "shift",
+                                "broadcast", "allreduce", "alltoall"),
+                       help="trace a whole collective step (all-to-all/"
+                            "shift) or a full multi-round collective op "
+                            "instead")
     trace.add_argument("--nodes", type=int, default=8,
                        help="partition size for --step")
     trace.add_argument("--out", default="trace.json",
@@ -1129,8 +1228,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JSON fault-plan file (default: built-in "
                              "chaos plan)")
     faults.add_argument("--step", default=None,
-                        choices=("all-to-all", "shift"),
-                        help="measure a whole collective step instead")
+                        choices=("all-to-all", "shift",
+                                 "broadcast", "allreduce", "alltoall"),
+                        help="measure a whole collective step or a "
+                             "full multi-round collective op instead")
     faults.add_argument("--nodes", type=int, default=8,
                         help="partition size for --step")
     faults.add_argument("--json", action="store_true",
@@ -1185,14 +1286,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument("--grid", default="figure7",
-                       choices=("figure7", "figure8", "calibration"),
-                       help="preset grid to sweep (ignored with --spec)")
+                       choices=("figure7", "figure8", "calibration",
+                                "collectives"),
+                       help="preset grid to sweep (ignored with --spec); "
+                            "'collectives' runs every collective op with "
+                            "every applicable algorithm (plus the "
+                            "model-driven 'auto' choice) on the cluster "
+                            "and xe machines")
     sweep.add_argument("--machine", default="t3d", choices=sorted(MACHINES),
                        help="machine for the calibration grid")
     sweep.add_argument("--spec", default=None,
                        help="JSON SweepSpec file instead of a preset")
     sweep.add_argument("--seeds", type=int, nargs="+", default=None,
-                       help="add a fault-seed axis to a transfer grid")
+                       help="add a fault-seed axis to a transfer or "
+                            "collective grid")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1: in-process)")
     sweep.add_argument("--shard-size", type=int, default=None,

@@ -17,16 +17,17 @@ from typing import Any, Callable, Dict, List, Tuple
 from ...compiler.commgen import CommOp, CommPlan
 from ...core.errors import ModelError
 from ...core.patterns import AccessPattern
-from ...machines import paragon, t3d
 from ...machines.base import Machine
 from ...memsim.config import WORD_BYTES
 from ...netsim.patterns import all_to_all, cyclic_shift, fan_in
+from ...runtime.collectives import ALGORITHMS, collective_rounds
 from .api import DEFAULT_NBYTES, VerifyResult, results_payload, verify_plan
 
 __all__ = [
     "EXAMPLES",
     "STEP_BUILDERS",
     "ExampleSpec",
+    "collective_plan",
     "example_machine",
     "example_result",
     "example_payload",
@@ -68,6 +69,37 @@ EXAMPLES: Dict[str, ExampleSpec] = {
 }
 
 
+def collective_plan(
+    op: str,
+    nodes: int,
+    x: str = "1",
+    y: str = "64",
+    nbytes: int = DEFAULT_NBYTES,
+    algorithm: str = None,
+) -> CommPlan:
+    """Lower a whole collective into the verifier's plan IR.
+
+    The rounds come from :func:`repro.runtime.collectives.collective_rounds`
+    — the same source the runtime executes — concatenated in round order
+    so the CT21x passes see every flow the operation performs.  Each
+    round's ``bytes_per_flow`` carries through as per-op ``nwords``, so
+    the bounds pass (CT214) brackets the real per-round payloads.
+    """
+    if algorithm is None:
+        algorithm = ALGORITHMS[op][0] if op in ALGORITHMS else None
+    rounds = collective_rounds(op, algorithm, nodes, nbytes)
+    read = AccessPattern.parse(x)
+    write = AccessPattern.parse(y)
+    ops: List[CommOp] = []
+    for rnd in rounds:
+        nwords = max(1, rnd.bytes_per_flow // WORD_BYTES)
+        ops.extend(
+            CommOp(src=src, dst=dst, x=read, y=write, nwords=nwords)
+            for src, dst in rnd.flows
+        )
+    return CommPlan(ops=ops, name=f"{op}/{algorithm}[{nodes}]")
+
+
 def step_plan(
     step: str,
     nodes: int,
@@ -75,13 +107,15 @@ def step_plan(
     y: str = "64",
     nbytes: int = DEFAULT_NBYTES,
 ) -> CommPlan:
-    """Build a plan for one named step pattern."""
+    """Build a plan for one named step pattern or collective op."""
+    if step in ALGORITHMS:
+        return collective_plan(step, nodes, x=x, y=y, nbytes=nbytes)
     try:
         builder = STEP_BUILDERS[step]
     except KeyError:
         raise ModelError(
             f"unknown step pattern {step!r}; choose from "
-            f"{sorted(STEP_BUILDERS)}"
+            f"{sorted(STEP_BUILDERS) + sorted(ALGORITHMS)}"
         ) from None
     if nodes < 2:
         raise ModelError(f"a step pattern needs >= 2 nodes, got {nodes}")
@@ -98,16 +132,14 @@ def step_plan(
 
 
 def example_machine(machine_key: str) -> Machine:
-    factories: Dict[str, Callable[[], Machine]] = {
-        "t3d": t3d,
-        "paragon": paragon,
-    }
+    from ...machines.registry import MACHINE_FACTORIES
+
     try:
-        return factories[machine_key]()
+        return MACHINE_FACTORIES[machine_key]()
     except KeyError:
         raise ModelError(
             f"unknown machine {machine_key!r}; choose from "
-            f"{sorted(factories)}"
+            f"{sorted(MACHINE_FACTORIES)}"
         ) from None
 
 

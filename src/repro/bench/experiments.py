@@ -30,6 +30,8 @@ __all__ = [
     "figure4",
     "figure7",
     "figure8",
+    "collective_table",
+    "machine_grid",
     "section341",
     "section51",
     "table5",
@@ -263,6 +265,53 @@ def figure8(
             figure8_spec(), workers, shard_size, engine
         )
     return _packing_vs_chained(paragon())
+
+
+def machine_grid(machine_key: str) -> Dict[str, Dict[str, float]]:
+    """The Figure 7/8 pattern grid on any registered machine.
+
+    Same shape as :func:`figure7` — per pattern, model and measured
+    rates for both styles — so machines beyond the paper's two get the
+    same golden-pinned grid.
+    """
+    from ..machines.registry import MACHINE_FACTORIES
+
+    return _packing_vs_chained(MACHINE_FACTORIES[machine_key]())
+
+
+#: The (sizes, node count) regime grid collective goldens pin.
+COLLECTIVE_GRID_BYTES: Tuple[int, ...] = (1024, 1 << 20)
+COLLECTIVE_GRID_NODES: int = 16
+
+
+def collective_table(machine_key: str) -> Dict[str, Dict[str, float]]:
+    """Every collective algorithm priced on one machine (paper rates).
+
+    Returns ``{op/algorithm: {"<nbytes>B model_ns": ns, ...}}`` across
+    the regime grid, plus the model-driven selector's pick per regime
+    (as an index into the algorithm list) — pinning both the numbers
+    and the crossover structure.
+    """
+    from ..compiler.advisor import choose_algorithm
+    from ..machines.registry import MACHINE_FACTORIES
+    from ..runtime.collectives import ALGORITHMS, run_collective
+
+    machine = MACHINE_FACTORIES[machine_key]()
+    runtime = CommRuntime(machine, rates="paper")
+    nodes = COLLECTIVE_GRID_NODES
+    results: Dict[str, Dict[str, float]] = {}
+    for op, algorithms in sorted(ALGORITHMS.items()):
+        entry: Dict[str, float] = {}
+        for nbytes in COLLECTIVE_GRID_BYTES:
+            for algorithm in algorithms:
+                run = run_collective(runtime, op, algorithm, nodes, nbytes)
+                entry[f"{algorithm} {nbytes}B ns"] = run.total_ns
+            advice = choose_algorithm(op, machine, nbytes, nodes)
+            entry[f"auto {nbytes}B pick"] = float(
+                algorithms.index(advice.algorithm)
+            )
+        results[op] = entry
+    return results
 
 
 def table5() -> List[Comparison]:

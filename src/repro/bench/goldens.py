@@ -103,7 +103,15 @@ def _grid_values(figure_fn) -> Dict[str, float]:
 
 
 def _make_targets() -> Dict[str, Callable[[], Dict[str, float]]]:
-    from .experiments import figure7, figure8, table1, table2, table3
+    from .experiments import (
+        collective_table,
+        figure7,
+        figure8,
+        machine_grid,
+        table1,
+        table2,
+        table3,
+    )
 
     targets: Dict[str, Callable[[], Dict[str, float]]] = {}
     for machine_key in ("t3d", "paragon"):
@@ -120,6 +128,19 @@ def _make_targets() -> Dict[str, Callable[[], Dict[str, float]]]:
         )
     targets["figure7"] = lambda: _grid_values(figure7)
     targets["figure8"] = lambda: _grid_values(figure8)
+    # The new machines get the same figure7-style grid pin, plus a
+    # collective table pinning algorithm costs and crossover picks.
+    for machine_key in ("cluster", "xe"):
+        targets[f"figure7_{machine_key}"] = (
+            lambda key=machine_key: _grid_values(
+                lambda: machine_grid(key)
+            )
+        )
+        targets[f"collectives_{machine_key}"] = (
+            lambda key=machine_key: _grid_values(
+                lambda: collective_table(key)
+            )
+        )
     return targets
 
 
@@ -142,6 +163,15 @@ def _verify_payload(machine_key: str, example: str) -> Dict:
     return example_payload(machine_key, example)
 
 
+def _verify_collective_payload(machine_key: str) -> Dict:
+    from ..analysis.verify.api import results_payload, verify_plan
+    from ..analysis.verify.examples import collective_plan, example_machine
+
+    plan = collective_plan("broadcast", 8)
+    model = example_machine(machine_key).model()
+    return results_payload([verify_plan(plan, model=model)])
+
+
 def _make_json_targets() -> Dict[str, Callable[[], Dict]]:
     targets: Dict[str, Callable[[], Dict]] = {}
     for machine_key in ("t3d", "paragon"):
@@ -149,6 +179,15 @@ def _make_json_targets() -> Dict[str, Callable[[], Dict]]:
             targets[f"verify_{example}_{machine_key}"] = (
                 lambda key=machine_key, ex=example: _verify_payload(key, ex)
             )
+    # One collective plan verified end to end on every registered
+    # machine: the plan IR lowering, the CT21x passes and the bounds
+    # all pinned bit for bit.
+    from ..machines.registry import machine_names
+
+    for machine_key in machine_names():
+        targets[f"verify_collective_{machine_key}"] = (
+            lambda key=machine_key: _verify_collective_payload(key)
+        )
     return targets
 
 

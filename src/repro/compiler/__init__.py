@@ -7,7 +7,14 @@ objects full of ``xQy`` operations — is what the model predicts and
 the runtime executes.
 """
 
-from .advisor import advise_plan, advise_transpose, OpAdvice, PlanAdvice
+from .advisor import (
+    CollectiveAdvice,
+    OpAdvice,
+    PlanAdvice,
+    advise_plan,
+    advise_transpose,
+    choose_algorithm,
+)
 from .arrays2d import DistributedArray2D, redistribute_2d
 from .classify import CONTIGUOUS_BLOCK_WORDS, classify_offsets, effective_pattern
 from .codegen import emit_pseudocode
@@ -20,6 +27,8 @@ __all__ = [
     "advise_plan",
     "advise_transpose",
     "Block",
+    "choose_algorithm",
+    "CollectiveAdvice",
     "DistributedArray2D",
     "redistribute_2d",
     "BlockCyclic",

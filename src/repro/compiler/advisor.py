@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..core.errors import ModelError
 from ..core.model import CopyTransferModel, StyleChoice
 from ..core.operations import OperationStyle
 from ..faults.degrade import DegradedResult
@@ -24,7 +25,14 @@ from ..faults.spec import FaultPlan, current_fault_plan
 from ..machines.base import Machine
 from .commgen import CommOp, CommPlan, transpose_2d
 
-__all__ = ["OpAdvice", "PlanAdvice", "advise_plan", "advise_transpose"]
+__all__ = [
+    "CollectiveAdvice",
+    "OpAdvice",
+    "PlanAdvice",
+    "advise_plan",
+    "advise_transpose",
+    "choose_algorithm",
+]
 
 
 @dataclass(frozen=True)
@@ -189,6 +197,84 @@ def advise_plan(
         per_op=tuple(per_op),
         style_histogram=histogram,
         predicted_step_us=max(node_us.values()),
+    )
+
+
+@dataclass(frozen=True)
+class CollectiveAdvice:
+    """The model's pick of collective algorithm for one regime.
+
+    Attributes:
+        op: The collective operation.
+        algorithm: The winning algorithm.
+        predicted_ns: Its modelled completion time.
+        per_algorithm: Every candidate's modelled time, for audits —
+            the winner's entry is the minimum by construction.
+        hierarchical: Whether the winning run used intra-node leaders
+            (cluster machines only).
+    """
+
+    op: str
+    algorithm: str
+    nodes: int
+    nbytes: int
+    predicted_ns: float
+    per_algorithm: Dict[str, float]
+    hierarchical: bool = False
+
+
+def choose_algorithm(
+    op: str,
+    machine: Machine,
+    nbytes: int,
+    nodes: int,
+) -> CollectiveAdvice:
+    """Pick the cheapest collective algorithm for a (machine, size) regime.
+
+    Every candidate algorithm for ``op`` is priced by actually running
+    it through the collective runtime on the machine's published
+    calibration (:func:`repro.runtime.collectives.run_collective` with
+    paper rates), so the selected algorithm's estimate is <= every
+    alternative's *by construction* — the property the crossover test
+    suite pins.  Few-round algorithms (binomial tree, recursive
+    doubling, Bruck) win while per-round latency dominates; few-byte
+    algorithms (ring, pairwise exchange) win once bandwidth does.
+
+    On cluster machines each candidate runs hierarchy-aware when that
+    beats the flat schedule, and the advice records which won.
+    """
+    from ..runtime.collectives import ALGORITHMS, run_collective
+    from ..runtime.engine import CommRuntime
+
+    if op not in ALGORITHMS:
+        raise ModelError(
+            f"unknown collective {op!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    runtime = CommRuntime(machine, rates="paper")
+    timings: Dict[str, float] = {}
+    layouts: Dict[str, bool] = {}
+    for algorithm in ALGORITHMS[op]:
+        candidates = {
+            False: run_collective(
+                runtime, op, algorithm, nodes, nbytes, hierarchical=False
+            ).total_ns
+        }
+        if getattr(machine, "cores_per_node", 1) > 1:
+            candidates[True] = run_collective(
+                runtime, op, algorithm, nodes, nbytes, hierarchical=True
+            ).total_ns
+        layout = min(candidates, key=candidates.get)
+        timings[algorithm] = candidates[layout]
+        layouts[algorithm] = layout
+    winner = min(timings, key=timings.get)
+    return CollectiveAdvice(
+        op=op,
+        algorithm=winner,
+        nodes=nodes,
+        nbytes=nbytes,
+        predicted_ns=timings[winner],
+        per_algorithm=timings,
+        hierarchical=layouts[winner],
     )
 
 

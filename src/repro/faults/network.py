@@ -32,7 +32,7 @@ class FaultyTopology(Topology):
     """
 
     def __init__(self, base: Topology, plan: "FaultPlan") -> None:
-        super().__init__(base.dims, base.wraparound)
+        super().__init__(base.dims, base.wrap)
         self.base = base
         self.plan = plan
         self._avoid = plan.failed_links()
@@ -41,10 +41,15 @@ class FaultyTopology(Topology):
         merged = self._avoid if avoid is None else self._avoid | set(avoid)
         return super().route(src, dst, avoid=merged)
 
+    def link_weight(self, link: Link) -> float:
+        # Anisotropic bases (GeminiTorus) keep their capacities under faults.
+        return self.base.link_weight(link)
+
     def effective_load(self, link: Link, load: float) -> float:
-        """Flow count scaled by the link's remaining capacity."""
+        """Flow count scaled by the link's remaining healthy capacity."""
         derate = self.plan.link_derate(link.src, link.dst)
-        return load / derate if derate < 1.0 else float(load)
+        weighted = load / self.link_weight(link)
+        return weighted / derate if derate < 1.0 else weighted
 
     def max_link_congestion(self, flows: Iterable[Flow]) -> float:
         """Worst derate-weighted link load (the degraded congestion)."""
@@ -63,7 +68,12 @@ class FaultyTopology(Topology):
                 if not fault.failed and fault.derate < 1.0
             )
         )
-        return ("faulty", tuple(sorted(self._avoid)), derates)
+        return (
+            "faulty",
+            self.base.routing_key(),
+            tuple(sorted(self._avoid)),
+            derates,
+        )
 
     def __repr__(self) -> str:
         return (

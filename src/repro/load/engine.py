@@ -42,7 +42,7 @@ from ..core.errors import ModelError, TransferAbortedError
 from ..core.operations import OperationStyle
 from ..core.patterns import AccessPattern
 from ..faults.spec import FaultPlan
-from ..machines import paragon, t3d
+from ..machines.registry import MACHINE_FACTORIES
 from ..runtime.engine import CommRuntime
 from ..trace.tracer import current_tracer
 from .breaker import BreakerBoard
@@ -54,7 +54,7 @@ from .workload import ClosedLoopSpec, LoadProfile, RequestTemplate, uniform
 
 __all__ = ["LoadEngine", "LoadResult"]
 
-_MACHINES = {"t3d": t3d, "paragon": paragon}
+_MACHINES = MACHINE_FACTORIES
 
 #: Event kinds, in same-timestamp processing order: completions free
 #: servers before new arrivals claim them; transit landings last.

@@ -1,23 +1,35 @@
-"""Machine configurations: the paper's two platforms.
+"""Machine configurations: the paper's two platforms and their heirs.
 
 :func:`t3d` and :func:`paragon` return fully-wired
-:class:`~repro.machines.base.Machine` objects; everything else in the
-library is machine-independent.
+:class:`~repro.machines.base.Machine` objects for the paper's 1994
+machines; :func:`cluster` and :func:`xe` extend the model beyond them
+(hierarchical multi-core nodes, a Gemini-class torus).  The
+:mod:`~repro.machines.registry` maps stable keys to all of them;
+everything else in the library is machine-independent.
 """
 
 from .base import Machine, RuntimeQuirks, replace_node
+from .cluster import ClusterMachine, cluster, cluster_node_config
 from .measure import DEFAULT_STRIDES, measure_table
 from .paragon import paragon, paragon_node_config, paragon_published_table
+from .registry import MACHINE_FACTORIES, machine_by_key, machine_names
 from .t3d import t3d, t3d_node_config, t3d_published_table
 from .variants import (
     paragon_fixed_ni,
     t3d_contiguous_deposits,
     t3d_without_readahead,
 )
+from .xe import xe, xe_node_config, xe_published_table
 
 __all__ = [
+    "ClusterMachine",
     "DEFAULT_STRIDES",
+    "MACHINE_FACTORIES",
     "Machine",
+    "cluster",
+    "cluster_node_config",
+    "machine_by_key",
+    "machine_names",
     "measure_table",
     "paragon",
     "paragon_fixed_ni",
@@ -30,4 +42,7 @@ __all__ = [
     "t3d_node_config",
     "t3d_published_table",
     "t3d_without_readahead",
+    "xe",
+    "xe_node_config",
+    "xe_published_table",
 ]

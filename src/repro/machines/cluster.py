@@ -1,0 +1,241 @@
+"""A hierarchical cluster of multi-core nodes (two-rung machine).
+
+The paper's central claim is that memory-system rungs *compose*: a
+transfer's throughput is the bottleneck of the rungs it crosses.  A
+cluster of k-core SMP nodes is the natural stress test — it has two
+qualitatively different paths (PAPERS.md: "A Model for Communication
+in Clusters of Multi-core Machines"):
+
+* **intra-node**: two cores share one memory system, so a transfer
+  between them is a shared-memory copy — exactly the paper's ``xQy``
+  copy rung, with no network stage at all;
+* **inter-node**: the familiar ladder (local access, NIC injection,
+  wire, NIC ejection, remote access), except that the node's k cores
+  share *one* NIC, so when several cores communicate off-node at once
+  the endpoint rate divides between them (the *NIC contention
+  factor*).
+
+:class:`ClusterMachine` extends :class:`~repro.machines.base.Machine`
+with the core count, the NIC port count, and pricing helpers for both
+effects; the collective runtime (:mod:`repro.runtime.collectives`)
+uses them to run hierarchy-aware algorithms (intra-node leaders, then
+an inter-node phase).
+
+The concrete numbers are *synthetic anchors* for a mid-1990s
+commodity-SMP cluster (Pentium-class cores on a shared bus, a
+Myrinet-class NIC with a DMA engine): self-consistent with the
+modelling machinery and pinned by goldens, but not measurements of any
+single real machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.calibration import ThroughputTable
+from ..core.errors import ModelError
+from ..core.operations import CommCapabilities, DepositSupport
+from ..core.transfers import TransferKind
+from ..memsim.config import (
+    CacheConfig,
+    DepositConfig,
+    DMAConfig,
+    DRAMConfig,
+    NIConfig,
+    NodeConfig,
+    ProcessorConfig,
+    ReadAheadConfig,
+    WriteBufferConfig,
+)
+from ..netsim.network import NetworkConfig
+from ..netsim.topology import Mesh
+from .base import Machine, RuntimeQuirks
+
+__all__ = ["ClusterMachine", "cluster", "cluster_node_config"]
+
+
+@dataclass
+class ClusterMachine(Machine):
+    """A machine whose nodes hold several cores behind one NIC.
+
+    Attributes:
+        cores_per_node: Cores sharing each node's memory system + NIC.
+        nic_ports: Independent injection ports on the node's NIC; the
+            contention factor is active cores per port.
+    """
+
+    cores_per_node: int = 4
+    nic_ports: int = 1
+
+    # -- hierarchy pricing ---------------------------------------------------
+
+    def nic_contention(self, active_cores: int) -> float:
+        """How many ways the NIC divides when ``active_cores`` send off-node.
+
+        1.0 when a single core (per port) drives the NIC; k/ports when
+        all k cores push traffic through it at once.
+        """
+        active = max(1, min(active_cores, self.cores_per_node))
+        return max(1.0, active / self.nic_ports)
+
+    def intra_node_mbps(self, concurrent: int = 1) -> float:
+        """Shared-memory copy rate between two cores of one node (MB/s).
+
+        The intra-node rung *is* the contiguous copy rung ``|1Q1|``:
+        both cores sit on the same memory system, so a core-to-core
+        transfer is one memory copy.  ``concurrent`` simultaneous
+        copies interleave on the shared bus and split its bandwidth.
+        """
+        base = self.published.get(TransferKind.COPY, "1", "1")
+        assert base is not None, "cluster table must anchor |1Q1|"
+        return base / max(1, concurrent)
+
+    def intra_node_ns(self, nbytes: int, concurrent: int = 1) -> float:
+        """Time for one intra-node copy of ``nbytes`` (nanoseconds)."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes * 1000.0 / self.intra_node_mbps(concurrent)
+
+
+def cluster_node_config() -> NodeConfig:
+    """Simulator parameters for one cluster node (a bus-based SMP).
+
+    A faster clock and a merging write buffer give the contiguous copy
+    a healthy rate, but the single shared bus makes strided traffic
+    expensive (no banked DRAM) — the classic SMP shape.
+    """
+    return NodeConfig(
+        name="cluster-node",
+        processor=ProcessorConfig(
+            clock_mhz=200.0,
+            load_issue_cycles=1.0,
+            store_issue_cycles=1.0,
+            loop_overhead_cycles=1.0,
+            index_extra_cycles=1.0,
+            pipelined_load_depth=0,
+        ),
+        cache=CacheConfig(
+            size_bytes=16384,
+            line_bytes=32,
+            associativity=2,
+            hit_ns=5.0,
+            write_policy="back",
+        ),
+        dram=DRAMConfig(
+            page_bytes=1024,
+            read_hit_ns=110.0,
+            read_miss_ns=160.0,
+            read_occupancy_hit_ns=60.0,
+            read_occupancy_miss_ns=95.0,
+            write_hit_ns=60.0,
+            write_miss_ns=150.0,
+            burst_word_ns=12.0,
+        ),
+        write_buffer=WriteBufferConfig(depth=4, merge=True),
+        read_ahead=ReadAheadConfig(enabled=False),
+        ni=NIConfig(store_ns=90.0, load_ns=70.0, fifo_mbps=132.0),
+        dma=DMAConfig(
+            present=True,
+            word_ns=35.0,
+            setup_ns=3000.0,
+            page_bytes=4096,
+            page_kick_ns=400.0,
+        ),
+        deposit=DepositConfig(
+            patterns="contiguous", contiguous_word_ns=30.0, pair_word_ns=120.0
+        ),
+    )
+
+
+def cluster_published_table() -> ThroughputTable:
+    """Synthetic calibration anchors for the cluster node.
+
+    Same entry shape as the Paragon's published table (both machines
+    expose DMA sends, coprocessor receives and contiguous deposits) so
+    every operation style the builders emit has a rate to stand on.
+    """
+    table = ThroughputTable("Commodity cluster (synthetic)")
+    copy = TransferKind.COPY
+    table.set(copy, "1", "1", 180.0)
+    table.set(copy, "1", 64, 58.0)
+    table.set(copy, 64, "1", 52.0)
+    table.set(copy, "1", "w", 44.0)
+    table.set(copy, "w", "1", 47.0)
+    table.set(copy, "1", 16, 72.0)
+    table.set(copy, 16, "1", 63.0)
+
+    send = TransferKind.LOAD_SEND
+    table.set(send, "1", "0", 105.0)
+    table.set(send, 64, "0", 44.0)
+    table.set(send, "w", "0", 39.0)
+    table.set(send, 16, "0", 52.0)
+
+    table.set(TransferKind.FETCH_SEND, "1", "0", 125.0)
+
+    receive = TransferKind.RECEIVE_STORE
+    table.set(receive, "0", "1", 92.0)
+    table.set(receive, "0", 64, 41.0)
+    table.set(receive, "0", "w", 39.0)
+    table.set(receive, "0", 16, 45.0)
+
+    table.set(TransferKind.RECEIVE_DEPOSIT, "0", "1", 125.0)
+    return table
+
+
+#: Synthetic network anchors (Myrinet-class): MB/s by congestion.
+CLUSTER_PUBLISHED_NETWORK = {
+    "data": {1: 120.0, 2: 62.0, 4: 31.0},
+    "adp": {1: 60.0, 2: 31.0, 4: 16.0},
+}
+
+
+def _cluster_fabric(n_nodes: int) -> Mesh:
+    """A near-square 2-D switch fabric for ``n_nodes`` cluster nodes."""
+    best = (n_nodes, (n_nodes, 1))
+    for rows in range(1, n_nodes + 1):
+        if n_nodes % rows:
+            continue
+        cols = n_nodes // rows
+        spread = abs(rows - cols)
+        if spread < best[0]:
+            best = (spread, (rows, cols))
+    return Mesh(*best[1])
+
+
+def cluster(cores_per_node: int = 4) -> ClusterMachine:
+    """A hierarchical commodity cluster, ready for modelling.
+
+    Args:
+        cores_per_node: Cores sharing each node's memory system + NIC.
+    """
+    if cores_per_node < 1:
+        raise ModelError(
+            f"a cluster node needs >= 1 core, got {cores_per_node}"
+        )
+    return ClusterMachine(
+        name=f"Commodity cluster ({cores_per_node}-core nodes)",
+        node=cluster_node_config(),
+        network=NetworkConfig(
+            raw_link_mbps=160.0,
+            payload_data_mbps=132.0,
+            payload_adp_mbps=66.0,
+            port_sharing=1,
+            default_congestion=2,
+        ),
+        topology_factory=_cluster_fabric,
+        capabilities=CommCapabilities(
+            deposit=DepositSupport.CONTIGUOUS,
+            dma_send=True,
+            coprocessor_receive=True,
+            pack_even_contiguous=True,
+            overlap_unpack=False,
+        ),
+        published=cluster_published_table(),
+        published_network=CLUSTER_PUBLISHED_NETWORK,
+        quirks=RuntimeQuirks(
+            bus_interleave_scale=1.6,
+            runtime_efficiency=0.85,
+        ),
+        index_run=2,
+        cores_per_node=cores_per_node,
+    )

@@ -1,0 +1,62 @@
+"""The machine registry: every configured machine, by key.
+
+One place maps short stable keys ("t3d", "xe", …) to machine
+factories.  Sweep cells, CLI arguments, load profiles, verify
+examples and the cross-machine property tests all resolve machines
+through this table, so registering a machine here is the *only* step
+needed to put it in front of every subsystem — and every
+registry-driven invariant check (see
+``tests/properties/test_machine_invariants.py``).
+
+Keys are lowercase and stable across releases: sweep shards and cache
+entries serialize them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from .base import Machine
+from .cluster import cluster
+from .paragon import paragon
+from .t3d import t3d
+from .variants import (
+    paragon_fixed_ni,
+    t3d_contiguous_deposits,
+    t3d_without_readahead,
+)
+from .xe import xe
+
+__all__ = ["MACHINE_FACTORIES", "machine_names", "machine_by_key"]
+
+#: Key -> factory for every registered machine.  The paper's two
+#: platforms first, then the post-1994 machines, then the what-if
+#: variants (ablations of the stock machines).
+MACHINE_FACTORIES: Dict[str, Callable[[], Machine]] = {
+    "t3d": t3d,
+    "paragon": paragon,
+    "cluster": cluster,
+    "xe": xe,
+    "t3d-no-rdal": t3d_without_readahead,
+    "t3d-contiguous-deposits": t3d_contiguous_deposits,
+    "paragon-fixed-ni": paragon_fixed_ni,
+}
+
+
+def machine_names() -> Tuple[str, ...]:
+    """All registered machine keys, in registration order."""
+    return tuple(MACHINE_FACTORIES)
+
+
+def machine_by_key(key: str) -> Machine:
+    """Build a fresh machine from its registry key.
+
+    Machines are mutable; callers that cache must do so themselves
+    (the sweep worker memoizes per process).
+    """
+    try:
+        factory = MACHINE_FACTORIES[key]
+    except KeyError:
+        known = ", ".join(MACHINE_FACTORIES)
+        raise KeyError(f"unknown machine {key!r} (known: {known})") from None
+    return factory()

@@ -1,0 +1,186 @@
+"""A Cray XE/Gemini-class machine on an anisotropic 3-D torus.
+
+The modern descendant of the T3D's design point (PAPERS.md:
+"Constructing Performance Models for Dense Linear Algebra Algorithms
+on Cray XE Systems"): remote memory access in hardware — Gemini's FMA
+unit plays the T3D annex's role for small puts with arbitrary access
+patterns, the BTE block-transfer engine plays the DMA's for large
+contiguous blocks — over a 3-D torus whose Y dimension carries half
+the link bandwidth of X and Z (:class:`~repro.netsim.topology.GeminiTorus`).
+Two nodes share each Gemini router, so typical congestion is two, just
+as on the T3D.
+
+The concrete numbers are *synthetic anchors* scaled to the XE era
+(GHz-class cores, multi-GB/s links): self-consistent with the
+modelling machinery and pinned by goldens, not measurements of a
+specific installation.
+"""
+
+from __future__ import annotations
+
+from ..core.calibration import ThroughputTable
+from ..core.operations import CommCapabilities, DepositSupport
+from ..core.transfers import TransferKind
+from ..memsim.config import (
+    CacheConfig,
+    DepositConfig,
+    DMAConfig,
+    DRAMConfig,
+    NIConfig,
+    NodeConfig,
+    ProcessorConfig,
+    ReadAheadConfig,
+    WriteBufferConfig,
+)
+from ..netsim.network import NetworkConfig
+from ..netsim.topology import GeminiTorus
+from .base import Machine, RuntimeQuirks
+
+__all__ = ["xe", "xe_node_config", "xe_published_table"]
+
+
+def xe_node_config() -> NodeConfig:
+    """Simulator parameters for one XE node.
+
+    A deeply pipelined GHz-class core over DDR-era DRAM: latency per
+    access barely moved since 1994 but bursts got an order of
+    magnitude faster, so the contiguous/strided gap is *wider* than on
+    the paper's machines — the trend the paper predicted.
+    """
+    return NodeConfig(
+        name="xe-node",
+        processor=ProcessorConfig(
+            clock_mhz=2200.0,
+            load_issue_cycles=1.0,
+            store_issue_cycles=1.0,
+            loop_overhead_cycles=2.0,
+            index_extra_cycles=1.0,
+            pipelined_load_depth=8,
+        ),
+        cache=CacheConfig(
+            size_bytes=65536,
+            line_bytes=64,
+            associativity=2,
+            hit_ns=1.5,
+            write_policy="back",
+        ),
+        dram=DRAMConfig(
+            page_bytes=4096,
+            n_banks=8,
+            read_hit_ns=55.0,
+            read_miss_ns=95.0,
+            read_occupancy_hit_ns=8.0,
+            read_occupancy_miss_ns=30.0,
+            write_hit_ns=30.0,
+            write_miss_ns=80.0,
+            burst_word_ns=1.0,
+        ),
+        write_buffer=WriteBufferConfig(depth=16, merge=True),
+        read_ahead=ReadAheadConfig(enabled=True, depth=8, survives_writes=True),
+        ni=NIConfig(store_ns=4.0, load_ns=3.0, fifo_mbps=6000.0),
+        dma=DMAConfig(
+            present=True,
+            word_ns=1.5,
+            setup_ns=1200.0,
+            page_bytes=65536,
+            page_kick_ns=100.0,
+        ),
+        deposit=DepositConfig(
+            patterns="any", contiguous_word_ns=2.0, pair_word_ns=10.0
+        ),
+    )
+
+
+def xe_published_table() -> ThroughputTable:
+    """Synthetic calibration anchors for the XE node.
+
+    T3D-shaped entries (deposits handle any pattern) plus a
+    ``FETCH_SEND`` anchor for the BTE block engine.
+    """
+    table = ThroughputTable("Cray XE (synthetic)")
+    copy = TransferKind.COPY
+    table.set(copy, "1", "1", 3200.0)
+    table.set(copy, "1", 64, 950.0)
+    table.set(copy, 64, "1", 820.0)
+    table.set(copy, "1", "w", 640.0)
+    table.set(copy, "w", "1", 600.0)
+    table.set(copy, "1", 16, 1300.0)
+    table.set(copy, 16, "1", 1050.0)
+
+    send = TransferKind.LOAD_SEND
+    table.set(send, "1", "0", 2600.0)
+    table.set(send, 64, "0", 780.0)
+    table.set(send, "w", "0", 560.0)
+    table.set(send, 16, "0", 900.0)
+
+    table.set(TransferKind.FETCH_SEND, "1", "0", 4800.0)
+
+    deposit = TransferKind.RECEIVE_DEPOSIT
+    table.set(deposit, "0", "1", 4800.0)
+    table.set(deposit, "0", 64, 1400.0)
+    table.set(deposit, "0", "w", 1400.0)
+    return table
+
+
+#: Synthetic Gemini network anchors: MB/s by congestion.
+XE_PUBLISHED_NETWORK = {
+    "data": {1: 5200.0, 2: 2700.0, 4: 1350.0},
+    "adp": {1: 2400.0, 2: 1250.0, 4: 620.0},
+}
+
+
+def _gemini_torus(n_nodes: int) -> GeminiTorus:
+    """A near-cubic anisotropic 3-D torus with ``n_nodes`` nodes."""
+    best = None
+    for x in range(1, n_nodes + 1):
+        if n_nodes % x:
+            continue
+        rest = n_nodes // x
+        for y in range(1, rest + 1):
+            if rest % y:
+                continue
+            z = rest // y
+            dims = tuple(sorted((x, y, z)))
+            spread = dims[2] - dims[0]
+            if best is None or spread < best[0]:
+                best = (spread, dims)
+    assert best is not None
+    return GeminiTorus(*best[1])
+
+
+def xe() -> Machine:
+    """A Cray XE/Gemini-class machine, ready for modelling.
+
+    ``deposit=ANY`` because FMA remote puts carry arbitrary access
+    patterns (the T3D annex's heir); ``dma_send`` for the BTE.  No
+    coprocessor receives — the Gemini NIC needs no processor on the
+    receiving side at all.
+    """
+    return Machine(
+        name="Cray XE (Gemini)",
+        node=xe_node_config(),
+        network=NetworkConfig(
+            raw_link_mbps=9600.0,
+            payload_data_mbps=5400.0,
+            payload_adp_mbps=2500.0,
+            endpoint_data_cap_mbps=5200.0,
+            endpoint_adp_cap_mbps=2400.0,
+            port_sharing=2,
+            default_congestion=2,
+        ),
+        topology_factory=_gemini_torus,
+        capabilities=CommCapabilities(
+            deposit=DepositSupport.ANY,
+            dma_send=True,
+            coprocessor_receive=False,
+            pack_even_contiguous=True,
+            overlap_unpack=True,
+        ),
+        published=xe_published_table(),
+        published_network=XE_PUBLISHED_NETWORK,
+        quirks=RuntimeQuirks(
+            bus_interleave_scale=1.1,
+            runtime_efficiency=0.9,
+        ),
+        index_run=1,
+    )

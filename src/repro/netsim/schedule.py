@@ -68,7 +68,7 @@ def aapc_phases_xor(n_nodes: int) -> List[Phase]:
 
 def schedule_congestion(
     topology: Topology, phases: Sequence[Phase]
-) -> Tuple[int, List[int]]:
+) -> Tuple[float, List[float]]:
     """Worst and per-phase link loads of a schedule on a topology.
 
     Returns ``(max_over_phases, per_phase_loads)``.  A schedule is
@@ -80,7 +80,7 @@ def schedule_congestion(
     return (max(per_phase) if per_phase else 0, per_phase)
 
 
-def best_aapc_schedule(topology: Topology) -> Tuple[str, int, List[Phase]]:
+def best_aapc_schedule(topology: Topology) -> Tuple[str, float, List[Phase]]:
     """Pick the lower-congestion schedule family for this topology.
 
     Returns ``(name, worst_phase_congestion, phases)``.
@@ -145,11 +145,12 @@ def partition_into_phases(flows: Sequence[Flow]) -> List[Phase]:
 _SCHEDULED_CACHE: Dict = {}
 
 
-def scheduled_congestion(topology: Topology, flows: Sequence[Flow]) -> int:
+def scheduled_congestion(topology: Topology, flows: Sequence[Flow]) -> float:
     """Worst per-phase link congestion of the phase-scheduled pattern."""
     key = (
+        type(topology).__name__,
         topology.dims,
-        topology.wraparound,
+        topology.wrap,
         topology.routing_key(),
         tuple(sorted(set(flows))),
     )

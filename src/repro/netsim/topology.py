@@ -5,6 +5,14 @@ links" (Section 4.3): the T3D a 3-D torus, the Paragon a 2-D mesh
 (whose unfortunate aspect ratios, e.g. 112x16, can cause congestion).
 Dimension-order routing is used throughout, as on the real machines.
 
+Wraparound is a *per-dimension* property: a classic torus wraps every
+dimension, a mesh none, and modern machines mix — a Cray XE/Gemini
+partition is typically a torus in X and Z but may be left open in Y,
+and its Y links carry half the bandwidth of X/Z ones
+(:class:`GeminiTorus`).  :meth:`Topology.link_weight` exposes the
+per-link relative capacity so congestion accounting can weight loads;
+the base grid keeps every link at weight one.
+
 A *flow* is a (source, destination) node pair; :meth:`Topology.link_loads`
 routes a set of flows and counts how many cross each directed link,
 from which the paper's *congestion* figure — how much more data the
@@ -15,14 +23,27 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.errors import FaultError
 
-__all__ = ["Link", "Topology", "Mesh", "Torus"]
+__all__ = ["Link", "Topology", "Mesh", "Torus", "GeminiTorus"]
 
 Coordinate = Tuple[int, ...]
 Flow = Tuple[int, int]
+
+#: Wraparound spec: one bool for every dimension, or a single bool
+#: applied to all of them.
+WrapSpec = Union[bool, Sequence[bool]]
 
 
 @dataclass(frozen=True)
@@ -42,11 +63,29 @@ class Link:
 class Topology:
     """Base class: an n-dimensional grid with dimension-order routing."""
 
-    def __init__(self, dims: Sequence[int], wraparound: bool) -> None:
+    def __init__(self, dims: Sequence[int], wraparound: WrapSpec) -> None:
         if not dims or any(d < 1 for d in dims):
             raise ValueError(f"invalid dimensions {dims!r}")
         self.dims = tuple(dims)
-        self.wraparound = wraparound
+        if isinstance(wraparound, bool):
+            self.wrap: Tuple[bool, ...] = (wraparound,) * len(self.dims)
+        else:
+            wrap = tuple(bool(w) for w in wraparound)
+            if len(wrap) != len(self.dims):
+                raise ValueError(
+                    f"wraparound {wraparound!r} has wrong rank for "
+                    f"dims {self.dims}"
+                )
+            self.wrap = wrap
+
+    @property
+    def wraparound(self) -> bool:
+        """True when every dimension wraps (the classic torus case).
+
+        Kept for callers that only distinguish mesh from torus; code
+        that routes must consult the per-dimension :attr:`wrap` tuple.
+        """
+        return all(self.wrap)
 
     @property
     def n_nodes(self) -> int:
@@ -82,11 +121,13 @@ class Topology:
 
     # -- routing ------------------------------------------------------------
 
-    def _steps(self, start: int, goal: int, size: int) -> Iterable[Tuple[int, int, bool]]:
+    def _steps(
+        self, start: int, goal: int, size: int, wrap: bool
+    ) -> Iterable[Tuple[int, int, bool]]:
         """Single-dimension hops from start to goal: (from, to, positive)."""
         if start == goal:
             return
-        if self.wraparound:
+        if wrap:
             forward = (goal - start) % size
             backward = (start - goal) % size
             positive = forward <= backward
@@ -118,7 +159,7 @@ class Topology:
         links: List[Link] = []
         for dim in range(len(self.dims)):
             for here, there, positive in self._steps(
-                src_coord[dim], dst_coord[dim], self.dims[dim]
+                src_coord[dim], dst_coord[dim], self.dims[dim], self.wrap[dim]
             ):
                 from_coord = tuple(src_coord[:dim] + [here] + src_coord[dim + 1 :])
                 to_coord = tuple(src_coord[:dim] + [there] + src_coord[dim + 1 :])
@@ -137,14 +178,15 @@ class Topology:
         for dim, size in enumerate(self.dims):
             if size == 1:
                 continue
+            wrap = self.wrap[dim]
             for positive in (True, False):
                 step = 1 if positive else -1
                 neighbour = coord[dim] + step
-                if self.wraparound:
+                if wrap:
                     neighbour %= size
                 elif not 0 <= neighbour < size:
                     continue
-                if self.wraparound and size == 2 and not positive:
+                if wrap and size == 2 and not positive:
                     # Both directions reach the same neighbour.
                     continue
                 to_coord = coord[:dim] + (neighbour,) + coord[dim + 1 :]
@@ -182,12 +224,22 @@ class Topology:
         path.reverse()
         return path
 
+    def link_weight(self, link: Link) -> float:
+        """Relative capacity of one link (1.0 = a full-speed link).
+
+        Anisotropic interconnects override this; congestion accounting
+        divides a link's flow count by its weight, so a half-capacity
+        link carrying ``L`` flows congests like a full link carrying
+        ``2 L``.
+        """
+        return 1.0
+
     def routing_key(self) -> Tuple:
         """Hashable token identifying this topology's routing behaviour.
 
-        Fault-degraded topologies override this so congestion caches
-        keyed on ``(dims, wraparound)`` never mix healthy and degraded
-        routing results.
+        Fault-degraded and anisotropic topologies override this so
+        congestion caches keyed on ``(dims, wrap)`` never mix results
+        from topologies that route or weight links differently.
         """
         return ()
 
@@ -201,24 +253,29 @@ class Topology:
                 loads[link] = loads.get(link, 0) + 1
         return loads
 
-    def max_link_congestion(self, flows: Iterable[Flow]) -> int:
-        """The worst link load (the paper's congestion figure)."""
+    def max_link_congestion(self, flows: Iterable[Flow]) -> float:
+        """The worst weighted link load (the paper's congestion figure)."""
         loads = self.link_loads(flows)
-        return max(loads.values()) if loads else 0
+        if not loads:
+            return 0
+        return max(
+            load / self.link_weight(link) for link, load in loads.items()
+        )
 
     def all_links(self) -> List[Link]:
         links = []
         for node in range(self.n_nodes):
             coord = self.coordinates(node)
             for dim, size in enumerate(self.dims):
+                wrap = self.wrap[dim]
                 for positive in (True, False):
                     step = 1 if positive else -1
                     neighbour = coord[dim] + step
-                    if self.wraparound:
+                    if wrap:
                         neighbour %= size
                     elif not 0 <= neighbour < size:
                         continue
-                    if size == 1 or (self.wraparound and size == 2 and not positive):
+                    if size == 1 or (wrap and size == 2 and not positive):
                         # Avoid double-counting the single wrap link.
                         continue
                     to_coord = coord[:dim] + (neighbour,) + coord[dim + 1 :]
@@ -244,3 +301,48 @@ class Torus(Topology):
 
     def __repr__(self) -> str:
         return f"Torus{self.dims}"
+
+
+class GeminiTorus(Topology):
+    """A Cray XE/Gemini-class 3-D torus with anisotropic links.
+
+    Gemini routers gang two link channels in the X and Z dimensions but
+    only one in Y, so a Y link sustains roughly half the bandwidth of
+    an X or Z link; dense patterns congest on the Y dimension first.
+    ``dim_capacity`` carries those relative capacities and
+    :meth:`link_weight` feeds them into the (weighted) congestion
+    accounting.  Wraparound is per dimension: full partitions close the
+    torus everywhere, but small or oddly-cabled ones may leave a
+    dimension open (``wrap=(True, False, True)``).
+    """
+
+    #: Gemini's relative per-dimension link capacities (X, Y, Z).
+    DEFAULT_CAPACITY: Tuple[float, ...] = (1.0, 0.5, 1.0)
+
+    def __init__(
+        self,
+        *dims: int,
+        dim_capacity: Optional[Sequence[float]] = None,
+        wrap: WrapSpec = True,
+    ) -> None:
+        super().__init__(dims, wraparound=wrap)
+        if dim_capacity is None:
+            dim_capacity = self.DEFAULT_CAPACITY[: len(self.dims)]
+        capacity = tuple(float(c) for c in dim_capacity)
+        if len(capacity) != len(self.dims):
+            raise ValueError(
+                f"dim_capacity {dim_capacity!r} has wrong rank for "
+                f"dims {self.dims}"
+            )
+        if any(c <= 0.0 for c in capacity):
+            raise ValueError(f"dim_capacity must be positive, got {capacity}")
+        self.dim_capacity = capacity
+
+    def link_weight(self, link: Link) -> float:
+        return self.dim_capacity[link.dim]
+
+    def routing_key(self) -> Tuple:
+        return ("gemini", self.dim_capacity, self.wrap)
+
+    def __repr__(self) -> str:
+        return f"GeminiTorus{self.dims}"

@@ -2,11 +2,20 @@
 
 Built on the stage pipeline (:mod:`repro.runtime.stages`), library
 profiles (:mod:`repro.runtime.libraries`), the point-to-point engine
-(:mod:`repro.runtime.engine`) and collective steps
-(:mod:`repro.runtime.collective`).
+(:mod:`repro.runtime.engine`), collective steps
+(:mod:`repro.runtime.collective`) and whole collective operations
+composed from step rounds (:mod:`repro.runtime.collectives`).
 """
 
 from .collective import CommunicationStep, StepResult
+from .collectives import (
+    ALGORITHMS,
+    COLLECTIVE_OPS,
+    CollectiveResult,
+    CollectiveRound,
+    collective_rounds,
+    run_collective,
+)
 from .planstep import PlanStep
 from .engine import CPU_CHUNK_OVERHEAD_NS, CommRuntime, MeasuredTransfer, measure_q
 from .libraries import (
@@ -19,6 +28,11 @@ from .libraries import (
 from .stages import PipelineResult, Stage, StagePipeline
 
 __all__ = [
+    "ALGORITHMS",
+    "COLLECTIVE_OPS",
+    "CollectiveResult",
+    "CollectiveRound",
+    "collective_rounds",
     "CommRuntime",
     "CommunicationStep",
     "CPU_CHUNK_OVERHEAD_NS",
@@ -31,6 +45,7 @@ __all__ = [
     "PlanStep",
     "pvm3_profile",
     "pvm_profile",
+    "run_collective",
     "Stage",
     "StagePipeline",
     "StepResult",

@@ -19,6 +19,7 @@ from .spec import (
     SweepError,
     SweepSpec,
     calibration_spec,
+    collectives_spec,
     figure7_spec,
     figure8_spec,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "calibration_spec",
+    "collectives_spec",
     "default_shard_size",
     "figure7_spec",
     "figure8_spec",

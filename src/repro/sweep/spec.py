@@ -8,7 +8,7 @@ planner (:mod:`repro.sweep.plan`) shards its cells into work units and
 the runner (:mod:`repro.sweep.runner`) executes them on any number of
 worker processes with a deterministic merge.
 
-Two cell kinds cover the library's sweep-shaped workloads:
+Three cell kinds cover the library's sweep-shaped workloads:
 
 * ``"transfer"`` — end-to-end runtime measurements under the paper's
   measurement conventions (one :func:`~repro.runtime.engine.measure_q`
@@ -18,6 +18,10 @@ Two cell kinds cover the library's sweep-shaped workloads:
   memory-system simulator (one table entry per cell).  This is the
   Table 1-3 calibration grid behind
   :func:`~repro.machines.measure.measure_table`.
+* ``"collective"`` — whole collective operations (broadcast,
+  allreduce, alltoall) run round by round through
+  :func:`~repro.runtime.collectives.run_collective`, optionally with
+  the model-driven algorithm selector ("auto").
 
 Specs and cells are plain frozen dataclasses of JSON-serializable
 fields, so they cross process boundaries and survive a JSON round
@@ -43,16 +47,26 @@ __all__ = [
     "figure7_spec",
     "figure8_spec",
     "calibration_spec",
+    "collectives_spec",
 ]
 
+
+def _registry_keys() -> Tuple[str, ...]:
+    from ..machines.registry import machine_names
+
+    return machine_names()
+
+
 #: Registry keys accepted by ``SweepSpec.machines`` (resolved to
-#: factories inside workers; see :mod:`repro.sweep.worker`).
-MACHINE_KEYS: Tuple[str, ...] = ("t3d", "paragon")
+#: factories inside workers; see :mod:`repro.sweep.worker`).  Sourced
+#: from the machine registry so a newly registered machine is
+#: immediately sweepable.
+MACHINE_KEYS: Tuple[str, ...] = _registry_keys()
 
 #: Seed value meaning "no fault plan" (cells run nominal).
 NOMINAL_SEED = -1
 
-_KINDS = ("transfer", "calibrate")
+_KINDS = ("transfer", "calibrate", "collective")
 _RATES = ("simulated", "paper")
 _DUPLEX = ("auto", "on", "off")
 
@@ -78,7 +92,10 @@ class SweepCell:
     for a healthy run).  For ``kind="calibrate"`` the ``style`` field
     carries the table-entry letter ("C", "S", ..., "Nd"), ``x``/``y``
     the entry's read/write keys ("0", "1", "w" or a stride) and
-    ``size`` the stream length in words.
+    ``size`` the stream length in words.  For ``kind="collective"``
+    the ``op`` field names the operation, ``style`` the algorithm
+    ("auto" defers to the model-driven selector), ``size`` the
+    per-node payload bytes and ``nodes`` the partition size.
 
     The dataclass ordering (field by field) is the canonical total
     order used by the deterministic merge; it never depends on which
@@ -96,6 +113,8 @@ class SweepCell:
     rates: str = "simulated"
     model_source: str = "paper"
     duplex: str = "auto"
+    op: str = ""  # collective cells only
+    nodes: int = 0  # collective cells only
 
     @property
     def cell_id(self) -> str:
@@ -108,6 +127,11 @@ class SweepCell:
             )
             return f"{self.machine}:cal:{entry}@{self.size}w"
         tail = "" if self.seed == NOMINAL_SEED else f":seed{self.seed}"
+        if self.kind == "collective":
+            return (
+                f"{self.machine}:{self.op}:{self.style}:"
+                f"{self.size}x{self.nodes}{tail}"
+            )
         return (
             f"{self.machine}:{self.x}Q{self.y}:{self.style}:{self.size}{tail}"
         )
@@ -148,6 +172,11 @@ class SweepSpec:
     instead expands each machine's full calibration-entry list (the
     exact set :func:`~repro.machines.measure.measure_table` measures)
     at ``nwords`` / ``strides``.
+
+    ``kind="collective"`` multiplies ``machines x ops x algorithms x
+    sizes x nodes x seeds``; algorithms not defined for an op are
+    skipped during expansion (so one spec can mix ops cleanly), and
+    ``"auto"`` defers each cell to the model-driven selector.
     """
 
     kind: str = "transfer"
@@ -164,6 +193,9 @@ class SweepSpec:
     duplex: str = "auto"
     nwords: int = 32768
     strides: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+    ops: Tuple[str, ...] = ()  # collective sweeps only
+    algorithms: Tuple[str, ...] = ("auto",)  # collective sweeps only
+    nodes: Tuple[int, ...] = (16,)  # collective sweeps only
 
     # -- validation ---------------------------------------------------------
 
@@ -195,6 +227,9 @@ class SweepSpec:
             if self.nwords <= 0:
                 raise SweepError("calibrate sweeps need nwords > 0")
             return
+        if self.kind == "collective":
+            self._validate_collective()
+            return
         for style in self.styles:
             try:
                 OperationStyle(style)
@@ -207,6 +242,47 @@ class SweepSpec:
                 raise SweepError(f"transfer sizes must be > 0, got {size}")
         if not self.sizes:
             raise SweepError("a transfer sweep needs at least one size")
+
+    def _validate_collective(self) -> None:
+        from ..runtime.collectives import ALGORITHMS, COLLECTIVE_OPS
+
+        if not self.ops:
+            raise SweepError("a collective sweep needs at least one op")
+        for op in self.ops:
+            if op not in COLLECTIVE_OPS:
+                raise SweepError(
+                    f"unknown collective op {op!r}; choose from "
+                    f"{sorted(COLLECTIVE_OPS)}"
+                )
+        known = {"auto"}
+        for algorithms in ALGORITHMS.values():
+            known.update(algorithms)
+        for algorithm in self.algorithms:
+            if algorithm not in known:
+                raise SweepError(
+                    f"unknown collective algorithm {algorithm!r}; choose "
+                    f"from {sorted(known)}"
+                )
+        if not self.algorithms:
+            raise SweepError(
+                "a collective sweep needs at least one algorithm"
+            )
+        if not self.sizes:
+            raise SweepError("a collective sweep needs at least one size")
+        for size in self.sizes:
+            if size <= 0:
+                raise SweepError(
+                    f"collective sizes must be > 0, got {size}"
+                )
+        if not self.nodes:
+            raise SweepError(
+                "a collective sweep needs at least one node count"
+            )
+        for count in self.nodes:
+            if count < 2:
+                raise SweepError(
+                    f"collective node counts must be >= 2, got {count}"
+                )
 
     # -- expansion ----------------------------------------------------------
 
@@ -224,6 +300,8 @@ class SweepSpec:
         self.validate()
         if self.kind == "calibrate":
             return self._expand_calibrate()
+        if self.kind == "collective":
+            return self._expand_collective()
         seeds = self.seeds if self.seeds else (NOMINAL_SEED,)
         cells = []
         for machine in self.machines:
@@ -246,6 +324,37 @@ class SweepSpec:
                                     duplex=self.duplex,
                                 )
                             )
+        return tuple(cells)
+
+    def _expand_collective(self) -> Tuple[SweepCell, ...]:
+        from ..runtime.collectives import ALGORITHMS
+
+        seeds = self.seeds if self.seeds else (NOMINAL_SEED,)
+        cells = []
+        for machine in self.machines:
+            for op in self.ops:
+                for algorithm in self.algorithms:
+                    if algorithm != "auto" and algorithm not in ALGORITHMS[op]:
+                        continue
+                    for size in self.sizes:
+                        for count in self.nodes:
+                            for seed in seeds:
+                                cells.append(
+                                    SweepCell(
+                                        kind="collective",
+                                        machine=machine,
+                                        x="1",
+                                        y="1",
+                                        style=algorithm,
+                                        size=size,
+                                        seed=seed,
+                                        congestion=self.congestion,
+                                        rates=self.rates,
+                                        model_source=self.model_source,
+                                        op=op,
+                                        nodes=count,
+                                    )
+                                )
         return tuple(cells)
 
     def _expand_calibrate(self) -> Tuple[SweepCell, ...]:
@@ -288,13 +397,13 @@ class SweepSpec:
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "SweepSpec":
         fields = dict(_checked_fields(cls, payload))
-        for name in ("machines", "x", "y", "styles", "strides"):
+        for name in ("machines", "x", "y", "styles", "strides", "ops",
+                     "algorithms"):
             if name in fields:
                 fields[name] = tuple(fields[name])
-        if "sizes" in fields:
-            fields["sizes"] = tuple(int(v) for v in fields["sizes"])
-        if "seeds" in fields:
-            fields["seeds"] = tuple(int(v) for v in fields["seeds"])
+        for name in ("sizes", "seeds", "nodes"):
+            if name in fields:
+                fields[name] = tuple(int(v) for v in fields[name])
         if "pairs" in fields:
             fields["pairs"] = tuple(
                 (str(x), str(y)) for x, y in fields["pairs"]
@@ -349,4 +458,36 @@ def calibration_spec(
         congestion=congestion,
         nwords=nwords,
         strides=tuple(strides),
+    )
+
+
+def collectives_spec(
+    machines: Tuple[str, ...] = ("cluster", "xe"),
+    nodes: Tuple[int, ...] = (16,),
+    seeds: Tuple[int, ...] = (),
+) -> SweepSpec:
+    """A collective grid on the post-1994 machines.
+
+    Every op at a latency-bound and a bandwidth-bound payload, both
+    with the model-driven selector ("auto") and with every concrete
+    algorithm, so the sweep records the selector's choice *and* the
+    ground it stood on.  Paper rates keep the grid fast enough for the
+    CI smoke job.
+    """
+    from ..runtime.collectives import ALGORITHMS, COLLECTIVE_OPS
+
+    algorithms = ["auto"]
+    for per_op in ALGORITHMS.values():
+        for algorithm in per_op:
+            if algorithm not in algorithms:
+                algorithms.append(algorithm)
+    return SweepSpec(
+        kind="collective",
+        machines=tuple(machines),
+        ops=COLLECTIVE_OPS,
+        algorithms=tuple(algorithms),
+        sizes=(1024, 1048576),
+        nodes=tuple(nodes),
+        seeds=tuple(seeds),
+        rates="paper",
     )

@@ -63,12 +63,11 @@ _nodes: Dict[Tuple[str, int], Any] = {}
 def machine_by_key(name: str):
     """Resolve a registry key ("t3d") to a memoized Machine."""
     if name not in _machines:
-        from ..machines import paragon, t3d
+        from ..machines.registry import MACHINE_FACTORIES
 
-        factories = {"t3d": t3d, "paragon": paragon}
-        if name not in factories:
+        if name not in MACHINE_FACTORIES:
             raise SweepError(f"unknown machine {name!r}")
-        _machines[name] = factories[name]()
+        _machines[name] = MACHINE_FACTORIES[name]()
     return _machines[name]
 
 
@@ -171,6 +170,8 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
         return _run_calibrate_cell(cell)
     if cell.kind == "transfer":
         return _run_transfer_cell(cell)
+    if cell.kind == "collective":
+        return _run_collective_cell(cell)
     raise SweepError(f"unknown cell kind {cell.kind!r}")
 
 
@@ -213,6 +214,44 @@ def _run_transfer_cell(cell: SweepCell) -> Dict[str, Any]:
     if sample.degraded is not None:
         row["degraded"] = sample.degraded.to_dict()
     return row
+
+
+def _run_collective_cell(cell: SweepCell) -> Dict[str, Any]:
+    from ..runtime.collectives import run_collective
+
+    machine = machine_by_key(cell.machine)
+    if cell.style == "auto":
+        from ..compiler.advisor import choose_algorithm
+
+        advice = choose_algorithm(cell.op, machine, cell.size, cell.nodes)
+        algorithm = advice.algorithm
+    else:
+        algorithm = cell.style
+    runtime = _runtime(cell.machine, "chained", cell.rates)
+
+    def execute():
+        return run_collective(
+            runtime, cell.op, algorithm, cell.nodes, cell.size,
+            x=cell.x, y=cell.y,
+        )
+
+    if cell.seed == NOMINAL_SEED:
+        result = execute()
+    else:
+        from ..faults import FaultPlan, injecting
+
+        with injecting(FaultPlan.chaos(cell.seed)):
+            result = execute()
+    return {
+        "id": cell.cell_id,
+        "op": cell.op,
+        "algorithm": result.algorithm,
+        "nodes": result.nodes,
+        "rounds": len(result.rounds),
+        "ns": result.total_ns,
+        "mbps": result.per_node_mbps,
+        "hierarchical": result.hierarchical,
+    }
 
 
 def _run_calibrate_cell(cell: SweepCell) -> Dict[str, Any]:

@@ -121,7 +121,7 @@ class TestLowerPlan:
 
     def test_step_plan_rejects_unknown_step_and_tiny_partitions(self):
         with pytest.raises(ModelError):
-            step_plan("broadcast", 8)
+            step_plan("scatter-gather", 8)
         with pytest.raises(ModelError):
             step_plan("shift", 1)
 

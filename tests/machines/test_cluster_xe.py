@@ -1,0 +1,98 @@
+"""The hierarchical cluster machine, the XE/Gemini machine, and the
+machine registry that exposes them."""
+
+import pytest
+
+from repro.core.calibration import TransferKind
+from repro.core.errors import ModelError
+from repro.machines import cluster, xe
+from repro.machines.cluster import ClusterMachine
+from repro.machines.registry import (
+    MACHINE_FACTORIES,
+    machine_by_key,
+    machine_names,
+)
+from repro.netsim.topology import GeminiTorus
+
+
+class TestRegistry:
+    def test_names_match_factories(self):
+        assert machine_names() == tuple(MACHINE_FACTORIES)
+        assert {"t3d", "paragon", "cluster", "xe"} <= set(machine_names())
+
+    def test_lookup(self):
+        assert machine_by_key("cluster").name == cluster().name
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            machine_by_key("cm5")
+
+    def test_every_machine_constructs_and_estimates(self):
+        from repro.core.patterns import CONTIGUOUS
+
+        for key in machine_names():
+            model = machine_by_key(key).model(source="paper")
+            choice = model.choose(CONTIGUOUS, CONTIGUOUS)
+            assert choice.mbps > 0
+
+
+class TestClusterMachine:
+    def test_is_hierarchical(self):
+        machine = cluster()
+        assert isinstance(machine, ClusterMachine)
+        assert machine.cores_per_node == 4
+        assert machine.nic_ports == 1
+
+    def test_nic_contention_clamps(self):
+        machine = cluster()
+        assert machine.nic_contention(1) == 1.0
+        assert machine.nic_contention(4) == 4.0
+        # More actives than cores cannot contend harder than the cores.
+        assert machine.nic_contention(64) == 4.0
+
+    def test_intra_node_rung_divides_under_concurrency(self):
+        machine = cluster()
+        alone = machine.intra_node_mbps(concurrent=1)
+        shared = machine.intra_node_mbps(concurrent=4)
+        assert alone == pytest.approx(4 * shared)
+        assert machine.intra_node_ns(1 << 20) > 0
+
+    def test_intra_node_rate_is_published_copy(self):
+        machine = cluster()
+        copy = machine.published.get(TransferKind.COPY, "1", "1")
+        assert machine.intra_node_mbps() == copy
+
+    def test_core_count_configurable(self):
+        assert cluster(cores_per_node=8).cores_per_node == 8
+        with pytest.raises(ModelError):
+            cluster(cores_per_node=0)
+
+
+class TestXeMachine:
+    def test_topology_is_gemini_torus(self):
+        machine = xe()
+        topo = machine.topology_factory(64)
+        assert isinstance(topo, GeminiTorus)
+        assert topo.n_nodes >= 64
+        assert len(topo.dims) == 3
+        assert topo.dim_capacity == (1.0, 0.5, 1.0)
+
+    def test_both_styles_feasible(self):
+        model = xe().model(source="paper")
+        from repro.core.patterns import CONTIGUOUS, strided
+
+        for style in ("chained", "buffer-packing"):
+            est = model.estimate(CONTIGUOUS, strided(64), style)
+            assert est.mbps > 0
+
+    def test_faster_than_t3d(self):
+        from repro.core.patterns import CONTIGUOUS
+        from repro.machines import t3d
+
+        xe_est = xe().model(source="paper").estimate(
+            CONTIGUOUS, CONTIGUOUS, "chained"
+        )
+        t3d_est = t3d().model(source="paper").estimate(
+            CONTIGUOUS, CONTIGUOUS, "chained"
+        )
+        assert xe_est.mbps > t3d_est.mbps

@@ -1,0 +1,123 @@
+"""Per-dimension wraparound, the Gemini-class torus, and rerouting
+around failed torus links (regressions for the old single-topology
+assumptions in FaultyTopology and the congestion scheduler)."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultyTopology, LinkFault
+from repro.netsim.topology import GeminiTorus, Link, Mesh, Topology, Torus
+
+
+class TestPerDimensionWrap:
+    def test_scalar_wrap_broadcasts(self):
+        topo = Topology((4, 4), wraparound=True)
+        assert topo.wrap == (True, True)
+        assert topo.wraparound
+
+    def test_mixed_wrap(self):
+        topo = Topology((4, 4, 2), wraparound=(True, False, True))
+        assert topo.wrap == (True, False, True)
+        assert not topo.wraparound
+
+    def test_wrap_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Topology((4, 4), wraparound=(True,))
+
+    def test_route_wraps_only_on_wrapped_dims(self):
+        topo = Topology((6, 6), wraparound=(True, False))
+        # Dim 0 wraps: 0 -> 5 is one hop the short way round.
+        short = topo.route(topo.node_id((0, 0)), topo.node_id((5, 0)))
+        assert len(short) == 1
+        # Dim 1 does not: 0 -> 5 walks all five mesh hops.
+        long = topo.route(topo.node_id((0, 0)), topo.node_id((0, 5)))
+        assert len(long) == 5
+
+    def test_classic_classes_unchanged(self):
+        assert Mesh(4, 4).wrap == (False, False)
+        assert Torus(4, 4).wrap == (True, True)
+
+
+class TestGeminiTorus:
+    def test_default_capacity_halves_dim_one(self):
+        topo = GeminiTorus(4, 4, 4)
+        assert topo.dim_capacity == (1.0, 0.5, 1.0)
+        y_link = Link(src=0, dst=topo.node_id((0, 1, 0)), dim=1,
+                      positive=True)
+        x_link = Link(src=0, dst=topo.node_id((1, 0, 0)), dim=0,
+                      positive=True)
+        assert topo.link_weight(y_link) == 0.5
+        assert topo.link_weight(x_link) == 1.0
+
+    def test_narrow_dim_dominates_congestion(self):
+        plain = Torus(4, 4, 4)
+        gemini = GeminiTorus(4, 4, 4)
+        # One flow straight down the half-capacity Y dimension counts
+        # double on the Gemini torus.
+        src = plain.node_id((0, 0, 0))
+        dst = plain.node_id((0, 1, 0))
+        flows = [(src, dst)]
+        assert plain.max_link_congestion(flows) == 1.0
+        assert gemini.max_link_congestion(flows) == 2.0
+
+    def test_routing_key_distinguishes_capacity(self):
+        assert (GeminiTorus(4, 4, 4).routing_key()
+                != Torus(4, 4, 4).routing_key())
+        assert (GeminiTorus(4, 4, 4).routing_key()
+                != GeminiTorus(4, 4, 4,
+                               dim_capacity=(1.0, 1.0, 1.0)).routing_key())
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            GeminiTorus(4, 4, 4, dim_capacity=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            GeminiTorus(4, 4, 4, dim_capacity=(1.0, 0.0, 1.0))
+
+
+class TestTorusRerouting:
+    """FaultyTopology must work on any topology class, not just Mesh
+    — these pin the once-latent single-topology assumptions."""
+
+    def test_torus_detour_avoids_failed_wrap_link(self):
+        base = Torus(4, 4)
+        a = base.node_id((0, 0))
+        b = base.node_id((3, 0))
+        plan = FaultPlan(links=(LinkFault(src=a, dst=b, failed=True),))
+        faulty = FaultyTopology(base, plan)
+        route = faulty.route(a, b)
+        assert route, "torus must reroute around a cut wrap link"
+        for link in route:
+            assert (link.src, link.dst) != (a, b)
+        assert route[0].src == a and route[-1].dst == b
+
+    def test_torus_inherits_wrap_vector(self):
+        base = Topology((4, 4), wraparound=(True, False))
+        faulty = FaultyTopology(base, FaultPlan())
+        assert faulty.wrap == base.wrap
+        assert faulty.dims == base.dims
+
+    def test_gemini_faulty_keeps_link_weights(self):
+        base = GeminiTorus(4, 4, 4)
+        faulty = FaultyTopology(base, FaultPlan())
+        y_link = Link(src=0, dst=base.node_id((0, 1, 0)), dim=1,
+                      positive=True)
+        assert faulty.link_weight(y_link) == base.link_weight(y_link)
+        # An unfailed, underated Gemini topology still reports the
+        # capacity-weighted congestion of its base.
+        src = base.node_id((0, 0, 0))
+        dst = base.node_id((0, 1, 0))
+        assert (faulty.max_link_congestion([(src, dst)])
+                == base.max_link_congestion([(src, dst)]))
+
+    def test_derate_compounds_with_link_weight(self):
+        base = GeminiTorus(4, 4, 4)
+        src = base.node_id((0, 0, 0))
+        dst = base.node_id((0, 1, 0))
+        plan = FaultPlan(links=(LinkFault(src=src, dst=dst, derate=0.5),))
+        faulty = FaultyTopology(base, plan)
+        # Half-capacity dim (x2) further derated to half (x2) => 4x.
+        assert faulty.max_link_congestion([(src, dst)]) == 4.0
+
+    def test_faulty_routing_key_embeds_base_key(self):
+        gemini = FaultyTopology(GeminiTorus(4, 4, 4), FaultPlan())
+        plain = FaultyTopology(Torus(4, 4, 4), FaultPlan())
+        assert gemini.routing_key() != plain.routing_key()

@@ -1,0 +1,137 @@
+"""Collective operations: round lowering, execution, hierarchy."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.machines import cluster, t3d, xe
+from repro.runtime.collectives import (
+    ALGORITHMS,
+    COLLECTIVE_OPS,
+    collective_rounds,
+    run_collective,
+)
+from repro.runtime.engine import CommRuntime
+
+
+def _runtime(factory):
+    return CommRuntime(factory(), rates="paper")
+
+
+class TestRoundLowering:
+    @pytest.mark.parametrize("nodes", [2, 3, 5, 8, 16, 17])
+    @pytest.mark.parametrize("op", COLLECTIVE_OPS)
+    def test_flows_stay_in_partition(self, op, nodes):
+        for algorithm in ALGORITHMS[op]:
+            for rnd in collective_rounds(op, algorithm, nodes, 4096):
+                assert rnd.bytes_per_flow > 0
+                for src, dst in rnd.flows:
+                    assert 0 <= src < nodes
+                    assert 0 <= dst < nodes
+                    assert src != dst
+
+    @pytest.mark.parametrize("nodes", [2, 4, 8, 32])
+    def test_round_counts_power_of_two(self, nodes):
+        log = nodes.bit_length() - 1
+        assert len(collective_rounds(
+            "broadcast", "binomial-tree", nodes, 1024)) == log
+        assert len(collective_rounds(
+            "broadcast", "ring", nodes, 1024)) == 2 * (nodes - 1)
+        assert len(collective_rounds(
+            "allreduce", "recursive-doubling", nodes, 1024)) == log
+        assert len(collective_rounds(
+            "alltoall", "pairwise-exchange", nodes, 1024)) == nodes - 1
+        assert len(collective_rounds(
+            "alltoall", "bruck", nodes, 1024)) == log
+
+    def test_recursive_doubling_non_power_of_two_folds(self):
+        # 6 nodes: fold round + 2 exchange rounds + unfold round.
+        rounds = collective_rounds("allreduce", "recursive-doubling", 6, 512)
+        assert len(rounds) == 4
+        assert rounds[0].flows == ((4, 0), (5, 1))
+        assert rounds[-1].flows == ((0, 4), (1, 5))
+
+    def test_ring_moves_nth_payloads(self):
+        rounds = collective_rounds("broadcast", "ring", 8, 8000)
+        assert all(rnd.bytes_per_flow == 1000 for rnd in rounds)
+
+    def test_binomial_tree_reaches_everyone(self):
+        nodes = 16
+        reached = {0}
+        for rnd in collective_rounds("broadcast", "binomial-tree", nodes, 64):
+            for src, dst in rnd.flows:
+                assert src in reached, "tree sender must already hold data"
+                reached.add(dst)
+        assert reached == set(range(nodes))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            collective_rounds("reduce", "ring", 8, 64)
+        with pytest.raises(ModelError):
+            collective_rounds("broadcast", "bruck", 8, 64)
+        with pytest.raises(ModelError):
+            collective_rounds("broadcast", "ring", 1, 64)
+        with pytest.raises(ModelError):
+            collective_rounds("broadcast", "ring", 8, 0)
+
+
+class TestRunCollective:
+    def test_phase_sum_invariant_exact(self):
+        runtime = _runtime(cluster)
+        result = run_collective(runtime, "allreduce", "ring", 8, 65536)
+        parts = (
+            result.intra_gather_ns
+            + math.fsum(result.round_ns)
+            + result.intra_scatter_ns
+        )
+        assert result.total_ns == parts
+        assert result.per_node_mbps == 65536 / result.total_ns * 1000.0
+
+    def test_deterministic(self):
+        runtime = _runtime(xe)
+        first = run_collective(runtime, "alltoall", "bruck", 16, 32768)
+        second = run_collective(runtime, "alltoall", "bruck", 16, 32768)
+        assert first.total_ns == second.total_ns
+        assert first.round_ns == second.round_ns
+
+    def test_flat_machines_never_hierarchical(self):
+        runtime = _runtime(t3d)
+        result = run_collective(
+            runtime, "broadcast", "binomial-tree", 8, 4096,
+            hierarchical=True,
+        )
+        assert not result.hierarchical
+        assert result.intra_gather_ns == 0.0
+        assert result.nic_contention == 1.0
+
+    def test_cluster_defaults_to_hierarchical(self):
+        runtime = _runtime(cluster)
+        result = run_collective(runtime, "broadcast", "binomial-tree", 8, 4096)
+        assert result.hierarchical
+        assert result.intra_gather_ns > 0.0
+        assert result.intra_scatter_ns == result.intra_gather_ns
+        assert result.nic_contention == 1.0
+
+    def test_cluster_flat_pays_nic_contention(self):
+        runtime = _runtime(cluster)
+        machine = runtime.machine
+        flat = run_collective(
+            runtime, "broadcast", "binomial-tree", 8, 4096,
+            hierarchical=False,
+        )
+        assert not flat.hierarchical
+        assert flat.nic_contention == machine.nic_contention(
+            machine.cores_per_node
+        )
+        assert flat.nic_contention > 1.0
+        assert flat.intra_gather_ns == 0.0
+
+    def test_contention_scales_rounds(self):
+        runtime = _runtime(cluster)
+        flat = run_collective(
+            runtime, "allreduce", "ring", 8, 65536, hierarchical=False
+        )
+        factor = flat.nic_contention
+        for charged, step in zip(flat.round_ns, flat.rounds):
+            assert charged == step.step_ns * factor
